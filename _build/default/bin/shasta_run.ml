@@ -1,0 +1,170 @@
+(* shasta_run: compile, instrument and run a workload on the simulated
+   cluster from the command line.
+
+     dune exec bin/shasta_run.exe -- --app lu --procs 8 --net mc
+     dune exec bin/shasta_run.exe -- --app radix --no-batch --line 128
+     dune exec bin/shasta_run.exe -- --list *)
+
+open Cmdliner
+open Shasta_runtime
+
+let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
+    no_excl no_batch poll no_range fixed_block threshold sc trace show_asm =
+  let entry = Shasta_apps.Apps.find app in
+  let size =
+    match size with
+    | "test" -> Shasta_apps.Apps.Test
+    | "small" -> Shasta_apps.Apps.Small
+    | "large" -> Shasta_apps.Apps.Large
+    | s -> failwith ("unknown size " ^ s)
+  in
+  let prog = entry.make size in
+  let opts =
+    if no_instrument then None
+    else
+      Some
+        { Shasta.Opts.line_shift =
+            (match line_bytes with
+             | 64 -> 6
+             | 128 -> 7
+             | _ -> failwith "line size must be 64 or 128");
+          schedule = not no_sched;
+          flag_loads = not no_flag;
+          excl_table = not no_excl;
+          batching = not no_batch;
+          range_check = not no_range;
+          poll =
+            (match poll with
+             | "none" -> Shasta.Opts.Poll_none
+             | "fn" -> Shasta.Opts.Poll_fn_entry
+             | "loop" -> Shasta.Opts.Poll_loop
+             | s -> failwith ("unknown poll mode " ^ s)) }
+  in
+  let spec =
+    { (Api.default_spec prog) with
+      opts;
+      nprocs;
+      pipe =
+        (match cpu with
+         | "21064a" -> Shasta_machine.Pipeline.alpha_21064a
+         | "21164" -> Shasta_machine.Pipeline.alpha_21164
+         | s -> failwith ("unknown cpu " ^ s));
+      net = Shasta_network.Network.profile_of_string net;
+      fixed_block;
+      granularity_threshold = threshold;
+      consistency = (if sc then State.Sequential else State.Release);
+      trace = (if trace then Some prerr_endline else None) }
+  in
+  let r = Api.run spec in
+  if show_asm then print_string (Shasta_isa.Asm.program_to_string r.program);
+  Printf.printf "== %s (%s), %d processor(s), %s network\n" app entry.descr
+    nprocs net;
+  Printf.printf "output:\n%s" r.phase.output;
+  Printf.printf "wall cycles : %d\n" r.phase.wall_cycles;
+  Printf.printf "messages    : %d (%d payload longwords)\n" r.phase.msgs_sent
+    r.phase.payload_longs;
+  (match r.inst_stats with
+   | Some s ->
+     Printf.printf
+       "instrumented: %d/%d loads, %d/%d stores, %d batches (%d accesses)\n"
+       s.loads_instrumented s.loads_total s.stores_instrumented s.stores_total
+       s.batches s.batched_accesses;
+     Printf.printf "code size   : %d -> %d instructions\n" s.insns_before
+       s.insns_after
+   | None -> Printf.printf "instrumented: no (original binary)\n");
+  Array.iteri
+    (fun id (c : Node.counters) ->
+      Printf.printf
+        "node %d: %9d insns, misses rd=%d wr=%d up=%d batch=%d false=%d, \
+         stall=%d cyc, polls=%d, locks=%d\n"
+        id c.insns c.read_misses c.write_misses c.upgrade_misses
+        c.batch_misses c.false_misses c.stall_cycles c.polls c.lock_acquires)
+    r.phase.counters
+
+let list_apps () =
+  List.iter
+    (fun (e : Shasta_apps.Apps.entry) ->
+      Printf.printf "%-10s %s\n" e.name e.descr)
+    Shasta_apps.Apps.all
+
+let cmd =
+  let app_t =
+    Arg.(value & opt string "lu" & info [ "app"; "a" ] ~doc:"Workload name.")
+  in
+  let size_t =
+    Arg.(value & opt string "small"
+         & info [ "size" ] ~doc:"Problem size: test, small or large.")
+  in
+  let procs_t =
+    Arg.(value & opt int 4 & info [ "procs"; "p" ] ~doc:"Processor count.")
+  in
+  let net_t =
+    Arg.(value & opt string "mc"
+         & info [ "net" ] ~doc:"Network profile: mc, atm or ideal.")
+  in
+  let cpu_t =
+    Arg.(value & opt string "21064a"
+         & info [ "cpu" ] ~doc:"Pipeline model: 21064a or 21164.")
+  in
+  let line_t =
+    Arg.(value & opt int 64 & info [ "line" ] ~doc:"Line size (64 or 128).")
+  in
+  let no_instrument_t =
+    Arg.(value & flag
+         & info [ "no-instrument" ]
+             ~doc:"Run the original binary (one processor only).")
+  in
+  let no_sched_t = Arg.(value & flag & info [ "no-sched" ] ~doc:"Disable check scheduling.") in
+  let no_flag_t = Arg.(value & flag & info [ "no-flag" ] ~doc:"Disable flag load checks.") in
+  let no_excl_t = Arg.(value & flag & info [ "no-excl" ] ~doc:"Disable the exclusive table.") in
+  let no_batch_t = Arg.(value & flag & info [ "no-batch" ] ~doc:"Disable batching.") in
+  let poll_t =
+    Arg.(value & opt string "loop"
+         & info [ "poll" ] ~doc:"Polling: none, fn or loop.")
+  in
+  let no_range_t = Arg.(value & flag & info [ "no-range" ] ~doc:"Drop the range check.") in
+  let fixed_block_t =
+    Arg.(value & opt (some int) None
+         & info [ "block" ] ~doc:"Force one block size in bytes (ablation).")
+  in
+  let threshold_t =
+    Arg.(value & opt int 1024
+         & info [ "threshold" ]
+             ~doc:"Size cutoff of the block-size heuristic (Section 4.2).")
+  in
+  let sc_t =
+    Arg.(value & flag
+         & info [ "sc" ]
+             ~doc:"Sequential consistency (stores stall; default is the \
+                   paper's release-consistent protocol).")
+  in
+  let trace_t =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol messages.")
+  in
+  let show_asm_t =
+    Arg.(value & flag
+         & info [ "asm" ] ~doc:"Disassemble the instrumented executable.")
+  in
+  let list_t =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
+  in
+  let main list app size procs net cpu line no_instrument no_sched no_flag
+      no_excl no_batch poll no_range fixed_block threshold sc trace show_asm =
+    if list then list_apps ()
+    else
+      run app size procs net cpu line no_instrument no_sched no_flag no_excl
+        no_batch poll no_range fixed_block threshold sc trace show_asm
+  in
+  let term =
+    Term.(
+      const main $ list_t $ app_t $ size_t $ procs_t $ net_t $ cpu_t
+      $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
+      $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
+      $ sc_t $ trace_t $ show_asm_t)
+  in
+  Cmd.v
+    (Cmd.info "shasta_run"
+       ~doc:"Run a workload under the Shasta fine-grain software DSM")
+    term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/granularity_tuning.ml: Api List Printf Shasta_apps Shasta_runtime

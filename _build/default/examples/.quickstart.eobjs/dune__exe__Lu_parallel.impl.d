@@ -1,0 +1,1 @@
+examples/lu_parallel.ml: Api Array List Node Printf Shasta_apps Shasta_runtime

@@ -1,0 +1,1 @@
+examples/protocol_trace.ml: Api Printf Shasta_minic Shasta_runtime

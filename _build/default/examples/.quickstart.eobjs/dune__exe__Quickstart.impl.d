@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Printf Shasta Shasta_minic Shasta_runtime String

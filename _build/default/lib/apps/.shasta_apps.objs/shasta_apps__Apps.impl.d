@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Barnes Em3d Fft List Lu Ocean Radiosity Radix Raytrace Shasta_minic Volrend Water

@@ -1,0 +1,1 @@
+lib/apps/barnes.ml: Shasta_minic

@@ -1,0 +1,1 @@
+lib/apps/em3d.ml: Array Shasta_minic Stdlib

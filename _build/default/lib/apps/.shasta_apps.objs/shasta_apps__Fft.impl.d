@@ -1,0 +1,1 @@
+lib/apps/fft.ml: Float Shasta_minic Stdlib

@@ -1,0 +1,1 @@
+lib/apps/lu.ml: Array Shasta_minic Stdlib

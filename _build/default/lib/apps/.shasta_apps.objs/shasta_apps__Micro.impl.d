@@ -1,0 +1,1 @@
+lib/apps/micro.ml: Shasta_minic

@@ -1,0 +1,1 @@
+lib/apps/ocean.ml: Array Shasta_minic Stdlib

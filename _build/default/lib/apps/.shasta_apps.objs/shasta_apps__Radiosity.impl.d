@@ -1,0 +1,1 @@
+lib/apps/radiosity.ml: Shasta_minic

@@ -1,0 +1,1 @@
+lib/apps/radix.ml: Array Shasta_minic

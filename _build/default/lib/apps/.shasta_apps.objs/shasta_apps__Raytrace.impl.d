@@ -1,0 +1,1 @@
+lib/apps/raytrace.ml: Shasta_minic

@@ -1,0 +1,1 @@
+lib/apps/volrend.ml: Shasta_minic

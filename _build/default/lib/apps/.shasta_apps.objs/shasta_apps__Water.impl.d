@@ -1,0 +1,1 @@
+lib/apps/water.ml: Array Shasta_minic Stdlib

@@ -1,0 +1,93 @@
+(* Workload registry with size presets.
+
+   Test sizes keep simulation time down in unit tests; Small is the
+   default for the Table 2 / parallel measurements; Large scales the
+   problems up for longer runs. *)
+
+type size = Test | Small | Large
+
+type entry = {
+  name : string;
+  descr : string;
+  make : size -> Shasta_minic.Ast.prog;
+}
+
+let all =
+  [ { name = "lu";
+      descr = "blocked dense LU factorization (contiguous blocks)";
+      make =
+        (function
+         | Test -> Lu.program ~n:16 ~bs:4 ()
+         | Small -> Lu.program ~n:48 ~bs:8 ()
+         | Large -> Lu.program ~n:96 ~bs:8 ()) };
+    { name = "fft";
+      descr = "radix-2 complex FFT with bit-reversal and twiddle table";
+      make =
+        (function
+         | Test -> Fft.program ~n:64 ()
+         | Small -> Fft.program ~n:512 ()
+         | Large -> Fft.program ~n:8192 ()) };
+    { name = "radix";
+      descr = "parallel radix sort (poor spatial locality)";
+      make =
+        (function
+         | Test -> Radix.program ~nkeys:512 ()
+         | Small -> Radix.program ~nkeys:4096 ()
+         | Large -> Radix.program ~nkeys:65536 ()) };
+    { name = "ocean";
+      descr = "Jacobi relaxation on a 2D grid (row partitions)";
+      make =
+        (function
+         | Test -> Ocean.program ~n:18 ~iters:2 ()
+         | Small -> Ocean.program ~n:66 ~iters:4 ()
+         | Large -> Ocean.program ~n:258 ~iters:4 ()) };
+    { name = "water";
+      descr = "O(n^2) molecular dynamics (record sharing)";
+      make =
+        (function
+         | Test -> Water.program ~nmol:32 ~steps:1 ()
+         | Small -> Water.program ~nmol:96 ~steps:2 ()
+         | Large -> Water.program ~nmol:216 ~steps:3 ()) };
+    { name = "barnes";
+      descr = "grid-tree N-body with linked cell lists";
+      make =
+        (function
+         | Test -> Barnes.program ~nparts:64 ~cdim:2 ()
+         | Small -> Barnes.program ~nparts:256 ~cdim:4 ()
+         | Large -> Barnes.program ~nparts:768 ~cdim:4 ()) };
+    { name = "raytrace";
+      descr = "sphere ray caster (branchy inner loops)";
+      make =
+        (function
+         | Test -> Raytrace.program ~width:12 ~height:12 ~nspheres:8 ()
+         | Small -> Raytrace.program ~width:32 ~height:32 ~nspheres:16 ()
+         | Large -> Raytrace.program ~width:64 ~height:64 ~nspheres:32 ()) };
+    { name = "volrend";
+      descr = "volume ray casting with early termination";
+      make =
+        (function
+         | Test -> Volrend.program ~vol:8 ~img:12 ()
+         | Small -> Volrend.program ~vol:16 ~img:32 ()
+         | Large -> Volrend.program ~vol:24 ~img:64 ()) };
+    { name = "em3d";
+      descr = "bipartite-graph wave propagation (fine-grain irregular)";
+      make =
+        (function
+         | Test -> Em3d.program ~nnodes:64 ~degree:3 ~iters:2 ()
+         | Small -> Em3d.program ~nnodes:256 ~degree:4 ~iters:3 ()
+         | Large -> Em3d.program ~nnodes:1024 ~degree:5 ~iters:4 ()) };
+    { name = "radiosity";
+      descr = "task-queue energy redistribution with locks";
+      make =
+        (function
+         | Test -> Radiosity.program ~npatches:16 ()
+         | Small -> Radiosity.program ~npatches:48 ()
+         | Large -> Radiosity.program ~npatches:96 ()) }
+  ]
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> invalid_arg ("Apps.find: unknown application " ^ name)
+
+let names = List.map (fun e -> e.name) all

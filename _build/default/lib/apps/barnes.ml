@@ -1,0 +1,158 @@
+(* Barnes-like: hierarchical N-body force computation over an irregular
+   linked structure.
+
+   Particles are hashed into a uniform grid of cells; each cell keeps a
+   linked particle list built in parallel under per-cell locks, and a
+   centre-of-mass summary.  Force evaluation walks the cell array: near
+   cells are expanded by chasing the particle list (pointer-chasing
+   loads of small records — Barnes' irregular access pattern), far
+   cells contribute through their summary.  All arithmetic is integer,
+   so sums are independent of list order and the result is
+   deterministic at any processor count. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+(* particle record: x y z mass ax next  (8 bytes each) *)
+let p_bytes = 48
+let p_x = 0 and p_y = 8 and p_z = 16 and p_m = 24 and p_ax = 32 and p_next = 40
+
+(* cell record: mx my mz mass head *)
+let c_bytes = 40
+let c_mx = 0 and c_my = 8 and c_mz = 16 and c_m = 24 and c_head = 32
+
+let program ?(nparts = 128) ?(cdim = 4) () =
+  let ncells = cdim * cdim * cdim in
+  let span = 64 (* coordinate range per cell axis *) in
+  prog
+    ~globals:[ ("parts", I); ("cells", I) ]
+    [ proc "cell_of" ~params:[ ("x", I); ("y", I); ("z", I) ] ~ret:I
+        [ ret
+            ((((v "z" /% i span *% i cdim) +% (v "y" /% i span)) *% i cdim)
+             +% (v "x" /% i span))
+        ];
+      proc "appinit"
+        [ gset "parts" (Gmalloc (i (nparts * p_bytes)));
+          gset "cells" (Gmalloc (i (ncells * c_bytes)));
+          let_i "seed" (i 99);
+          for_ "k" (i 0) (i nparts)
+            [ let_i "p" (g "parts" +% (v "k" *% i p_bytes));
+              set "seed" (((v "seed" *% i 1103515245) +% i 12345)
+                          &% i 0x7FFFFFFF);
+              set_fld_i (v "p") p_x (v "seed" %% i (span * cdim));
+              set "seed" (((v "seed" *% i 1103515245) +% i 12345)
+                          &% i 0x7FFFFFFF);
+              set_fld_i (v "p") p_y (v "seed" %% i (span * cdim));
+              set "seed" (((v "seed" *% i 1103515245) +% i 12345)
+                          &% i 0x7FFFFFFF);
+              set_fld_i (v "p") p_z (v "seed" %% i (span * cdim));
+              set_fld_i (v "p") p_m ((v "k" %% i 7) +% i 1);
+              set_fld_i (v "p") p_ax (i 0);
+              set_fld_i (v "p") p_next (neg (i 1))
+            ];
+          for_ "c" (i 0) (i ncells)
+            [ let_i "cp" (g "cells" +% (v "c" *% i c_bytes));
+              set_fld_i (v "cp") c_mx (i 0);
+              set_fld_i (v "cp") c_my (i 0);
+              set_fld_i (v "cp") c_mz (i 0);
+              set_fld_i (v "cp") c_m (i 0);
+              set_fld_i (v "cp") c_head (neg (i 1))
+            ]
+        ];
+      proc "work"
+        [ let_i "per" ((i nparts +% Nprocs -% i 1) /% Nprocs);
+          let_i "lo" (Pid *% v "per");
+          let_i "hi" (v "lo" +% v "per");
+          when_ (v "hi" >% i nparts) [ set "hi" (i nparts) ];
+          (* phase 1: insert own particles into cell lists under locks *)
+          for_ "k" (v "lo") (v "hi")
+            [ let_i "p" (g "parts" +% (v "k" *% i p_bytes));
+              let_i "c"
+                (call "cell_of"
+                   [ fld_i (v "p") p_x; fld_i (v "p") p_y; fld_i (v "p") p_z ]);
+              let_i "cp" (g "cells" +% (v "c" *% i c_bytes));
+              lock (v "c");
+              set_fld_i (v "p") p_next (fld_i (v "cp") c_head);
+              set_fld_i (v "cp") c_head (v "k");
+              unlock (v "c")
+            ];
+          barrier;
+          (* phase 2: per-cell summaries (cells partitioned) *)
+          let_i "cper" ((i ncells +% Nprocs -% i 1) /% Nprocs);
+          let_i "clo" (Pid *% v "cper");
+          let_i "chi" (v "clo" +% v "cper");
+          when_ (v "chi" >% i ncells) [ set "chi" (i ncells) ];
+          for_ "c" (v "clo") (v "chi")
+            [ let_i "cp" (g "cells" +% (v "c" *% i c_bytes));
+              let_i "cur" (fld_i (v "cp") c_head);
+              while_ (v "cur" >=% i 0)
+                [ let_i "q" (g "parts" +% (v "cur" *% i p_bytes));
+                  let_i "m" (fld_i (v "q") p_m);
+                  set_fld_i (v "cp") c_mx
+                    (fld_i (v "cp") c_mx +% (v "m" *% fld_i (v "q") p_x));
+                  set_fld_i (v "cp") c_my
+                    (fld_i (v "cp") c_my +% (v "m" *% fld_i (v "q") p_y));
+                  set_fld_i (v "cp") c_mz
+                    (fld_i (v "cp") c_mz +% (v "m" *% fld_i (v "q") p_z));
+                  set_fld_i (v "cp") c_m (fld_i (v "cp") c_m +% v "m");
+                  set "cur" (fld_i (v "q") p_next)
+                ]
+            ];
+          barrier;
+          (* phase 3: forces on own particles *)
+          for_ "k" (v "lo") (v "hi")
+            [ let_i "p" (g "parts" +% (v "k" *% i p_bytes));
+              let_i "px" (fld_i (v "p") p_x);
+              let_i "mycell"
+                (call "cell_of"
+                   [ v "px"; fld_i (v "p") p_y; fld_i (v "p") p_z ]);
+              let_i "acc" (i 0);
+              for_ "c" (i 0) (i ncells)
+                [ let_i "cp" (g "cells" +% (v "c" *% i c_bytes));
+                  let_i "cm" (fld_i (v "cp") c_m);
+                  when_ (v "cm" >% i 0)
+                    [ (* near cell (same x/y/z slab distance <= 1): exact *)
+                      let_i "dz" ((v "c" /% i (cdim * cdim))
+                                  -% (v "mycell" /% i (cdim * cdim)));
+                      when_ (v "dz" <% i 0) [ set "dz" (neg (v "dz")) ];
+                      if_ (v "dz" <=% i 1)
+                        [ let_i "cur" (fld_i (v "cp") c_head);
+                          while_ (v "cur" >=% i 0)
+                            [ let_i "q" (g "parts" +% (v "cur" *% i p_bytes));
+                              when_ (v "cur" <>% v "k")
+                                [ let_i "dx" (fld_i (v "q") p_x -% v "px");
+                                  let_i "r2"
+                                    ((v "dx" *% v "dx") +% i 16);
+                                  set "acc"
+                                    (v "acc"
+                                     +% (fld_i (v "q") p_m *% v "dx" *% i 256
+                                         /% v "r2"))
+                                ];
+                              set "cur" (fld_i (v "q") p_next)
+                            ]
+                        ]
+                        [ (* far cell: use the centre of mass *)
+                          let_i "comx" (fld_i (v "cp") c_mx /% v "cm");
+                          let_i "dx" (v "comx" -% v "px");
+                          let_i "r2" ((v "dx" *% v "dx") +% i 16);
+                          set "acc"
+                            (v "acc" +% (v "cm" *% v "dx" *% i 256 /% v "r2"))
+                        ]
+                    ]
+                ];
+              set_fld_i (v "p") p_ax (v "acc")
+            ];
+          barrier;
+          when_ (Pid ==% i 0)
+            [ let_i "sum" (i 0);
+              for_ "k" (i 0) (i nparts)
+                [ let_i "p" (g "parts" +% (v "k" *% i p_bytes));
+                  set "sum"
+                    ((v "sum" +% (fld_i (v "p") p_ax *% (v "k" +% i 1)))
+                     %% i 1000000007)
+                ];
+              when_ (v "sum" <% i 0) [ set "sum" (v "sum" +% i 1000000007) ];
+              print_int (v "sum")
+            ]
+        ]
+    ]

@@ -1,0 +1,129 @@
+(* EM3D-like: electromagnetic wave propagation on a bipartite graph —
+   the classic fine-grain irregular benchmark of the software-DSM
+   literature (Split-C; used by Blizzard and in Shasta-era comparisons).
+
+   E nodes update from randomly chosen H nodes through weighted edges
+   and vice versa, alternating with barriers.  The remote reads are
+   data-dependent and scattered: exactly the access pattern fine-grain
+   coherence targets, since page- or region-grain systems would ship
+   far more than the single values needed.  Each value is updated by
+   one owner from previous-phase values, so results are deterministic
+   at any processor count. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+let program ?(nnodes = 128) ?(degree = 4) ?(iters = 3) () =
+  let edges = nnodes * degree in
+  prog
+    ~globals:
+      [ ("eval", I); ("hval", I); ("edep", I); ("hdep", I); ("w", I) ]
+    [ proc "appinit"
+        [ gset "eval" (Gmalloc (i (nnodes * 8)));
+          gset "hval" (Gmalloc (i (nnodes * 8)));
+          gset "edep" (Gmalloc (i (edges * 8)));
+          gset "hdep" (Gmalloc (i (edges * 8)));
+          gset "w" (Gmalloc (i (edges * 8)));
+          let_i "seed" (i 7);
+          for_ "k" (i 0) (i nnodes)
+            [ stf (g "eval") (v "k") (i2f (v "k" %% i 13) *. f 0.5);
+              stf (g "hval") (v "k") (i2f (v "k" %% i 7) *. f 0.25)
+            ];
+          for_ "k" (i 0) (i edges)
+            [ set "seed"
+                (((v "seed" *% i 1103515245) +% i 12345) &% i 0x7FFFFFFF);
+              sti (g "edep") (v "k") (v "seed" %% i nnodes);
+              set "seed"
+                (((v "seed" *% i 1103515245) +% i 12345) &% i 0x7FFFFFFF);
+              sti (g "hdep") (v "k") (v "seed" %% i nnodes);
+              stf (g "w") (v "k")
+                (f 0.01 *. i2f ((v "k" %% i 9) +% i 1))
+            ]
+        ];
+      proc "work"
+        [ let_i "per" ((i nnodes +% Nprocs -% i 1) /% Nprocs);
+          let_i "lo" (Pid *% v "per");
+          let_i "hi" (v "lo" +% v "per");
+          when_ (v "hi" >% i nnodes) [ set "hi" (i nnodes) ];
+          for_ "it" (i 0) (i iters)
+            [ (* E phase: gather from dependent H nodes *)
+              for_ "n" (v "lo") (v "hi")
+                [ let_f "acc" (ldf (g "eval") (v "n"));
+                  for_ "d" (i 0) (i degree)
+                    [ let_i "e" ((v "n" *% i degree) +% v "d");
+                      set "acc"
+                        (v "acc"
+                         -. (ldf (g "w") (v "e")
+                             *. ldf (g "hval") (ldi (g "edep") (v "e"))))
+                    ];
+                  stf (g "eval") (v "n") (v "acc")
+                ];
+              barrier;
+              (* H phase: gather from dependent E nodes *)
+              for_ "n" (v "lo") (v "hi")
+                [ let_f "acc" (ldf (g "hval") (v "n"));
+                  for_ "d" (i 0) (i degree)
+                    [ let_i "e" ((v "n" *% i degree) +% v "d");
+                      set "acc"
+                        (v "acc"
+                         -. (ldf (g "w") (v "e")
+                             *. ldf (g "eval") (ldi (g "hdep") (v "e"))))
+                    ];
+                  stf (g "hval") (v "n") (v "acc")
+                ];
+              barrier
+            ];
+          when_ (Pid ==% i 0)
+            [ let_f "sum" (f 0.0);
+              for_ "k" (i 0) (i nnodes)
+                [ set "sum"
+                    (v "sum" +. ldf (g "eval") (v "k")
+                     +. ldf (g "hval") (v "k"))
+                ];
+              print_flt (v "sum")
+            ]
+        ]
+    ]
+
+let reference_checksum ~nnodes ~degree ~iters =
+  let ( +. ) = Stdlib.( +. ) and ( -. ) = Stdlib.( -. ) in
+  let ( *. ) = Stdlib.( *. ) in
+  let edges = nnodes * degree in
+  let eval = Array.init nnodes (fun k -> float_of_int (k mod 13) *. 0.5) in
+  let hval = Array.init nnodes (fun k -> float_of_int (k mod 7) *. 0.25) in
+  let edep = Array.make edges 0 and hdep = Array.make edges 0 in
+  let w = Array.make edges 0.0 in
+  let seed = ref 7 in
+  for k = 0 to edges - 1 do
+    seed := ((!seed * 1103515245) + 12345) land 0x7FFFFFFF;
+    edep.(k) <- !seed mod nnodes;
+    seed := ((!seed * 1103515245) + 12345) land 0x7FFFFFFF;
+    hdep.(k) <- !seed mod nnodes;
+    w.(k) <- 0.01 *. float_of_int ((k mod 9) + 1)
+  done;
+  for _ = 1 to iters do
+    let snapshot = Array.copy hval in
+    for n = 0 to nnodes - 1 do
+      let acc = ref eval.(n) in
+      for d = 0 to degree - 1 do
+        let e = (n * degree) + d in
+        acc := !acc -. (w.(e) *. snapshot.(edep.(e)))
+      done;
+      eval.(n) <- !acc
+    done;
+    let snapshot = Array.copy eval in
+    for n = 0 to nnodes - 1 do
+      let acc = ref hval.(n) in
+      for d = 0 to degree - 1 do
+        let e = (n * degree) + d in
+        acc := !acc -. (w.(e) *. snapshot.(hdep.(e)))
+      done;
+      hval.(n) <- !acc
+    done
+  done;
+  (* same accumulation order as the MiniC checksum loop *)
+  let sum = ref 0.0 in
+  for k = 0 to nnodes - 1 do
+    sum := !sum +. eval.(k) +. hval.(k)
+  done;
+  !sum

@@ -1,0 +1,239 @@
+(* LU: blocked dense LU factorization without pivoting, the contiguous
+   blocks version of SPLASH-2.
+
+   Blocks are stored contiguously (block (I,J) occupies one bs*bs*8-byte
+   run), assigned to processors round-robin over the 2D block index.
+   Each outer step factors the diagonal block, solves the row and column
+   panels, then applies the rank-bs update to the trailing matrix, with
+   barriers between the phases.  The access pattern is the paper's
+   coarse-grain-friendly case: blocks are single-writer between
+   barriers and migrate as units. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+(* element (r,c) of the bs x bs block at pointer p *)
+let eaddr ~bs p r c = p +% (((r *% i bs) +% c) <<% i 3)
+let eld ~bs p r c = Load (F, eaddr ~bs p r c, 0)
+let est ~bs p r c x = Store (F, eaddr ~bs p r c, 0, x)
+
+let program ?(n = 64) ?(bs = 8) () =
+  if n mod bs <> 0 then invalid_arg "Lu.program: bs must divide n";
+  let nb = n / bs in
+  let eld = eld ~bs and est = est ~bs in
+  prog
+    ~globals:[ ("A", I) ]
+    [ (* base address of block (bi, bj) *)
+      proc "blk" ~params:[ ("bi", I); ("bj", I) ] ~ret:I
+        [ ret (g "A" +% (((v "bi" *% i nb) +% v "bj") *% i (bs * bs * 8))) ];
+      (* in-place LU of the diagonal block (L unit lower, U upper) *)
+      proc "lu0" ~params:[ ("d", I) ]
+        [ for_ "k" (i 0) (i bs)
+            [ let_f "pivot" (eld (v "d") (v "k") (v "k"));
+              for_ "r" (v "k" +% i 1) (i bs)
+                [ est (v "d") (v "r") (v "k")
+                    (eld (v "d") (v "r") (v "k") /. v "pivot");
+                  let_f "m" (eld (v "d") (v "r") (v "k"));
+                  for_ "c" (v "k" +% i 1) (i bs)
+                    [ est (v "d") (v "r") (v "c")
+                        (eld (v "d") (v "r") (v "c")
+                         -. (v "m" *. eld (v "d") (v "k") (v "c")))
+                    ]
+                ]
+            ]
+        ];
+      (* column panel: a := a * u^-1 (solve X U = A by forward subst) *)
+      proc "bdiv" ~params:[ ("a", I); ("u", I) ]
+        [ for_ "r" (i 0) (i bs)
+            [ for_ "c" (i 0) (i bs)
+                [ let_f "s" (eld (v "a") (v "r") (v "c"));
+                  for_ "t" (i 0) (v "c")
+                    [ set "s"
+                        (v "s"
+                         -. (eld (v "a") (v "r") (v "t")
+                             *. eld (v "u") (v "t") (v "c")))
+                    ];
+                  est (v "a") (v "r") (v "c")
+                    (v "s" /. eld (v "u") (v "c") (v "c"))
+                ]
+            ]
+        ];
+      (* row panel: a := l^-1 * a (unit lower triangular solve) *)
+      proc "bmodd" ~params:[ ("l", I); ("a", I) ]
+        [ for_ "c" (i 0) (i bs)
+            [ for_ "r" (i 0) (i bs)
+                [ let_f "s" (eld (v "a") (v "r") (v "c"));
+                  for_ "t" (i 0) (v "r")
+                    [ set "s"
+                        (v "s"
+                         -. (eld (v "l") (v "r") (v "t")
+                             *. eld (v "a") (v "t") (v "c")))
+                    ];
+                  est (v "a") (v "r") (v "c") (v "s")
+                ]
+            ]
+        ];
+      (* interior update: aij -= aik * akj *)
+      proc "bmod" ~params:[ ("aij", I); ("aik", I); ("akj", I) ]
+        [ for_ "r" (i 0) (i bs)
+            [ for_ "c" (i 0) (i bs)
+                [ let_f "s" (eld (v "aij") (v "r") (v "c"));
+                  for_ "t" (i 0) (i bs)
+                    [ set "s"
+                        (v "s"
+                         -. (eld (v "aik") (v "r") (v "t")
+                             *. eld (v "akj") (v "t") (v "c")))
+                    ];
+                  est (v "aij") (v "r") (v "c") (v "s")
+                ]
+            ]
+        ];
+      proc "appinit"
+        [ gset "A" (Gmalloc (i (n * n * 8)));
+          (* diagonally dominant matrix so no pivoting is needed *)
+          for_ "gi" (i 0) (i n)
+            [ for_ "gj" (i 0) (i n)
+                [ let_i "p"
+                    (call "blk" [ v "gi" /% i bs; v "gj" /% i bs ]);
+                  let_f "x"
+                    (f 1.0 /. i2f (v "gi" +% v "gj" +% i 1));
+                  when_ (v "gi" ==% v "gj") [ set "x" (f (float_of_int n)) ];
+                  est (v "p") (v "gi" %% i bs) (v "gj" %% i bs) (v "x")
+                ]
+            ]
+        ];
+      proc "work"
+        [ for_ "k" (i 0) (i nb)
+            [ (* diagonal factorization by its owner *)
+              when_ (((v "k" *% i nb) +% v "k") %% Nprocs ==% Pid)
+                [ expr (Call ("lu0", [ call "blk" [ v "k"; v "k" ] ])) ];
+              barrier;
+              (* panels *)
+              for_ "j" (v "k" +% i 1) (i nb)
+                [ when_ (((v "k" *% i nb) +% v "j") %% Nprocs ==% Pid)
+                    [ expr
+                        (Call
+                           ( "bmodd",
+                             [ call "blk" [ v "k"; v "k" ];
+                               call "blk" [ v "k"; v "j" ] ] ))
+                    ]
+                ];
+              for_ "r" (v "k" +% i 1) (i nb)
+                [ when_ (((v "r" *% i nb) +% v "k") %% Nprocs ==% Pid)
+                    [ expr
+                        (Call
+                           ( "bdiv",
+                             [ call "blk" [ v "r"; v "k" ];
+                               call "blk" [ v "k"; v "k" ] ] ))
+                    ]
+                ];
+              barrier;
+              (* trailing update *)
+              for_ "r" (v "k" +% i 1) (i nb)
+                [ for_ "j" (v "k" +% i 1) (i nb)
+                    [ when_ (((v "r" *% i nb) +% v "j") %% Nprocs ==% Pid)
+                        [ expr
+                            (Call
+                               ( "bmod",
+                                 [ call "blk" [ v "r"; v "j" ];
+                                   call "blk" [ v "r"; v "k" ];
+                                   call "blk" [ v "k"; v "j" ] ] ))
+                        ]
+                    ]
+                ];
+              barrier
+            ];
+          (* deterministic checksum by processor 0 *)
+          when_ (Pid ==% i 0)
+            [ let_f "sum" (f 0.0);
+              for_ "bi" (i 0) (i nb)
+                [ for_ "bj" (i 0) (i nb)
+                    [ let_i "p" (call "blk" [ v "bi"; v "bj" ]);
+                      for_ "r" (i 0) (i bs)
+                        [ for_ "c" (i 0) (i bs)
+                            [ set "sum" (v "sum" +. eld (v "p") (v "r") (v "c")) ]
+                        ]
+                    ]
+                ];
+              print_flt (v "sum")
+            ]
+        ]
+    ]
+
+(* Reference factorization with the same operation order, for tests. *)
+let reference_checksum ~n ~bs =
+  let ( +. ) = Stdlib.( +. ) and ( -. ) = Stdlib.( -. ) in
+  let ( *. ) = Stdlib.( *. ) and ( /. ) = Stdlib.( /. ) in
+
+  let a = Array.make_matrix n n 0.0 in
+  for gi = 0 to n - 1 do
+    for gj = 0 to n - 1 do
+      a.(gi).(gj) <-
+        (if gi = gj then float_of_int n else 1.0 /. float_of_int (gi + gj + 1))
+    done
+  done;
+  let nb = n / bs in
+  let eget bi bj r c = a.((bi * bs) + r).((bj * bs) + c) in
+  let eset bi bj r c x = a.((bi * bs) + r).((bj * bs) + c) <- x in
+  for k = 0 to nb - 1 do
+    (* lu0 *)
+    for kk = 0 to bs - 1 do
+      let pivot = eget k k kk kk in
+      for r = kk + 1 to bs - 1 do
+        eset k k r kk (eget k k r kk /. pivot);
+        let m = eget k k r kk in
+        for c = kk + 1 to bs - 1 do
+          eset k k r c (eget k k r c -. (m *. eget k k kk c))
+        done
+      done
+    done;
+    (* bmodd row panel *)
+    for j = k + 1 to nb - 1 do
+      for c = 0 to bs - 1 do
+        for r = 0 to bs - 1 do
+          let s = ref (eget k j r c) in
+          for t = 0 to r - 1 do
+            s := !s -. (eget k k r t *. eget k j t c)
+          done;
+          eset k j r c !s
+        done
+      done
+    done;
+    (* bdiv column panel *)
+    for r0 = k + 1 to nb - 1 do
+      for r = 0 to bs - 1 do
+        for c = 0 to bs - 1 do
+          let s = ref (eget r0 k r c) in
+          for t = 0 to c - 1 do
+            s := !s -. (eget r0 k r t *. eget k k t c)
+          done;
+          eset r0 k r c (!s /. eget k k c c)
+        done
+      done
+    done;
+    (* bmod trailing *)
+    for r0 = k + 1 to nb - 1 do
+      for j = k + 1 to nb - 1 do
+        for r = 0 to bs - 1 do
+          for c = 0 to bs - 1 do
+            let s = ref (eget r0 j r c) in
+            for t = 0 to bs - 1 do
+              s := !s -. (eget r0 k r t *. eget k j t c)
+            done;
+            eset r0 j r c !s
+          done
+        done
+      done
+    done
+  done;
+  let sum = ref 0.0 in
+  for bi = 0 to nb - 1 do
+    for bj = 0 to nb - 1 do
+      for r = 0 to bs - 1 do
+        for c = 0 to bs - 1 do
+          sum := !sum +. eget bi bj r c
+        done
+      done
+    done
+  done;
+  !sum

@@ -1,0 +1,114 @@
+(* Protocol microworkloads, used by the granularity and protocol
+   benchmarks (Section 4.2's claim that different data wants different
+   block sizes) and by the runtime tests.
+
+   - false_sharing: each processor repeatedly increments its own
+     64-byte-spaced counter.  With line-sized blocks there is no
+     interference; larger blocks put independent counters in one
+     coherence unit and ping-pong.
+   - stream: one processor produces a large contiguous array, everyone
+     consumes it.  Large blocks amortize the per-miss overhead.
+   - migratory: a single lock-protected accumulator visits every
+     processor in turn.
+   - prodcons: a flag-synchronized producer/consumer pipeline. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+let false_sharing ?(iters = 200) ?(block = 0) () =
+  prog
+    ~globals:[ ("counters", I) ]
+    [ proc "appinit"
+        [ gset "counters"
+            (if block = 0 then Gmalloc (i (16 * 64))
+             else Gmalloc_b (i (16 * 64), i block));
+          for_ "p" (i 0) (i 16)
+            [ Store (I, g "counters" +% (v "p" <<% i 6), 0, i 0) ]
+        ];
+      proc "work"
+        [ let_i "mine" (g "counters" +% (Pid <<% i 6));
+          for_ "k" (i 0) (i iters)
+            [ Store (I, v "mine", 0, Load (I, v "mine", 0) +% i 1) ];
+          barrier;
+          when_ (Pid ==% i 0)
+            [ let_i "sum" (i 0);
+              for_ "p" (i 0) Nprocs
+                [ set "sum"
+                    (v "sum" +% Load (I, g "counters" +% (v "p" <<% i 6), 0))
+                ];
+              print_int (v "sum")
+            ]
+        ]
+    ]
+
+let stream ?(nwords = 4096) ?(block = 0) () =
+  prog
+    ~globals:[ ("buf", I) ]
+    [ proc "appinit"
+        [ gset "buf"
+            (if block = 0 then Gmalloc (i (nwords * 8))
+             else Gmalloc_b (i (nwords * 8), i block))
+        ];
+      proc "work"
+        [ when_ (Pid ==% i 0)
+            [ for_ "k" (i 0) (i nwords)
+                [ sti (g "buf") (v "k") (v "k" *% i 7) ]
+            ];
+          barrier;
+          let_i "sum" (i 0);
+          for_ "k" (i 0) (i nwords)
+            [ set "sum" (v "sum" +% ldi (g "buf") (v "k")) ];
+          barrier;
+          when_ (Pid ==% i 0) [ print_int (v "sum") ]
+        ]
+    ]
+
+let migratory ?(rounds = 64) () =
+  prog
+    ~globals:[ ("cell", I) ]
+    [ proc "appinit"
+        [ gset "cell" (Gmalloc_b (i 8, i 64));
+          Store (I, g "cell", 0, i 0)
+        ];
+      proc "work"
+        [ for_ "k" (i 0) (i rounds)
+            [ lock (i 1);
+              Store (I, g "cell", 0, Load (I, g "cell", 0) +% i 1);
+              unlock (i 1)
+            ];
+          barrier;
+          when_ (Pid ==% i 0) [ print_int (Load (I, g "cell", 0)) ]
+        ]
+    ]
+
+let prodcons ?(items = 32) () =
+  prog
+    ~globals:[ ("slot", I) ]
+    [ proc "appinit"
+        [ gset "slot" (Gmalloc_b (i 64, i 64));
+          Store (I, g "slot", 0, i 0)
+        ];
+      proc "work"
+        [ (* processor 0 produces; processor nprocs-1 consumes (data
+             flag forward, ack flag back); anyone else just meets the
+             barrier.  On one processor the two roles interleave. *)
+          let_i "sum" (i 0);
+          for_ "k" (i 0) (i items)
+            [ when_ (Pid ==% i 0)
+                [ Store (I, g "slot", 0, (v "k" *% v "k") +% i 1);
+                  flag_set ((v "k" <<% i 1) +% i 2)
+                ];
+              when_ (Pid ==% (Nprocs -% i 1))
+                [ flag_wait ((v "k" <<% i 1) +% i 2);
+                  set "sum" (v "sum" +% Load (I, g "slot", 0));
+                  flag_set ((v "k" <<% i 1) +% i 3)
+                ];
+              (* the producer may not overwrite the slot until the
+                 consumer acknowledged the previous item *)
+              when_ (Pid ==% i 0) [ flag_wait ((v "k" <<% i 1) +% i 3) ]
+            ];
+          barrier;
+          when_ (Pid ==% (Nprocs -% i 1)) [ print_int (v "sum") ];
+          barrier
+        ]
+    ]

@@ -1,0 +1,101 @@
+(* Ocean-like: iterative 5-point Jacobi relaxation on a 2D grid,
+   row-partitioned across processors with a barrier per sweep.
+
+   This reproduces Ocean's check-relevant character: FP loads dominate,
+   the inner loop reads neighbouring rows (nearest-neighbour sharing at
+   partition boundaries), and accesses stride contiguously (good spatial
+   locality, so the coarse-grain protocol behaviour matters at row
+   boundaries only). *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+let addr grid n r c = grid +% (((r *% i n) +% c) <<% i 3)
+let gld grid n r c = Load (F, addr grid n r c, 0)
+let gst grid n r c x = Store (F, addr grid n r c, 0, x)
+
+let program ?(n = 34) ?(iters = 4) () =
+  prog
+    ~globals:[ ("cur", I); ("next", I) ]
+    [ proc "sweep" ~params:[ ("src", I); ("dst", I); ("lo", I); ("hi", I) ]
+        [ for_ "r" (v "lo") (v "hi")
+            [ for_ "c" (i 1) (i (n - 1))
+                [ gst (v "dst") n (v "r") (v "c")
+                    (f 0.25
+                     *. (gld (v "src") n (v "r" -% i 1) (v "c")
+                         +. gld (v "src") n (v "r" +% i 1) (v "c")
+                         +. gld (v "src") n (v "r") (v "c" -% i 1)
+                         +. gld (v "src") n (v "r") (v "c" +% i 1)))
+                ]
+            ]
+        ];
+      proc "appinit"
+        [ gset "cur" (Gmalloc (i (n * n * 8)));
+          gset "next" (Gmalloc (i (n * n * 8)));
+          for_ "r" (i 0) (i n)
+            [ for_ "c" (i 0) (i n)
+                [ let_f "x" (f 0.0);
+                  (* hot boundary on two edges *)
+                  when_ (v "r" ==% i 0) [ set "x" (f 1.0) ];
+                  when_ (v "c" ==% i 0) [ set "x" (f 0.5) ];
+                  gst (g "cur") n (v "r") (v "c") (v "x");
+                  gst (g "next") n (v "r") (v "c") (v "x")
+                ]
+            ]
+        ];
+      proc "work"
+        [ (* interior rows 1..n-2 split across processors *)
+          let_i "rows" (i (n - 2));
+          let_i "per" ((v "rows" +% Nprocs -% i 1) /% Nprocs);
+          let_i "lo" (i 1 +% (Pid *% v "per"));
+          let_i "hi" (v "lo" +% v "per");
+          when_ (v "hi" >% i (n - 1)) [ set "hi" (i (n - 1)) ];
+          when_ (v "lo" >% i (n - 1)) [ set "lo" (i (n - 1)) ];
+          for_ "it" (i 0) (i iters)
+            [ expr (Call ("sweep", [ g "cur"; g "next"; v "lo"; v "hi" ]));
+              barrier;
+              (* every node swaps its local view of the grid pointers *)
+              let_i "tmp" (g "cur");
+              gset "cur" (g "next");
+              gset "next" (v "tmp");
+              barrier
+            ];
+          when_ (Pid ==% i 0)
+            [ let_f "sum" (f 0.0);
+              for_ "r" (i 0) (i n)
+                [ for_ "c" (i 0) (i n)
+                    [ set "sum" (v "sum" +. gld (g "cur") n (v "r") (v "c")) ]
+                ];
+              print_flt (v "sum")
+            ]
+        ]
+    ]
+
+let reference_checksum ~n ~iters =
+  let ( +. ) = Stdlib.( +. ) and ( *. ) = Stdlib.( *. ) in
+
+  let cur = Array.make_matrix n n 0.0 and next = Array.make_matrix n n 0.0 in
+  for r = 0 to n - 1 do
+    for c = 0 to n - 1 do
+      let x = if c = 0 then 0.5 else if r = 0 then 1.0 else 0.0 in
+      cur.(r).(c) <- x;
+      next.(r).(c) <- x
+    done
+  done;
+  let cur = ref cur and next = ref next in
+  for _ = 1 to iters do
+    for r = 1 to n - 2 do
+      for c = 1 to n - 2 do
+        !next.(r).(c) <-
+          0.25
+          *. (!cur.(r - 1).(c) +. !cur.(r + 1).(c) +. !cur.(r).(c - 1)
+              +. !cur.(r).(c + 1))
+      done
+    done;
+    let t = !cur in
+    cur := !next;
+    next := t
+  done;
+  let sum = ref 0.0 in
+  Array.iter (Array.iter (fun x -> sum := !sum +. x)) !cur;
+  !sum

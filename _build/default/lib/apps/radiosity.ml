@@ -1,0 +1,124 @@
+(* Radiosity-like: iterative energy distribution over patches driven by
+   a lock-protected shared task queue.
+
+   Matches Radiosity's profile: migratory, lock-protected task and
+   patch records, irregular write sharing, work stealing through the
+   central queue.  Energy is integral and exactly conserved, so the
+   total printed at the end is independent of the (timing-dependent)
+   task interleaving. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+(* patch record: energy, nlinks, then up to 4 neighbour ids *)
+let pat_bytes = 48
+let q_lock = 9000 (* lock id for the task queue *)
+let patch_lock k = Bin (Add, Int 9100, k)
+
+let program ?(npatches = 32) ?(threshold = 8) () =
+  let initial = 4096 in
+  prog
+    ~globals:[ ("patches", I); ("queue", I); ("qhead", I); ("qtail", I) ]
+    [ proc "patch" ~params:[ ("k", I) ] ~ret:I
+        [ ret (g "patches" +% (v "k" *% i pat_bytes)) ];
+      (* push a patch id onto the shared work queue *)
+      proc "push" ~params:[ ("k", I) ]
+        [ lock (i q_lock);
+          let_i "t" (Load (I, g "qtail", 0));
+          sti (g "queue") (v "t" %% i 4096) (v "k");
+          Store (I, g "qtail", 0, v "t" +% i 1);
+          unlock (i q_lock)
+        ];
+      (* pop a patch id, or -1 when the queue is empty *)
+      proc "pop" ~ret:I
+        [ let_i "r" (neg (i 1));
+          lock (i q_lock);
+          let_i "h" (Load (I, g "qhead", 0));
+          when_ (v "h" <% Load (I, g "qtail", 0))
+            [ set "r" (ldi (g "queue") (v "h" %% i 4096));
+              Store (I, g "qhead", 0, v "h" +% i 1)
+            ];
+          unlock (i q_lock);
+          ret (v "r")
+        ];
+      proc "appinit"
+        [ gset "patches" (Gmalloc (i (npatches * pat_bytes)));
+          (* queue storage and head/tail cells *)
+          gset "queue" (Gmalloc (i (4096 * 8)));
+          gset "qhead" (Gmalloc_b (i 8, i 64));
+          gset "qtail" (Gmalloc_b (i 8, i 64));
+          Store (I, g "qhead", 0, i 0);
+          Store (I, g "qtail", 0, i 0);
+          for_ "k" (i 0) (i npatches)
+            [ let_i "p" (call "patch" [ v "k" ]);
+              set_fld_i (v "p") 0 (i initial);
+              set_fld_i (v "p") 8 (i 4);
+              (* 4 neighbours in a ring with a twist *)
+              set_fld_i (v "p") 16 ((v "k" +% i 1) %% i npatches);
+              set_fld_i (v "p") 24
+                ((v "k" +% i (npatches - 1)) %% i npatches);
+              set_fld_i (v "p") 32 ((v "k" +% i 7) %% i npatches);
+              set_fld_i (v "p") 40 ((v "k" *% i 3 +% i 1) %% i npatches)
+            ];
+          (* seed the queue with every patch *)
+          for_ "k" (i 0) (i npatches) [ expr (Call ("push", [ v "k" ])) ]
+        ];
+      (* the form-factor integration that makes real radiosity tasks
+         compute-heavy: a small numeric quadrature per interaction *)
+      proc "formfactor" ~params:[ ("a", I); ("b", I) ] ~ret:F
+        [ let_f "s" (f 0.0);
+          let_f "d" (i2f ((v "a" -% v "b") *% (v "a" -% v "b")) +. f 1.0);
+          for_ "q" (i 0) (i 24)
+            [ set "s"
+                (v "s"
+                 +. (f 1.0 /. (v "d" +. (i2f (v "q") *. f 0.25)))) ];
+          ret (v "s")
+        ];
+      (* distribute half of a patch's energy equally to its neighbours *)
+      proc "relax" ~params:[ ("k", I) ]
+        [ let_i "p" (call "patch" [ v "k" ]);
+          let_f "ff" (f 0.0);
+          lock (patch_lock (v "k"));
+          let_i "e" (fld_i (v "p") 0);
+          let_i "give" (v "e" /% i 2 /% i 4 *% i 4);
+          set_fld_i (v "p") 0 (v "e" -% v "give");
+          unlock (patch_lock (v "k"));
+          when_ (v "give" >% i 0)
+            [ let_i "share" (v "give" /% i 4);
+              for_ "j" (i 0) (i 4)
+                [ let_i "nb" (Load (I, v "p" +% (v "j" <<% i 3), 16));
+                  set "ff" (v "ff" +. call "formfactor" [ v "k"; v "nb" ]);
+                  let_i "np" (call "patch" [ v "nb" ]);
+                  lock (patch_lock (v "nb"));
+                  set_fld_i (v "np") 0 (fld_i (v "np") 0 +% v "share");
+                  unlock (patch_lock (v "nb"));
+                  (* re-enqueue energetic neighbours *)
+                  when_ (fld_i (v "np") 0 >% i threshold)
+                    [ expr (Call ("push", [ v "nb" ])) ]
+                ]
+            ]
+        ];
+      proc "work"
+        [ (* fixed total work: the task budget is split across nodes *)
+          let_i "budget" ((i (npatches * 16) +% Nprocs -% i 1) /% Nprocs);
+          let_i "task" (i 0);
+          while_ (v "task" >=% i 0)
+            [ set "task" (call "pop" []);
+              when_ (v "task" >=% i 0)
+                [ expr (Call ("relax", [ v "task" ]));
+                  set "budget" (v "budget" -% i 1);
+                  when_ (v "budget" <=% i 0) [ set "task" (neg (i 1)) ]
+                ]
+            ];
+          barrier;
+          when_ (Pid ==% i 0)
+            [ (* energy is conserved exactly *)
+              let_i "total" (i 0);
+              for_ "k" (i 0) (i npatches)
+                [ set "total" (v "total" +% fld_i (call "patch" [ v "k" ]) 0) ];
+              print_int (v "total")
+            ]
+        ]
+    ]
+
+let expected_total ~npatches = npatches * 4096

@@ -1,0 +1,84 @@
+(* Raytrace-like: orthographic rays cast through a read-shared scene of
+   spheres, writing a shared image partitioned by pixel rows.
+
+   The intersection loop is the paper's Raytrace profile: the most
+   frequently executed code is full of conditionals, so batching across
+   basic blocks (Section 3.4.1's multi-path scan) is what recovers the
+   checking overhead — "batching across basic blocks is particularly
+   effective in Raytrace".  The scene is read-only during the parallel
+   phase (wide read sharing). *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+let sphere_bytes = 40
+let s_cx = 0 and s_cy = 8 and s_cz = 16 and s_r2 = 24 and s_shade = 32
+
+let program ?(width = 32) ?(height = 32) ?(nspheres = 16) () =
+  prog
+    ~globals:[ ("scene", I); ("image", I) ]
+    [ (* nearest positive intersection depth of the ray from (x,y,-10)
+         along +z with sphere [s]; a large value when missed *)
+      proc "hit" ~params:[ ("s", I); ("x", F); ("y", F) ] ~ret:F
+        [ let_f "dx" (v "x" -. fld_f (v "s") s_cx);
+          let_f "dy" (v "y" -. fld_f (v "s") s_cy);
+          let_f "d2" ((v "dx" *. v "dx") +. (v "dy" *. v "dy"));
+          if_ (fld_f (v "s") s_r2 <. v "d2")
+            [ ret (f 1e30) ]
+            [ let_f "dz" (fsqrt (fld_f (v "s") s_r2 -. v "d2"));
+              let_f "t" (fld_f (v "s") s_cz -. v "dz" +. f 10.0);
+              if_ (v "t" <. f 0.0) [ ret (f 1e30) ] [ ret (v "t") ]
+            ]
+        ];
+      proc "trace" ~params:[ ("x", F); ("y", F) ] ~ret:F
+        [ let_f "best" (f 1e30);
+          let_f "shade" (f 0.0);
+          for_ "k" (i 0) (i nspheres)
+            [ let_i "s" (g "scene" +% (v "k" *% i sphere_bytes));
+              let_f "t" (call "hit" [ v "s"; v "x"; v "y" ]);
+              when_ (v "t" <. v "best")
+                [ set "best" (v "t");
+                  (* depth-attenuated shading *)
+                  set "shade" (fld_f (v "s") s_shade /. (f 1.0 +. (v "t" *. f 0.05)))
+                ]
+            ];
+          ret (v "shade")
+        ];
+      proc "appinit"
+        [ gset "scene" (Gmalloc (i (nspheres * sphere_bytes)));
+          gset "image" (Gmalloc (i (width * height * 8)));
+          for_ "k" (i 0) (i nspheres)
+            [ let_i "s" (g "scene" +% (v "k" *% i sphere_bytes));
+              set_fld_f (v "s") s_cx
+                (i2f ((v "k" *% i 7) %% i width) -. f (float_of_int (width / 2)));
+              set_fld_f (v "s") s_cy
+                (i2f ((v "k" *% i 13) %% i height)
+                 -. f (float_of_int (height / 2)));
+              set_fld_f (v "s") s_cz (i2f (v "k" %% i 5) *. f 3.0);
+              set_fld_f (v "s") s_r2
+                (f 4.0 +. (i2f (v "k" %% i 3) *. f 2.0));
+              set_fld_f (v "s") s_shade (f 0.25 +. (i2f (v "k" %% i 4) *. f 0.25))
+            ]
+        ];
+      proc "work"
+        [ let_i "per" ((i height +% Nprocs -% i 1) /% Nprocs);
+          let_i "lo" (Pid *% v "per");
+          let_i "hi" (v "lo" +% v "per");
+          when_ (v "hi" >% i height) [ set "hi" (i height) ];
+          for_ "py" (v "lo") (v "hi")
+            [ for_ "px" (i 0) (i width)
+                [ let_f "x" (i2f (v "px") -. f (float_of_int (width / 2)));
+                  let_f "y" (i2f (v "py") -. f (float_of_int (height / 2)));
+                  stf (g "image") ((v "py" *% i width) +% v "px")
+                    (call "trace" [ v "x"; v "y" ])
+                ]
+            ];
+          barrier;
+          when_ (Pid ==% i 0)
+            [ let_f "sum" (f 0.0);
+              for_ "k" (i 0) (i (width * height))
+                [ set "sum" (v "sum" +. ldf (g "image") (v "k")) ];
+              print_flt (v "sum")
+            ]
+        ]
+    ]

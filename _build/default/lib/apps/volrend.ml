@@ -1,0 +1,74 @@
+(* Volrend-like: ray casting through a read-shared 3D volume with early
+   ray termination, opacity lookup through a per-node private table.
+
+   Matches Volrend's profile in the paper: most inner-loop data is
+   private (the transfer table lives in the per-node private heap, so
+   its accesses are instrumented but caught by the dynamic range check,
+   and stack temporaries dominate), the volume itself is read-mostly
+   shared, and the per-ray loop has a data-dependent exit. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+let program ?(vol = 16) ?(img = 24) () =
+  let voxels = vol * vol * vol in
+  prog
+    ~globals:[ ("volume", I); ("image", I) ]
+    [ proc "appinit"
+        [ gset "volume" (Gmalloc (i (voxels * 8)));
+          gset "image" (Gmalloc (i (img * img * 8)));
+          (* a blobby density field *)
+          for_ "z" (i 0) (i vol)
+            [ for_ "y" (i 0) (i vol)
+                [ for_ "x" (i 0) (i vol)
+                    [ let_i "d"
+                        (((v "x" *% v "y") +% (v "y" *% v "z") +% (v "z" *% v "x"))
+                         %% i 256);
+                      sti (g "volume")
+                        ((((v "z" *% i vol) +% v "y") *% i vol) +% v "x")
+                        (v "d")
+                    ]
+                ]
+            ]
+        ];
+      proc "work"
+        [ (* per-node private opacity transfer table *)
+          let_i "table" (Pmalloc (i (256 * 8)));
+          for_ "k" (i 0) (i 256)
+            [ stf (v "table") (v "k") (i2f (v "k" *% v "k") /. f 262144.0) ];
+          let_i "per" ((i img +% Nprocs -% i 1) /% Nprocs);
+          let_i "lo" (Pid *% v "per");
+          let_i "hi" (v "lo" +% v "per");
+          when_ (v "hi" >% i img) [ set "hi" (i img) ];
+          for_ "py" (v "lo") (v "hi")
+            [ for_ "px" (i 0) (i img)
+                [ (* map pixel to a volume column *)
+                  let_i "vx" (v "px" *% i vol /% i img);
+                  let_i "vy" (v "py" *% i vol /% i img);
+                  let_f "light" (f 1.0);
+                  let_f "acc" (f 0.0);
+                  let_i "z" (i 0);
+                  while_ (v "z" <% i vol)
+                    [ let_i "d"
+                        (ldi (g "volume")
+                           ((((v "z" *% i vol) +% v "vy") *% i vol) +% v "vx"));
+                      let_f "op" (ldf (v "table") (v "d"));
+                      set "acc" (v "acc" +. (v "light" *. v "op"));
+                      set "light" (v "light" *. (f 1.0 -. v "op"));
+                      (* early ray termination *)
+                      if_ (v "light" <. f 0.05)
+                        [ set "z" (i vol) ]
+                        [ set "z" (v "z" +% i 1) ]
+                    ];
+                  stf (g "image") ((v "py" *% i img) +% v "px") (v "acc")
+                ]
+            ];
+          barrier;
+          when_ (Pid ==% i 0)
+            [ let_f "sum" (f 0.0);
+              for_ "k" (i 0) (i (img * img))
+                [ set "sum" (v "sum" +. ldf (g "image") (v "k")) ];
+              print_flt (v "sum")
+            ]
+        ]
+    ]

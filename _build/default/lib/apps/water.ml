@@ -1,0 +1,146 @@
+(* Water-like: the O(n^2) molecular dynamics pattern of Water-Nsquared.
+
+   Molecules live in a shared array of 80-byte records (position,
+   velocity, force — ten doubles).  Each timestep every processor
+   computes forces on its own molecules by reading all other molecules
+   (all-to-all read sharing of small records — the case the paper's
+   size-based granularity heuristic targets), then integrates its own.
+   Field accesses run off a single base register, so the force loop is
+   heavily batched. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+
+let rec_bytes = 80
+let f_px = 0 and f_py = 8 and f_pz = 16
+let f_vx = 24 and f_vy = 32 and f_vz = 40
+let f_fx = 48 and f_fy = 56 and f_fz = 64
+
+let program ?(nmol = 64) ?(steps = 2) () =
+  let mol k = g "mols" +% (k *% i rec_bytes) in
+  prog
+    ~globals:[ ("mols", I) ]
+    [ (* softened inverse-square pairwise force accumulation *)
+      proc "force" ~params:[ ("a", I); ("b", I) ]
+        [ let_f "dx" (fld_f (v "b") f_px -. fld_f (v "a") f_px);
+          let_f "dy" (fld_f (v "b") f_py -. fld_f (v "a") f_py);
+          let_f "dz" (fld_f (v "b") f_pz -. fld_f (v "a") f_pz);
+          let_f "r2"
+            ((v "dx" *. v "dx") +. (v "dy" *. v "dy") +. (v "dz" *. v "dz")
+             +. f 0.5);
+          let_f "inv" (f 1.0 /. (v "r2" *. fsqrt (v "r2")));
+          set_fld_f (v "a") f_fx (fld_f (v "a") f_fx +. (v "dx" *. v "inv"));
+          set_fld_f (v "a") f_fy (fld_f (v "a") f_fy +. (v "dy" *. v "inv"));
+          set_fld_f (v "a") f_fz (fld_f (v "a") f_fz +. (v "dz" *. v "inv"))
+        ];
+      proc "appinit"
+        [ gset "mols" (Gmalloc (i (nmol * rec_bytes)));
+          for_ "k" (i 0) (i nmol)
+            [ let_i "m" (mol (v "k"));
+              set_fld_f (v "m") f_px (i2f (v "k" %% i 8) *. f 1.0);
+              set_fld_f (v "m") f_py (i2f ((v "k" /% i 8) %% i 8) *. f 1.0);
+              set_fld_f (v "m") f_pz (i2f (v "k" /% i 64) *. f 1.0);
+              set_fld_f (v "m") f_vx (f 0.0);
+              set_fld_f (v "m") f_vy (f 0.0);
+              set_fld_f (v "m") f_vz (f 0.0);
+              set_fld_f (v "m") f_fx (f 0.0);
+              set_fld_f (v "m") f_fy (f 0.0);
+              set_fld_f (v "m") f_fz (f 0.0)
+            ]
+        ];
+      proc "work"
+        [ let_i "per" ((i nmol +% Nprocs -% i 1) /% Nprocs);
+          let_i "lo" (Pid *% v "per");
+          let_i "hi" (v "lo" +% v "per");
+          when_ (v "hi" >% i nmol) [ set "hi" (i nmol) ];
+          for_ "step" (i 0) (i steps)
+            [ (* force computation: own molecules, reading all others *)
+              for_ "a" (v "lo") (v "hi")
+                [ let_i "ma" (mol (v "a"));
+                  set_fld_f (v "ma") f_fx (f 0.0);
+                  set_fld_f (v "ma") f_fy (f 0.0);
+                  set_fld_f (v "ma") f_fz (f 0.0);
+                  for_ "b" (i 0) (i nmol)
+                    [ when_ (v "a" <>% v "b")
+                        [ expr (Call ("force", [ mol (v "a"); mol (v "b") ])) ]
+                    ]
+                ];
+              barrier;
+              (* integrate own molecules *)
+              for_ "a" (v "lo") (v "hi")
+                [ let_i "m" (mol (v "a"));
+                  set_fld_f (v "m") f_vx
+                    (fld_f (v "m") f_vx +. (f 0.01 *. fld_f (v "m") f_fx));
+                  set_fld_f (v "m") f_vy
+                    (fld_f (v "m") f_vy +. (f 0.01 *. fld_f (v "m") f_fy));
+                  set_fld_f (v "m") f_vz
+                    (fld_f (v "m") f_vz +. (f 0.01 *. fld_f (v "m") f_fz));
+                  set_fld_f (v "m") f_px
+                    (fld_f (v "m") f_px +. (f 0.01 *. fld_f (v "m") f_vx));
+                  set_fld_f (v "m") f_py
+                    (fld_f (v "m") f_py +. (f 0.01 *. fld_f (v "m") f_vy));
+                  set_fld_f (v "m") f_pz
+                    (fld_f (v "m") f_pz +. (f 0.01 *. fld_f (v "m") f_vz))
+                ];
+              barrier
+            ];
+          when_ (Pid ==% i 0)
+            [ let_f "sum" (f 0.0);
+              for_ "k" (i 0) (i nmol)
+                [ let_i "m" (mol (v "k"));
+                  set "sum"
+                    (v "sum" +. fld_f (v "m") f_px +. fld_f (v "m") f_py
+                     +. fld_f (v "m") f_pz)
+                ];
+              print_flt (v "sum")
+            ]
+        ]
+    ]
+
+let reference_checksum ~nmol ~steps =
+  let ( +. ) = Stdlib.( +. ) and ( -. ) = Stdlib.( -. ) in
+  let ( *. ) = Stdlib.( *. ) and ( /. ) = Stdlib.( /. ) in
+
+  let px = Array.make nmol 0.0 and py = Array.make nmol 0.0
+  and pz = Array.make nmol 0.0 in
+  let vx = Array.make nmol 0.0 and vy = Array.make nmol 0.0
+  and vz = Array.make nmol 0.0 in
+  let fx = Array.make nmol 0.0 and fy = Array.make nmol 0.0
+  and fz = Array.make nmol 0.0 in
+  for k = 0 to nmol - 1 do
+    px.(k) <- float_of_int (k mod 8);
+    py.(k) <- float_of_int (k / 8 mod 8);
+    pz.(k) <- float_of_int (k / 64)
+  done;
+  for _ = 1 to steps do
+    for a = 0 to nmol - 1 do
+      fx.(a) <- 0.0;
+      fy.(a) <- 0.0;
+      fz.(a) <- 0.0;
+      for b = 0 to nmol - 1 do
+        if a <> b then begin
+          let dx = px.(b) -. px.(a)
+          and dy = py.(b) -. py.(a)
+          and dz = pz.(b) -. pz.(a) in
+          let r2 = (dx *. dx) +. (dy *. dy) +. (dz *. dz) +. 0.5 in
+          let inv = 1.0 /. (r2 *. sqrt r2) in
+          fx.(a) <- fx.(a) +. (dx *. inv);
+          fy.(a) <- fy.(a) +. (dy *. inv);
+          fz.(a) <- fz.(a) +. (dz *. inv)
+        end
+      done
+    done;
+    for a = 0 to nmol - 1 do
+      vx.(a) <- vx.(a) +. (0.01 *. fx.(a));
+      vy.(a) <- vy.(a) +. (0.01 *. fy.(a));
+      vz.(a) <- vz.(a) +. (0.01 *. fz.(a));
+      px.(a) <- px.(a) +. (0.01 *. vx.(a));
+      py.(a) <- py.(a) +. (0.01 *. vy.(a));
+      pz.(a) <- pz.(a) +. (0.01 *. vz.(a))
+    done
+  done;
+  let sum = ref 0.0 in
+  for k = 0 to nmol - 1 do
+    sum := !sum +. px.(k) +. py.(k) +. pz.(k)
+  done;
+  !sum

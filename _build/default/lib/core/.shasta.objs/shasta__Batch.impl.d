@@ -1,0 +1,1 @@
+lib/core/batch.ml: Array Flow Hashtbl Insn List Option Private_track Reg Shasta_dataflow Shasta_isa

@@ -1,0 +1,1 @@
+lib/core/batch.mli: Flow Insn Shasta_dataflow Shasta_isa

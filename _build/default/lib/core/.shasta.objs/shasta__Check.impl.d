@@ -1,0 +1,1 @@
+lib/core/check.ml: Insn Layout List Opts Reg Shasta_isa

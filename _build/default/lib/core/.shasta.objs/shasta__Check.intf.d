@@ -1,0 +1,1 @@
+lib/core/check.mli: Insn Opts Reg Shasta_isa

@@ -1,0 +1,1 @@
+lib/core/instrument.ml: Array Batch Check Flow Fmt Hashtbl Insn Layout List Liveness Option Opts Poll Printf Private_track Program Reg Shasta_dataflow Shasta_isa

@@ -1,0 +1,1 @@
+lib/core/instrument.mli: Format Opts Program Shasta_isa

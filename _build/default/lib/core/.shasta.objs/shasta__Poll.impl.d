@@ -1,0 +1,1 @@
+lib/core/poll.ml: Array Flow Insn List Opts Shasta_dataflow Shasta_isa

@@ -1,0 +1,1 @@
+lib/core/poll.mli: Insn Opts Shasta_isa

@@ -1,0 +1,183 @@
+(* Greedy batching scan (Section 3.4.1 of the paper).
+
+   A batch is a set of loads and stores, each relative to an unmodified
+   base register with offsets spanning at most one line size (hence
+   touching at most two consecutive lines), whose checks are combined
+   into one check of the range endpoints placed at the start of the
+   batched code.
+
+   The scan follows the paper's algorithm: instructions are consumed in
+   execution order; a conditional branch that is not a loop backedge
+   forks the scan down both paths; paths merge when they reach an
+   already-scanned instruction, and a path reaching a point where
+   another path already terminated terminates as well.  A path is
+   terminated by: an access whose base register was modified since the
+   batch began, an access stretching a base register's offset span
+   beyond the line size, a procedure call / return / runtime call, a
+   loop branch, or a store encountered after the scan has forked (the
+   protocol requires the batch miss handler to know exactly which
+   stores will execute, so stores appearing on only one of two parallel
+   paths end the scan there — a conservative reading of the paper's
+   last condition).  Unlike the paper we terminate on constant
+   modifications of a live base register rather than tracking the
+   delta; the pattern is rare in compiled inner loops, where bases stay
+   fixed and offsets vary.
+
+   After a scan completes, the batch is kept only if some base register
+   has at least two accesses — "the normal shared miss checks are used
+   if there is only a single load or store for each base register,
+   since batching can actually increase overhead in this case". *)
+
+open Shasta_isa
+open Shasta_dataflow
+
+type t = {
+  start : int; (* index where the batch check is inserted *)
+  ranges : Insn.range list;
+  covered : int list; (* indices of accesses checked by this batch *)
+  ends : int list; (* indices before which Batch_end markers go *)
+}
+
+type path = { pc : int; defined : int (* regs modified since start *) }
+
+let max_paths = 4
+let size_bytes = function Insn.Long -> 4 | Insn.Quad -> 8
+
+(* Scan one batch starting at [start].  Returns the candidate batch and
+   the set of instruction indices consumed by the scan. *)
+let scan_one flow derived ~line_bytes ~start =
+  let n = Flow.length flow in
+  let consumed = Hashtbl.create 32 in
+  let bases : (Reg.ireg, Insn.access list ref) Hashtbl.t = Hashtbl.create 4 in
+  let covered = ref [] in
+  let ends = ref [] in
+  let forked = ref false in
+  let add_end i = if not (List.mem i !ends) then ends := i :: !ends in
+  let span_ok b (acc : Insn.access) =
+    let accs =
+      match Hashtbl.find_opt bases b with Some r -> !r | None -> []
+    in
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) (a : Insn.access) ->
+          (min lo a.disp, max hi (a.disp + size_bytes a.asize)))
+        (acc.disp, acc.disp + size_bytes acc.asize)
+        accs
+    in
+    hi - lo <= line_bytes
+  in
+  let add_access b acc i =
+    let r =
+      match Hashtbl.find_opt bases b with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add bases b r;
+        r
+    in
+    r := acc :: !r;
+    covered := i :: !covered
+  in
+  let rec step paths steps =
+    if steps > 4 * n then List.iter (fun p -> add_end p.pc) paths
+    else
+      match paths with
+      | [] -> ()
+      | p :: rest ->
+        if p.pc >= n then begin
+          add_end p.pc;
+          step rest (steps + 1)
+        end
+        else if Hashtbl.mem consumed p.pc then step rest (steps + 1)
+        else if List.mem p.pc !ends then step rest (steps + 1)
+        else begin
+          let i = p.pc in
+          let ins = Flow.insn flow i in
+          let terminate () = add_end i; step rest (steps + 1) in
+          let consume k =
+            Hashtbl.replace consumed i ();
+            k ()
+          in
+          match ins with
+          | Insn.Jsr _ | Insn.Ret | Insn.Rt_call _ | Insn.Poll
+          | Insn.Call_load_miss _ | Insn.Call_store_miss _
+          | Insn.Call_batch_miss _ | Insn.Batch_end ->
+            terminate ()
+          | Insn.Br l ->
+            let t = Flow.target flow l in
+            if t <= i then terminate ()
+            else consume (fun () -> step ({ p with pc = t } :: rest) (steps + 1))
+          | Insn.Bc (_, _, l) | Insn.Fbeq (_, l) | Insn.Fbne (_, l) ->
+            let t = Flow.target flow l in
+            if t <= i then terminate ()
+            else if List.length paths >= max_paths then terminate ()
+            else
+              consume (fun () ->
+                forked := true;
+                step
+                  ({ p with pc = i + 1 } :: { p with pc = t } :: rest)
+                  (steps + 1))
+          | _ when Insn.is_mem ins
+                   && not (Private_track.access_is_private flow derived i) ->
+            let base, disp =
+              match Insn.mem_operand ins with
+              | Some (b, d) -> (b, d)
+              | None -> assert false
+            in
+            let sz = Option.get (Insn.mem_size ins) in
+            let acc : Insn.access =
+              { disp; asize = sz; is_store = Insn.is_store ins }
+            in
+            if p.defined land (1 lsl base) <> 0 then terminate ()
+            else if not (span_ok base acc) then terminate ()
+            else if acc.is_store && !forked then terminate ()
+            else
+              consume (fun () ->
+                add_access base acc i;
+                step ({ p with pc = i + 1 } :: rest) (steps + 1))
+          | _ ->
+            let defined =
+              match Insn.def ins with
+              | Some d -> p.defined lor (1 lsl d)
+              | None -> p.defined
+            in
+            consume (fun () ->
+              step ({ pc = i + 1; defined } :: rest) (steps + 1))
+        end
+  in
+  step [ { pc = start; defined = 0 } ] 0;
+  let ranges =
+    Hashtbl.fold
+      (fun rbase accs l -> { Insn.rbase; accesses = List.rev !accs } :: l)
+      bases []
+    |> List.sort compare
+  in
+  let worthwhile =
+    List.exists (fun (r : Insn.range) -> List.length r.accesses >= 2) ranges
+  in
+  let batch =
+    if worthwhile then
+      Some { start; ranges; covered = List.rev !covered; ends = !ends }
+    else None
+  in
+  (batch, consumed)
+
+(* Scan a whole procedure body; returns all accepted batches. *)
+let scan flow derived ~line_bytes =
+  let n = Flow.length flow in
+  let scanned = Array.make (max n 1) false in
+  let batches = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if scanned.(!i) then incr i
+    else begin
+      let batch, consumed = scan_one flow derived ~line_bytes ~start:!i in
+      (match batch with Some b -> batches := b :: !batches | None -> ());
+      Hashtbl.iter (fun j () -> if j < n then scanned.(j) <- true) consumed;
+      (* the starting instruction itself was consumed or was a
+         terminator; either way move past anything scanned *)
+      if not (Hashtbl.mem consumed !i) then scanned.(!i) <- true;
+      incr i
+    end
+  done;
+  List.rev !batches

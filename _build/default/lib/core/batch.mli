@@ -1,0 +1,24 @@
+(** The greedy batching scan of paper Section 3.4.1.
+
+    Finds runs of loads and stores off unmodified base registers whose
+    offsets span at most one line size, following execution order across
+    forward branches (forking and merging paths) and terminating on base
+    modification, span overflow, calls, loop branches, returns, and
+    stores appearing after the scan has forked. *)
+
+open Shasta_isa
+open Shasta_dataflow
+
+type t = {
+  start : int;  (** index where the batch check is inserted *)
+  ranges : Insn.range list;
+  covered : int list;  (** access indices checked by this batch *)
+  ends : int list;  (** indices before which [Batch_end] markers go *)
+}
+
+val scan : Flow.t -> int array -> line_bytes:int -> t list
+(** [scan flow derived ~line_bytes] scans a whole procedure, starting
+    each new scan at the earliest unscanned instruction; batches where
+    no base register has at least two accesses are discarded ("normal
+    miss checks are used if there is only a single load or store for
+    each base register"). *)

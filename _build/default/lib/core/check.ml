@@ -1,0 +1,324 @@
+(* Shared-miss check code generation (Sections 2.4 and 3 of the paper).
+
+   Every function here produces the instruction sequences of the paper's
+   figures:
+
+   - [store_check]: Figure 2 (basic) / Figure 4 (rescheduled, split
+     around the store), with the exclusive-table variant of Section 3.3;
+   - [load_check]: Figure 5(a)/(b), the flag technique, plus the basic
+     state-table load check used before that optimization;
+   - [batch_check]: Figure 6 and its store-range counterpart.
+
+   Checks are generated against a list of free registers supplied by the
+   caller (live-register analysis); when too few registers are free the
+   generator spills the needed registers to the stack red zone, which
+   the paper notes is virtually never necessary in practice. *)
+
+open Shasta_isa
+open Insn
+
+type wrapped = { pre : Insn.t list; post : Insn.t list }
+
+let no_check = { pre = []; post = [] }
+
+(* Registers preferred for spilling when no free register exists. *)
+let spill_candidates = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+(* Provide [needed] scratch registers: the free ones first, then
+   spill/restore extra ones around the generated code. *)
+let with_scratch ~needed ~free ~avoid k =
+  let free = List.filter (fun r -> not (List.mem r avoid)) free in
+  if List.length free >= needed then k (List.filteri (fun i _ -> i < needed) free)
+  else begin
+    let extra_needed = needed - List.length free in
+    let extras =
+      List.filter (fun r -> (not (List.mem r free)) && not (List.mem r avoid))
+        spill_candidates
+    in
+    let extras = List.filteri (fun i _ -> i < extra_needed) extras in
+    if List.length extras < extra_needed then
+      invalid_arg "Check.with_scratch: no spillable register";
+    let saves =
+      List.mapi (fun i r -> Stq (r, -8 * (i + 1), Reg.sp)) extras
+    in
+    let restores =
+      List.mapi (fun i r -> Ldq (r, -8 * (i + 1), Reg.sp)) extras
+    in
+    let { pre; post } = k (free @ extras) in
+    { pre = saves @ pre; post = post @ restores }
+  end
+
+(* Address setup: returns (setup instructions, register holding the
+   target address).  "Line 1 can be eliminated if the offset ... is
+   zero" (Section 2.4). *)
+let addr_setup ~base ~disp ~rx =
+  if disp = 0 then ([], base) else ([ Lda (rx, disp, base) ], rx)
+
+(* ------------------------------------------------------------------ *)
+(* Store checks                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Exclusive test of the address in [a], branching to [miss_lab] when
+   the line is NOT held exclusive.  [t1]/[t2] are scratch.  Used by the
+   batch store check. *)
+let excl_test_to_miss (opts : Opts.t) ~a ~t1 ~t2 ~miss_lab =
+  let ls = opts.line_shift in
+  if opts.excl_table then
+    [ Opi (Srl, t1, Imm (ls + 3), a);
+      Ldq_u (t1, 0, t1);
+      Opi (Srl, t2, Imm ls, a);
+      Opi (Srl, t1, Reg t2, t1);
+      Bc (Lbc, t1, miss_lab) ]
+  else
+    [ Opi (Srl, t1, Imm ls, a);
+      Ldq_u (t2, 0, t1);
+      Extbl (t2, t2, t1);
+      Bc (Ne, t2, miss_lab) ]
+
+(* Store miss check around a store of [ssize] at disp(base). *)
+let store_check (opts : Opts.t) ~fresh ~free ~base ~disp ~ssize =
+  let ls = opts.line_shift in
+  let nomiss = fresh () in
+  if opts.excl_table then
+    (* Exclusive-table check (Section 3.3), scheduled form: address
+       computation before the store, table access after. *)
+    with_scratch ~needed:3 ~free ~avoid:[ base ] @@ fun regs ->
+    let rx, ry, rz =
+      match regs with
+      | [ a; b; c ] -> (a, b, c)
+      | _ -> assert false
+    in
+    let setup, a = addr_setup ~base ~disp ~rx in
+    let head =
+      setup
+      @ (if opts.range_check then [ Opi (Srl, ry, Imm Layout.shared_shift, a) ]
+         else [])
+      @ [ Opi (Srl, rz, Imm (ls + 3), a) ]
+    in
+    let tail =
+      (if opts.range_check then [ Bc (Eq, ry, nomiss) ] else [])
+      @ [ Ldq_u (ry, 0, rz);
+          Opi (Srl, rz, Imm ls, a);
+          Opi (Srl, ry, Reg rz, ry);
+          Bc (Lbs, ry, nomiss);
+          Call_store_miss { base; disp; ssize; store_done = opts.schedule };
+          Lab nomiss ]
+    in
+    if opts.schedule then { pre = head; post = tail }
+    else { pre = head @ tail; post = [] }
+  else
+    (* State-table check: Figure 2 (basic order) or Figure 4 order when
+       scheduling is on, split around the store per Section 3.1. *)
+    with_scratch ~needed:2 ~free ~avoid:[ base ] @@ fun regs ->
+    let rx, ry =
+      match regs with [ a; b ] -> (a, b) | _ -> assert false
+    in
+    let setup, a = addr_setup ~base ~disp ~rx in
+    let range_srl =
+      if opts.range_check then [ Opi (Srl, ry, Imm Layout.shared_shift, a) ]
+      else []
+    in
+    let range_beq = if opts.range_check then [ Bc (Eq, ry, nomiss) ] else [] in
+    let line_srl = [ Opi (Srl, rx, Imm ls, a) ] in
+    let lookup =
+      [ Ldq_u (ry, 0, rx);
+        Extbl (ry, ry, rx);
+        Bc (Eq, ry, nomiss);
+        Call_store_miss { base; disp; ssize; store_done = opts.schedule };
+        Lab nomiss ]
+    in
+    if opts.schedule then
+      (* Figure 4: the second shift fills the first shift's delay slot;
+         first three instructions hoisted above the store. *)
+      { pre = setup @ range_srl @ line_srl; post = range_beq @ lookup }
+    else { pre = setup @ range_srl @ range_beq @ line_srl @ lookup; post = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Load checks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Figure 5: flag-technique load checks.  The check runs *after* the
+   load and compares the loaded value against the flag. *)
+let flag_load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
+  ignore opts;
+  let nomiss = fresh () in
+  match refill with
+  | Rint (dest, _) ->
+    (* If the load overwrote its own base register, the miss handler can
+       no longer recompute the address, so capture it first. *)
+    let needed = if dest = base then 2 else 1 in
+    with_scratch ~needed ~free ~avoid:[ base; dest ] @@ fun regs ->
+    (match regs with
+     | rx :: rest ->
+       let pre, cbase, cdisp =
+         if dest = base then
+           let ra = List.hd rest in
+           ([ Lda (ra, disp, base) ], ra, 0)
+         else ([], base, disp)
+       in
+       { pre;
+         post =
+           [ Opi (Addl, rx, Imm Layout.flag_imm, dest);
+             Bc (Ne, rx, nomiss);
+             Call_load_miss { base = cbase; disp = cdisp; refill };
+             Lab nomiss ] }
+     | [] -> assert false)
+  | Rflt _ ->
+    (* Figure 5(b): an extra integer load of the same longword avoids
+       the long FP compare/branch latency. *)
+    with_scratch ~needed:1 ~free ~avoid:[ base ] @@ fun regs ->
+    let rx = List.hd regs in
+    { pre = [];
+      post =
+        [ Ldl (rx, disp, base);
+          Opi (Addl, rx, Imm Layout.flag_imm, rx);
+          Bc (Ne, rx, nomiss);
+          Call_load_miss { base; disp; refill };
+          Lab nomiss ] }
+
+(* Pre-flag-technique load check: a state-table lookup before the load,
+   allowing states exclusive (0) and shared (1). *)
+let basic_load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
+  let ls = opts.line_shift in
+  let nomiss = fresh () in
+  with_scratch ~needed:2 ~free ~avoid:[ base ] @@ fun regs ->
+  let rx, ry = match regs with [ a; b ] -> (a, b) | _ -> assert false in
+  let setup, a = addr_setup ~base ~disp ~rx in
+  let range_srl =
+    if opts.range_check then [ Opi (Srl, ry, Imm Layout.shared_shift, a) ]
+    else []
+  in
+  let range_beq = if opts.range_check then [ Bc (Eq, ry, nomiss) ] else [] in
+  let line_srl = [ Opi (Srl, rx, Imm ls, a) ] in
+  let lookup =
+    [ Ldq_u (ry, 0, rx);
+      Extbl (ry, ry, rx);
+      Opi (Cmpule, ry, Imm Layout.st_shared, ry);
+      Bc (Ne, ry, nomiss);
+      Call_load_miss { base; disp; refill };
+      Lab nomiss ]
+  in
+  let pre =
+    if opts.schedule then setup @ range_srl @ line_srl @ range_beq @ lookup
+    else setup @ range_srl @ range_beq @ line_srl @ lookup
+  in
+  { pre; post = [] }
+
+let load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
+  if opts.flag_loads then flag_load_check opts ~fresh ~free ~base ~disp ~refill
+  else basic_load_check opts ~fresh ~free ~base ~disp ~refill
+
+(* ------------------------------------------------------------------ *)
+(* Batch checks (Section 3.4.2)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let range_bounds (r : range) =
+  List.fold_left
+    (fun (lo, hi) (a : access) -> (min lo a.disp, max hi a.disp))
+    (max_int, min_int) r.accesses
+
+let range_has_store (r : range) =
+  List.exists (fun (a : access) -> a.is_store) r.accesses
+
+(* Check code for one load-only range ending at [miss_lab]. *)
+let load_range_check ~rx ~ry ~miss_lab (r : range) =
+  let lo, hi = range_bounds r in
+  if lo = hi then
+    [ Ldl (rx, lo, r.rbase);
+      Opi (Addl, rx, Imm Layout.flag_imm, rx);
+      Bc (Eq, rx, miss_lab) ]
+  else
+    (* Figure 6: both endpoint loads issued back to back, then both flag
+       compares — interleaved to eliminate pipeline stalls. *)
+    [ Ldl (rx, lo, r.rbase);
+      Ldl (ry, hi, r.rbase);
+      Opi (Addl, rx, Imm Layout.flag_imm, rx);
+      Opi (Addl, ry, Imm Layout.flag_imm, ry);
+      Bc (Eq, rx, miss_lab);
+      Bc (Eq, ry, miss_lab) ]
+
+(* Check code for a range containing stores: verify both endpoint lines
+   are exclusive.  Also interleaved across the two endpoints. *)
+let store_range_check (opts : Opts.t) ~fresh ~rx ~ry ~t1 ~t2 ~miss_lab
+    (r : range) =
+  let ls = opts.line_shift in
+  let lo, hi = range_bounds r in
+  let next = fresh () in
+  let setup_lo, alo = addr_setup ~base:r.rbase ~disp:lo ~rx in
+  let range =
+    if opts.range_check then
+      [ Opi (Srl, t1, Imm Layout.shared_shift, alo); Bc (Eq, t1, next) ]
+    else []
+  in
+  let body =
+    if lo = hi then excl_test_to_miss opts ~a:alo ~t1 ~t2 ~miss_lab
+    else begin
+      let setup_hi, ahi = addr_setup ~base:r.rbase ~disp:hi ~rx:ry in
+      if opts.excl_table then
+        setup_hi
+        @ [ Opi (Srl, t1, Imm (ls + 3), alo);
+            Opi (Srl, t2, Imm (ls + 3), ahi);
+            Ldq_u (t1, 0, t1);
+            Ldq_u (t2, 0, t2);
+            Opi (Srl, rx, Imm ls, alo);
+            Opi (Srl, ry, Imm ls, ahi);
+            Opi (Srl, t1, Reg rx, t1);
+            Opi (Srl, t2, Reg ry, t2);
+            Bc (Lbc, t1, miss_lab);
+            Bc (Lbc, t2, miss_lab) ]
+      else
+        setup_hi
+        @ [ Opi (Srl, t1, Imm ls, alo);
+            Opi (Srl, t2, Imm ls, ahi);
+            Ldq_u (rx, 0, t1);
+            Ldq_u (ry, 0, t2);
+            Extbl (rx, rx, t1);
+            Extbl (ry, ry, t2);
+            Bc (Ne, rx, miss_lab);
+            Bc (Ne, ry, miss_lab) ]
+    end
+  in
+  setup_lo @ range @ body @ [ Lab next ]
+
+(* Full batch check: per-range checks chained to a common miss label
+   that records all ranges and calls the batch miss handler.  The batch
+   miss code falls through to [nomiss] after the handler returns. *)
+let batch_check (opts : Opts.t) ~fresh ~free (b : batch) =
+  let miss_lab = fresh () and nomiss = fresh () in
+  with_scratch ~needed:4 ~free
+    ~avoid:(List.map (fun r -> r.rbase) b.ranges)
+  @@ fun regs ->
+  let rx, ry, t1, t2 =
+    match regs with
+    | [ a; b; c; d ] -> (a, b, c, d)
+    | _ -> assert false
+  in
+  let n = List.length b.ranges in
+  let code =
+    List.concat
+      (List.mapi
+         (fun i r ->
+           let last = i = n - 1 in
+           if range_has_store r then
+             store_range_check opts ~fresh ~rx ~ry ~t1 ~t2 ~miss_lab r
+             @ if last then [ Br nomiss ] else []
+           else if last then
+             (* Figure 6 tail: last compare falls through into the miss
+                code, saving the unconditional branch. *)
+             let lo, hi = range_bounds r in
+             if lo = hi then
+               [ Ldl (rx, lo, r.rbase);
+                 Opi (Addl, rx, Imm Layout.flag_imm, rx);
+                 Bc (Ne, rx, nomiss) ]
+             else
+               [ Ldl (rx, lo, r.rbase);
+                 Ldl (ry, hi, r.rbase);
+                 Opi (Addl, rx, Imm Layout.flag_imm, rx);
+                 Opi (Addl, ry, Imm Layout.flag_imm, ry);
+                 Bc (Eq, rx, miss_lab);
+                 Bc (Ne, ry, nomiss) ]
+           else load_range_check ~rx ~ry ~miss_lab r)
+         b.ranges)
+  in
+  { pre = code @ [ Lab miss_lab; Call_batch_miss b; Lab nomiss ];
+    post = [] }

@@ -1,0 +1,54 @@
+(** Shared-miss check code generation — the instruction sequences of
+    the paper's Figures 2, 4, 5 and 6.
+
+    Checks are generated against a list of free registers supplied by
+    live-register analysis; with too few free registers the generator
+    spills to the stack red zone (rarely needed in practice, as the
+    paper observes). *)
+
+open Shasta_isa
+
+type wrapped = { pre : Insn.t list; post : Insn.t list }
+(** Code to insert before and after the original access. *)
+
+val no_check : wrapped
+
+val store_check :
+  Opts.t ->
+  fresh:(unit -> string) ->
+  free:Reg.ireg list ->
+  base:Reg.ireg ->
+  disp:int ->
+  ssize:Insn.size ->
+  wrapped
+(** Figure 2 (basic order) / Figure 4 (rescheduled and split around the
+    store) when [opts.schedule]; the Section 3.3 exclusive-table variant
+    when [opts.excl_table]; the address setup is elided for zero
+    displacements. *)
+
+val load_check :
+  Opts.t ->
+  fresh:(unit -> string) ->
+  free:Reg.ireg list ->
+  base:Reg.ireg ->
+  disp:int ->
+  refill:Insn.refill ->
+  wrapped
+(** Figure 5(a)/(b) flag checks when [opts.flag_loads] (FP loads get the
+    extra integer load of the same longword); otherwise the
+    pre-flag-technique state-table load check.  When the load overwrites
+    its own base register the address is captured first so the miss
+    handler can still identify the line. *)
+
+val batch_check :
+  Opts.t ->
+  fresh:(unit -> string) ->
+  free:Reg.ireg list ->
+  Insn.batch ->
+  wrapped
+(** Figure 6: per-range endpoint checks chained to one batch-miss call;
+    load-only ranges use interleaved flag compares, ranges containing
+    stores use interleaved exclusive tests on both endpoints. *)
+
+val range_bounds : Insn.range -> int * int
+val range_has_store : Insn.range -> bool

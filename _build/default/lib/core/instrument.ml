@@ -1,0 +1,223 @@
+(* The Shasta compiler: rewrites an executable, inserting shared miss
+   checks at loads and stores (Figure 1 of the paper).
+
+   Per procedure:
+   1. dataflow analyses: SP/GP-derived base tracking (which accesses are
+      private and exempt, Section 2.3) and live-register analysis (free
+      registers for the check code, Section 2.4);
+   2. the greedy batching scan when enabled (Section 3.4);
+   3. check insertion: batch checks at batch starts, flag checks after
+      loads, store checks split around stores;
+   4. flag-check sinking below the load to hide the load-use delay
+      (Section 3.2, "we attempt to move the entire check down");
+   5. poll insertion (Section 2.2). *)
+
+open Shasta_isa
+open Shasta_dataflow
+
+type stats = {
+  mutable loads_total : int;
+  mutable loads_instrumented : int;
+  mutable stores_total : int;
+  mutable stores_instrumented : int;
+  mutable batches : int;
+  mutable batched_accesses : int;
+  mutable insns_before : int;
+  mutable insns_after : int;
+  mutable spills : int;
+}
+
+let empty_stats () =
+  { loads_total = 0; loads_instrumented = 0; stores_total = 0;
+    stores_instrumented = 0; batches = 0; batched_accesses = 0;
+    insns_before = 0; insns_after = 0; spills = 0 }
+
+(* Registers the instrumenter may claim when dead. *)
+let scratch_pool = Reg.int_temps
+
+(* --- flag-check sinking ------------------------------------------- *)
+
+(* A flag check group begins with `addl rx, 253, loaded` (integer case)
+   or `ldl rx, d(b)` followed by `addl` (FP case) and ends at its Lab.
+   Sink the whole group past following instructions that do not touch
+   the registers it depends on, to hide the load-use latency. *)
+
+let max_sink = 3
+
+let rec split_group acc = function
+  | Insn.Lab l :: rest -> (List.rev (Insn.Lab l :: acc), rest)
+  | i :: rest -> split_group (i :: acc) rest
+  | [] -> (List.rev acc, [])
+
+(* integer and float use/def masks of one instruction *)
+let insn_masks i =
+  let u = List.fold_left (fun m r -> m lor (1 lsl r)) 0 (Insn.uses i) in
+  let d = match Insn.def i with Some r -> 1 lsl r | None -> 0 in
+  let fu = List.fold_left (fun m r -> m lor (1 lsl r)) 0 (Insn.fuses i) in
+  let fd = match Insn.fdef i with Some r -> 1 lsl r | None -> 0 in
+  (u, d, fu, fd)
+
+let group_regs group =
+  List.fold_left
+    (fun (uses, defs, fuses, fdefs) i ->
+      let u, d, fu, fd = insn_masks i in
+      (uses lor u, defs lor d, fuses lor fu, fdefs lor fd))
+    (0, 0, 0, 0) group
+
+let blocks_sinking i =
+  Insn.is_branch i || Insn.is_call i
+  (* never sink a check past a store: on a miss the handler re-reads
+     memory to refill the destination, so a store that moved above the
+     check could alias the loaded location *)
+  || Insn.is_store i
+  || (match i with
+      | Insn.Lab _ | Insn.Ret | Insn.Poll | Insn.Rt_call _
+      | Insn.Call_load_miss _ | Insn.Call_store_miss _
+      | Insn.Call_batch_miss _ | Insn.Batch_end -> true
+      | _ -> false)
+
+
+(* Is [i] the start of a flag-check group?  The generator tags groups by
+   their shape: addl reg, 253 immediately followed by a bne to a label,
+   or the extra ldl of an FP check. *)
+let starts_group = function
+  | Insn.Opi (Addl, _, Imm imm, _) :: Insn.Bc (Ne, _, _) :: _ ->
+    imm = Layout.flag_imm
+  | Insn.Ldl (_, _, _)
+    :: Insn.Opi (Addl, _, Imm imm, _)
+    :: Insn.Bc (Ne, _, _) :: _ ->
+    imm = Layout.flag_imm
+  | _ -> false
+
+let sink_flag_checks body =
+  let rec go = function
+    | [] -> []
+    | insns when starts_group insns ->
+      let group, rest = split_group [] insns in
+      let guses, gdefs, gfuses, gfdefs = group_regs group in
+      let rec sink moved rest n =
+        match rest with
+        | i :: tl when n < max_sink && not (blocks_sinking i) ->
+          let u, d, fu, fd = insn_masks i in
+          (* the bystander must not read what the group defines, nor
+             write what the group reads or writes — in either register
+             file (the FP check's miss call refills a float register) *)
+          if d land (guses lor gdefs) = 0
+             && u land gdefs = 0
+             && fd land (gfuses lor gfdefs) = 0
+             && fu land gfdefs = 0
+          then sink (i :: moved) tl (n + 1)
+          else (List.rev moved, rest)
+        | _ -> (List.rev moved, rest)
+      in
+      let moved, rest = sink [] rest 0 in
+      moved @ group @ go rest
+    | i :: rest -> i :: go rest
+  in
+  go body
+
+(* --- main driver --------------------------------------------------- *)
+
+let instrument_proc (opts : Opts.t) stats (p : Program.proc) =
+  let body = Array.of_list p.body in
+  let n = Array.length body in
+  let flow = Flow.of_body body in
+  let derived = Private_track.analyze flow in
+  let live = Liveness.analyze flow in
+  let batches =
+    if opts.batching then
+      Batch.scan flow derived ~line_bytes:(Opts.line_bytes opts)
+    else []
+  in
+  let covered = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Batch.t) ->
+      List.iter (fun i -> Hashtbl.replace covered i ()) b.covered)
+    batches;
+  let batch_starts = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Batch.t) -> Hashtbl.replace batch_starts b.start b)
+    batches;
+  let batch_ends = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Batch.t) ->
+      List.iter (fun i -> Hashtbl.replace batch_ends i ()) b.ends)
+    batches;
+  let label_counter = ref 0 in
+  let fresh () =
+    incr label_counter;
+    Printf.sprintf "__sc%s_%d" p.pname !label_counter
+  in
+  let free_at i =
+    Liveness.free_regs live (min i (n - 1)) ~pool:scratch_pool
+  in
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let emit_all l = List.iter emit l in
+  for i = 0 to n - 1 do
+    if Hashtbl.mem batch_ends i then emit Insn.Batch_end;
+    (match Hashtbl.find_opt batch_starts i with
+     | Some b ->
+       stats.batches <- stats.batches + 1;
+       stats.batched_accesses <- stats.batched_accesses + List.length b.covered;
+       let w =
+         Check.batch_check opts ~fresh ~free:(free_at i)
+           { Insn.ranges = b.ranges }
+       in
+       emit_all w.pre
+     | None -> ());
+    let ins = body.(i) in
+    if Insn.is_load ins then stats.loads_total <- stats.loads_total + 1;
+    if Insn.is_store ins then stats.stores_total <- stats.stores_total + 1;
+    let private_ = Private_track.access_is_private flow derived i in
+    let batched = Hashtbl.mem covered i in
+    if Insn.is_mem ins && not private_ then begin
+      if Insn.is_load ins then
+        stats.loads_instrumented <- stats.loads_instrumented + 1
+      else stats.stores_instrumented <- stats.stores_instrumented + 1
+    end;
+    if (not (Insn.is_mem ins)) || private_ || batched then emit ins
+    else begin
+      let base, disp = Option.get (Insn.mem_operand ins) in
+      let w =
+        if Insn.is_load ins then begin
+          let refill =
+            match ins with
+            | Insn.Ldl (d, _, _) -> Insn.Rint (d, Insn.Long)
+            | Insn.Ldq (d, _, _) | Insn.Ldq_u (d, _, _) ->
+              Insn.Rint (d, Insn.Quad)
+            | Insn.Ldt (f, _, _) -> Insn.Rflt f
+            | _ -> assert false
+          in
+          Check.load_check opts ~fresh ~free:(free_at i) ~base ~disp ~refill
+        end
+        else begin
+          let ssize = Option.get (Insn.mem_size ins) in
+          Check.store_check opts ~fresh ~free:(free_at i) ~base ~disp ~ssize
+        end
+      in
+      emit_all w.pre;
+      emit ins;
+      emit_all w.post
+    end
+  done;
+  if Hashtbl.mem batch_ends n then emit Insn.Batch_end;
+  let body = List.rev !out in
+  let body = if opts.schedule then sink_flag_checks body else body in
+  let body = Poll.insert opts.poll body in
+  body
+
+let instrument ?(opts = Opts.full) (prog : Program.t) =
+  let stats = empty_stats () in
+  let before = Program.count_accesses prog in
+  stats.insns_before <- before.insns;
+  let prog' = Program.map_procs (instrument_proc opts stats) prog in
+  let after = Program.count_accesses prog' in
+  stats.insns_after <- after.insns;
+  (Program.validate prog', stats)
+
+let pp_stats ppf (s : stats) =
+  Fmt.pf ppf
+    "loads %d/%d stores %d/%d batches %d (%d accesses) insns %d -> %d"
+    s.loads_instrumented s.loads_total s.stores_instrumented s.stores_total
+    s.batches s.batched_accesses s.insns_before s.insns_after

@@ -1,0 +1,31 @@
+(** The Shasta compiler (paper Figure 1): rewrites an executable,
+    inserting shared miss checks at loads and stores.
+
+    Per procedure: SP/GP-derived base tracking decides which accesses
+    are private and exempt (Section 2.3); live-register analysis finds
+    free registers for the checks (Section 2.4); the batching scan
+    combines checks for access runs (Section 3.4); check insertion
+    follows Figures 2/4/5/6; flag checks are sunk below their loads to
+    hide the load-use delay; polls are inserted last (Section 2.2). *)
+
+open Shasta_isa
+
+type stats = {
+  mutable loads_total : int;
+  mutable loads_instrumented : int;
+  mutable stores_total : int;
+  mutable stores_instrumented : int;
+  mutable batches : int;
+  mutable batched_accesses : int;
+  mutable insns_before : int;
+  mutable insns_after : int;
+  mutable spills : int;
+}
+
+val empty_stats : unit -> stats
+
+val instrument : ?opts:Opts.t -> Program.t -> Program.t * stats
+(** Rewrite the executable (default options: {!Opts.full}).  The result
+    is validated; the statistics feed the Table 3 characterization. *)
+
+val pp_stats : Format.formatter -> stats -> unit

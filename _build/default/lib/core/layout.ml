@@ -1,0 +1,53 @@
+(* Address-space layout (Figure 3 of the paper).
+
+   All shared data — and no private data — lives above 2^39, so a single
+   `srl addr, 39` implements the shared-range check.  The state table is
+   placed so that `srl addr, line_shift` of a shared address directly
+   yields the address of the line's byte-size state entry; the exclusive
+   table (Section 3.3, one bit per line) is placed so that
+   `srl addr, line_shift + 3` yields the address of the quadword group
+   of bits containing the line's bit, reachable with a single ldq_u. *)
+
+let shared_shift = 39
+let shared_base = 1 lsl shared_shift
+let shared_limit = 1 lsl 40
+
+(* Private regions, all below 2^39 and disjoint from the tables. *)
+let text_base = 0x0100_0000
+let static_base = 0x0800_0000
+let static_limit = 0x1000_0000
+let stack_top = 0x1400_0000 (* grows down *)
+let stack_limit = 0x1000_0000
+
+(* The tables are indexed by shifts of shared addresses, so their
+   positions follow from the bases above. *)
+let state_table_base ~line_shift = shared_base lsr line_shift
+let state_table_limit ~line_shift = shared_limit lsr line_shift
+let excl_table_base ~line_shift = shared_base lsr (line_shift + 3)
+let excl_table_limit ~line_shift = shared_limit lsr (line_shift + 3)
+
+let line_bytes ~line_shift = 1 lsl line_shift
+let is_shared addr = addr lsr shared_shift <> 0
+
+(* Address of the state-table byte for the line containing [addr]. *)
+let state_addr ~line_shift addr = addr lsr line_shift
+
+(* Quadword of the exclusive table containing [addr]'s bit, and the bit
+   position within it — exactly what the generated check computes. *)
+let excl_quad_addr ~line_shift addr = (addr lsr (line_shift + 3)) land lnot 7
+let excl_bit_pos ~line_shift addr = (addr lsr line_shift) land 63
+
+(* Line states as stored in the state table.  Exclusive is zero so the
+   store check tests it with a single beq (Section 2.4). *)
+let st_exclusive = 0
+let st_shared = 1
+let st_invalid = 2
+let st_pending_invalid = 3
+let st_pending_shared = 4
+
+(* The load-miss flag value (Section 3.2): stored into every longword of
+   an invalid line; chosen so `addl r, 253` tests it in one
+   instruction. *)
+let flag_value = -253
+let flag_imm = 253
+let flag_pattern = 0xFFFF_FF03 (* -253 as a 32-bit pattern *)

@@ -1,0 +1,54 @@
+(** Address-space layout (paper Figure 3).
+
+    All shared data lives above 2^39 so a single `srl addr, 39`
+    implements the range check; the state table sits where
+    `srl addr, line_shift` of a shared address directly yields the
+    line's state-byte address; the exclusive table (Section 3.3) sits
+    where `srl addr, line_shift + 3` yields its bit group. *)
+
+val shared_shift : int
+val shared_base : int
+val shared_limit : int
+
+val text_base : int
+val static_base : int
+val static_limit : int
+
+(** The stack grows down from [stack_top]. *)
+
+val stack_top : int
+val stack_limit : int
+
+val state_table_base : line_shift:int -> int
+val state_table_limit : line_shift:int -> int
+val excl_table_base : line_shift:int -> int
+val excl_table_limit : line_shift:int -> int
+
+val line_bytes : line_shift:int -> int
+val is_shared : int -> bool
+
+val state_addr : line_shift:int -> int -> int
+(** Address of the state-table byte of the line containing the given
+    address — exactly what the inline check computes with one shift. *)
+
+val excl_quad_addr : line_shift:int -> int -> int
+(** Aligned quadword of the exclusive table holding the line's bit. *)
+
+val excl_bit_pos : line_shift:int -> int -> int
+
+(** Line states stored in the state table; exclusive is zero so a store
+    check tests it with a single [beq] (Section 2.4). *)
+
+val st_exclusive : int
+val st_shared : int
+val st_invalid : int
+val st_pending_invalid : int
+val st_pending_shared : int
+
+val flag_value : int
+(** -253, the load-miss flag (Section 3.2): written into every longword
+    of an invalid line and detected with a single [addl]. *)
+
+val flag_imm : int
+val flag_pattern : int
+(** The flag value as a 32-bit memory pattern. *)

@@ -1,0 +1,60 @@
+(* Instrumentation options.
+
+   Each field corresponds to one of the overhead-reduction techniques of
+   Sections 2–3; the accumulating columns of Table 2 are successive
+   values of this record (see [table2_columns]). *)
+
+type poll_mode = Poll_none | Poll_fn_entry | Poll_loop
+
+type t = {
+  line_shift : int; (* log2 of the line size; 6 = 64 bytes *)
+  range_check : bool; (* shared-address range check before table lookups *)
+  schedule : bool; (* Section 3.1: reorder checks, split store checks *)
+  flag_loads : bool; (* Section 3.2: value-based load checks *)
+  excl_table : bool; (* Section 3.3: store checks via the exclusive table *)
+  batching : bool; (* Section 3.4: batch checks for access runs *)
+  poll : poll_mode; (* Section 2.2: message polling placement *)
+}
+
+let basic =
+  { line_shift = 6; range_check = true; schedule = false; flag_loads = false;
+    excl_table = false; batching = false; poll = Poll_none }
+
+let with_schedule = { basic with schedule = true }
+let with_flag = { with_schedule with flag_loads = true }
+let with_excl = { with_flag with excl_table = true }
+let with_batch = { with_excl with batching = true }
+let with_fn_poll = { with_batch with poll = Poll_fn_entry }
+let with_loop_poll = { with_batch with poll = Poll_loop }
+let no_range_check = { with_loop_poll with range_check = false }
+
+(* The fully optimized configuration used for parallel runs: everything
+   on, loop polling, range checks kept (the paper keeps them "since
+   [they] can significantly reduce" overhead for private-heavy apps). *)
+let full = with_loop_poll
+
+let line_bytes t = 1 lsl t.line_shift
+
+(* The accumulating optimization levels reported in Table 2, in column
+   order. *)
+let table2_columns =
+  [ ("basic", basic);
+    ("+sched", with_schedule);
+    ("+flag", with_flag);
+    ("+excl", with_excl);
+    ("+batch", with_batch);
+    ("+fnpoll", with_fn_poll);
+    ("+looppoll", with_loop_poll);
+    ("norange", no_range_check) ]
+
+let name t =
+  Printf.sprintf "line=%d%s%s%s%s%s%s" (line_bytes t)
+    (if t.range_check then "" else " norange")
+    (if t.schedule then " sched" else "")
+    (if t.flag_loads then " flag" else "")
+    (if t.excl_table then " excl" else "")
+    (if t.batching then " batch" else "")
+    (match t.poll with
+     | Poll_none -> ""
+     | Poll_fn_entry -> " fnpoll"
+     | Poll_loop -> " looppoll")

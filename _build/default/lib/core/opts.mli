@@ -1,0 +1,45 @@
+(** Instrumentation options: one field per overhead-reduction technique
+    of the paper's Sections 2–3.  The accumulating columns of Table 2
+    are successive values of this record. *)
+
+type poll_mode = Poll_none | Poll_fn_entry | Poll_loop
+
+type t = {
+  line_shift : int;  (** log2 of the line size; 6 = 64 B, 7 = 128 B *)
+  range_check : bool;
+      (** shared-address range check before table lookups (Section 2.4) *)
+  schedule : bool;
+      (** Section 3.1: Figure 4 ordering, store checks split around the
+          store, flag checks sunk below the load *)
+  flag_loads : bool;  (** Section 3.2: value-based load checks *)
+  excl_table : bool;
+      (** Section 3.3: store checks read the bit-per-line exclusive
+          table instead of the state table *)
+  batching : bool;  (** Section 3.4: combined checks for access runs *)
+  poll : poll_mode;  (** Section 2.2: message polling placement *)
+}
+
+val basic : t
+(** Well-laid-out checks with free registers, nothing else — the
+    paper's fourth Table 2 column. *)
+
+val with_schedule : t
+val with_flag : t
+val with_excl : t
+val with_batch : t
+(** The paper's bold Table 2 column. *)
+
+val with_fn_poll : t
+val with_loop_poll : t
+val no_range_check : t
+
+val full : t
+(** The configuration used for parallel runs: every optimization on,
+    loop polling, range checks kept. *)
+
+val line_bytes : t -> int
+
+val table2_columns : (string * t) list
+(** The accumulating optimization levels of Table 2, in column order. *)
+
+val name : t -> string

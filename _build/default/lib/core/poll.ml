@@ -1,0 +1,53 @@
+(* Message-poll insertion (Section 2.2 of the paper).
+
+   Besides polling while the protocol waits for a reply (done by the
+   runtime), polls are inserted either at every function entry or at
+   every loop backedge.  For loop polling, no poll is inserted for small
+   loops: loops with no function calls that execute at most 15
+   instructions per iteration.  The Poll pseudo-instruction stands for
+   the three-instruction sequence (address setup, load of the poll
+   location, conditional branch); the timing model charges it as such,
+   and the runtime services pending messages when it executes. *)
+
+open Shasta_isa
+open Shasta_dataflow
+
+let small_loop_insns = 15
+
+(* Count executable instructions and calls in [body] between indices
+   [lo, hi] inclusive. *)
+let loop_profile body lo hi =
+  let count = ref 0 and calls = ref false in
+  for i = lo to hi do
+    if Insn.bytes body.(i) > 0 then incr count;
+    if Insn.is_call body.(i) then calls := true
+  done;
+  (!count, !calls)
+
+let insert_loop_polls body =
+  let flow = Flow.of_list body in
+  let arr = Array.of_list body in
+  let out = ref [] in
+  Array.iteri
+    (fun i ins ->
+      let is_backedge =
+        match Insn.branch_targets ins with
+        | [ l ] -> Flow.target flow l <= i
+        | _ -> false
+      in
+      if is_backedge then begin
+        let target = Flow.target flow (List.hd (Insn.branch_targets ins)) in
+        let insns, calls = loop_profile arr target i in
+        if calls || insns > small_loop_insns then out := Insn.Poll :: !out
+      end;
+      out := ins :: !out)
+    arr;
+  List.rev !out
+
+let insert_fn_entry_poll body = Insn.Poll :: body
+
+let insert (mode : Opts.poll_mode) body =
+  match mode with
+  | Opts.Poll_none -> body
+  | Opts.Poll_fn_entry -> insert_fn_entry_poll body
+  | Opts.Poll_loop -> insert_loop_polls body

@@ -1,0 +1,9 @@
+(** Message-poll insertion (paper Section 2.2): polls at every function
+    entry or every loop backedge, skipping small loops (no calls, at
+    most 15 instructions per iteration). *)
+
+open Shasta_isa
+
+val small_loop_insns : int
+
+val insert : Opts.poll_mode -> Insn.t list -> Insn.t list

@@ -1,0 +1,1 @@
+lib/dataflow/flow.ml: Array Hashtbl Insn List Shasta_isa

@@ -1,0 +1,1 @@
+lib/dataflow/flow.mli: Insn Shasta_isa

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.ml: Array Flow Insn List Reg Shasta_isa

@@ -1,0 +1,1 @@
+lib/dataflow/liveness.mli: Flow Reg Shasta_isa

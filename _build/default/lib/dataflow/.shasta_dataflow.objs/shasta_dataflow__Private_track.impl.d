@@ -1,0 +1,1 @@
+lib/dataflow/private_track.ml: Array Flow Insn List Reg Shasta_isa

@@ -1,0 +1,1 @@
+lib/dataflow/private_track.mli: Flow Shasta_isa

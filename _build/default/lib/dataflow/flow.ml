@@ -1,0 +1,50 @@
+(* Control flow over a flat procedure body.
+
+   The instrumenter views a procedure exactly as a binary rewriter does:
+   a flat instruction array with embedded labels.  This module resolves
+   labels and exposes successor edges; the dataflow analyses and the
+   batching scan are built on top of it. *)
+
+open Shasta_isa
+
+type t = {
+  body : Insn.t array;
+  label_index : (string, int) Hashtbl.t;
+}
+
+let of_body (body : Insn.t array) =
+  let label_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Lab l -> Hashtbl.replace label_index l i
+      | _ -> ())
+    body;
+  { body; label_index }
+
+let of_list body = of_body (Array.of_list body)
+
+let length t = Array.length t.body
+let insn t i = t.body.(i)
+
+let target t l =
+  match Hashtbl.find_opt t.label_index l with
+  | Some i -> i
+  | None -> invalid_arg ("Flow.target: undefined label " ^ l)
+
+(* Successor indices of instruction [i].  Falling off the end of the
+   body is an implicit return (no successors). *)
+let succs t i =
+  let insn = t.body.(i) in
+  let branch = List.map (target t) (Insn.branch_targets insn) in
+  let fall =
+    if Insn.falls_through insn && i + 1 < Array.length t.body then [ i + 1 ]
+    else []
+  in
+  fall @ branch
+
+(* A branch at [i] is a loop backedge if its target precedes it. *)
+let is_backedge t i =
+  match Insn.branch_targets t.body.(i) with
+  | [ l ] -> target t l <= i
+  | _ -> false

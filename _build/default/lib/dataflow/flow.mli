@@ -1,0 +1,21 @@
+(** Control flow over a flat procedure body — the binary rewriter's view
+    of a procedure: an instruction array with embedded labels. *)
+
+open Shasta_isa
+
+type t
+
+val of_body : Insn.t array -> t
+val of_list : Insn.t list -> t
+val length : t -> int
+val insn : t -> int -> Insn.t
+
+val target : t -> string -> int
+(** Index of a label; raises [Invalid_argument] if undefined. *)
+
+val succs : t -> int -> int list
+(** Successor indices; empty past a return or the end of the body. *)
+
+val is_backedge : t -> int -> bool
+(** True if the branch at the index targets itself or an earlier
+    instruction (a loop, for batching and poll placement purposes). *)

@@ -1,0 +1,68 @@
+(* Live-register analysis.
+
+   "The Shasta compiler does live register analysis to determine which
+   registers are unused at the point where it inserts the miss check and
+   uses those registers" (Section 2.4).  Register sets are bitmasks over
+   the 32 integer registers, so the fixpoint is cheap even on large
+   procedures.
+
+   Calls are handled conservatively from the rewriter's point of view:
+   a Jsr is assumed to read all six argument registers and to define all
+   caller-saved registers; callee-saved registers r9..r15 plus SP and GP
+   are assumed live across calls (the callee may read the values it
+   saves).  Ret is assumed to read the return-value register and all
+   callee-saved registers. *)
+
+open Shasta_isa
+
+let mask_of_list = List.fold_left (fun m r -> m lor (1 lsl r)) 0
+
+let caller_saved =
+  mask_of_list [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 16; 17; 18; 19; 20; 21;
+                 22; 23; 24; 25 ]
+
+let callee_saved = mask_of_list [ 9; 10; 11; 12; 13; 14; 15; Reg.sp; Reg.gp ]
+
+let uses_mask (i : Insn.t) =
+  match i with
+  | Jsr _ ->
+    mask_of_list [ 16; 17; 18; 19; 20; 21 ] lor mask_of_list [ Reg.sp; Reg.gp ]
+  | Ret -> (1 lsl Reg.rv) lor callee_saved
+  | _ -> mask_of_list (Insn.uses i)
+
+let defs_mask (i : Insn.t) =
+  match i with
+  | Jsr _ -> caller_saved
+  | _ -> (match Insn.def i with Some d -> 1 lsl d | None -> 0)
+
+(* live.(i) is the set of integer registers live immediately *before*
+   instruction i (live-in). *)
+let analyze (flow : Flow.t) =
+  let n = Flow.length flow in
+  let live = Array.make (n + 1) 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let insn = Flow.insn flow i in
+      let out =
+        List.fold_left (fun m s -> m lor live.(s)) 0 (Flow.succs flow i)
+      in
+      (* a Ret (or fallthrough exit) keeps callee-saved registers live *)
+      let out =
+        if Flow.succs flow i = [] then out lor (1 lsl Reg.rv) lor callee_saved
+        else out
+      in
+      let inn = uses_mask insn lor (out land lnot (defs_mask insn)) in
+      let inn = inn land lnot (1 lsl Reg.zero) in
+      if inn <> live.(i) then begin
+        live.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  live
+
+(* Registers from [pool] that are dead before instruction [i]. *)
+let free_regs live i ~pool =
+  List.filter (fun r -> live.(i) land (1 lsl r) = 0) pool

@@ -1,0 +1,18 @@
+(** Live-register analysis: "the Shasta compiler does live register
+    analysis to determine which registers are unused at the point where
+    it inserts the miss check and uses those registers" (Section 2.4).
+
+    Register sets are bitmasks over the 32 integer registers; calls are
+    treated conservatively (arguments read, caller-saved clobbered,
+    callee-saved live across). *)
+
+open Shasta_isa
+
+val caller_saved : int
+val callee_saved : int
+
+val analyze : Flow.t -> int array
+(** [analyze flow].(i) is the live-in mask before instruction [i]. *)
+
+val free_regs : int array -> int -> pool:Reg.ireg list -> Reg.ireg list
+(** Registers from [pool] dead before the given instruction. *)

@@ -1,0 +1,70 @@
+(* SP/GP-derived register tracking (Section 2.3 of the paper).
+
+   Shasta does not instrument loads and stores whose base register is
+   the stack pointer or the global pointer, nor ones whose base register
+   currently holds a value *calculated from* SP or GP.  This is a
+   forward dataflow problem: a register is "derived" at a point if on
+   every path to that point its value was computed from SP/GP by
+   address arithmetic the analysis understands (register+constant).
+
+   As in the paper, the analysis is intraprocedural and conservative
+   around calls: any register that might be clobbered by a call — or
+   saved and restored around one — is treated as not derived
+   afterwards. *)
+
+open Shasta_isa
+
+(* Bit set in the mask = register known SP/GP-derived at that point. *)
+let initial = (1 lsl Reg.sp) lor (1 lsl Reg.gp)
+
+let transfer (i : Insn.t) derived =
+  let derived_bit r = derived land (1 lsl r) <> 0 in
+  let set d v m = if v then m lor (1 lsl d) else m land lnot (1 lsl d) in
+  match i with
+  | Lda (d, _, b) -> set d (derived_bit b) derived
+  | Opi ((Addq | Subq | Addl | Subl), d, Imm _, b) ->
+    set d (derived_bit b) derived
+  | Opi ((Addq | Addl), d, Reg ra, rb) ->
+    (* pointer + offset: derived only if both inputs are derived (e.g.
+       SP-relative indexing with a value itself derived) — the common
+       base+index case with a loaded index is not derived *)
+    set d (derived_bit ra && derived_bit rb) derived
+  | Jsr _ | Rt_call _ ->
+    (* caller-saved clobbered; callee-saved conservatively undefined
+       after the call per the paper (no interprocedural analysis); only
+       SP and GP survive *)
+    initial
+  | _ ->
+    (match Insn.def i with
+     | Some d -> set d false derived
+     | None -> derived)
+
+(* derived.(i) is the mask of derived registers immediately before
+   instruction i. *)
+let analyze (flow : Flow.t) =
+  let n = Flow.length flow in
+  let full = -1 in
+  let derived = Array.make n full in
+  if n > 0 then derived.(0) <- initial;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let out = transfer (Flow.insn flow i) derived.(i) in
+      List.iter
+        (fun s ->
+          let met = derived.(s) land out in
+          if met <> derived.(s) then begin
+            derived.(s) <- met;
+            changed := true
+          end)
+        (Flow.succs flow i)
+    done
+  done;
+  derived
+
+(* Is the memory access at index [i] known private (not instrumented)? *)
+let access_is_private (flow : Flow.t) derived i =
+  match Insn.mem_operand (Flow.insn flow i) with
+  | Some (base, _) -> derived.(i) land (1 lsl base) <> 0
+  | None -> false

@@ -1,0 +1,18 @@
+(** SP/GP-derived register tracking (paper Section 2.3): loads and
+    stores whose base register provably holds a value computed from the
+    stack or global pointer are private and need no checks.
+
+    Forward dataflow with intersection at joins; intraprocedural and
+    conservative around calls, as in the paper. *)
+
+val initial : int
+(** The entry mask: SP and GP derived. *)
+
+val transfer : Shasta_isa.Insn.t -> int -> int
+
+val analyze : Flow.t -> int array
+(** [analyze flow].(i) is the derived-register mask before
+    instruction [i]. *)
+
+val access_is_private : Flow.t -> int array -> int -> bool
+(** Is the memory access at the index exempt from instrumentation? *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Fmt Insn List Printf Program Reg String

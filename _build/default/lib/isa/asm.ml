@@ -1,0 +1,121 @@
+(* Disassembler: renders instructions in Alpha assembler syntax, used by
+   tests, the protocol trace example, and the Figure 2/4/5/6 sections of
+   the bench harness. *)
+
+let iop_name : Insn.iop -> string = function
+  | Addq -> "addq" | Subq -> "subq" | Mulq -> "mulq"
+  | Divq -> "divq" | Remq -> "remq"
+  | Addl -> "addl" | Subl -> "subl" | Mull -> "mull"
+  | And_ -> "and" | Or_ -> "bis" | Xor_ -> "xor"
+  | Sll -> "sll" | Srl -> "srl" | Sra -> "sra"
+  | Cmpeq -> "cmpeq" | Cmplt -> "cmplt" | Cmple -> "cmple"
+  | Cmpult -> "cmpult" | Cmpule -> "cmpule"
+
+let fop_name : Insn.fop -> string = function
+  | Addt -> "addt" | Subt -> "subt" | Mult -> "mult" | Divt -> "divt"
+  | Sqrtt -> "sqrtt"
+  | Cmpteq -> "cmpteq" | Cmptlt -> "cmptlt" | Cmptle -> "cmptle"
+
+let cond_name : Insn.cond -> string = function
+  | Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Le -> "ble"
+  | Gt -> "bgt" | Ge -> "bge" | Lbs -> "blbs" | Lbc -> "blbc"
+
+let operand = function
+  | Insn.Reg r -> Reg.name r
+  | Insn.Imm i -> string_of_int i
+
+let size_tag = function Insn.Long -> "l" | Insn.Quad -> "q"
+
+let rt_name : Insn.rt -> string = function
+  | Malloc { size; bsize; dest } ->
+    Printf.sprintf "g_malloc %s, %s, %s" (Reg.name dest) (Reg.name size)
+      (Reg.name bsize)
+  | Malloc_priv { size; dest } ->
+    Printf.sprintf "p_malloc %s, %s" (Reg.name dest) (Reg.name size)
+  | Lock r -> "lock " ^ Reg.name r
+  | Unlock r -> "unlock " ^ Reg.name r
+  | Barrier -> "barrier"
+  | Flag_set r -> "flag_set " ^ Reg.name r
+  | Flag_wait r -> "flag_wait " ^ Reg.name r
+  | Print_int r -> "print_int " ^ Reg.name r
+  | Print_float f -> "print_float " ^ Reg.fname f
+  | Exit_thread -> "exit_thread"
+
+let to_string (i : Insn.t) =
+  match i with
+  | Lab l -> l ^ ":"
+  | Lda (d, disp, b) ->
+    Printf.sprintf "\tlda %s, %d(%s)" (Reg.name d) disp (Reg.name b)
+  | Opi (op, d, a, b) ->
+    Printf.sprintf "\t%s %s, %s, %s" (iop_name op) (Reg.name b) (operand a)
+      (Reg.name d)
+  | Opf (op, d, a, b) ->
+    Printf.sprintf "\t%s %s, %s, %s" (fop_name op) (Reg.fname a)
+      (Reg.fname b) (Reg.fname d)
+  | Ldl (d, disp, b) ->
+    Printf.sprintf "\tldl %s, %d(%s)" (Reg.name d) disp (Reg.name b)
+  | Ldq (d, disp, b) ->
+    Printf.sprintf "\tldq %s, %d(%s)" (Reg.name d) disp (Reg.name b)
+  | Ldq_u (d, disp, b) ->
+    Printf.sprintf "\tldq_u %s, %d(%s)" (Reg.name d) disp (Reg.name b)
+  | Extbl (d, a, b) ->
+    Printf.sprintf "\textbl %s, %s, %s" (Reg.name a) (Reg.name b)
+      (Reg.name d)
+  | Stl (r, disp, b) ->
+    Printf.sprintf "\tstl %s, %d(%s)" (Reg.name r) disp (Reg.name b)
+  | Stq (r, disp, b) ->
+    Printf.sprintf "\tstq %s, %d(%s)" (Reg.name r) disp (Reg.name b)
+  | Ldt (f, disp, b) ->
+    Printf.sprintf "\tldt %s, %d(%s)" (Reg.fname f) disp (Reg.name b)
+  | Stt (f, disp, b) ->
+    Printf.sprintf "\tstt %s, %d(%s)" (Reg.fname f) disp (Reg.name b)
+  | Cvtqt (r, f) -> Printf.sprintf "\tcvtqt %s, %s" (Reg.name r) (Reg.fname f)
+  | Cvttq (f, r) -> Printf.sprintf "\tcvttq %s, %s" (Reg.fname f) (Reg.name r)
+  | Fmov (d, s) -> Printf.sprintf "\tfmov %s, %s" (Reg.fname s) (Reg.fname d)
+  | Br l -> Printf.sprintf "\tbr %s" l
+  | Bc (c, r, l) -> Printf.sprintf "\t%s %s, %s" (cond_name c) (Reg.name r) l
+  | Fbeq (f, l) -> Printf.sprintf "\tfbeq %s, %s" (Reg.fname f) l
+  | Fbne (f, l) -> Printf.sprintf "\tfbne %s, %s" (Reg.fname f) l
+  | Jsr p -> Printf.sprintf "\tjsr %s" p
+  | Ret -> "\tret"
+  | Poll -> "\tpoll"
+  | Call_load_miss { base; disp; refill } ->
+    let dst =
+      match refill with
+      | Rint (r, sz) -> Reg.name r ^ "." ^ size_tag sz
+      | Rflt f -> Reg.fname f
+    in
+    Printf.sprintf "\tcall_load_miss %d(%s) -> %s" disp (Reg.name base) dst
+  | Call_store_miss { base; disp; ssize; store_done } ->
+    Printf.sprintf "\tcall_store_miss.%s %d(%s)%s" (size_tag ssize) disp
+      (Reg.name base)
+      (if store_done then " (store done)" else "")
+  | Call_batch_miss { ranges } ->
+    let range (r : Insn.range) =
+      let disps =
+        List.map
+          (fun (a : Insn.access) ->
+            Printf.sprintf "%d%s" a.disp (if a.is_store then "w" else "r"))
+          r.accesses
+      in
+      Printf.sprintf "%s:[%s]" (Reg.name r.rbase) (String.concat "," disps)
+    in
+    Printf.sprintf "\tcall_batch_miss %s"
+      (String.concat " " (List.map range ranges))
+  | Batch_end -> "\tbatch_end"
+  | Rt_call rt -> "\t" ^ rt_name rt
+
+let pp ppf i = Fmt.string ppf (to_string i)
+
+let proc_to_string (p : Program.proc) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (p.pname ^ ":\n");
+  List.iter
+    (fun i ->
+      Buffer.add_string buf (to_string i);
+      Buffer.add_char buf '\n')
+    p.body;
+  Buffer.contents buf
+
+let program_to_string (t : Program.t) =
+  String.concat "\n" (List.map proc_to_string t.procs)

@@ -1,0 +1,11 @@
+(** Disassembler: Alpha-style assembler syntax for instructions,
+    procedures and whole programs (used by tests, the protocol-trace
+    example and the Figure 2/4/5/6 bench section). *)
+
+val iop_name : Insn.iop -> string
+val fop_name : Insn.fop -> string
+val cond_name : Insn.cond -> string
+val to_string : Insn.t -> string
+val pp : Format.formatter -> Insn.t -> unit
+val proc_to_string : Program.proc -> string
+val program_to_string : Program.t -> string

@@ -1,0 +1,192 @@
+(* Instruction set of the simulated target.
+
+   The set is a compact subset of the Alpha ISA plus a handful of pseudo
+   instructions that stand for calls into the Shasta runtime (miss
+   handlers, polling, synchronization).  In the real system those calls
+   are ordinary code reached through a `jsr`; here they are single
+   opcodes whose cost is charged explicitly by the timing model, so the
+   common-case (no-miss) instruction counts — what Tables 1 and 2 of the
+   paper measure — are carried entirely by genuine instructions. *)
+
+type label = string
+
+type size = Long | Quad
+
+(* Integer ALU operations.  The -l forms operate on the low 32 bits and
+   sign-extend the result, as on the Alpha.  Divq/Remq are pseudo-ops
+   (the Alpha has no integer divide; the compiler would call a millicode
+   routine) and are charged a high latency by the timing model. *)
+type iop =
+  | Addq | Subq | Mulq | Divq | Remq
+  | Addl | Subl | Mull
+  | And_ | Or_ | Xor_
+  | Sll | Srl | Sra
+  | Cmpeq | Cmplt | Cmple | Cmpult | Cmpule
+
+type fop = Addt | Subt | Mult | Divt | Sqrtt | Cmpteq | Cmptlt | Cmptle
+
+type operand = Reg of Reg.ireg | Imm of int
+
+(* Branch conditions on an integer register. *)
+type cond = Eq | Ne | Lt | Le | Gt | Ge | Lbs | Lbc
+
+(* Destination to refill after a load miss is serviced. *)
+type refill = Rint of Reg.ireg * size | Rflt of Reg.freg
+
+(* One access inside a batch: displacement off the batch base register. *)
+type access = { disp : int; asize : size; is_store : bool }
+
+(* One base-register range of a batch (Section 3.4): every access uses
+   the same base register, unmodified during the batch. *)
+type range = { rbase : Reg.ireg; accesses : access list }
+
+type batch = { ranges : range list }
+
+(* Runtime (protocol library) entry points exposed to compiled code. *)
+type rt =
+  | Malloc of { size : Reg.ireg; bsize : Reg.ireg; dest : Reg.ireg }
+    (* bsize = block size request; register holding 0 means "use the
+       allocation-size heuristic" of Section 4.2. *)
+  | Malloc_priv of { size : Reg.ireg; dest : Reg.ireg }
+    (* private (per-node, unshared) heap allocation; such pointers are
+       below the shared range and exercise the dynamic range check *)
+  | Lock of Reg.ireg
+  | Unlock of Reg.ireg
+  | Barrier
+  | Flag_set of Reg.ireg
+  | Flag_wait of Reg.ireg
+  | Print_int of Reg.ireg
+  | Print_float of Reg.freg
+  | Exit_thread
+
+type t =
+  | Lab of label
+  | Lda of Reg.ireg * int * Reg.ireg            (* rd <- rb + disp *)
+  | Opi of iop * Reg.ireg * operand * Reg.ireg  (* rd <- ra op rb/imm *)
+  | Opf of fop * Reg.freg * Reg.freg * Reg.freg
+  | Ldl of Reg.ireg * int * Reg.ireg
+  | Ldq of Reg.ireg * int * Reg.ireg
+  | Ldq_u of Reg.ireg * int * Reg.ireg          (* aligned quad load *)
+  | Extbl of Reg.ireg * Reg.ireg * Reg.ireg     (* rd <- byte (ra >> 8*(rb&7)) *)
+  | Stl of Reg.ireg * int * Reg.ireg
+  | Stq of Reg.ireg * int * Reg.ireg
+  | Ldt of Reg.freg * int * Reg.ireg
+  | Stt of Reg.freg * int * Reg.ireg
+  | Cvtqt of Reg.ireg * Reg.freg                (* int -> double *)
+  | Cvttq of Reg.freg * Reg.ireg                (* double -> int, truncating *)
+  | Fmov of Reg.freg * Reg.freg
+  | Br of label
+  | Bc of cond * Reg.ireg * label
+  | Fbeq of Reg.freg * label
+  | Fbne of Reg.freg * label
+  | Jsr of string                               (* direct call by name *)
+  | Ret
+  (* Shasta runtime pseudo-instructions. *)
+  | Poll
+  | Call_load_miss of { base : Reg.ireg; disp : int; refill : refill }
+  | Call_store_miss of { base : Reg.ireg; disp : int; ssize : size;
+                         store_done : bool }
+  | Call_batch_miss of batch
+  | Batch_end
+  | Rt_call of rt
+
+(* Instruction size in bytes, used for text layout and the I-cache
+   model.  Labels and batch-end markers occupy no space; the handler
+   call pseudo-ops stand for a short two-instruction calling sequence. *)
+let bytes = function
+  | Lab _ | Batch_end -> 0
+  | Call_load_miss _ | Call_store_miss _ | Call_batch_miss _ -> 8
+  | Poll -> 12 (* three instructions: address setup, load, branch *)
+  | _ -> 4
+
+let is_load = function
+  | Ldl _ | Ldq _ | Ldq_u _ | Ldt _ -> true
+  | _ -> false
+
+let is_store = function Stl _ | Stq _ | Stt _ -> true | _ -> false
+let is_mem i = is_load i || is_store i
+
+(* Base register and displacement of a memory access. *)
+let mem_operand = function
+  | Ldl (_, d, b) | Ldq (_, d, b) | Ldq_u (_, d, b)
+  | Stl (_, d, b) | Stq (_, d, b) -> Some (b, d)
+  | Ldt (_, d, b) | Stt (_, d, b) -> Some (b, d)
+  | _ -> None
+
+let mem_size = function
+  | Ldl _ | Stl _ -> Some Long
+  | Ldq _ | Ldq_u _ | Stq _ -> Some Quad
+  | Ldt _ | Stt _ -> Some Quad
+  | _ -> None
+
+(* Integer registers read by an instruction. *)
+let uses = function
+  | Lab _ | Br _ | Ret | Poll | Batch_end -> []
+  | Lda (_, _, b) -> [ b ]
+  | Opi (_, _, ra, rb) ->
+    (match ra with Reg r -> [ r; rb ] | Imm _ -> [ rb ])
+  | Opf _ -> []
+  | Ldl (_, _, b) | Ldq (_, _, b) | Ldq_u (_, _, b) | Ldt (_, _, b) -> [ b ]
+  | Extbl (_, ra, rb) -> [ ra; rb ]
+  | Stl (r, _, b) | Stq (r, _, b) -> [ r; b ]
+  | Stt (_, _, b) -> [ b ]
+  | Cvtqt (r, _) -> [ r ]
+  | Cvttq _ | Fmov _ -> []
+  | Bc (_, r, _) -> [ r ]
+  | Fbeq _ | Fbne _ -> []
+  | Jsr _ -> [ 16; 17; 18; 19; 20; 21 ] (* conservatively: argument regs *)
+  | Call_load_miss { base; _ } -> [ base ]
+  | Call_store_miss { base; _ } -> [ base ]
+  | Call_batch_miss { ranges } -> List.map (fun r -> r.rbase) ranges
+  | Rt_call rt ->
+    (match rt with
+     | Malloc { size; bsize; _ } -> [ size; bsize ]
+     | Malloc_priv { size; _ } -> [ size ]
+     | Lock r | Unlock r | Flag_set r | Flag_wait r | Print_int r -> [ r ]
+     | Barrier | Print_float _ | Exit_thread -> [])
+
+(* Integer register written by an instruction, if any. *)
+let def = function
+  | Lda (d, _, _) -> Some d
+  | Opi (_, d, _, _) -> Some d
+  | Ldl (d, _, _) | Ldq (d, _, _) | Ldq_u (d, _, _) -> Some d
+  | Extbl (d, _, _) -> Some d
+  | Cvttq (_, d) -> Some d
+  | Jsr _ -> Some Reg.rv (* plus temps; see Liveness for call handling *)
+  | Call_load_miss { refill = Rint (d, _); _ } -> Some d
+  | Rt_call (Malloc { dest; _ }) -> Some dest
+  | Rt_call (Malloc_priv { dest; _ }) -> Some dest
+  | _ -> None
+
+let fuses = function
+  | Opf (_, _, fa, fb) -> [ fa; fb ]
+  | Stt (f, _, _) -> [ f ]
+  | Cvttq (f, _) -> [ f ]
+  | Fmov (_, f) -> [ f ]
+  | Fbeq (f, _) | Fbne (f, _) -> [ f ]
+  | Rt_call (Print_float f) -> [ f ]
+  | _ -> []
+
+let fdef = function
+  | Opf (_, fd, _, _) -> Some fd
+  | Ldt (fd, _, _) -> Some fd
+  | Cvtqt (_, fd) -> Some fd
+  | Fmov (fd, _) -> Some fd
+  | Call_load_miss { refill = Rflt fd; _ } -> Some fd
+  | _ -> None
+
+(* Labels an instruction may branch to. *)
+let branch_targets = function
+  | Br l | Bc (_, _, l) | Fbeq (_, l) | Fbne (_, l) -> [ l ]
+  | _ -> []
+
+(* Does control fall through to the next instruction? *)
+let falls_through = function
+  | Br _ | Ret | Rt_call Exit_thread -> false
+  | _ -> true
+
+let is_branch = function
+  | Br _ | Bc _ | Fbeq _ | Fbne _ -> true
+  | _ -> false
+
+let is_call = function Jsr _ -> true | _ -> false

@@ -1,0 +1,26 @@
+(** Executable representation: named procedures, each a flat instruction
+    list with embedded labels — the view a binary rewriter such as ATOM
+    has of a linked program. *)
+
+type proc = { pname : string; body : Insn.t list }
+type t = { procs : proc list; entry : string }
+
+val proc_exn : t -> string -> proc
+val entry_proc : t -> proc
+
+val map_procs : (proc -> Insn.t list) -> t -> t
+(** Rewrite every procedure body (how instrumentation passes apply). *)
+
+val text_bytes_proc : proc -> int
+val text_bytes : t -> int
+
+val layout_text : base:int -> t -> (string * int) list
+(** Assign 64-byte-aligned text addresses to procedures. *)
+
+type counts = { loads : int; stores : int; insns : int }
+
+val count_accesses : t -> counts
+
+val validate : t -> t
+(** Check structural sanity (unique labels, defined branch targets,
+    known callees, existing entry); raises [Invalid_argument]. *)

@@ -1,0 +1,42 @@
+(* Register conventions of the simulated Alpha-like target.
+
+   Integer registers r0..r31 and floating-point registers f0..f31.
+   r31 and f31 always read as zero, as on the Alpha.  The software
+   conventions mirror the Alpha calling standard closely enough that the
+   Shasta instrumenter's special-casing of SP and GP (Section 2.3 of the
+   paper) is meaningful. *)
+
+type ireg = int
+type freg = int
+
+let zero = 31
+let fzero = 31
+let sp = 30
+let gp = 29
+let ra = 26
+
+(* Return-value registers. *)
+let rv = 0
+let frv = 0
+
+(* Argument registers a0..a5 = r16..r21, fa0..fa5 = f16..f21. *)
+let arg i =
+  if i < 0 || i > 5 then invalid_arg "Reg.arg";
+  16 + i
+
+let farg i =
+  if i < 0 || i > 5 then invalid_arg "Reg.farg";
+  16 + i
+
+(* Caller-saved temporaries available to compiled code.  The code
+   generator draws expression temporaries from this pool; everything it
+   does not use at a given program point is free for the instrumenter. *)
+let int_temps = [ 1; 2; 3; 4; 5; 6; 7; 8; 22; 23; 24; 25 ]
+let float_temps = [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+
+let is_int_temp r = List.mem r int_temps
+let name r = if r = zero then "zero" else Printf.sprintf "r%d" r
+let fname f = if f = fzero then "fzero" else Printf.sprintf "f%d" f
+
+let pp ppf r = Fmt.string ppf (name r)
+let ppf_ ppf f = Fmt.string ppf (fname f)

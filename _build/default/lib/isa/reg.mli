@@ -1,0 +1,54 @@
+(** Register conventions of the simulated Alpha-like target.
+
+    Thirty-two integer and thirty-two floating-point registers; [r31]
+    and [f31] read as zero.  The software conventions mirror the Alpha
+    calling standard so the instrumenter's special treatment of SP and
+    GP (paper Section 2.3) is meaningful. *)
+
+type ireg = int
+(** An integer register number in [0, 31]. *)
+
+type freg = int
+(** A floating-point register number in [0, 31]. *)
+
+val zero : ireg
+(** [r31], hardwired to zero. *)
+
+val fzero : freg
+(** [f31], hardwired to zero. *)
+
+val sp : ireg
+(** The stack pointer, [r30]; SP-based accesses are private. *)
+
+val gp : ireg
+(** The global pointer, [r29]; GP-based accesses are private. *)
+
+val ra : ireg
+(** The return-address register, [r26]. *)
+
+val rv : ireg
+(** Integer return-value register, [r0]. *)
+
+val frv : freg
+(** Floating-point return-value register, [f0]. *)
+
+val arg : int -> ireg
+(** [arg i] is the i-th (0-based, i <= 5) integer argument register. *)
+
+val farg : int -> freg
+(** [farg i] is the i-th floating-point argument register. *)
+
+val int_temps : ireg list
+(** Caller-saved temporaries used by the code generator; registers from
+    this pool that are dead at a program point are what the live-register
+    analysis hands to the check generator. *)
+
+val float_temps : freg list
+(** Caller-saved floating-point temporaries. *)
+
+val is_int_temp : ireg -> bool
+
+val name : ireg -> string
+val fname : freg -> string
+val pp : Format.formatter -> ireg -> unit
+val ppf_ : Format.formatter -> freg -> unit

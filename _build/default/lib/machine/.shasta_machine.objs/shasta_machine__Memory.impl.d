@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Hashtbl Int64 List Printf

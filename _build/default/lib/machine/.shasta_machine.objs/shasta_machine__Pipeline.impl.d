@@ -1,0 +1,1 @@
+lib/machine/pipeline.ml: Array Cache Insn List Shasta_isa

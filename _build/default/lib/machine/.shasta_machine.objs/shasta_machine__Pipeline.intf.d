@@ -1,0 +1,1 @@
+lib/machine/pipeline.mli: Cache Shasta_isa

@@ -1,0 +1,118 @@
+(* Sparse simulated memory.
+
+   Memory is a table of 8 KB pages, each an array of 32-bit longword
+   patterns (stored as non-negative OCaml ints in [0, 2^32)).  The
+   longword is the unit Shasta cares about: the flag value of the load
+   miss check (Section 3.2 of the paper) is written into every longword
+   of an invalid line, so longword granularity must be primitive.
+
+   Quadword integer values are represented as OCaml ints carrying the
+   sign-extended 64-bit value; values outside [-2^62, 2^62) are not
+   representable and wrap — simulated programs keep integer data well
+   inside that range (addresses are < 2^40).  Floating-point data takes
+   the Int64 path and is exact. *)
+
+type t = {
+  pages : (int, int array) Hashtbl.t;
+  mutable allocated_pages : int;
+}
+
+let page_bytes = 8192
+let page_longs = page_bytes / 4
+
+let create () = { pages = Hashtbl.create 1024; allocated_pages = 0 }
+
+let page t addr =
+  let pno = addr / page_bytes in
+  match Hashtbl.find_opt t.pages pno with
+  | Some p -> p
+  | None ->
+    let p = Array.make page_longs 0 in
+    Hashtbl.add t.pages pno p;
+    t.allocated_pages <- t.allocated_pages + 1;
+    p
+
+let allocated_bytes t = t.allocated_pages * page_bytes
+
+let check_align addr n what =
+  if addr land (n - 1) <> 0 then
+    invalid_arg
+      (Printf.sprintf "Memory: unaligned %s access at 0x%x" what addr)
+
+(* Raw longword pattern in [0, 2^32). *)
+let read_long_u t addr =
+  check_align addr 4 "longword";
+  (page t addr).(addr mod page_bytes / 4)
+
+let write_long_u t addr v =
+  check_align addr 4 "longword";
+  (page t addr).(addr mod page_bytes / 4) <- v land 0xFFFFFFFF
+
+(* Sign-extended longword, as the ldl instruction sees it. *)
+let sext32 v = if v land 0x80000000 <> 0 then v - 0x1_0000_0000 else v
+let read_long t addr = sext32 (read_long_u t addr)
+
+let read_byte t addr =
+  let lw = read_long_u t (addr land lnot 3) in
+  (lw lsr (8 * (addr land 3))) land 0xFF
+
+let write_byte t addr v =
+  let base = addr land lnot 3 in
+  let shift = 8 * (addr land 3) in
+  let lw = read_long_u t base in
+  let lw = lw land lnot (0xFF lsl shift) lor ((v land 0xFF) lsl shift) in
+  write_long_u t base lw
+
+(* Quadword as a sign-extended OCaml int (see module comment). *)
+let read_quad t addr =
+  check_align addr 8 "quadword";
+  let lo = read_long_u t addr and hi = read_long_u t (addr + 4) in
+  (sext32 hi * 0x1_0000_0000) + lo
+
+let write_quad t addr v =
+  check_align addr 8 "quadword";
+  write_long_u t addr (v land 0xFFFFFFFF);
+  write_long_u t (addr + 4) ((v asr 32) land 0xFFFFFFFF)
+
+(* Exact 64-bit pattern access, used for floating-point data. *)
+let read_quad_bits t addr =
+  check_align addr 8 "quadword";
+  let lo = Int64.of_int (read_long_u t addr) in
+  let hi = Int64.of_int (read_long_u t (addr + 4)) in
+  Int64.logor (Int64.shift_left hi 32) lo
+
+let write_quad_bits t addr bits =
+  check_align addr 8 "quadword";
+  write_long_u t addr Int64.(to_int (logand bits 0xFFFFFFFFL));
+  write_long_u t (addr + 4)
+    Int64.(to_int (logand (shift_right_logical bits 32) 0xFFFFFFFFL))
+
+let read_float t addr = Int64.float_of_bits (read_quad_bits t addr)
+let write_float t addr v = write_quad_bits t addr (Int64.bits_of_float v)
+
+(* Aligned quadword load used by the check code (ldq_u ignores the low
+   three address bits, as on the Alpha). *)
+let read_quad_unaligned t addr = read_quad t (addr land lnot 7)
+
+(* Copy every allocated page of [src] overlapping [addr, addr+len) into
+   [dst] (page-aligned range).  Used for process-creation-time copying
+   of the static data area. *)
+let copy_pages ~src ~dst ~addr ~len =
+  let to_copy =
+    Hashtbl.fold
+      (fun pno pg acc ->
+        let pstart = pno * page_bytes in
+        if pstart >= addr && pstart < addr + len then (pstart, pg) :: acc
+        else acc)
+      src.pages []
+  in
+  List.iter
+    (fun (pstart, pg) -> Array.blit pg 0 (page dst pstart) 0 page_longs)
+    to_copy
+
+(* Bulk copy of [nlongs] longwords starting at [addr] (both 4-aligned). *)
+let blit_out t ~addr ~nlongs =
+  Array.init nlongs (fun i -> read_long_u t (addr + (4 * i)))
+
+let blit_in t ~addr longs =
+  Array.iteri (fun i v -> write_long_u t (addr + (4 * i)) v) longs

@@ -1,0 +1,60 @@
+(** Static in-order issue timing model.
+
+    Models the features the paper's overhead analysis depends on
+    (Sections 3.1, 5.1): multiple issue with a single memory port, the
+    21064A's shift-use delay (why Figure 4 beats Figure 2), load-use
+    delay (why the flag compare is sunk below the load), long FP
+    compare/branch latency (why FP loads are checked through an extra
+    integer load), and static branch prediction. *)
+
+type config = {
+  cpu_name : string;
+  issue_width : int;
+  load_latency : int;
+  shift_latency : int;
+  int_latency : int;
+  mul_latency : int;
+  div_latency : int;
+  fp_latency : int;
+  fp_div_latency : int;
+  fp_branch_cost : int;
+  mispredict_cycles : int;
+  call_cycles : int;
+}
+
+val alpha_21064a : config
+(** The 275 MHz dual-issue 21064A of the paper's measurements. *)
+
+val alpha_21164 : config
+(** The quad-issue 21164 of the paper's second cycle-count column. *)
+
+type branch_info =
+  | B_none
+  | B_taken of { backward : bool }
+  | B_not_taken of { backward : bool }
+
+type t
+
+val create : ?caches:Cache.hierarchy -> config -> t
+(** Without [caches], memory is ideal (used for static cost studies). *)
+
+val cycle : t -> int
+val insns : t -> int
+val reset : t -> unit
+
+val stall : t -> int -> unit
+(** Advance time by stall cycles (handler entry, polls, waiting). *)
+
+val advance_to : t -> int -> unit
+(** Advance to an absolute cycle (message arrival); never goes back. *)
+
+val issue :
+  t ->
+  Shasta_isa.Insn.t ->
+  iaddr:int ->
+  maddr:int option ->
+  branch:branch_info ->
+  unit
+(** Issue one instruction: waits for source operands (scoreboard),
+    respects issue width and the single memory port, charges I/D cache
+    misses, records result latency, and applies branch costs. *)

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Hashtbl Insn Int64 List Option Printf Program Reg Shasta Shasta_isa

@@ -1,0 +1,75 @@
+(* MiniC: the small structured language the workloads are written in.
+
+   MiniC stands in for the C the SPLASH-2 applications are written in:
+   its compiler (Compile) produces the Alpha-like executables that the
+   Shasta instrumenter rewrites, with the SPLASH memory model of the
+   paper's Section 2 — dynamically allocated data is shared, static and
+   stack data are private — expressed through the g_malloc / p_malloc
+   intrinsics and GP/SP addressing. *)
+
+type ty = I | F
+
+type unop =
+  | Neg (* integer negate *)
+  | Not (* logical not: 1 if zero *)
+  | Fneg
+  | Fsqrt
+  | I2f (* int -> double *)
+  | F2i (* double -> int, truncating *)
+
+type binop =
+  (* integer *)
+  | Add | Sub | Mul | Div | Rem
+  | Shl | Shr | Asr
+  | Band | Bor | Bxor
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Ult (* unsigned < *)
+  (* floating point *)
+  | Fadd | Fsub | Fmul | Fdiv
+  | Feq | Flt | Fle (* produce an integer 0/1 *)
+
+type expr =
+  | Int of int
+  | Flt of float
+  | Var of string (* local variable or parameter (stack slot) *)
+  | Glob of string (* static global (GP-relative) *)
+  | Load of ty * expr * int (* *(ty* )(base + byte_offset) *)
+  | Un of unop * expr
+  | Bin of binop * expr * expr
+  | Call of string * expr list
+  (* intrinsics *)
+  | Gmalloc of expr (* shared allocation, heuristic block size *)
+  | Gmalloc_b of expr * expr (* shared allocation with explicit block size *)
+  | Pmalloc of expr (* private per-node allocation *)
+  | Pid
+  | Nprocs
+
+type stmt =
+  | Decl of string * ty * expr
+  | Assign of string * expr
+  | Gassign of string * expr
+  | Store of ty * expr * int * expr (* *(base + off) = value *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list (* for (v = lo; v < hi; v++) *)
+  | Expr of expr
+  | Return of expr option
+  | Lock of expr
+  | Unlock of expr
+  | Barrier
+  | Flag_set of expr
+  | Flag_wait of expr
+  | Print_int of expr
+  | Print_flt of expr
+
+type proc = {
+  name : string;
+  params : (string * ty) list;
+  ret : ty option;
+  body : stmt list;
+}
+
+type prog = {
+  globals : (string * ty) list;
+  procs : proc list;
+}

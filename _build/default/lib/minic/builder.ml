@@ -1,0 +1,89 @@
+(* Combinators for authoring MiniC programs.
+
+   The workloads in shasta_apps are written with these; they keep the
+   sources close to the shape of the original SPLASH-2 C code (array
+   indexing, parallel loop bounds, locks/barriers) without a parser. *)
+
+open Ast
+
+let i n = Int n
+let f x = Flt x
+let v x = Var x
+let g x = Glob x
+
+(* integer arithmetic *)
+let ( +% ) a b = Bin (Add, a, b)
+let ( -% ) a b = Bin (Sub, a, b)
+let ( *% ) a b = Bin (Mul, a, b)
+let ( /% ) a b = Bin (Div, a, b)
+let ( %% ) a b = Bin (Rem, a, b)
+let ( <<% ) a b = Bin (Shl, a, b)
+let ( >>% ) a b = Bin (Shr, a, b)
+let ( &% ) a b = Bin (Band, a, b)
+let ( |% ) a b = Bin (Bor, a, b)
+let ( ^% ) a b = Bin (Bxor, a, b)
+
+(* integer comparisons *)
+let ( ==% ) a b = Bin (Eq, a, b)
+let ( <>% ) a b = Bin (Ne, a, b)
+let ( <% ) a b = Bin (Lt, a, b)
+let ( <=% ) a b = Bin (Le, a, b)
+let ( >% ) a b = Bin (Gt, a, b)
+let ( >=% ) a b = Bin (Ge, a, b)
+
+(* float arithmetic and comparisons *)
+let ( +. ) a b = Bin (Fadd, a, b)
+let ( -. ) a b = Bin (Fsub, a, b)
+let ( *. ) a b = Bin (Fmul, a, b)
+let ( /. ) a b = Bin (Fdiv, a, b)
+let ( ==. ) a b = Bin (Feq, a, b)
+let ( <. ) a b = Bin (Flt, a, b)
+let ( <=. ) a b = Bin (Fle, a, b)
+
+let neg a = Un (Neg, a)
+let not_ a = Un (Not, a)
+let fneg a = Un (Fneg, a)
+let fsqrt a = Un (Fsqrt, a)
+let i2f a = Un (I2f, a)
+let f2i a = Un (F2i, a)
+
+let call name args = Call (name, args)
+
+(* Element address of an 8-byte array slot: base + 8*index. *)
+let elt base index = Bin (Add, base, Bin (Shl, index, Int 3))
+
+(* Typed array accessors (8-byte elements). *)
+let ldi base index = Load (I, elt base index, 0)
+let ldf base index = Load (F, elt base index, 0)
+let sti base index value = Store (I, elt base index, 0, value)
+let stf base index value = Store (F, elt base index, 0, value)
+
+(* Struct-style accessors: pointer plus byte offset. *)
+let fld_i ptr off = Load (I, ptr, off)
+let fld_f ptr off = Load (F, ptr, off)
+let set_fld_i ptr off value = Store (I, ptr, off, value)
+let set_fld_f ptr off value = Store (F, ptr, off, value)
+
+(* statements *)
+let let_i x e = Decl (x, I, e)
+let let_f x e = Decl (x, F, e)
+let set x e = Assign (x, e)
+let gset x e = Gassign (x, e)
+let if_ c t e = If (c, t, e)
+let when_ c t = If (c, t, [])
+let while_ c b = While (c, b)
+let for_ x lo hi b = For (x, lo, hi, b)
+let ret e = Return (Some e)
+let ret_void = Return None
+let expr e = Expr e
+let lock e = Lock e
+let unlock e = Unlock e
+let barrier = Barrier
+let flag_set e = Flag_set e
+let flag_wait e = Flag_wait e
+let print_int e = Print_int e
+let print_flt e = Print_flt e
+
+let proc name ?(params = []) ?ret body = { name; params; ret; body }
+
+let prog ?(globals = []) procs = { globals; procs }

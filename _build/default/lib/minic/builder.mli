@@ -1,0 +1,102 @@
+(** Combinators for authoring MiniC programs: the workloads in
+    [shasta_apps] are written with these, keeping sources close to the
+    shape of the original SPLASH-2 C code. *)
+
+open Ast
+
+(** {1 Atoms} *)
+
+val i : int -> expr
+val f : float -> expr
+
+val v : string -> expr
+(** Local variable reference. *)
+
+val g : string -> expr
+(** Static global reference. *)
+
+(** {1 Integer arithmetic and comparisons} *)
+
+val ( +% ) : expr -> expr -> expr
+val ( -% ) : expr -> expr -> expr
+val ( *% ) : expr -> expr -> expr
+val ( /% ) : expr -> expr -> expr
+val ( %% ) : expr -> expr -> expr
+val ( <<% ) : expr -> expr -> expr
+val ( >>% ) : expr -> expr -> expr
+val ( &% ) : expr -> expr -> expr
+val ( |% ) : expr -> expr -> expr
+val ( ^% ) : expr -> expr -> expr
+val ( ==% ) : expr -> expr -> expr
+val ( <>% ) : expr -> expr -> expr
+val ( <% ) : expr -> expr -> expr
+val ( <=% ) : expr -> expr -> expr
+val ( >% ) : expr -> expr -> expr
+val ( >=% ) : expr -> expr -> expr
+
+(** {1 Floating point}
+
+    These shadow the standard float operators within a builder scope. *)
+
+val ( +. ) : expr -> expr -> expr
+val ( -. ) : expr -> expr -> expr
+val ( *. ) : expr -> expr -> expr
+val ( /. ) : expr -> expr -> expr
+val ( ==. ) : expr -> expr -> expr
+val ( <. ) : expr -> expr -> expr
+val ( <=. ) : expr -> expr -> expr
+
+val neg : expr -> expr
+val not_ : expr -> expr
+val fneg : expr -> expr
+val fsqrt : expr -> expr
+val i2f : expr -> expr
+val f2i : expr -> expr
+val call : string -> expr list -> expr
+
+(** {1 Memory access} *)
+
+val elt : expr -> expr -> expr
+(** Address of an 8-byte array element: base + 8*index. *)
+
+val ldi : expr -> expr -> expr
+val ldf : expr -> expr -> expr
+val sti : expr -> expr -> expr -> stmt
+val stf : expr -> expr -> expr -> stmt
+
+val fld_i : expr -> int -> expr
+(** Struct-style field read: pointer plus byte offset. *)
+
+val fld_f : expr -> int -> expr
+val set_fld_i : expr -> int -> expr -> stmt
+val set_fld_f : expr -> int -> expr -> stmt
+
+(** {1 Statements} *)
+
+val let_i : string -> expr -> stmt
+val let_f : string -> expr -> stmt
+val set : string -> expr -> stmt
+val gset : string -> expr -> stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+(** [for_ x lo hi body] iterates x from lo while x < hi. *)
+
+val ret : expr -> stmt
+val ret_void : stmt
+val expr : expr -> stmt
+val lock : expr -> stmt
+val unlock : expr -> stmt
+val barrier : stmt
+val flag_set : expr -> stmt
+val flag_wait : expr -> stmt
+val print_int : expr -> stmt
+val print_flt : expr -> stmt
+
+(** {1 Programs} *)
+
+val proc :
+  string -> ?params:(string * ty) list -> ?ret:ty -> stmt list -> proc
+
+val prog : ?globals:(string * ty) list -> proc list -> prog

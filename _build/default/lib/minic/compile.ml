@@ -1,0 +1,707 @@
+(* MiniC code generator.
+
+   Produces executables with the conventions the Shasta instrumenter
+   expects (Section 2.3 of the paper): locals and spills are SP-relative,
+   globals and the float constant pool are GP-relative, and only
+   pointer-based accesses to heap data use general base registers.
+   Expression temporaries come from the caller-saved pool; values live
+   across calls are spilled to the frame, which both keeps the code
+   correct and gives the live-register analysis real work to do. *)
+
+open Shasta_isa
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type proc_sig = { sig_params : Ast.ty list; sig_ret : Ast.ty option }
+
+type compiled = {
+  program : Program.t;
+  (* absolute static addresses of globals, including the runtime-set
+     __pid and __nprocs cells *)
+  global_addr : (string * int) list;
+  (* static memory initialization: (absolute address, quadword bits) *)
+  static_init : (int * int64) list;
+}
+
+let spill_slots = 12
+
+type genv = {
+  gaddr : (string, int * Ast.ty) Hashtbl.t;
+  sigs : (string, proc_sig) Hashtbl.t;
+  fpool : (float, int) Hashtbl.t;
+  mutable next_static : int;
+  mutable init : (int * int64) list;
+}
+
+type penv = {
+  g : genv;
+  slots : (string, int * Ast.ty) Hashtbl.t;
+  mutable itemps : Reg.ireg list;
+  mutable ftemps : Reg.freg list;
+  mutable nlabel : int;
+  mutable code : Insn.t list; (* reversed *)
+  frame : int;
+  spill_base : int;
+  mutable spill_depth : int;
+  pname : string;
+  pret : Ast.ty option;
+  (* register cache for integer locals within straight-line statement
+     runs: repeated uses of a pointer variable stay in one register, as
+     a real compiler's allocator would keep them — this is what makes
+     runs of accesses share a base register and thus be batchable
+     (Section 3.4 of the paper).  Flushed at every control-flow
+     boundary. *)
+  mutable vcache : (string * Reg.ireg) list;
+  mutable cache_on : bool;
+}
+
+let emit env i = env.code <- i :: env.code
+
+let fresh_label env =
+  env.nlabel <- env.nlabel + 1;
+  Printf.sprintf "L%s_%d" env.pname env.nlabel
+
+let alloc_i env =
+  match env.itemps with
+  | r :: rest ->
+    env.itemps <- rest;
+    r
+  | [] -> err "%s: integer expression too deep (out of temporaries)" env.pname
+
+let free_i env r =
+  if Reg.is_int_temp r && not (List.exists (fun (_, c) -> c = r) env.vcache)
+  then env.itemps <- r :: env.itemps
+
+let cache_invalidate env x =
+  match List.assoc_opt x env.vcache with
+  | Some r ->
+    env.vcache <- List.remove_assoc x env.vcache;
+    free_i env r
+  | None -> ()
+
+let cache_flush env =
+  let entries = env.vcache in
+  env.vcache <- [];
+  List.iter (fun (_, r) -> free_i env r) entries
+
+let max_cached = 4
+
+let alloc_f env =
+  match env.ftemps with
+  | r :: rest ->
+    env.ftemps <- rest;
+    r
+  | [] -> err "%s: float expression too deep (out of temporaries)" env.pname
+
+let free_f env r = if List.mem r Reg.float_temps then env.ftemps <- r :: env.ftemps
+
+(* A register may be used as an in-place destination only if it is a
+   plain temporary, not a cached variable. *)
+let writable env r =
+  Reg.is_int_temp r && not (List.exists (fun (_, c) -> c = r) env.vcache)
+
+(* Destination for an operation consuming [ra]: reuse it when safe,
+   otherwise allocate a fresh temporary. *)
+let dest_for env ra = if writable env ra then ra else alloc_i env
+
+let mov env rd rs = emit env (Opi (Or_, rd, Reg rs, Reg.zero))
+let li env rd n = emit env (Lda (rd, n, Reg.zero))
+
+let slot_of env x =
+  match Hashtbl.find_opt env.slots x with
+  | Some s -> s
+  | None -> err "%s: undeclared variable %s" env.pname x
+
+let global_of env x =
+  match Hashtbl.find_opt env.g.gaddr x with
+  | Some s -> s
+  | None -> err "%s: undeclared global %s" env.pname x
+
+let gp_off addr = addr - Shasta.Layout.static_base
+
+let sig_of env name =
+  match Hashtbl.find_opt env.g.sigs name with
+  | Some s -> s
+  | None -> err "%s: call to undefined procedure %s" env.pname name
+
+(* --- typing -------------------------------------------------------- *)
+
+let type_of env (e : Ast.expr) : Ast.ty =
+  match e with
+  | Int _ | Pid | Nprocs | Gmalloc _ | Gmalloc_b _ | Pmalloc _ -> I
+  | Flt _ -> F
+  | Var x -> snd (slot_of env x)
+  | Glob x -> snd (global_of env x)
+  | Load (ty, _, _) -> ty
+  | Un ((Neg | Not | F2i), _) -> I
+  | Un ((Fneg | Fsqrt | I2f), _) -> F
+  | Bin ((Fadd | Fsub | Fmul | Fdiv), _, _) -> F
+  | Bin (_, _, _) -> I
+  | Call (name, _) ->
+    (match (sig_of env name).sig_ret with
+     | Some t -> t
+     | None -> err "%s: void call to %s used as a value" env.pname name)
+
+(* --- float constant pool ------------------------------------------- *)
+
+let float_const env c =
+  let g = env.g in
+  match Hashtbl.find_opt g.fpool c with
+  | Some addr -> addr
+  | None ->
+    let addr = g.next_static in
+    g.next_static <- g.next_static + 8;
+    if g.next_static > Shasta.Layout.static_limit then
+      err "static area overflow (float pool)";
+    Hashtbl.add g.fpool c addr;
+    g.init <- (addr, Int64.bits_of_float c) :: g.init;
+    addr
+
+(* --- expressions ---------------------------------------------------- *)
+
+let iop_of_binop : Ast.binop -> Insn.iop option = function
+  | Add -> Some Addq
+  | Sub -> Some Subq
+  | Mul -> Some Mulq
+  | Div -> Some Divq
+  | Rem -> Some Remq
+  | Shl -> Some Sll
+  | Shr -> Some Srl
+  | Asr -> Some Sra
+  | Band -> Some And_
+  | Bor -> Some Or_
+  | Bxor -> Some Xor_
+  | Eq -> Some Cmpeq
+  | Lt -> Some Cmplt
+  | Le -> Some Cmple
+  | Ult -> Some Cmpult
+  | _ -> None
+
+let fop_of_binop : Ast.binop -> Insn.fop option = function
+  | Fadd -> Some Addt
+  | Fsub -> Some Subt
+  | Fmul -> Some Mult
+  | Fdiv -> Some Divt
+  | Feq -> Some Cmpteq
+  | Flt -> Some Cmptlt
+  | Fle -> Some Cmptle
+  | _ -> None
+
+let rec compile_i env (e : Ast.expr) : Reg.ireg =
+  match e with
+  | Int n ->
+    let rd = alloc_i env in
+    li env rd n;
+    rd
+  | Var x ->
+    let off, ty = slot_of env x in
+    if ty <> I then err "%s: %s is a float variable" env.pname x;
+    (match List.assoc_opt x env.vcache with
+     | Some r -> r
+     | None ->
+       let rd = alloc_i env in
+       emit env (Ldq (rd, off, Reg.sp));
+       if env.cache_on && List.length env.vcache < max_cached then
+         env.vcache <- (x, rd) :: env.vcache;
+       rd)
+  | Glob x ->
+    let addr, ty = global_of env x in
+    if ty <> I then err "%s: global %s is a float" env.pname x;
+    let rd = alloc_i env in
+    emit env (Ldq (rd, gp_off addr, Reg.gp));
+    rd
+  | Pid -> compile_i env (Glob "__pid")
+  | Nprocs -> compile_i env (Glob "__nprocs")
+  | Load (I, base, off) ->
+    let rb = compile_i env base in
+    let rd = alloc_i env in
+    emit env (Ldq (rd, off, rb));
+    free_i env rb;
+    rd
+  | Load (F, _, _) -> err "%s: float load in integer context" env.pname
+  | Un (Neg, a) ->
+    let ra = compile_i env a in
+    let rd = dest_for env ra in
+    emit env (Opi (Subq, rd, Reg ra, Reg.zero));
+    if rd <> ra then free_i env ra;
+    rd
+  | Un (Not, a) ->
+    let ra = compile_i env a in
+    let rd = dest_for env ra in
+    emit env (Opi (Cmpeq, rd, Imm 0, ra));
+    if rd <> ra then free_i env ra;
+    rd
+  | Un (F2i, a) ->
+    let fa = compile_f env a in
+    let rd = alloc_i env in
+    emit env (Cvttq (fa, rd));
+    free_f env fa;
+    rd
+  | Un ((Fneg | Fsqrt | I2f), _) -> err "%s: float unop in integer context" env.pname
+  | Bin ((Feq | Flt | Fle) as op, a, b) ->
+    let fa = compile_f env a in
+    let fb = compile_f env b in
+    let fd = alloc_f env in
+    emit env (Opf (Option.get (fop_of_binop op), fd, fa, fb));
+    free_f env fa;
+    free_f env fb;
+    let rd = alloc_i env in
+    emit env (Cvttq (fd, rd));
+    free_f env fd;
+    rd
+  | Bin (Ne, a, b) ->
+    let ra = compile_i env a in
+    let rb = compile_i env b in
+    let rd = dest_for env ra in
+    emit env (Opi (Cmpeq, rd, Reg rb, ra));
+    emit env (Opi (Cmpeq, rd, Imm 0, rd));
+    if rd <> ra then free_i env ra;
+    free_i env rb;
+    rd
+  | Bin (Gt, a, b) -> compile_i env (Bin (Lt, b, a))
+  | Bin (Ge, a, b) -> compile_i env (Bin (Le, b, a))
+  | Bin (op, a, b) ->
+    (match iop_of_binop op with
+     | Some iop ->
+       let ra = compile_i env a in
+       (* constant right operands become immediates *)
+       (match b with
+        | Int n when n >= 0 && n < 256 ->
+          let rd = dest_for env ra in
+          emit env (Opi (iop, rd, Imm n, ra));
+          if rd <> ra then free_i env ra;
+          rd
+        | _ ->
+          let rb = compile_i env b in
+          let rd = dest_for env ra in
+          emit env (Opi (iop, rd, Reg rb, ra));
+          if rd <> ra then free_i env ra;
+          free_i env rb;
+          rd)
+     | None -> err "%s: float binop in integer context" env.pname)
+  | Call (name, args) ->
+    (match compile_call env name args with
+     | Some (`I r) -> r
+     | Some (`F _) -> err "%s: float call %s in int context" env.pname name
+     | None -> err "%s: void call %s used as value" env.pname name)
+  | Gmalloc size -> compile_malloc env ~size ~bsize:None
+  | Gmalloc_b (size, bsize) -> compile_malloc env ~size ~bsize:(Some bsize)
+  | Pmalloc size ->
+    let rs = compile_i env size in
+    let rd = alloc_i env in
+    emit env (Rt_call (Malloc_priv { size = rs; dest = rd }));
+    free_i env rs;
+    rd
+  | Flt _ -> err "%s: float literal in integer context" env.pname
+
+and compile_malloc env ~size ~bsize =
+  let rs = compile_i env size in
+  let rb = match bsize with Some b -> compile_i env b | None -> Reg.zero in
+  let rd = alloc_i env in
+  emit env (Rt_call (Malloc { size = rs; bsize = rb; dest = rd }));
+  free_i env rs;
+  if rb <> Reg.zero then free_i env rb;
+  rd
+
+and compile_f env (e : Ast.expr) : Reg.freg =
+  match e with
+  | Flt c ->
+    let addr = float_const env c in
+    let fd = alloc_f env in
+    emit env (Ldt (fd, gp_off addr, Reg.gp));
+    fd
+  | Var x ->
+    let off, ty = slot_of env x in
+    if ty <> F then err "%s: %s is an int variable" env.pname x;
+    let fd = alloc_f env in
+    emit env (Ldt (fd, off, Reg.sp));
+    fd
+  | Glob x ->
+    let addr, ty = global_of env x in
+    if ty <> F then err "%s: global %s is an int" env.pname x;
+    let fd = alloc_f env in
+    emit env (Ldt (fd, gp_off addr, Reg.gp));
+    fd
+  | Load (F, base, off) ->
+    let rb = compile_i env base in
+    let fd = alloc_f env in
+    emit env (Ldt (fd, off, rb));
+    free_i env rb;
+    fd
+  | Un (Fneg, a) ->
+    let fa = compile_f env a in
+    let fd = alloc_f env in
+    emit env (Opf (Subt, fd, Reg.fzero, fa));
+    free_f env fa;
+    fd
+  | Un (Fsqrt, a) ->
+    let fa = compile_f env a in
+    let fd = alloc_f env in
+    emit env (Opf (Sqrtt, fd, fa, Reg.fzero));
+    free_f env fa;
+    fd
+  | Un (I2f, a) ->
+    let ra = compile_i env a in
+    let fd = alloc_f env in
+    emit env (Cvtqt (ra, fd));
+    free_i env ra;
+    fd
+  | Bin ((Fadd | Fsub | Fmul | Fdiv) as op, a, b) ->
+    let fa = compile_f env a in
+    let fb = compile_f env b in
+    emit env (Opf (Option.get (fop_of_binop op), fa, fa, fb));
+    free_f env fb;
+    fa
+  | Call (name, args) ->
+    (match compile_call env name args with
+     | Some (`F f) -> f
+     | _ -> err "%s: %s is not a float call" env.pname name)
+  | _ -> err "%s: integer expression in float context" env.pname
+
+(* Calls: spill live temporaries to the frame's spill area, evaluate
+   arguments, move them to the argument registers, call, restore. *)
+and compile_call env name args =
+  let s = sig_of env name in
+  if List.length args <> List.length s.sig_params then
+    err "%s: %s expects %d arguments" env.pname name (List.length s.sig_params);
+  let active_i =
+    List.filter (fun r -> not (List.mem r env.itemps)) Reg.int_temps
+  in
+  let active_f =
+    List.filter (fun r -> not (List.mem r env.ftemps)) Reg.float_temps
+  in
+  let saved_itemps = env.itemps and saved_ftemps = env.ftemps in
+  let saved_depth = env.spill_depth in
+  let spill emit_insn r =
+    let off = env.spill_base + (8 * env.spill_depth) in
+    env.spill_depth <- env.spill_depth + 1;
+    if env.spill_depth > spill_slots then
+      err "%s: call spill area exhausted" env.pname;
+    emit env (emit_insn r off);
+    (r, off)
+  in
+  let spilled_i = List.map (spill (fun r off -> Insn.Stq (r, off, Reg.sp))) active_i in
+  let spilled_f = List.map (spill (fun r off -> Insn.Stt (r, off, Reg.sp))) active_f in
+  (* spilled registers become available for argument evaluation —
+     except registers the cache maps to variables: the cache may still
+     be read while evaluating arguments, so those must keep their
+     values until the call itself *)
+  let uncached =
+    List.filter
+      (fun r -> not (List.exists (fun (_, c) -> c = r) env.vcache))
+      active_i
+  in
+  env.itemps <- uncached @ saved_itemps;
+  env.ftemps <- active_f @ saved_ftemps;
+  if List.length args > 6 then err "%s: more than 6 arguments to %s" env.pname name;
+  (* no register caching while evaluating arguments: entries created
+     here would not be covered by the spill above and the callee
+     clobbers the temporaries *)
+  let old_cache = env.cache_on in
+  env.cache_on <- false;
+  let evaluated =
+    List.map2
+      (fun (ty : Ast.ty) a ->
+        match ty with
+        | I -> `I (compile_i env a)
+        | F -> `F (compile_f env a))
+      s.sig_params args
+  in
+  env.cache_on <- old_cache;
+  List.iteri
+    (fun j v ->
+      match v with
+      | `I r -> mov env (Reg.arg j) r
+      | `F f -> emit env (Fmov (Reg.farg j, f)))
+    evaluated;
+  List.iter (function `I r -> free_i env r | `F f -> free_f env f) evaluated;
+  emit env (Jsr name);
+  (* restore spilled temporaries *)
+  List.iter (fun (r, off) -> emit env (Insn.Ldq (r, off, Reg.sp))) spilled_i;
+  List.iter (fun (r, off) -> emit env (Insn.Ldt (r, off, Reg.sp))) spilled_f;
+  env.itemps <- saved_itemps;
+  env.ftemps <- saved_ftemps;
+  env.spill_depth <- saved_depth;
+  match s.sig_ret with
+  | None -> None
+  | Some I ->
+    let rd = alloc_i env in
+    mov env rd Reg.rv;
+    Some (`I rd)
+  | Some F ->
+    let fd = alloc_f env in
+    emit env (Fmov (fd, Reg.frv));
+    Some (`F fd)
+
+(* Branch to [lab] when [cond] is false. *)
+let compile_branch_false env (cond : Ast.expr) lab =
+  match cond with
+  | Bin ((Feq | Flt | Fle) as op, a, b) ->
+    let fa = compile_f env a in
+    let fb = compile_f env b in
+    let fd = alloc_f env in
+    emit env (Opf (Option.get (fop_of_binop op), fd, fa, fb));
+    emit env (Fbeq (fd, lab));
+    free_f env fa;
+    free_f env fb;
+    free_f env fd
+  | Bin (Ne, a, b) ->
+    let ra = compile_i env a in
+    let rb = compile_i env b in
+    emit env (Opi (Cmpeq, ra, Reg rb, ra));
+    emit env (Bc (Ne, ra, lab));
+    free_i env ra;
+    free_i env rb
+  | _ ->
+    let r = compile_i env cond in
+    emit env (Bc (Eq, r, lab));
+    free_i env r
+
+let epilogue env =
+  emit env (Lda (Reg.sp, env.frame, Reg.sp));
+  emit env Insn.Ret
+
+let compile_slot_assign env ~x ~off ~(ty : Ast.ty) e =
+  match ty with
+  | I ->
+    let r = compile_i env e in
+    cache_invalidate env x;
+    emit env (Stq (r, off, Reg.sp));
+    free_i env r
+  | F ->
+    let f = compile_f env e in
+    emit env (Stt (f, off, Reg.sp));
+    free_f env f
+
+let with_cache_off env f =
+  let on = env.cache_on in
+  env.cache_on <- false;
+  let r = f () in
+  env.cache_on <- on;
+  r
+
+let rec compile_stmt env (s : Ast.stmt) =
+  match s with
+  | Decl (x, ty, e) ->
+    let off, sty = slot_of env x in
+    if sty <> ty then err "%s: type mismatch declaring %s" env.pname x;
+    compile_slot_assign env ~x ~off ~ty e
+  | Assign (x, e) ->
+    let off, ty = slot_of env x in
+    compile_slot_assign env ~x ~off ~ty e
+  | Gassign (x, e) ->
+    let addr, ty = global_of env x in
+    (match ty with
+     | I ->
+       let r = compile_i env e in
+       emit env (Stq (r, gp_off addr, Reg.gp));
+       free_i env r
+     | F ->
+       let f = compile_f env e in
+       emit env (Stt (f, gp_off addr, Reg.gp));
+       free_f env f)
+  | Store (ty, base, off, v) ->
+    let rb = compile_i env base in
+    (match ty with
+     | I ->
+       let rv = compile_i env v in
+       emit env (Stq (rv, off, rb));
+       free_i env rv
+     | F ->
+       let fv = compile_f env v in
+       emit env (Stt (fv, off, rb));
+       free_f env fv);
+    free_i env rb
+  | If (c, s1, []) ->
+    cache_flush env;
+    let lend = fresh_label env in
+    with_cache_off env (fun () -> compile_branch_false env c lend);
+    List.iter (compile_stmt env) s1;
+    cache_flush env;
+    emit env (Lab lend)
+  | If (c, s1, s2) ->
+    cache_flush env;
+    let lelse = fresh_label env and lend = fresh_label env in
+    with_cache_off env (fun () -> compile_branch_false env c lelse);
+    List.iter (compile_stmt env) s1;
+    cache_flush env;
+    emit env (Br lend);
+    emit env (Lab lelse);
+    List.iter (compile_stmt env) s2;
+    cache_flush env;
+    emit env (Lab lend)
+  | While (c, body) ->
+    cache_flush env;
+    let lhead = fresh_label env and lend = fresh_label env in
+    emit env (Lab lhead);
+    with_cache_off env (fun () -> compile_branch_false env c lend);
+    List.iter (compile_stmt env) body;
+    cache_flush env;
+    emit env (Br lhead);
+    emit env (Lab lend)
+  | For (x, lo, hi, body) ->
+    cache_flush env;
+    let off, ty = slot_of env x in
+    if ty <> I then err "%s: loop variable %s must be int" env.pname x;
+    with_cache_off env (fun () ->
+      let r = compile_i env lo in
+      emit env (Stq (r, off, Reg.sp));
+      free_i env r);
+    cache_flush env;
+    let lhead = fresh_label env and lend = fresh_label env in
+    emit env (Lab lhead);
+    with_cache_off env (fun () ->
+      let rv = compile_i env (Var x) in
+      let rh = compile_i env hi in
+      emit env (Opi (Cmplt, rv, Reg rh, rv));
+      emit env (Bc (Eq, rv, lend));
+      free_i env rv;
+      free_i env rh);
+    List.iter (compile_stmt env) body;
+    cache_flush env;
+    with_cache_off env (fun () ->
+      let rv = compile_i env (Var x) in
+      emit env (Opi (Addq, rv, Imm 1, rv));
+      emit env (Stq (rv, off, Reg.sp));
+      free_i env rv);
+    emit env (Br lhead);
+    emit env (Lab lend)
+  | Expr (Call (name, args)) when (sig_of env name).sig_ret = None ->
+    ignore (compile_call env name args)
+  | Expr e ->
+    (match type_of env e with
+     | I -> free_i env (compile_i env e)
+     | F -> free_f env (compile_f env e))
+  | Return None ->
+    if env.pret <> None then err "%s: missing return value" env.pname;
+    epilogue env
+  | Return (Some e) ->
+    (match env.pret with
+     | Some I ->
+       let r = compile_i env e in
+       mov env Reg.rv r;
+       free_i env r
+     | Some F ->
+       let f = compile_f env e in
+       emit env (Fmov (Reg.frv, f));
+       free_f env f
+     | None -> err "%s: return value in void procedure" env.pname);
+    epilogue env
+  | Lock e ->
+    let r = compile_i env e in
+    emit env (Rt_call (Lock r));
+    free_i env r
+  | Unlock e ->
+    let r = compile_i env e in
+    emit env (Rt_call (Unlock r));
+    free_i env r
+  | Barrier -> emit env (Rt_call Barrier)
+  | Flag_set e ->
+    let r = compile_i env e in
+    emit env (Rt_call (Flag_set r));
+    free_i env r
+  | Flag_wait e ->
+    let r = compile_i env e in
+    emit env (Rt_call (Flag_wait r));
+    free_i env r
+  | Print_int e ->
+    let r = compile_i env e in
+    emit env (Rt_call (Print_int r));
+    free_i env r
+  | Print_flt e ->
+    let f = compile_f env e in
+    emit env (Rt_call (Print_float f));
+    free_f env f
+
+(* Count and pre-assign stack slots for all declarations. *)
+let rec collect_decls slots next stmts =
+  List.fold_left
+    (fun next (s : Ast.stmt) ->
+      match s with
+      | Decl (x, ty, _) ->
+        if Hashtbl.mem slots x then next
+        else begin
+          Hashtbl.add slots x (next * 8, ty);
+          next + 1
+        end
+      | For (x, _, _, body) ->
+        let next =
+          if Hashtbl.mem slots x then next
+          else begin
+            Hashtbl.add slots x (next * 8, (Ast.I : Ast.ty));
+            next + 1
+          end
+        in
+        collect_decls slots next body
+      | If (_, a, b) -> collect_decls slots (collect_decls slots next a) b
+      | While (_, body) -> collect_decls slots next body
+      | _ -> next)
+    next stmts
+
+let compile_proc g (p : Ast.proc) : Program.proc =
+  let slots = Hashtbl.create 16 in
+  let next =
+    List.fold_left
+      (fun next (x, ty) ->
+        if Hashtbl.mem slots x then err "%s: duplicate parameter %s" p.name x;
+        Hashtbl.add slots x (next * 8, ty);
+        next + 1)
+      0 p.params
+  in
+  let nslots = collect_decls slots next p.body in
+  let frame = (((nslots + spill_slots) * 8) + 15) land lnot 15 in
+  let env =
+    { g; slots; itemps = Reg.int_temps; ftemps = Reg.float_temps; nlabel = 0;
+      code = []; frame; spill_base = nslots * 8; spill_depth = 0;
+      pname = p.name; pret = p.ret; vcache = []; cache_on = true }
+  in
+  emit env (Lda (Reg.sp, -frame, Reg.sp));
+  List.iteri
+    (fun j (x, (ty : Ast.ty)) ->
+      let off, _ = slot_of env x in
+      match ty with
+      | I -> emit env (Stq (Reg.arg j, off, Reg.sp))
+      | F -> emit env (Stt (Reg.farg j, off, Reg.sp)))
+    p.params;
+  List.iter (compile_stmt env) p.body;
+  epilogue env;
+  { Program.pname = p.name; body = List.rev env.code }
+
+let builtin_globals = [ ("__pid", Ast.I); ("__nprocs", Ast.I) ]
+
+let compile (prog : Ast.prog) : compiled =
+  let g =
+    { gaddr = Hashtbl.create 16; sigs = Hashtbl.create 16;
+      fpool = Hashtbl.create 16;
+      next_static = Shasta.Layout.static_base; init = [] }
+  in
+  List.iter
+    (fun (x, ty) ->
+      if Hashtbl.mem g.gaddr x then err "duplicate global %s" x;
+      Hashtbl.add g.gaddr x (g.next_static, ty);
+      g.next_static <- g.next_static + 8)
+    (builtin_globals @ prog.globals);
+  List.iter
+    (fun (p : Ast.proc) ->
+      if Hashtbl.mem g.sigs p.name then err "duplicate procedure %s" p.name;
+      Hashtbl.add g.sigs p.name
+        { sig_params = List.map snd p.params; sig_ret = p.ret })
+    prog.procs;
+  let entry =
+    match prog.procs with
+    | [] -> err "program has no procedures"
+    | p :: _ -> if Hashtbl.mem g.sigs "main" then "main" else p.name
+  in
+  let procs = List.map (compile_proc g) prog.procs in
+  let program = Program.validate { Program.procs; entry } in
+  let global_addr =
+    Hashtbl.fold (fun x (addr, _) l -> (x, addr) :: l) g.gaddr []
+  in
+  { program; global_addr; static_init = g.init }
+
+let global_address compiled name =
+  match List.assoc_opt name compiled.global_addr with
+  | Some a -> a
+  | None -> err "unknown global %s" name

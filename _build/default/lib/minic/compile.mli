@@ -1,0 +1,32 @@
+(** MiniC code generator — the stand-in for the system C compiler whose
+    output the Shasta instrumenter rewrites (paper Figure 1).
+
+    Conventions match Section 2.3's expectations: locals and spills are
+    SP-relative, globals and float constants GP-relative, and only
+    pointer-based heap accesses use general base registers.  A small
+    register cache keeps repeatedly-used locals (pointers especially) in
+    one register across straight-line runs, which is what makes field
+    access sequences batchable. *)
+
+open Shasta_isa
+
+exception Error of string
+
+type proc_sig = { sig_params : Ast.ty list; sig_ret : Ast.ty option }
+
+type compiled = {
+  program : Program.t;
+  global_addr : (string * int) list;
+      (** absolute static addresses of globals, including the
+          runtime-maintained [__pid] and [__nprocs] cells *)
+  static_init : (int * int64) list;
+      (** static-memory initialization (the float constant pool) *)
+}
+
+val spill_slots : int
+
+val compile : Ast.prog -> compiled
+(** Compile a program.  Raises {!Error} on undeclared names, arity or
+    type mismatches, or temporary exhaustion. *)
+
+val global_address : compiled -> string -> int

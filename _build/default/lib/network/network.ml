@@ -1,0 +1,116 @@
+(* Cluster interconnect model.
+
+   The Shasta protocol "depends on point-to-point order for messages
+   sent between any two nodes" (Section 2.1); this module provides
+   exactly that: per-(src,dst) FIFO channels with a configurable cost
+   model.  Costs are in processor cycles of the 275 MHz machines of the
+   paper; the two named profiles approximate the Memory Channel and ATM
+   clusters used in the evaluation, and `ideal` isolates protocol
+   behaviour from communication cost in tests. *)
+
+type profile = {
+  net_name : string;
+  send_overhead : int; (* cycles spent by the sending CPU *)
+  recv_overhead : int; (* cycles spent by the receiving CPU per message *)
+  wire_latency : int; (* cycles of flight time *)
+  per_longword : int; (* additional flight cycles per payload longword *)
+}
+
+(* Memory Channel: a few microseconds end to end at 275 MHz. *)
+let memory_channel =
+  { net_name = "memory-channel"; send_overhead = 250; recv_overhead = 400;
+    wire_latency = 700; per_longword = 2 }
+
+(* ATM: an order of magnitude slower, dominated by driver overheads. *)
+let atm =
+  { net_name = "atm"; send_overhead = 2500; recv_overhead = 3500;
+    wire_latency = 5000; per_longword = 8 }
+
+let ideal =
+  { net_name = "ideal"; send_overhead = 1; recv_overhead = 1;
+    wire_latency = 1; per_longword = 0 }
+
+let profile_of_string = function
+  | "mc" | "memory-channel" -> memory_channel
+  | "atm" -> atm
+  | "ideal" -> ideal
+  | s -> invalid_arg ("Network.profile_of_string: " ^ s)
+
+type 'a queued = { deliver : int; seq : int; msg : 'a }
+
+type 'a t = {
+  profile : profile;
+  nprocs : int;
+  (* chan.(src * nprocs + dst) *)
+  chans : 'a queued Queue.t array;
+  mutable last_deliver : int array; (* per channel, for FIFO ordering *)
+  mutable seq : int;
+  mutable sent : int;
+  mutable payload_longs : int;
+}
+
+let create ~nprocs profile =
+  { profile; nprocs;
+    chans = Array.init (nprocs * nprocs) (fun _ -> Queue.create ());
+    last_deliver = Array.make (nprocs * nprocs) 0;
+    seq = 0; sent = 0; payload_longs = 0 }
+
+let chan t ~src ~dst = (src * t.nprocs) + dst
+
+(* Send a message; returns the time at which the sender is done with the
+   send (the caller charges this to the sending node). *)
+let send t ~src ~dst ~now ~payload_longs msg =
+  let p = t.profile in
+  let c = chan t ~src ~dst in
+  let deliver =
+    now + p.send_overhead + p.wire_latency + (p.per_longword * payload_longs)
+  in
+  (* point-to-point FIFO: never deliver before a previously sent message
+     on the same channel *)
+  let deliver = max deliver t.last_deliver.(c) in
+  t.last_deliver.(c) <- deliver;
+  t.seq <- t.seq + 1;
+  t.sent <- t.sent + 1;
+  t.payload_longs <- t.payload_longs + payload_longs;
+  Queue.push { deliver; seq = t.seq; msg } t.chans.(c);
+  now + p.send_overhead
+
+(* Earliest arrival time of any message destined for [dst], if any. *)
+let next_arrival t ~dst =
+  let best = ref max_int in
+  for src = 0 to t.nprocs - 1 do
+    match Queue.peek_opt t.chans.(chan t ~src ~dst) with
+    | Some q -> if q.deliver < !best then best := q.deliver
+    | None -> ()
+  done;
+  if !best = max_int then None else Some !best
+
+(* Pop the earliest message for [dst] with arrival <= [now].  Ties are
+   broken by global send order, keeping the simulation deterministic. *)
+let recv t ~dst ~now =
+  let best = ref None in
+  for src = 0 to t.nprocs - 1 do
+    match Queue.peek_opt t.chans.(chan t ~src ~dst) with
+    | Some q when q.deliver <= now ->
+      (match !best with
+       | Some (_, bq) when (bq.deliver, bq.seq) <= (q.deliver, q.seq) -> ()
+       | _ -> best := Some (src, q))
+    | _ -> ()
+  done;
+  match !best with
+  | Some (src, q) ->
+    ignore (Queue.pop t.chans.(chan t ~src ~dst));
+    Some (q.deliver, q.msg)
+  | None -> None
+
+let pending_for t ~dst =
+  let n = ref 0 in
+  for src = 0 to t.nprocs - 1 do
+    n := !n + Queue.length t.chans.(chan t ~src ~dst)
+  done;
+  !n
+
+let in_flight t =
+  Array.fold_left (fun a q -> a + Queue.length q) 0 t.chans
+
+let stats t = (t.sent, t.payload_longs)

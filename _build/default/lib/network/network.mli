@@ -1,0 +1,40 @@
+(** Cluster interconnect: per-(src,dst) FIFO channels — the paper's
+    protocol "depends on point-to-point order for messages sent between
+    any two nodes" — with a configurable cost model in processor
+    cycles. *)
+
+type profile = {
+  net_name : string;
+  send_overhead : int;  (** cycles spent by the sending CPU *)
+  recv_overhead : int;  (** cycles spent by the receiver per message *)
+  wire_latency : int;
+  per_longword : int;
+}
+
+val memory_channel : profile
+(** Digital's Memory Channel: a few microseconds end to end. *)
+
+val atm : profile
+(** The ATM cluster: an order of magnitude slower. *)
+
+val ideal : profile
+val profile_of_string : string -> profile
+
+type 'a t
+
+val create : nprocs:int -> profile -> 'a t
+
+val send : 'a t -> src:int -> dst:int -> now:int -> payload_longs:int ->
+  'a -> int
+(** Queue a message; returns the time at which the sender is done (the
+    caller charges it to the sending node).  Delivery never reorders a
+    channel. *)
+
+val next_arrival : 'a t -> dst:int -> int option
+val recv : 'a t -> dst:int -> now:int -> (int * 'a) option
+(** Earliest already-arrived message for [dst], with its arrival time. *)
+
+val pending_for : 'a t -> dst:int -> int
+val in_flight : 'a t -> int
+val stats : 'a t -> int * int
+(** (messages sent, payload longwords) since creation. *)

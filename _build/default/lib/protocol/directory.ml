@@ -1,0 +1,72 @@
+(* Directory state (Section 2.1 of the paper).
+
+   Per block, the home node keeps (i) a pointer to the current owner —
+   the last node that held an exclusive copy, guaranteed to be able to
+   service a forwarded request — and (ii) a full bit vector of the
+   nodes sharing the data.  Dirty sharing is supported: the home's own
+   memory need not be up to date; whether the home has a valid copy is
+   exactly "home is in the sharer set or home is the owner and still
+   valid", which the engine tracks through the sharer bits (the owner's
+   bit is kept in the sharer vector as well).
+
+   Homes are assigned to virtual pages round-robin by default and can
+   be placed explicitly (Section 2.1). *)
+
+type entry = {
+  mutable owner : int;
+  mutable sharers : int; (* bit vector, includes the owner while valid *)
+}
+
+type t = {
+  nprocs : int;
+  entries : (int, entry) Hashtbl.t; (* block base -> entry *)
+  home_override : (int, int) Hashtbl.t; (* page -> home *)
+  page_bytes : int;
+}
+
+let create ?(page_bytes = 8192) ~nprocs () =
+  { nprocs; entries = Hashtbl.create 4096; home_override = Hashtbl.create 16;
+    page_bytes }
+
+let home_of t addr =
+  let page = addr / t.page_bytes in
+  match Hashtbl.find_opt t.home_override page with
+  | Some h -> h
+  | None -> page mod t.nprocs
+
+let set_home t ~page ~home =
+  if home < 0 || home >= t.nprocs then invalid_arg "Directory.set_home";
+  Hashtbl.replace t.home_override page home
+
+(* Create the entry for a freshly allocated block, owned exclusively by
+   [owner]. *)
+let add_block t ~block ~owner =
+  Hashtbl.replace t.entries block { owner; sharers = 1 lsl owner }
+
+let entry t block =
+  match Hashtbl.find_opt t.entries block with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Directory.entry: unallocated block 0x%x" block)
+
+let mem t block = Hashtbl.mem t.entries block
+
+let is_sharer e node = e.sharers land (1 lsl node) <> 0
+let add_sharer e node = e.sharers <- e.sharers lor (1 lsl node)
+let remove_sharer e node = e.sharers <- e.sharers land lnot (1 lsl node)
+
+let sharer_list e ~nprocs =
+  let rec go n acc =
+    if n < 0 then acc
+    else go (n - 1) (if is_sharer e n then n :: acc else acc)
+  in
+  go (nprocs - 1) []
+
+let sharer_count e =
+  let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+  pop e.sharers 0
+
+let iter t f = Hashtbl.iter f t.entries
+
+let blocks t = Hashtbl.length t.entries

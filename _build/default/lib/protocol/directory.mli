@@ -1,0 +1,24 @@
+(** Directory state (paper Section 2.1): per block, an owner pointer —
+    the last node that held an exclusive copy, guaranteed to service
+    forwarded requests — and a full sharer bit vector (the owner's bit
+    stays set while its copy is valid, supporting dirty sharing).
+    Homes are assigned to pages round-robin, with explicit placement
+    available. *)
+
+type entry = { mutable owner : int; mutable sharers : int }
+
+type t
+
+val create : ?page_bytes:int -> nprocs:int -> unit -> t
+val home_of : t -> int -> int
+val set_home : t -> page:int -> home:int -> unit
+val add_block : t -> block:int -> owner:int -> unit
+val entry : t -> int -> entry
+val mem : t -> int -> bool
+val is_sharer : entry -> int -> bool
+val add_sharer : entry -> int -> unit
+val remove_sharer : entry -> int -> unit
+val sharer_list : entry -> nprocs:int -> int list
+val sharer_count : entry -> int
+val iter : t -> (int -> entry -> unit) -> unit
+val blocks : t -> int

@@ -1,0 +1,62 @@
+(* Multiple coherence granularities (Section 4.2 of the paper).
+
+   The block size — the unit of communication and coherence — varies
+   across the shared address space: every page has a single block size,
+   chosen when data is allocated onto it, and "the block size for each
+   page is communicated to all the nodes at the time the pool of shared
+   pages are allocated", so every node can map an address to its block
+   without asking the home.
+
+   The allocation heuristic is the paper's: objects up to a threshold
+   get a block size equal to the (line-rounded) object size, so small
+   objects travel as a unit; larger objects use the base line size to
+   avoid false sharing.  An explicit block size (the special version of
+   malloc) overrides the heuristic. *)
+
+type t = {
+  line_bytes : int;
+  page_bytes : int;
+  threshold : int; (* heuristic cutoff for object-sized blocks *)
+  block_of_page : (int, int) Hashtbl.t; (* page number -> block bytes *)
+}
+
+let create ?(page_bytes = 8192) ?(threshold = 1024) ~line_bytes () =
+  if line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Granularity.create: line size must be a power of two";
+  { line_bytes; page_bytes; threshold; block_of_page = Hashtbl.create 64 }
+
+let round_up v m = (v + m - 1) / m * m
+
+(* Round a block-size request to a legal value: a multiple of the line
+   size ("the size of each block must be a multiple of the fixed line
+   size"), a power of two for alignment, at most a page. *)
+let legalize t bytes =
+  let b = max t.line_bytes (min bytes t.page_bytes) in
+  let rec pow2 p = if p >= b then p else pow2 (2 * p) in
+  pow2 t.line_bytes
+
+(* Heuristic block size for an object of [size] bytes (Section 4.2). *)
+let heuristic_block t ~size =
+  if size <= t.threshold then legalize t (round_up (max size 1) t.line_bytes)
+  else t.line_bytes
+
+let set_page_block t ~page ~block_bytes =
+  (match Hashtbl.find_opt t.block_of_page page with
+   | Some b when b <> block_bytes ->
+     invalid_arg "Granularity.set_page_block: page already has a block size"
+   | _ -> ());
+  Hashtbl.replace t.block_of_page page block_bytes
+
+let page_of t addr = addr / t.page_bytes
+
+let block_bytes_at t addr =
+  match Hashtbl.find_opt t.block_of_page (page_of t addr) with
+  | Some b -> b
+  | None -> t.line_bytes
+
+(* Base address of the block containing [addr]. *)
+let block_base t addr =
+  let b = block_bytes_at t addr in
+  addr land lnot (b - 1)
+
+let lines_per_block t addr = block_bytes_at t addr / t.line_bytes

@@ -1,0 +1,27 @@
+(** Multiple coherence granularities (paper Section 4.2): every shared
+    page has one block size, chosen at allocation time, known to all
+    nodes; blocks are the unit of communication and coherence. *)
+
+type t = {
+  line_bytes : int;
+  page_bytes : int;
+  threshold : int;
+  block_of_page : (int, int) Hashtbl.t;
+}
+
+val create : ?page_bytes:int -> ?threshold:int -> line_bytes:int -> unit -> t
+
+val legalize : t -> int -> int
+(** Round a block-size request to a legal value: a power-of-two multiple
+    of the line size, at most a page. *)
+
+val heuristic_block : t -> size:int -> int
+(** The paper's allocation heuristic: objects up to [threshold] travel
+    as one block; larger objects use line-size blocks to avoid false
+    sharing. *)
+
+val set_page_block : t -> page:int -> block_bytes:int -> unit
+val page_of : t -> int -> int
+val block_bytes_at : t -> int -> int
+val block_base : t -> int -> int
+val lines_per_block : t -> int -> int

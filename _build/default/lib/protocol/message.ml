@@ -1,0 +1,76 @@
+(* Protocol message types (Sections 2.1 and 4 of the paper).
+
+   Design points carried over from the paper:
+   - three request types: read, read-exclusive and exclusive (upgrade);
+   - all directory state changes complete when a request first reaches
+     the home, so there are no confirmation messages back to the home;
+   - the number of invalidation acknowledgements a requester should
+     expect is piggybacked on the data/upgrade reply rather than sent
+     separately, and sharers acknowledge directly to the requester;
+   - synchronization (locks, barriers, event flags) is message-based. *)
+
+type coherence =
+  | Read_req (* requester -> home *)
+  | Readex_req
+  | Upgrade_req
+  | Fwd_read of { requester : int } (* home -> owner *)
+  | Fwd_readex of { requester : int; acks : int }
+  | Data_reply of { data : int array; exclusive : bool; acks : int }
+    (* owner/home -> requester; [data] holds the block's longwords *)
+  | Upgrade_ack of { acks : int } (* home -> requester *)
+  | Inv of { requester : int }
+    (* home -> sharer; [addr] names the block; ack goes to [requester] *)
+  | Inv_ack (* sharer -> requester *)
+
+type sync =
+  | Lock_req
+  | Lock_grant
+  | Unlock_msg
+  | Barrier_arrive
+  | Barrier_release
+  | Flag_set_msg
+  | Flag_wait_req
+  | Flag_wake
+
+type kind = Coh of coherence | Sync of sync
+
+type t = {
+  src : int;
+  addr : int; (* block base address, or lock/barrier/flag id for Sync *)
+  kind : kind;
+}
+
+(* Payload size in longwords, used by the network cost model.  Control
+   messages are small; data replies carry the block. *)
+let payload_longs m =
+  match m.kind with
+  | Coh (Data_reply { data; _ }) -> 4 + Array.length data
+  | _ -> 4
+
+let describe m =
+  let k =
+    match m.kind with
+    | Coh Read_req -> "read_req"
+    | Coh Readex_req -> "readex_req"
+    | Coh Upgrade_req -> "upgrade_req"
+    | Coh (Fwd_read { requester }) -> Printf.sprintf "fwd_read(r%d)" requester
+    | Coh (Fwd_readex { requester; acks }) ->
+      Printf.sprintf "fwd_readex(r%d,a%d)" requester acks
+    | Coh (Data_reply { exclusive; acks; data }) ->
+      Printf.sprintf "data_reply(%s,a%d,%dB)"
+        (if exclusive then "excl" else "shared")
+        acks
+        (4 * Array.length data)
+    | Coh (Upgrade_ack { acks }) -> Printf.sprintf "upgrade_ack(a%d)" acks
+    | Coh (Inv { requester }) -> Printf.sprintf "inv(ack->%d)" requester
+    | Coh Inv_ack -> "inv_ack"
+    | Sync Lock_req -> "lock_req"
+    | Sync Lock_grant -> "lock_grant"
+    | Sync Unlock_msg -> "unlock"
+    | Sync Barrier_arrive -> "barrier_arrive"
+    | Sync Barrier_release -> "barrier_release"
+    | Sync Flag_set_msg -> "flag_set"
+    | Sync Flag_wait_req -> "flag_wait"
+    | Sync Flag_wake -> "flag_wake"
+  in
+  Printf.sprintf "[%d] %s @0x%x" m.src k m.addr

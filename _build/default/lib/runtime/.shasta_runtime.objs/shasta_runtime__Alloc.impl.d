@@ -1,0 +1,1 @@
+lib/runtime/alloc.ml: Array Directory Granularity Hashtbl Node Shasta Shasta_machine Shasta_protocol State Tables

@@ -1,0 +1,1 @@
+lib/runtime/api.ml: Ast Cluster Compile Shasta Shasta_isa Shasta_machine Shasta_minic Shasta_network State

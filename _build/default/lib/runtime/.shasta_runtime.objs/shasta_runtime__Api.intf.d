@@ -1,0 +1,1 @@
+lib/runtime/api.mli: Ast Cluster Shasta Shasta_isa Shasta_machine Shasta_minic Shasta_network State

@@ -1,0 +1,1 @@
+lib/runtime/cluster.ml: Array Buffer Engine Exec Hashtbl Image List Memory Node Pipeline Printf Shasta Shasta_isa Shasta_machine Shasta_minic Shasta_network Shasta_protocol State String Tables

@@ -1,0 +1,1 @@
+lib/runtime/costs.ml:

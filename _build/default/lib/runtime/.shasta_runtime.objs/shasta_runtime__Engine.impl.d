@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Array Cache Directory Granularity Hashtbl Layout List Memory Message Node Pipeline Printf Queue Shasta Shasta_machine Shasta_network Shasta_protocol State Tables

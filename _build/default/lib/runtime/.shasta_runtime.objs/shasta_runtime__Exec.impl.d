@@ -1,0 +1,1 @@
+lib/runtime/exec.ml: Alloc Array Buffer Engine Image Insn Int64 List Memory Node Pipeline Printf Reg Shasta Shasta_isa Shasta_machine State

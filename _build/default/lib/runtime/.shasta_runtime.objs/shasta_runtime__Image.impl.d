@@ -1,0 +1,1 @@
+lib/runtime/image.ml: Array Hashtbl Insn List Program Shasta Shasta_isa

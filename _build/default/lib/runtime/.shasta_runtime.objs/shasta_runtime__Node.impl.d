@@ -1,0 +1,1 @@
+lib/runtime/node.ml: Array Cache Hashtbl List Memory Pipeline Queue Shasta Shasta_machine Shasta_protocol

@@ -1,0 +1,1 @@
+lib/runtime/state.ml: Array Buffer Costs Directory Granularity Hashtbl Image Message Node Pipeline Printf Queue Shasta Shasta_machine Shasta_network Shasta_protocol

@@ -1,0 +1,1 @@
+lib/runtime/tables.ml: Array Cache Hashtbl Layout Memory Node Shasta Shasta_machine

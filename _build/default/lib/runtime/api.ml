@@ -1,0 +1,65 @@
+(* Convenience front end: MiniC source -> compile -> instrument -> run.
+
+   This is the "Shasta compilation process" of Figure 1: the application
+   executable (produced by the MiniC compiler standing in for the system
+   C compiler) is rewritten with miss checks and linked against the
+   runtime, then run on a simulated cluster. *)
+
+open Shasta_minic
+
+type spec = {
+  prog : Ast.prog;
+  opts : Shasta.Opts.t option; (* None = original, uninstrumented binary *)
+  nprocs : int;
+  pipe : Shasta_machine.Pipeline.config;
+  net : Shasta_network.Network.profile;
+  fixed_block : int option;
+  granularity_threshold : int;
+  consistency : State.consistency;
+  trace : (string -> unit) option;
+}
+
+let default_spec prog =
+  { prog; opts = Some Shasta.Opts.full; nprocs = 1;
+    pipe = Shasta_machine.Pipeline.alpha_21064a;
+    net = Shasta_network.Network.memory_channel; fixed_block = None;
+    granularity_threshold = 1024; consistency = State.Release; trace = None }
+
+type result = {
+  phase : Cluster.phase_result;
+  inst_stats : Shasta.Instrument.stats option;
+  program : Shasta_isa.Program.t; (* the executable actually run *)
+}
+
+let prepare spec =
+  let compiled = Compile.compile spec.prog in
+  let program, inst_stats =
+    match spec.opts with
+    | Some opts ->
+      let p, s = Shasta.Instrument.instrument ~opts compiled.program in
+      (p, Some s)
+    | None ->
+      if spec.nprocs > 1 then
+        invalid_arg
+          "Api.prepare: uninstrumented executables only run on one node";
+      (compiled.program, None)
+  in
+  let line_shift =
+    match spec.opts with Some o -> o.line_shift | None -> 6
+  in
+  let config =
+    State.default_config ~nprocs:spec.nprocs ~line_shift
+      ~consistency:spec.consistency ~pipe_config:spec.pipe
+      ~net_profile:spec.net
+      ~granularity_threshold:spec.granularity_threshold
+      ?fixed_block:spec.fixed_block ?trace:spec.trace ()
+  in
+  let state =
+    Cluster.create ~config ~compiled:{ compiled with program } ()
+  in
+  (state, inst_stats, program)
+
+let run ?(init_proc = "appinit") ?(work_proc = "work") spec =
+  let state, inst_stats, program = prepare spec in
+  let phase = Cluster.run_app ~init_proc ~work_proc state in
+  { phase; inst_stats; program }

@@ -1,0 +1,41 @@
+(** Convenience front end: MiniC source -> compile -> instrument ->
+    simulate — the full pipeline of the paper's Figure 1 in one call. *)
+
+open Shasta_minic
+
+type spec = {
+  prog : Ast.prog;
+  opts : Shasta.Opts.t option;
+      (** [None] runs the original, uninstrumented binary (one
+          processor only — there is no coherence without checks) *)
+  nprocs : int;
+  pipe : Shasta_machine.Pipeline.config;
+  net : Shasta_network.Network.profile;
+  fixed_block : int option;  (** force one block size (ablations) *)
+  granularity_threshold : int;
+  consistency : State.consistency;
+  trace : (string -> unit) option;  (** protocol message trace sink *)
+}
+
+val default_spec : Ast.prog -> spec
+(** One processor, full optimizations, Memory Channel, release
+    consistency. *)
+
+type result = {
+  phase : Cluster.phase_result;
+  inst_stats : Shasta.Instrument.stats option;
+  program : Shasta_isa.Program.t;  (** the executable actually run *)
+}
+
+val prepare :
+  spec -> State.t * Shasta.Instrument.stats option * Shasta_isa.Program.t
+(** Compile, instrument and build the cluster without running it —
+    for callers that need access to the simulation state (caches,
+    directory, node tables). *)
+
+val run : ?init_proc:string -> ?work_proc:string -> spec -> result
+(** Run the SPLASH-style two-phase execution: [init_proc] (default
+    "appinit") sequentially on node 0, then — after the static area is
+    copied to every node, the paper's CREATE-macro behaviour —
+    [work_proc] (default "work") on all nodes, which is what gets
+    timed. *)

@@ -1,0 +1,207 @@
+(* Cluster construction and the simulation scheduler.
+
+   Follows the SPLASH-2 execution model the paper adopts (Section 2 and
+   footnote 1): an initialization phase runs on one processor and
+   allocates/fills the shared data; process creation copies the static
+   data to every node (the paper's CREATE-macro change); then the
+   parallel phase runs on all nodes and is what gets timed.
+
+   Scheduling is event-driven over per-node virtual time: the runnable
+   entity with the smallest next-event time advances.  Running nodes
+   execute instructions (yielding at runtime interactions); waiting or
+   finished nodes advance by receiving messages.  Finished nodes keep
+   serving protocol requests — they may still own blocks. *)
+
+open Shasta_machine
+
+type phase_result = {
+  wall_cycles : int;
+  per_node_cycles : int array;
+  counters : Node.counters array;
+  output : string;
+  msgs_sent : int;
+  payload_longs : int;
+}
+
+let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
+    () =
+  let image = Image.freeze compiled.program in
+  let nodes =
+    Array.init config.nprocs (fun id ->
+      Node.create ~id ~pipe_config:config.pipe_config)
+  in
+  let pid_addr = Shasta_minic.Compile.global_address compiled "__pid" in
+  let np_addr = Shasta_minic.Compile.global_address compiled "__nprocs" in
+  let state =
+    { State.config; image; nodes;
+      net = Shasta_network.Network.create ~nprocs:config.nprocs
+          config.net_profile;
+      dir = Shasta_protocol.Directory.create ~nprocs:config.nprocs ();
+      gran =
+        Shasta_protocol.Granularity.create ~line_bytes:(1 lsl config.line_shift)
+          ~threshold:config.granularity_threshold ();
+      locks = Hashtbl.create 16;
+      flags = Hashtbl.create 16;
+      barrier_arrived = 0;
+      shared_next_page = State.shared_heap_start;
+      pools = Hashtbl.create 8;
+      output = Buffer.create 256;
+      allocations = [];
+      pid_addr;
+      nprocs_addr = np_addr }
+  in
+  Array.iter
+    (fun (n : Node.t) ->
+      (* private regions are exclusive from the start so that store
+         checks without range checks succeed on them *)
+      Tables.mark_private_exclusive n ~ls:config.line_shift
+        ~addr:Shasta.Layout.static_base
+        ~len:(Shasta.Layout.static_limit - Shasta.Layout.static_base);
+      Tables.mark_private_exclusive n ~ls:config.line_shift
+        ~addr:Shasta.Layout.stack_limit
+        ~len:(Shasta.Layout.stack_top - Shasta.Layout.stack_limit);
+      List.iter
+        (fun (addr, bits) -> Memory.write_quad_bits n.mem addr bits)
+        compiled.static_init;
+      Memory.write_quad n.mem pid_addr n.id;
+      Memory.write_quad n.mem np_addr config.nprocs)
+    nodes;
+  state
+
+let reset_node_for (state : State.t) (node : Node.t) ~proc =
+  node.pc_proc <- Image.proc_index state.image proc;
+  node.pc_idx <- 0;
+  node.call_stack <- [];
+  node.status <- Running;
+  node.regs.(Shasta_isa.Reg.sp) <- Shasta.Layout.stack_top;
+  node.regs.(Shasta_isa.Reg.gp) <- Shasta.Layout.static_base;
+  node.regs.(Shasta_isa.Reg.zero) <- 0
+
+let next_event_time (state : State.t) (node : Node.t) =
+  match node.status with
+  | Node.Running -> Node.time node
+  | Node.Waiting _ | Node.Finished ->
+    (match
+       Shasta_network.Network.next_arrival state.net ~dst:node.id
+     with
+     | Some t -> max t (Node.time node)
+     | None -> max_int)
+
+exception Deadlock of string
+
+(* Run the scheduler until every node has finished and the network has
+   drained. *)
+let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
+  let events = ref 0 in
+  let finished () =
+    Array.for_all (fun (n : Node.t) -> n.status = Node.Finished) state.nodes
+    && Shasta_network.Network.in_flight state.net = 0
+  in
+  while not (finished ()) do
+    incr events;
+    if !events > max_events then raise (Deadlock "event budget exhausted");
+    (* pick the node with the earliest next event *)
+    let best = ref (-1) and best_t = ref max_int in
+    Array.iter
+      (fun (n : Node.t) ->
+        let t = next_event_time state n in
+        if t < !best_t then begin
+          best_t := t;
+          best := n.id
+        end)
+      state.nodes;
+    if !best < 0 then begin
+      let diag =
+        Array.to_list state.nodes
+        |> List.map (fun (n : Node.t) ->
+          Printf.sprintf "n%d:%s" n.id
+            (match n.status with
+             | Node.Running -> "run"
+             | Node.Finished -> "done"
+             | Node.Waiting (Node.W_blocks bs) ->
+               Printf.sprintf "blocks[%s]"
+                 (String.concat ","
+                    (List.map (Printf.sprintf "0x%x") bs))
+             | Node.Waiting Node.W_release -> "release"
+             | Node.Waiting Node.W_sync -> "sync"))
+        |> String.concat " "
+      in
+      raise (Deadlock diag)
+    end;
+    let node = state.nodes.(!best) in
+    match node.status with
+    | Node.Running -> ignore (Exec.run state node ~fuel:400)
+    | Node.Waiting _ | Node.Finished ->
+      if not (Engine.deliver_next state node) then
+        raise (Deadlock "waiting node has no incoming messages")
+  done
+
+let snapshot_counters (n : Node.t) =
+  { n.counters with insns = n.counters.insns }
+
+let diff_counters (a : Node.counters) (b : Node.counters) : Node.counters =
+  { read_misses = b.read_misses - a.read_misses;
+    write_misses = b.write_misses - a.write_misses;
+    upgrade_misses = b.upgrade_misses - a.upgrade_misses;
+    batch_misses = b.batch_misses - a.batch_misses;
+    false_misses = b.false_misses - a.false_misses;
+    stall_cycles = b.stall_cycles - a.stall_cycles;
+    polls = b.polls - a.polls;
+    msgs_handled = b.msgs_handled - a.msgs_handled;
+    lock_acquires = b.lock_acquires - a.lock_acquires;
+    barriers_passed = b.barriers_passed - a.barriers_passed;
+    insns = b.insns - a.insns;
+    store_reissues = b.store_reissues - a.store_reissues;
+    dyn_loads = b.dyn_loads - a.dyn_loads;
+    dyn_loads_shared = b.dyn_loads_shared - a.dyn_loads_shared;
+    dyn_stores = b.dyn_stores - a.dyn_stores;
+    dyn_stores_shared = b.dyn_stores_shared - a.dyn_stores_shared }
+
+(* Run [init_proc] on node 0 (others idle), copy the static area to all
+   nodes (process creation), then run [work_proc] everywhere and time
+   it. *)
+let run_app ?(init_proc = "appinit") ?(work_proc = "work") (state : State.t) =
+  let nodes = state.nodes in
+  (* --- initialization phase on node 0 --- *)
+  (if Hashtbl.mem state.image.index init_proc then begin
+     Array.iter (fun (n : Node.t) -> n.status <- Node.Finished) nodes;
+     reset_node_for state nodes.(0) ~proc:init_proc;
+     run_until_done state
+   end);
+  (* --- process creation: copy static data to every node --- *)
+  let n0 = nodes.(0) in
+  Array.iter
+    (fun (n : Node.t) ->
+      if n.id <> 0 then
+        Memory.copy_pages ~src:n0.mem ~dst:n.mem
+          ~addr:Shasta.Layout.static_base
+          ~len:(Shasta.Layout.static_limit - Shasta.Layout.static_base))
+    nodes;
+  (* the copy clobbered the per-node pid cells; restore them *)
+  Array.iter
+    (fun (n : Node.t) -> Memory.write_quad n.mem state.pid_addr n.id)
+    nodes;
+  (* --- parallel phase --- *)
+  let t0 =
+    Array.fold_left (fun a (n : Node.t) -> max a (Node.time n)) 0 nodes
+  in
+  Array.iter
+    (fun (n : Node.t) ->
+      Pipeline.advance_to n.pipe t0;
+      reset_node_for state n ~proc:work_proc)
+    nodes;
+  let before = Array.map snapshot_counters nodes in
+  let sent0, pay0 = Shasta_network.Network.stats state.net in
+  run_until_done state;
+  let t1 =
+    Array.fold_left (fun a (n : Node.t) -> max a (Node.time n)) 0 nodes
+  in
+  let sent1, pay1 = Shasta_network.Network.stats state.net in
+  { wall_cycles = t1 - t0;
+    per_node_cycles = Array.map (fun (n : Node.t) -> Node.time n - t0) nodes;
+    counters =
+      Array.mapi (fun i (n : Node.t) -> diff_counters before.(i) n.counters)
+        nodes;
+    output = Buffer.contents state.output;
+    msgs_sent = sent1 - sent0;
+    payload_longs = pay1 - pay0 }

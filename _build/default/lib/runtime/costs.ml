@@ -1,0 +1,24 @@
+(* Cycle costs of runtime/protocol actions that are not inline code.
+
+   The inline checks are real simulated instructions; everything the
+   handlers do (saving "all integer registers so as not to interfere
+   with the state of the application", directory lookups, building
+   messages) is host code charged through these constants.  Values are
+   first-order estimates for a 275 MHz Alpha; the shapes of the paper's
+   results depend on their relative, not absolute, magnitudes. *)
+
+type t = {
+  handler_entry : int; (* enter a miss handler: register save, dispatch *)
+  false_miss : int; (* extra work to discover a false miss *)
+  request_issue : int; (* build and issue one protocol request *)
+  message_handle : int; (* protocol processing of one received message *)
+  poll_cycles : int; (* the three-instruction inline poll sequence *)
+  sync_local : int; (* servicing a synchronization event locally *)
+  malloc_base : int;
+  batch_record : int; (* record one base-register range (Section 4.3) *)
+}
+
+let default =
+  { handler_entry = 60; false_miss = 30; request_issue = 40;
+    message_handle = 70; poll_cycles = 3; sync_local = 50; malloc_base = 250;
+    batch_record = 15 }

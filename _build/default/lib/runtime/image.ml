@@ -1,0 +1,68 @@
+(* Frozen executable: label and call targets resolved to indices so the
+   interpreter's hot loop never touches a hash table, plus text-layout
+   byte offsets for the I-cache model. *)
+
+open Shasta_isa
+
+type fproc = {
+  fname : string;
+  code : Insn.t array;
+  target : int array; (* branch target index, or -1 *)
+  callee : int array; (* callee procedure index for Jsr, or -1 *)
+  offset : int array; (* byte offset of each instruction in the text *)
+  base : int; (* text base address of this procedure *)
+}
+
+type t = {
+  fprocs : fproc array;
+  index : (string, int) Hashtbl.t;
+}
+
+let freeze (prog : Program.t) =
+  ignore (Program.validate prog);
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i (p : Program.proc) -> Hashtbl.add index p.pname i)
+    prog.procs;
+  let next_base = ref Shasta.Layout.text_base in
+  let fprocs =
+    List.map
+      (fun (p : Program.proc) ->
+        let code = Array.of_list p.body in
+        let labels = Hashtbl.create 16 in
+        Array.iteri
+          (fun i insn ->
+            match insn with
+            | Insn.Lab l -> Hashtbl.replace labels l i
+            | _ -> ())
+          code;
+        let n = Array.length code in
+        let target = Array.make n (-1) in
+        let callee = Array.make n (-1) in
+        let offset = Array.make n 0 in
+        let base = !next_base in
+        let off = ref 0 in
+        Array.iteri
+          (fun i insn ->
+            offset.(i) <- !off;
+            off := !off + Insn.bytes insn;
+            (match Insn.branch_targets insn with
+             | [ l ] -> target.(i) <- Hashtbl.find labels l
+             | _ -> ());
+            match insn with
+            | Insn.Jsr callee_name ->
+              callee.(i) <- Hashtbl.find index callee_name
+            | _ -> ())
+          code;
+        next_base := (base + !off + 63) land lnot 63;
+        { fname = p.pname; code; target; callee; offset; base })
+      prog.procs
+    |> Array.of_list
+  in
+  { fprocs; index }
+
+let proc_index t name =
+  match Hashtbl.find_opt t.index name with
+  | Some i -> i
+  | None -> invalid_arg ("Image.proc_index: unknown procedure " ^ name)
+
+let nprocs t = Array.length t.fprocs

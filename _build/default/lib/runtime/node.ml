@@ -1,0 +1,151 @@
+(* Per-node runtime state: architectural state, the Shasta runtime's
+   bookkeeping (pending lines, invalidation-ack counts, deferred
+   invalidations, batch state), and counters. *)
+
+open Shasta_machine
+
+type wait =
+  | W_blocks of int list (* until none of these blocks is pending *)
+  | W_release (* until no pending blocks and no outstanding acks *)
+  | W_sync (* until a synchronization signal (grant/release/wake) *)
+
+type pending_kind = P_read | P_readex | P_upgrade
+
+type pending = {
+  mutable pkind : pending_kind;
+  (* longwords this node stored while the block was pending: absolute
+     address -> stored longword pattern.  The values are kept so that a
+     racing invalidation may flag the whole block in memory and the
+     eventual reply merge can still overlay the node's own stores
+     (Section 4.1's merge of reply data with newly written data). *)
+  written : (int, int) Hashtbl.t;
+  mutable invalidated : bool; (* an Inv overtook the reply *)
+}
+
+type ackstate = { mutable acks_got : int; mutable acks_expected : int option }
+
+(* Invalidations/downgrades deferred while inside batched code
+   (Section 4.3): applied at the Batch_end marker. *)
+type deferred = D_inv of int | D_downgrade of int
+
+type status = Running | Waiting of wait | Finished
+
+type counters = {
+  mutable read_misses : int;
+  mutable write_misses : int; (* read-exclusive *)
+  mutable upgrade_misses : int;
+  mutable batch_misses : int;
+  mutable false_misses : int;
+  mutable stall_cycles : int;
+  mutable polls : int;
+  mutable msgs_handled : int;
+  mutable lock_acquires : int;
+  mutable barriers_passed : int;
+  mutable insns : int;
+  mutable store_reissues : int;
+  (* dynamic access mix, for the instrumented-frequency table *)
+  mutable dyn_loads : int;
+  mutable dyn_loads_shared : int;
+  mutable dyn_stores : int;
+  mutable dyn_stores_shared : int;
+}
+
+let fresh_counters () =
+  { read_misses = 0; write_misses = 0; upgrade_misses = 0; batch_misses = 0;
+    false_misses = 0; stall_cycles = 0; polls = 0; msgs_handled = 0;
+    lock_acquires = 0; barriers_passed = 0; insns = 0; store_reissues = 0;
+    dyn_loads = 0; dyn_loads_shared = 0; dyn_stores = 0;
+    dyn_stores_shared = 0 }
+
+type t = {
+  id : int;
+  mem : Memory.t;
+  caches : Cache.hierarchy;
+  pipe : Pipeline.t;
+  regs : int array;
+  fregs : float array;
+  mutable pc_proc : int;
+  mutable pc_idx : int;
+  mutable call_stack : (int * int) list;
+  mutable status : status;
+  mutable on_wake : unit -> unit;
+  mutable wait_started : int; (* cycle when the current wait began *)
+  (* Shasta runtime state *)
+  mutable in_batch : bool;
+  mutable batch_stores : (int * int) list; (* absolute addr, byte size *)
+  pending : (int, pending) Hashtbl.t; (* block base -> pending *)
+  acks : (int, ackstate) Hashtbl.t; (* block base -> outstanding acks *)
+  mutable unacked : int; (* #blocks with incomplete invalidation acks *)
+  mutable deferred : deferred list;
+  waitq : (int, Shasta_protocol.Message.t Queue.t) Hashtbl.t;
+  mutable sync_signal : bool;
+  mutable priv_brk : int; (* private heap bump pointer *)
+  counters : counters;
+}
+
+let create ~id ~pipe_config =
+  let caches = Cache.alpha_hierarchy () in
+  { id;
+    mem = Memory.create ();
+    caches;
+    pipe = Pipeline.create ~caches pipe_config;
+    regs = Array.make 32 0;
+    fregs = Array.make 32 0.0;
+    pc_proc = 0;
+    pc_idx = 0;
+    call_stack = [];
+    status = Running;
+    on_wake = (fun () -> ());
+    wait_started = 0;
+    in_batch = false;
+    batch_stores = [];
+    pending = Hashtbl.create 64;
+    acks = Hashtbl.create 16;
+    unacked = 0;
+    deferred = [];
+    waitq = Hashtbl.create 16;
+    sync_signal = false;
+    priv_brk = Shasta.Layout.static_limit + 0x0800_0000 (* 0x1800_0000 *);
+    counters = fresh_counters () }
+
+let time t = Pipeline.cycle t.pipe
+
+let is_pending t block = Hashtbl.mem t.pending block
+
+let wait_satisfied t =
+  match t.status with
+  | Running | Finished -> true
+  | Waiting w ->
+    (match w with
+     | W_blocks bs -> List.for_all (fun b -> not (is_pending t b)) bs
+     | W_release -> Hashtbl.length t.pending = 0 && t.unacked = 0
+     | W_sync -> t.sync_signal)
+
+(* Record a write of [bytes] at absolute address [addr] into the pending
+   entry's written map, capturing the stored longword values from memory
+   (the store has already executed). *)
+let record_written (p : pending) ~mem ~addr ~bytes =
+  let first = addr land lnot 3 in
+  let n = (addr + bytes - 1 - first) / 4 in
+  for k = 0 to n do
+    let a = first + (4 * k) in
+    Hashtbl.replace p.written a (Shasta_machine.Memory.read_long_u mem a)
+  done
+
+let enqueue_waiter t block msg =
+  let q =
+    match Hashtbl.find_opt t.waitq block with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.waitq block q;
+      q
+  in
+  Queue.push msg q
+
+let take_waiters t block =
+  match Hashtbl.find_opt t.waitq block with
+  | Some q ->
+    Hashtbl.remove t.waitq block;
+    List.of_seq (Queue.to_seq q)
+  | None -> []

@@ -1,0 +1,87 @@
+(* Whole-cluster simulation state. *)
+
+open Shasta_machine
+open Shasta_protocol
+
+type lock_state = { mutable holder : int option; lq : int Queue.t }
+type flag_state = { mutable fset : bool; fwaiters : int Queue.t }
+
+type consistency = Release | Sequential
+
+type config = {
+  nprocs : int;
+  line_shift : int;
+  consistency : consistency;
+      (* Release: the paper's aggressive RC protocol (non-stalling
+         stores, releases wait for acks).  Sequential: stores and batch
+         misses stall until ownership and all invalidation
+         acknowledgements arrive (Section 4.3's comparison point). *)
+  pipe_config : Pipeline.config;
+  net_profile : Shasta_network.Network.profile;
+  costs : Costs.t;
+  granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
+  fixed_block : int option; (* force one block size (ablation runs) *)
+  trace : (string -> unit) option;
+}
+
+let default_config ?(nprocs = 1) ?(line_shift = 6)
+    ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
+    ?(net_profile = Shasta_network.Network.memory_channel)
+    ?(costs = Costs.default) ?(granularity_threshold = 1024) ?fixed_block
+    ?trace () =
+  { nprocs; line_shift; consistency; pipe_config; net_profile; costs;
+    granularity_threshold; fixed_block; trace }
+
+(* A per-block-size allocation pool: shared pages are handed out to one
+   block size at a time (Section 4.2's per-page granularity scheme). *)
+type pool = { mutable pool_page : int; mutable pool_used : int }
+
+type t = {
+  config : config;
+  image : Image.t;
+  nodes : Node.t array;
+  net : Message.t Shasta_network.Network.t;
+  dir : Directory.t;
+  gran : Granularity.t;
+  locks : (int, lock_state) Hashtbl.t;
+  flags : (int, flag_state) Hashtbl.t;
+  mutable barrier_arrived : int;
+  mutable shared_next_page : int;
+  pools : (int, pool) Hashtbl.t;
+  output : Buffer.t;
+  (* every allocated shared range, for fork-time initialization *)
+  mutable allocations : (int * int) list; (* base, rounded bytes *)
+  pid_addr : int; (* static address of the __pid cell *)
+  nprocs_addr : int;
+}
+
+let line_bytes t = 1 lsl t.config.line_shift
+
+(* The shared heap starts a little above 2^39 so that the state/exclusive
+   table entries of the first allocations do not all alias cache set 0
+   together with the start of the static area — a degenerate
+   direct-mapped conflict a real linker/heap layout would not produce. *)
+let shared_heap_start = Shasta.Layout.shared_base + 0x10000
+
+let node t i = t.nodes.(i)
+
+let lock_state t id =
+  match Hashtbl.find_opt t.locks id with
+  | Some l -> l
+  | None ->
+    let l = { holder = None; lq = Queue.create () } in
+    Hashtbl.add t.locks id l;
+    l
+
+let flag_state t id =
+  match Hashtbl.find_opt t.flags id with
+  | Some f -> f
+  | None ->
+    let f = { fset = false; fwaiters = Queue.create () } in
+    Hashtbl.add t.flags id f;
+    f
+
+let trace t fmt =
+  match t.config.trace with
+  | Some f -> Printf.ksprintf f fmt
+  | None -> Printf.ksprintf ignore fmt

@@ -1,0 +1,57 @@
+(* Aligned text tables for the benchmark harness. *)
+
+type t = {
+  header : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create header = { header; rows = [] }
+
+let add_row t row = t.rows <- row :: t.rows
+
+let addf t fmts = add_row t fmts
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols =
+    List.fold_left (fun a r -> max a (List.length r)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun a r ->
+        match List.nth_opt r c with
+        | Some s -> max a (String.length s)
+        | None -> a)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let pad s w =
+    s ^ String.make (max 0 (w - String.length s)) ' '
+  in
+  let line r =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           pad (match List.nth_opt r c with Some s -> s | None -> "") w)
+         widths)
+    |> fun s -> String.trim (" " ^ s) |> fun body -> "  " ^ body
+  in
+  let sep =
+    "  "
+    ^ String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" ((line t.header :: sep :: List.map line rows) @ [ "" ])
+
+let print t = print_string (render t)
+
+let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)
+let i_ n = string_of_int n
+
+let section title =
+  Printf.printf "\n==== %s %s\n\n" title
+    (String.make (max 0 (66 - String.length title)) '=')

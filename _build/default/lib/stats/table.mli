@@ -1,0 +1,19 @@
+(** Aligned text tables and small formatting helpers for the benchmark
+    harness. *)
+
+type t
+
+val create : string list -> t
+val add_row : t -> string list -> unit
+val addf : t -> string list -> unit
+val render : t -> string
+val print : t -> unit
+
+val ratio : int -> int -> float
+val f2 : float -> string
+val f1 : float -> string
+val pct : float -> string
+val i_ : int -> string
+
+val section : string -> unit
+(** Print a section banner. *)

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Em3d Fft Float List Lu Micro Ocean Printf Radiosity Radix Shasta_apps String Test_support Water

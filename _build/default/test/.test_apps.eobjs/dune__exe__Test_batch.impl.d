@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest Array Flow Insn List Private_track Reg Shasta Shasta_dataflow Shasta_isa

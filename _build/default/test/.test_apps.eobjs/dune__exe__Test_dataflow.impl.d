@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Flow Insn List Liveness Private_track Reg Shasta_dataflow Shasta_isa

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Cluster Exec Insn Node Program Reg Shasta_isa Shasta_minic Shasta_runtime State

@@ -1,0 +1,1 @@
+test/test_granularity.ml: Alcotest Api Array Cluster Shasta Shasta_apps Shasta_minic Shasta_protocol Shasta_runtime String Test_support

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Asm Check Insn Instrument List Opts Printf Program Reg Shasta Shasta_isa Shasta_minic String Test_support

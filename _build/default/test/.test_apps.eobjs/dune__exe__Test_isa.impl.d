@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Insn Program Shasta Shasta_isa

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Cache Float List Memory Shasta Shasta_machine

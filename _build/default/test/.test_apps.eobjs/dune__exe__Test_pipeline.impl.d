@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Cache Insn List Pipeline Shasta_isa Shasta_machine

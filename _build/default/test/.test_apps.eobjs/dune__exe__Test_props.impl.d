@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Gen Hashtbl List QCheck2 QCheck_alcotest Shasta_isa Shasta_machine Shasta_minic Shasta_network Shasta_protocol Shasta_runtime String Test Test_support

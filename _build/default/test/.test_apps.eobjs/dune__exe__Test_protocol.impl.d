@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Directory Granularity Message Option Shasta_network Shasta_protocol String

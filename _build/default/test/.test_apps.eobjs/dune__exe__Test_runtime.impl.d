@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Api Array Cluster List Node Printf Shasta Shasta_apps Shasta_machine Shasta_minic Shasta_network Shasta_protocol Shasta_runtime State Tables Test_support

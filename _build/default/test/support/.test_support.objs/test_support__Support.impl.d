@@ -1,0 +1,1 @@
+test/support/support.ml: Alcotest Api QCheck2 QCheck_alcotest Shasta Shasta_minic Shasta_network Shasta_runtime

@@ -1,0 +1,34 @@
+(* Shared helpers for the test suites. *)
+
+open Shasta_runtime
+
+(* Run a MiniC program and return (printed output, phase result). *)
+let run ?(opts = Some Shasta.Opts.full) ?(nprocs = 1)
+    ?(net = Shasta_network.Network.memory_channel) ?fixed_block ?trace
+    ?(init_proc = "appinit") ?(work_proc = "work") prog =
+  let spec =
+    { (Api.default_spec prog) with opts; nprocs; net; fixed_block; trace }
+  in
+  let r = Api.run ~init_proc ~work_proc spec in
+  (r.phase.output, r)
+
+(* Output of the original (uninstrumented) binary on one node — the
+   ground truth every instrumented/parallel run must reproduce. *)
+let ground_truth ?(init_proc = "appinit") ?(work_proc = "work") prog =
+  fst (run ~opts:None ~nprocs:1 ~init_proc ~work_proc prog)
+
+(* Assert the instrumented run at [nprocs] produces the ground-truth
+   output. *)
+let check_matches_sequential ?(opts = Shasta.Opts.full) ~nprocs prog name =
+  let expected = ground_truth prog in
+  let got, _ = run ~opts:(Some opts) ~nprocs prog in
+  Alcotest.(check string) name expected got
+
+(* A tiny program wrapper: statements for node 0 only, printing via
+   print_int. *)
+let single_proc_prog body =
+  Shasta_minic.Builder.prog [ Shasta_minic.Builder.proc "work" body ]
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)

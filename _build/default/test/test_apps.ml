@@ -1,0 +1,156 @@
+(* Application integration tests.
+
+   For every workload: the original (uninstrumented, one node) output is
+   the ground truth; the instrumented executable must reproduce it on
+   one node and — through the full coherence protocol — on 2 and 4
+   nodes.  Where an OCaml reference exists, the ground truth itself is
+   validated against it. *)
+
+open Shasta_apps
+
+let approx ~eps a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs b)
+
+let seq_output prog = Test_support.Support.ground_truth prog
+
+let parallel_matches name prog =
+  let expected = seq_output prog in
+  List.iter
+    (fun nprocs ->
+      let got, _ = Test_support.Support.run ~nprocs prog in
+      Alcotest.(check string)
+        (Printf.sprintf "%s at %d procs" name nprocs)
+        expected got)
+    [ 1; 2; 4 ]
+
+let app_test (e : Apps.entry) =
+  Alcotest.test_case e.name `Quick (fun () ->
+    parallel_matches e.name (e.make Apps.Test))
+
+(* --- reference cross-checks --------------------------------------- *)
+
+let t_lu_reference () =
+  let out = seq_output (Lu.program ~n:16 ~bs:4 ()) in
+  let got = float_of_string (String.trim out) in
+  let want = Lu.reference_checksum ~n:16 ~bs:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "lu checksum %g vs %g" got want)
+    true
+    (approx ~eps:1e-5 got want)
+
+let t_ocean_reference () =
+  let out = seq_output (Ocean.program ~n:18 ~iters:2 ()) in
+  let got = float_of_string (String.trim out) in
+  let want = Ocean.reference_checksum ~n:18 ~iters:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ocean checksum %g vs %g" got want)
+    true
+    (approx ~eps:1e-5 got want)
+
+let t_water_reference () =
+  let out = seq_output (Water.program ~nmol:32 ~steps:1 ()) in
+  let got = float_of_string (String.trim out) in
+  let want = Water.reference_checksum ~nmol:32 ~steps:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "water checksum %g vs %g" got want)
+    true
+    (approx ~eps:1e-5 got want)
+
+let t_radix_reference () =
+  let out = seq_output (Radix.program ~nkeys:512 ()) in
+  let sorted, sum = Radix.reference ~nkeys:512 ~radix_bits:4 ~max_bits:16 in
+  Alcotest.(check string) "radix sorted+checksum"
+    (Printf.sprintf "%d\n%d\n" sorted sum)
+    out
+
+let t_fft_roundtrip () =
+  (* second printed line is the forward+inverse roundtrip check *)
+  let out = seq_output (Fft.program ~n:64 ()) in
+  match String.split_on_char '\n' (String.trim out) with
+  | [ _energy; ok ] -> Alcotest.(check string) "roundtrip ok" "1" ok
+  | _ -> Alcotest.fail ("unexpected fft output: " ^ out)
+
+let t_em3d_reference () =
+  let out = seq_output (Em3d.program ~nnodes:64 ~degree:3 ~iters:2 ()) in
+  let got = float_of_string (String.trim out) in
+  let want = Em3d.reference_checksum ~nnodes:64 ~degree:3 ~iters:2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "em3d checksum %g vs %g" got want)
+    true
+    (approx ~eps:1e-5 got want)
+
+let t_radiosity_conserves () =
+  let out = seq_output (Radiosity.program ~npatches:16 ()) in
+  Alcotest.(check string) "energy conserved"
+    (string_of_int (Radiosity.expected_total ~npatches:16) ^ "\n")
+    out
+
+(* --- microworkloads ------------------------------------------------ *)
+
+let t_false_sharing () =
+  List.iter
+    (fun nprocs ->
+      let got, _ =
+        Test_support.Support.run ~nprocs (Micro.false_sharing ~iters:50 ())
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "false sharing at %d" nprocs)
+        (string_of_int (nprocs * 50) ^ "\n")
+        got)
+    [ 1; 2; 4 ]
+
+let t_stream () =
+  List.iter
+    (fun nprocs ->
+      let got, _ =
+        Test_support.Support.run ~nprocs (Micro.stream ~nwords:256 ())
+      in
+      let want = 7 * (255 * 256 / 2) in
+      Alcotest.(check string)
+        (Printf.sprintf "stream at %d" nprocs)
+        (string_of_int want ^ "\n")
+        got)
+    [ 1; 4 ]
+
+let t_migratory () =
+  List.iter
+    (fun nprocs ->
+      let got, _ =
+        Test_support.Support.run ~nprocs (Micro.migratory ~rounds:16 ())
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "migratory at %d" nprocs)
+        (string_of_int (nprocs * 16) ^ "\n")
+        got)
+    [ 1; 2; 4 ]
+
+let t_prodcons () =
+  List.iter
+    (fun nprocs ->
+      let got, _ =
+        Test_support.Support.run ~nprocs (Micro.prodcons ~items:8 ())
+      in
+      let want = List.init 8 (fun k -> (k * k) + 1) |> List.fold_left ( + ) 0 in
+      Alcotest.(check string)
+        (Printf.sprintf "prodcons at %d" nprocs)
+        (string_of_int want ^ "\n")
+        got)
+    [ 1; 2; 4 ]
+
+let () =
+  Alcotest.run "apps"
+    [ ("parallel == sequential", List.map app_test Apps.all);
+      ( "references",
+        [ Alcotest.test_case "lu" `Quick t_lu_reference;
+          Alcotest.test_case "ocean" `Quick t_ocean_reference;
+          Alcotest.test_case "water" `Quick t_water_reference;
+          Alcotest.test_case "radix" `Quick t_radix_reference;
+          Alcotest.test_case "fft roundtrip" `Quick t_fft_roundtrip;
+          Alcotest.test_case "em3d" `Quick t_em3d_reference;
+          Alcotest.test_case "radiosity conservation" `Quick
+            t_radiosity_conserves ] );
+      ( "microworkloads",
+        [ Alcotest.test_case "false sharing" `Quick t_false_sharing;
+          Alcotest.test_case "stream" `Quick t_stream;
+          Alcotest.test_case "migratory" `Quick t_migratory;
+          Alcotest.test_case "producer/consumer" `Quick t_prodcons ] )
+    ]

@@ -1,0 +1,156 @@
+(* Batching scan tests (Section 3.4.1): which access runs form batches,
+   where the scan terminates, and the restrictions the protocol needs. *)
+
+open Shasta_isa
+open Shasta_dataflow
+
+let scan body =
+  let flow = Flow.of_body (Array.of_list body) in
+  let derived = Private_track.analyze flow in
+  Shasta.Batch.scan flow derived ~line_bytes:64
+
+let ld d off b : Insn.t = Ldq (d, off, b)
+let st r off b : Insn.t = Stq (r, off, b)
+let add d a b : Insn.t = Opi (Addq, d, Reg a, b)
+
+let t_simple_run () =
+  (* four loads off one base within a line: one batch of four *)
+  let batches = scan [ ld 1 0 9; ld 2 8 9; ld 3 16 9; ld 4 24 9; Ret ] in
+  match batches with
+  | [ b ] ->
+    Alcotest.(check int) "starts at 0" 0 b.start;
+    Alcotest.(check int) "covers 4 accesses" 4 (List.length b.covered);
+    (match b.ranges with
+     | [ r ] ->
+       Alcotest.(check int) "one range base" 9 r.rbase;
+       Alcotest.(check int) "four accesses" 4 (List.length r.accesses)
+     | _ -> Alcotest.fail "expected a single range")
+  | _ -> Alcotest.fail "expected exactly one batch"
+
+let t_single_access_not_batched () =
+  (* "normal miss checks are used if there is only a single load or
+     store for each base register" *)
+  let batches = scan [ ld 1 0 9; ld 2 0 10; Ret ] in
+  Alcotest.(check int) "no batch for singles" 0 (List.length batches)
+
+let t_span_limit () =
+  (* offsets spanning more than a line end the batch *)
+  let batches = scan [ ld 1 0 9; ld 2 8 9; ld 3 256 9; ld 4 264 9; Ret ] in
+  Alcotest.(check int) "two batches" 2 (List.length batches)
+
+let t_base_modification_terminates () =
+  let batches = scan [ ld 1 0 9; add 9 9 1; ld 2 8 9; Ret ] in
+  (* after r9 is modified the second load cannot join the first batch *)
+  List.iter
+    (fun (b : Shasta.Batch.t) ->
+      Alcotest.(check bool) "no batch spans the modification" true
+        (List.length b.covered <= 1 || not (List.mem 2 b.covered)))
+    batches
+
+let t_call_terminates () =
+  let batches =
+    scan [ ld 1 0 9; ld 2 8 9; Jsr "f"; ld 3 16 9; ld 4 24 9; Ret ]
+  in
+  Alcotest.(check int) "calls split batches" 2 (List.length batches);
+  List.iter
+    (fun (b : Shasta.Batch.t) ->
+      Alcotest.(check int) "each side has two accesses" 2
+        (List.length b.covered))
+    batches
+
+let t_backedge_terminates () =
+  let batches =
+    scan [ Lab "top"; ld 1 0 9; ld 2 8 9; Bc (Ne, 1, "top"); Ret ]
+  in
+  Alcotest.(check int) "loop body forms one batch" 1 (List.length batches)
+
+let t_multi_base () =
+  (* interleaved accesses off two bases: one batch, two ranges *)
+  let batches = scan [ ld 1 0 9; ld 2 0 10; ld 3 8 9; ld 4 8 10; Ret ] in
+  match batches with
+  | [ b ] ->
+    Alcotest.(check int) "two ranges" 2 (List.length b.ranges);
+    Alcotest.(check int) "four covered" 4 (List.length b.covered)
+  | _ -> Alcotest.fail "expected one batch"
+
+let t_private_excluded () =
+  (* SP-relative accesses pass through without joining batches *)
+  let batches =
+    scan [ ld 1 0 9; ld 2 0 Reg.sp; ld 3 8 9; st 1 16 Reg.sp; Ret ]
+  in
+  match batches with
+  | [ b ] ->
+    Alcotest.(check int) "only the shared accesses" 2 (List.length b.covered)
+  | _ -> Alcotest.fail "expected one batch"
+
+let t_forked_loads_included () =
+  (* loads on both arms of a forward branch can join the batch
+     ("batching across basic blocks") *)
+  let batches =
+    scan
+      [ ld 1 0 9; Bc (Eq, 1, "else"); ld 2 8 9; Br "join"; Lab "else";
+        ld 3 16 9; Lab "join"; ld 4 24 9; Ret ]
+  in
+  match batches with
+  | [ b ] ->
+    Alcotest.(check bool) "all four loads covered" true
+      (List.length b.covered = 4)
+  | _ -> Alcotest.fail "expected one batch"
+
+let t_forked_store_terminates_path () =
+  (* a store on only one execution path may not be batched (the handler
+     must know exactly which stores will execute) *)
+  let batches =
+    scan
+      [ ld 1 0 9; Bc (Eq, 1, "else"); st 2 8 9; Br "join"; Lab "else";
+        ld 3 16 9; Lab "join"; Ret ]
+  in
+  List.iter
+    (fun (b : Shasta.Batch.t) ->
+      List.iter
+        (fun (r : Insn.range) ->
+          List.iter
+            (fun (a : Insn.access) ->
+              Alcotest.(check bool) "no store in forked batch" false
+                a.is_store)
+            r.accesses)
+        b.ranges)
+    batches
+
+let t_stores_before_fork_ok () =
+  let batches = scan [ st 1 0 9; st 2 8 9; ld 3 16 9; Ret ] in
+  match batches with
+  | [ b ] ->
+    Alcotest.(check int) "stores batch in straight line" 3
+      (List.length b.covered)
+  | _ -> Alcotest.fail "expected one batch"
+
+let t_ends_recorded () =
+  let batches = scan [ ld 1 0 9; ld 2 8 9; Jsr "f"; Ret ] in
+  match batches with
+  | [ b ] ->
+    Alcotest.(check bool) "end marker before the call" true
+      (List.mem 2 b.ends)
+  | _ -> Alcotest.fail "expected one batch"
+
+let () =
+  Alcotest.run "batch"
+    [ ( "scan",
+        [ Alcotest.test_case "simple run" `Quick t_simple_run;
+          Alcotest.test_case "singles not batched" `Quick
+            t_single_access_not_batched;
+          Alcotest.test_case "span limit" `Quick t_span_limit;
+          Alcotest.test_case "base modification" `Quick
+            t_base_modification_terminates;
+          Alcotest.test_case "calls terminate" `Quick t_call_terminates;
+          Alcotest.test_case "backedges terminate" `Quick
+            t_backedge_terminates;
+          Alcotest.test_case "multiple bases" `Quick t_multi_base;
+          Alcotest.test_case "private excluded" `Quick t_private_excluded;
+          Alcotest.test_case "forked loads" `Quick t_forked_loads_included;
+          Alcotest.test_case "forked stores" `Quick
+            t_forked_store_terminates_path;
+          Alcotest.test_case "straight-line stores" `Quick
+            t_stores_before_fork_ok;
+          Alcotest.test_case "end markers" `Quick t_ends_recorded ] )
+    ]

@@ -1,0 +1,153 @@
+(* Dataflow analysis tests: liveness (free registers for checks) and
+   SP/GP-derived tracking (which accesses are private, Section 2.3). *)
+
+open Shasta_isa
+open Shasta_dataflow
+
+let add d a b : Insn.t = Opi (Addq, d, Reg a, b)
+let addi d n b : Insn.t = Opi (Addq, d, Imm n, b)
+
+(* --- liveness ------------------------------------------------------- *)
+
+let t_live_straightline () =
+  (* r1 <- r2+r3 ; r4 <- r1+r1 ; ret r4 in r0 *)
+  let body = [| add 1 2 3; add 4 1 1; add 0 4 4; Insn.Ret |] in
+  let flow = Flow.of_body body in
+  let live = Liveness.analyze flow in
+  let is_live i r = live.(i) land (1 lsl r) <> 0 in
+  Alcotest.(check bool) "r2 live at entry" true (is_live 0 2);
+  Alcotest.(check bool) "r1 dead at entry" false (is_live 0 1);
+  Alcotest.(check bool) "r1 live after def" true (is_live 1 1);
+  Alcotest.(check bool) "r1 dead after last use" false (is_live 2 1);
+  Alcotest.(check bool) "r4 live before its use" true (is_live 2 4)
+
+let t_live_through_branch () =
+  (* r5 is only used on one arm: live at the branch anyway *)
+  let body =
+    [| Insn.Bc (Eq, 1, "skip"); add 2 5 5; Insn.Lab "skip"; add 0 3 3;
+       Insn.Ret |]
+  in
+  let live = Liveness.analyze (Flow.of_body body) in
+  Alcotest.(check bool) "r5 live at branch" true (live.(0) land (1 lsl 5) <> 0);
+  Alcotest.(check bool) "r3 live at branch (both paths)" true
+    (live.(0) land (1 lsl 3) <> 0)
+
+let t_live_loop () =
+  (* a loop-carried register stays live around the backedge *)
+  let body =
+    [| Insn.Lab "top"; add 1 1 2; Insn.Bc (Ne, 1, "top"); Insn.Ret |]
+  in
+  let live = Liveness.analyze (Flow.of_body body) in
+  Alcotest.(check bool) "loop register live at head" true
+    (live.(0) land (1 lsl 1) <> 0)
+
+let t_free_regs () =
+  let body = [| add 1 2 3; add 0 1 1; Insn.Ret |] in
+  let live = Liveness.analyze (Flow.of_body body) in
+  let free = Liveness.free_regs live 0 ~pool:[ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check bool) "r4 free at entry" true (List.mem 4 free);
+  Alcotest.(check bool) "r2 not free at entry" false (List.mem 2 free)
+
+let t_call_clobbers () =
+  (* caller-saved registers are dead across a call site's def set *)
+  let body = [| Insn.Jsr "f"; add 0 9 9; Insn.Ret |] in
+  let live = Liveness.analyze (Flow.of_body body) in
+  (* r5 (caller-saved, unused after) must be dead before the call *)
+  Alcotest.(check bool) "unused caller-saved dead before call" false
+    (live.(0) land (1 lsl 5) <> 0)
+
+(* --- SP/GP-derived tracking ----------------------------------------- *)
+
+let sp = Reg.sp
+let gp = Reg.gp
+
+let derived_at _flow derived i r = derived.(i) land (1 lsl r) <> 0
+
+let t_private_basics () =
+  let body =
+    [| Insn.Lda (1, 16, sp); (* r1 = sp+16: derived *)
+       Insn.Lda (2, 8, gp); (* r2 = gp+8: derived *)
+       Insn.Ldq (3, 0, 1); (* r3 loaded: not derived *)
+       Insn.Ldq (4, 0, 3); (* access via r3: shared candidate *)
+       Insn.Ret |]
+  in
+  let flow = Flow.of_body body in
+  let d = Private_track.analyze flow in
+  Alcotest.(check bool) "sp derived" true (derived_at flow d 0 sp);
+  Alcotest.(check bool) "r1 derived after lda" true (derived_at flow d 1 1);
+  Alcotest.(check bool) "r2 derived after lda" true (derived_at flow d 2 2);
+  Alcotest.(check bool) "r3 not derived after load" false
+    (derived_at flow d 3 3);
+  Alcotest.(check bool) "access 2 private" true
+    (Private_track.access_is_private flow d 2);
+  Alcotest.(check bool) "access 3 instrumented" false
+    (Private_track.access_is_private flow d 3)
+
+let t_private_arith_chain () =
+  (* sp + constant chains stay derived; adding a loaded value does not *)
+  let body =
+    [| Insn.Lda (1, 0, sp); addi 2 32 1; Insn.Ldq (3, 0, 2);
+       add 4 3 1; Insn.Ldq (5, 0, 4); Insn.Ret |]
+  in
+  let flow = Flow.of_body body in
+  let d = Private_track.analyze flow in
+  Alcotest.(check bool) "sp+const derived" true
+    (Private_track.access_is_private flow d 2);
+  Alcotest.(check bool) "derived + loaded not derived" false
+    (Private_track.access_is_private flow d 4)
+
+let t_private_meet_at_join () =
+  (* derived on one path, not on the other: not derived at the join *)
+  let body =
+    [| Insn.Bc (Eq, 9, "else");
+       Insn.Lda (1, 0, sp);
+       Insn.Br "join";
+       Insn.Lab "else";
+       Insn.Ldq (1, 0, 10);
+       Insn.Lab "join";
+       Insn.Ldq (2, 0, 1);
+       Insn.Ret |]
+  in
+  let flow = Flow.of_body body in
+  let d = Private_track.analyze flow in
+  Alcotest.(check bool) "join is conservative" false
+    (Private_track.access_is_private flow d 6)
+
+let t_private_call_conservative () =
+  (* after a call, previously derived registers (other than SP/GP) are
+     conservatively not derived (the paper's interprocedural caveat) *)
+  let body =
+    [| Insn.Lda (9, 0, sp); Insn.Jsr "f"; Insn.Ldq (1, 0, 9); Insn.Ret |]
+  in
+  let flow = Flow.of_body body in
+  let d = Private_track.analyze flow in
+  Alcotest.(check bool) "derived reg invalidated by call" false
+    (Private_track.access_is_private flow d 2);
+  Alcotest.(check bool) "sp survives the call" true (derived_at flow d 2 sp)
+
+let t_flow_backedge () =
+  let body =
+    [| Insn.Lab "top"; add 1 1 1; Insn.Bc (Ne, 1, "top");
+       Insn.Br "top"; Insn.Ret |]
+  in
+  let flow = Flow.of_body body in
+  Alcotest.(check bool) "conditional backedge" true (Flow.is_backedge flow 2);
+  Alcotest.(check bool) "unconditional backedge" true (Flow.is_backedge flow 3);
+  Alcotest.(check (list int)) "branch successors" [ 3; 0 ] (Flow.succs flow 2)
+
+let () =
+  Alcotest.run "dataflow"
+    [ ( "liveness",
+        [ Alcotest.test_case "straight line" `Quick t_live_straightline;
+          Alcotest.test_case "branches" `Quick t_live_through_branch;
+          Alcotest.test_case "loops" `Quick t_live_loop;
+          Alcotest.test_case "free registers" `Quick t_free_regs;
+          Alcotest.test_case "calls" `Quick t_call_clobbers ] );
+      ( "private tracking",
+        [ Alcotest.test_case "basics" `Quick t_private_basics;
+          Alcotest.test_case "arithmetic chains" `Quick t_private_arith_chain;
+          Alcotest.test_case "join meet" `Quick t_private_meet_at_join;
+          Alcotest.test_case "call conservatism" `Quick
+            t_private_call_conservative ] );
+      ("flow", [ Alcotest.test_case "backedges" `Quick t_flow_backedge ])
+    ]

@@ -1,0 +1,327 @@
+(* Instrumenter tests.
+
+   The central property: rewriting an executable with miss checks at ANY
+   optimization level (every column of Table 2) must not change its
+   behaviour — on one node, where all shared data is exclusive and only
+   false misses can occur, the check code paths (range check, state
+   table, flag compare, exclusive table, batch endpoints) all execute
+   for real.  Plus structural checks that the generated sequences are
+   the paper's Figures 2, 4, 5 and 6. *)
+
+open Shasta
+open Shasta_isa
+open Shasta_minic.Builder
+
+(* A torture program exercising every access kind the checks cover:
+   integer and float shared loads/stores, private stack/static/heap
+   accesses, field runs off one base (batching), conditional access
+   patterns, quadword loads of pointers, calls inside loops (polls). *)
+let torture =
+  prog
+    ~globals:[ ("a", I); ("fa", I); ("obj", I) ]
+    [ proc "sum3" ~params:[ ("p", I) ] ~ret:I
+        [ ret (fld_i (v "p") 0 +% fld_i (v "p") 8 +% fld_i (v "p") 16) ];
+      proc "appinit"
+        [ gset "a" (Gmalloc (i (8 * 128)));
+          gset "fa" (Gmalloc (i (8 * 64)));
+          gset "obj" (Gmalloc_b (i 64, i 64));
+          for_ "k" (i 0) (i 128) [ sti (g "a") (v "k") (v "k" *% i 3) ];
+          for_ "k" (i 0) (i 64)
+            [ stf (g "fa") (v "k") (i2f (v "k") *. f 0.25) ];
+          set_fld_i (g "obj") 0 (i 10);
+          set_fld_i (g "obj") 8 (i 20);
+          set_fld_i (g "obj") 16 (i 30);
+          set_fld_f (g "obj") 24 (f 0.5)
+        ];
+      proc "work"
+        [ (* integer shared loop *)
+          let_i "s" (i 0);
+          for_ "k" (i 0) (i 128) [ set "s" (v "s" +% ldi (g "a") (v "k")) ];
+          print_int (v "s");
+          (* float shared loop *)
+          let_f "x" (f 0.0);
+          for_ "k" (i 0) (i 64) [ set "x" (v "x" +. ldf (g "fa") (v "k")) ];
+          print_flt (v "x");
+          (* field runs off one base register: batched *)
+          let_i "p" (g "obj");
+          print_int (fld_i (v "p") 0 +% fld_i (v "p") 8 +% fld_i (v "p") 16);
+          print_flt (fld_f (v "p") 24);
+          set_fld_i (v "p") 0 (i 11);
+          set_fld_i (v "p") 8 (i 22);
+          print_int (fld_i (v "p") 0 +% fld_i (v "p") 8);
+          (* call with shared pointer, polls at entry and backedges *)
+          print_int (call "sum3" [ g "obj" ]);
+          (* conditional shared accesses: cross-basic-block batching *)
+          let_i "t" (i 0);
+          for_ "k" (i 0) (i 32)
+            [ if_ (ldi (g "a") (v "k") %% i 2 ==% i 0)
+                [ set "t" (v "t" +% ldi (g "a") (v "k")) ]
+                [ set "t" (v "t" -% i 1) ]
+            ];
+          print_int (v "t");
+          (* private data: stack, static and private heap *)
+          let_i "ph" (Pmalloc (i 256));
+          for_ "k" (i 0) (i 32) [ sti (v "ph") (v "k") (v "k" <<% i 1) ];
+          let_i "u" (i 0);
+          for_ "k" (i 0) (i 32) [ set "u" (v "u" +% ldi (v "ph") (v "k")) ];
+          print_int (v "u");
+          (* store then load same shared location *)
+          sti (g "a") (i 5) (i 777);
+          print_int (ldi (g "a") (i 5))
+        ]
+    ]
+
+let expected = Test_support.Support.ground_truth torture
+
+let equiv_test (name, opts) =
+  Alcotest.test_case ("equivalence " ^ name) `Quick (fun () ->
+    let got, _ = Test_support.Support.run ~opts:(Some opts) ~nprocs:1 torture in
+    Alcotest.(check string) name expected got)
+
+(* 128-byte lines as well (the paper's other configuration) *)
+let equiv_128 =
+  Alcotest.test_case "equivalence line=128" `Quick (fun () ->
+    let opts = { Opts.full with line_shift = 7 } in
+    let got, _ = Test_support.Support.run ~opts:(Some opts) ~nprocs:1 torture in
+    Alcotest.(check string) "line=128" expected got)
+
+(* --- structural shape of the generated checks ---------------------- *)
+
+let fresh_gen () =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "L%d" !n
+
+let asm l = List.map Asm.to_string l
+
+let t_store_check_figure2 () =
+  (* basic (unscheduled) state-table store check: Figure 2 order *)
+  let w =
+    Check.store_check Opts.basic ~fresh:(fresh_gen ()) ~free:[ 1; 2 ]
+      ~base:3 ~disp:16 ~ssize:Insn.Quad
+  in
+  Alcotest.(check (list string)) "figure 2"
+    [ "\tlda r1, 16(r3)";
+      "\tsrl r1, 39, r2";
+      "\tbeq r2, L1";
+      "\tsrl r1, 6, r1";
+      "\tldq_u r2, 0(r1)";
+      "\textbl r2, r1, r2";
+      "\tbeq r2, L1";
+      "\tcall_store_miss.q 16(r3)";
+      "L1:" ]
+    (asm w.pre);
+  Alcotest.(check (list string)) "nothing after store" [] (asm w.post)
+
+let t_store_check_figure4 () =
+  (* rescheduled: second shift in the first shift's delay slot, first
+     three instructions hoisted above the store (Section 3.1) *)
+  let w =
+    Check.store_check Opts.with_schedule ~fresh:(fresh_gen ()) ~free:[ 1; 2 ]
+      ~base:3 ~disp:16 ~ssize:Insn.Quad
+  in
+  Alcotest.(check (list string)) "before the store"
+    [ "\tlda r1, 16(r3)"; "\tsrl r1, 39, r2"; "\tsrl r1, 6, r1" ]
+    (asm w.pre);
+  Alcotest.(check (list string)) "after the store"
+    [ "\tbeq r2, L1";
+      "\tldq_u r2, 0(r1)";
+      "\textbl r2, r1, r2";
+      "\tbeq r2, L1";
+      "\tcall_store_miss.q 16(r3) (store done)";
+      "L1:" ]
+    (asm w.post)
+
+let t_store_zero_offset () =
+  (* "Line 1 can be eliminated if the offset of the store is zero" *)
+  let w =
+    Check.store_check Opts.with_schedule ~fresh:(fresh_gen ()) ~free:[ 1; 2 ]
+      ~base:3 ~disp:0 ~ssize:Insn.Quad
+  in
+  Alcotest.(check (list string)) "no lda, shifts read the base register"
+    [ "\tsrl r3, 39, r2"; "\tsrl r3, 6, r1" ]
+    (asm w.pre)
+
+let t_load_check_figure5a () =
+  let w =
+    Check.load_check Opts.with_flag ~fresh:(fresh_gen ()) ~free:[ 1 ] ~base:2
+      ~disp:8
+      ~refill:(Insn.Rint (4, Insn.Quad))
+  in
+  Alcotest.(check (list string)) "nothing before the load" [] (asm w.pre);
+  Alcotest.(check (list string)) "figure 5(a)"
+    [ "\taddl r4, 253, r1";
+      "\tbne r1, L1";
+      "\tcall_load_miss 8(r2) -> r4.q";
+      "L1:" ]
+    (asm w.post)
+
+let t_load_check_figure5b () =
+  let w =
+    Check.load_check Opts.with_flag ~fresh:(fresh_gen ()) ~free:[ 1 ] ~base:2
+      ~disp:8 ~refill:(Insn.Rflt 5)
+  in
+  Alcotest.(check (list string)) "figure 5(b): extra integer load"
+    [ "\tldl r1, 8(r2)";
+      "\taddl r1, 253, r1";
+      "\tbne r1, L1";
+      "\tcall_load_miss 8(r2) -> f5";
+      "L1:" ]
+    (asm w.post)
+
+let t_load_dest_is_base () =
+  (* ldq r2, 8(r2): the handler must still learn the address *)
+  let w =
+    Check.load_check Opts.with_flag ~fresh:(fresh_gen ()) ~free:[ 1; 6 ]
+      ~base:2 ~disp:8
+      ~refill:(Insn.Rint (2, Insn.Quad))
+  in
+  Alcotest.(check (list string)) "address captured before the load"
+    [ "\tlda r6, 8(r2)" ] (asm w.pre);
+  Alcotest.(check bool) "miss call uses the captured address" true
+    (List.exists
+       (function
+         | Insn.Call_load_miss { base = 6; disp = 0; _ } -> true
+         | _ -> false)
+       w.post)
+
+let t_excl_table_store_check () =
+  (* Section 3.3: the store check reads the bit-per-line exclusive
+     table, not the state table *)
+  let w =
+    Check.store_check Opts.with_excl ~fresh:(fresh_gen ()) ~free:[ 1; 2; 3 ]
+      ~base:4 ~disp:0 ~ssize:Insn.Quad
+  in
+  let all = asm w.pre @ asm w.post in
+  Alcotest.(check bool) "uses a 9-bit shift (line shift + 3)" true
+    (List.exists (fun s -> s = "\tsrl r4, 9, r3") all);
+  Alcotest.(check bool) "tests the low bit with blbs" true
+    (List.exists
+       (fun s -> String.length s > 5 && String.sub s 0 5 = "\tblbs")
+       all);
+  Alcotest.(check bool) "no state-table byte extract" false
+    (List.exists (fun s -> String.length s > 6 && String.sub s 0 6 = "\textbl") all)
+
+let t_batch_check_figure6 () =
+  (* a single load-only range: Figure 6's interleaved endpoint checks
+     with the fall-through into the miss code *)
+  let w =
+    Check.batch_check Opts.with_batch ~fresh:(fresh_gen ())
+      ~free:[ 1; 2; 3; 4 ]
+      { Insn.ranges =
+          [ { rbase = 5;
+              accesses =
+                [ { disp = 0; asize = Insn.Quad; is_store = false };
+                  { disp = 40; asize = Insn.Quad; is_store = false } ] }
+          ] }
+  in
+  Alcotest.(check (list string)) "figure 6"
+    [ "\tldl r1, 0(r5)";
+      "\tldl r2, 40(r5)";
+      "\taddl r1, 253, r1";
+      "\taddl r2, 253, r2";
+      "\tbeq r1, L1";
+      "\tbne r2, L2";
+      "L1:";
+      "\tcall_batch_miss r5:[0r,40r]";
+      "L2:" ]
+    (asm w.pre)
+
+let t_spill_when_no_free_regs () =
+  (* with no free registers the generator must save/restore *)
+  let w =
+    Check.load_check Opts.with_flag ~fresh:(fresh_gen ()) ~free:[] ~base:2
+      ~disp:8
+      ~refill:(Insn.Rint (4, Insn.Quad))
+  in
+  let all = w.pre @ w.post in
+  Alcotest.(check bool) "has a save" true
+    (List.exists
+       (function Insn.Stq (_, d, b) -> b = Reg.sp && d < 0 | _ -> false)
+       all);
+  Alcotest.(check bool) "has a restore" true
+    (List.exists
+       (function Insn.Ldq (_, d, b) -> b = Reg.sp && d < 0 | _ -> false)
+       all)
+
+(* --- instrumentation statistics ------------------------------------- *)
+
+let t_private_not_instrumented () =
+  let p =
+    prog
+      [ proc "work"
+          [ let_i "x" (i 1);
+            let_i "y" (v "x" +% i 2);
+            print_int (v "y")
+          ]
+      ]
+  in
+  let compiled = Shasta_minic.Compile.compile p in
+  let _, stats = Instrument.instrument ~opts:Opts.full compiled.program in
+  Alcotest.(check int) "all loads private" 0 stats.loads_instrumented;
+  Alcotest.(check int) "all stores private" 0 stats.stores_instrumented
+
+let t_shared_instrumented () =
+  let compiled = Shasta_minic.Compile.compile torture in
+  let _, stats = Instrument.instrument ~opts:Opts.full compiled.program in
+  Alcotest.(check bool) "some loads instrumented" true
+    (stats.loads_instrumented > 0);
+  Alcotest.(check bool) "some stores instrumented" true
+    (stats.stores_instrumented > 0);
+  Alcotest.(check bool) "most accesses are private" true
+    (stats.loads_instrumented * 2 < stats.loads_total);
+  Alcotest.(check bool) "batches formed" true (stats.batches > 0)
+
+let t_code_growth () =
+  let compiled = Shasta_minic.Compile.compile torture in
+  let _, s_basic = Instrument.instrument ~opts:Opts.basic compiled.program in
+  let _, s_full = Instrument.instrument ~opts:Opts.full compiled.program in
+  Alcotest.(check bool) "instrumentation grows code" true
+    (s_basic.insns_after > s_basic.insns_before);
+  Alcotest.(check bool) "optimized checks are smaller" true
+    (s_full.insns_after < s_basic.insns_after)
+
+let t_polls_inserted () =
+  let compiled = Shasta_minic.Compile.compile torture in
+  let count_polls (prog : Program.t) =
+    List.fold_left
+      (fun a (p : Program.proc) ->
+        a + List.length (List.filter (fun insn -> insn = Insn.Poll) p.body))
+      0 prog.procs
+  in
+  let p_none, _ =
+    Instrument.instrument ~opts:Opts.with_batch compiled.program
+  in
+  let p_fn, _ =
+    Instrument.instrument ~opts:Opts.with_fn_poll compiled.program
+  in
+  let p_loop, _ =
+    Instrument.instrument ~opts:Opts.with_loop_poll compiled.program
+  in
+  Alcotest.(check int) "no polls" 0 (count_polls p_none);
+  Alcotest.(check int) "one poll per function" 3 (count_polls p_fn);
+  Alcotest.(check bool) "loop polls present" true (count_polls p_loop > 0)
+
+let () =
+  Alcotest.run "instrument"
+    [ ( "equivalence",
+        List.map equiv_test Opts.table2_columns @ [ equiv_128 ] );
+      ( "check shapes",
+        [ Alcotest.test_case "store figure 2" `Quick t_store_check_figure2;
+          Alcotest.test_case "store figure 4" `Quick t_store_check_figure4;
+          Alcotest.test_case "zero offset" `Quick t_store_zero_offset;
+          Alcotest.test_case "load figure 5a" `Quick t_load_check_figure5a;
+          Alcotest.test_case "load figure 5b" `Quick t_load_check_figure5b;
+          Alcotest.test_case "dest = base" `Quick t_load_dest_is_base;
+          Alcotest.test_case "exclusive table" `Quick t_excl_table_store_check;
+          Alcotest.test_case "batch figure 6" `Quick t_batch_check_figure6;
+          Alcotest.test_case "register spilling" `Quick
+            t_spill_when_no_free_regs ] );
+      ( "statistics",
+        [ Alcotest.test_case "private exempt" `Quick
+            t_private_not_instrumented;
+          Alcotest.test_case "shared instrumented" `Quick t_shared_instrumented;
+          Alcotest.test_case "code growth" `Quick t_code_growth;
+          Alcotest.test_case "poll insertion" `Quick t_polls_inserted ] )
+    ]

@@ -1,0 +1,147 @@
+(* ISA structural tests: instruction classification, program validation,
+   text layout, disassembly. *)
+
+open Shasta_isa
+
+let i_ldq : Insn.t = Ldq (1, 8, 2)
+let i_stl : Insn.t = Stl (3, 0, 4)
+let i_add : Insn.t = Opi (Addq, 5, Reg 6, 7)
+
+let t_classify () =
+  Alcotest.(check bool) "ldq is load" true (Insn.is_load i_ldq);
+  Alcotest.(check bool) "ldq not store" false (Insn.is_store i_ldq);
+  Alcotest.(check bool) "stl is store" true (Insn.is_store i_stl);
+  Alcotest.(check bool) "stl is mem" true (Insn.is_mem i_stl);
+  Alcotest.(check bool) "add not mem" false (Insn.is_mem i_add)
+
+let t_mem_operand () =
+  Alcotest.(check (option (pair int int)))
+    "ldq base/disp" (Some (2, 8)) (Insn.mem_operand i_ldq);
+  Alcotest.(check (option (pair int int)))
+    "stl base/disp" (Some (4, 0)) (Insn.mem_operand i_stl);
+  Alcotest.(check (option (pair int int))) "add none" None
+    (Insn.mem_operand i_add)
+
+let t_uses_def () =
+  Alcotest.(check (list int)) "ldq uses base" [ 2 ] (Insn.uses i_ldq);
+  Alcotest.(check (option int)) "ldq defs dest" (Some 1) (Insn.def i_ldq);
+  Alcotest.(check (list int)) "stl uses value+base" [ 3; 4 ] (Insn.uses i_stl);
+  Alcotest.(check (option int)) "stl defs nothing" None (Insn.def i_stl);
+  Alcotest.(check (list int)) "add uses both" [ 6; 7 ] (Insn.uses i_add);
+  Alcotest.(check (option int)) "add defs" (Some 5) (Insn.def i_add)
+
+let t_sizes () =
+  Alcotest.(check int) "lab is empty" 0 (Insn.bytes (Insn.Lab "x"));
+  Alcotest.(check int) "batch_end is empty" 0 (Insn.bytes Insn.Batch_end);
+  Alcotest.(check int) "poll is 3 insns" 12 (Insn.bytes Insn.Poll);
+  Alcotest.(check int) "alu is 4 bytes" 4 (Insn.bytes i_add)
+
+let t_validate_ok () =
+  let p =
+    { Program.procs =
+        [ { pname = "f";
+            body = [ Insn.Lab "top"; i_add; Insn.Bc (Ne, 5, "top"); Insn.Ret ]
+          }
+        ];
+      entry = "f" }
+  in
+  ignore (Program.validate p)
+
+let t_validate_bad_label () =
+  let p =
+    { Program.procs = [ { pname = "f"; body = [ Insn.Br "nowhere" ] } ];
+      entry = "f" }
+  in
+  Alcotest.check_raises "undefined label"
+    (Invalid_argument "Program.validate: undefined label nowhere in f")
+    (fun () -> ignore (Program.validate p))
+
+let t_validate_bad_call () =
+  let p =
+    { Program.procs = [ { pname = "f"; body = [ Insn.Jsr "ghost" ] } ];
+      entry = "f" }
+  in
+  Alcotest.check_raises "unknown callee"
+    (Invalid_argument "Program.validate: call to unknown procedure ghost from f")
+    (fun () -> ignore (Program.validate p))
+
+let t_validate_dup_label () =
+  let p =
+    { Program.procs =
+        [ { pname = "f"; body = [ Insn.Lab "l"; Insn.Lab "l" ] } ];
+      entry = "f" }
+  in
+  Alcotest.check_raises "duplicate label"
+    (Invalid_argument "Program.validate: duplicate label l in f") (fun () ->
+      ignore (Program.validate p))
+
+let t_counts () =
+  let p =
+    { Program.procs =
+        [ { pname = "f"; body = [ i_ldq; i_stl; i_add; Insn.Lab "x" ] } ];
+      entry = "f" }
+  in
+  let c = Program.count_accesses p in
+  Alcotest.(check int) "loads" 1 c.loads;
+  Alcotest.(check int) "stores" 1 c.stores;
+  Alcotest.(check int) "insns exclude labels" 3 c.insns
+
+let t_asm () =
+  Alcotest.(check string) "ldq" "\tldq r1, 8(r2)" (Asm.to_string i_ldq);
+  Alcotest.(check string) "addq" "\taddq r7, r6, r5" (Asm.to_string i_add);
+  Alcotest.(check string) "branch" "\tbne r5, out"
+    (Asm.to_string (Insn.Bc (Ne, 5, "out")))
+
+let t_branch_targets () =
+  Alcotest.(check (list string)) "bc" [ "l" ]
+    (Insn.branch_targets (Insn.Bc (Eq, 1, "l")));
+  Alcotest.(check bool) "br no fallthrough" false
+    (Insn.falls_through (Insn.Br "l"));
+  Alcotest.(check bool) "bc falls through" true
+    (Insn.falls_through (Insn.Bc (Eq, 1, "l")))
+
+let t_layout_regions () =
+  let open Shasta.Layout in
+  Alcotest.(check bool) "shared detected" true (is_shared (shared_base + 64));
+  Alcotest.(check bool) "stack private" false (is_shared stack_top);
+  Alcotest.(check bool) "static private" false (is_shared static_base);
+  (* the state table of a 64-byte line is its address shifted by 6 *)
+  Alcotest.(check int) "state table base" (state_table_base ~line_shift:6)
+    (state_addr ~line_shift:6 shared_base);
+  (* regions must not overlap the tables *)
+  Alcotest.(check bool) "excl table above stack" true
+    (excl_table_base ~line_shift:6 >= stack_top);
+  Alcotest.(check bool) "state table above excl" true
+    (state_table_base ~line_shift:6 >= excl_table_limit ~line_shift:6);
+  Alcotest.(check bool) "shared above state table" true
+    (shared_base >= state_table_limit ~line_shift:6);
+  (* and for 128-byte lines as well *)
+  Alcotest.(check bool) "excl table above stack (128B)" true
+    (excl_table_base ~line_shift:7 >= stack_top)
+
+let t_flag_pattern () =
+  let open Shasta.Layout in
+  Alcotest.(check int) "flag is -253 as a longword" flag_pattern
+    (flag_value land 0xFFFFFFFF);
+  (* addl value, 253 must be zero exactly for the flag *)
+  Alcotest.(check int) "flag + 253 = 0" 0 (flag_value + flag_imm)
+
+let () =
+  Alcotest.run "isa"
+    [ ( "insn",
+        [ Alcotest.test_case "classification" `Quick t_classify;
+          Alcotest.test_case "mem operands" `Quick t_mem_operand;
+          Alcotest.test_case "uses/defs" `Quick t_uses_def;
+          Alcotest.test_case "sizes" `Quick t_sizes ] );
+      ( "program",
+        [ Alcotest.test_case "validate ok" `Quick t_validate_ok;
+          Alcotest.test_case "bad label" `Quick t_validate_bad_label;
+          Alcotest.test_case "bad call" `Quick t_validate_bad_call;
+          Alcotest.test_case "dup label" `Quick t_validate_dup_label;
+          Alcotest.test_case "counts" `Quick t_counts ] );
+      ("asm", [ Alcotest.test_case "disassembly" `Quick t_asm;
+                Alcotest.test_case "branch targets" `Quick t_branch_targets ]);
+      ( "layout",
+        [ Alcotest.test_case "regions" `Quick t_layout_regions;
+          Alcotest.test_case "flag value" `Quick t_flag_pattern ] )
+    ]

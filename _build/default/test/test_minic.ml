@@ -1,0 +1,245 @@
+(* MiniC compiler semantics: each program runs uninstrumented on one
+   node; its printed output is checked against the value computed in
+   OCaml.  These pin down the code generator (expressions, control flow,
+   calls, spills, the register cache for locals, floats) that everything
+   else builds on. *)
+
+open Shasta_minic.Builder
+
+let run_seq prog = Test_support.Support.ground_truth prog
+
+let check name prog expected =
+  Alcotest.test_case name `Quick (fun () ->
+    Alcotest.(check string) name expected (run_seq prog))
+
+let lines l = String.concat "" (List.map (fun s -> s ^ "\n") l)
+
+let t_arith =
+  check "integer arithmetic"
+    (prog
+       [ proc "work"
+           [ print_int (i 2 +% i 3);
+             print_int (i 10 -% i 4);
+             print_int (i 6 *% i 7);
+             print_int (i 17 /% i 5);
+             print_int (i 17 %% i 5);
+             print_int (neg (i 17) /% i 5);
+             print_int (i 1 <<% i 10);
+             print_int (i 1024 >>% i 3);
+             print_int (i 0xF0 &% i 0x3C);
+             print_int (i 0xF0 |% i 0x0F);
+             print_int (i 0xF0 ^% i 0xFF)
+           ]
+       ])
+    (lines [ "5"; "6"; "42"; "3"; "2"; "-3"; "1024"; "128"; "48"; "255"; "15" ])
+
+let t_compare =
+  check "comparisons"
+    (prog
+       [ proc "work"
+           [ print_int (i 3 <% i 4);
+             print_int (i 4 <% i 3);
+             print_int (i 3 <=% i 3);
+             print_int (i 3 >% i 4);
+             print_int (i 4 >=% i 4);
+             print_int (i 5 ==% i 5);
+             print_int (i 5 <>% i 5);
+             print_int (not_ (i 0));
+             print_int (not_ (i 7))
+           ]
+       ])
+    (lines [ "1"; "0"; "1"; "0"; "1"; "1"; "0"; "1"; "0" ])
+
+let t_control =
+  check "if/while/for control flow"
+    (prog
+       [ proc "work"
+           [ let_i "s" (i 0);
+             for_ "k" (i 0) (i 10) [ set "s" (v "s" +% v "k") ];
+             print_int (v "s");
+             let_i "n" (i 1);
+             while_ (v "n" <% i 100) [ set "n" (v "n" *% i 2) ];
+             print_int (v "n");
+             if_ (v "n" ==% i 128) [ print_int (i 1) ] [ print_int (i 0) ];
+             when_ (v "n" >% i 0) [ print_int (i 99) ]
+           ]
+       ])
+    (lines [ "45"; "128"; "1"; "99" ])
+
+let t_floats =
+  check "floating point"
+    (prog
+       [ proc "work"
+           [ let_f "x" (f 1.5 +. f 2.25);
+             print_flt (v "x");
+             print_flt (v "x" *. f 2.0);
+             print_flt (f 10.0 /. f 4.0);
+             print_flt (fneg (v "x"));
+             print_int (f 1.0 <. f 2.0);
+             print_int (f 2.0 <=. f 2.0);
+             print_int (f 2.0 ==. f 3.0);
+             print_int (f2i (f 3.99));
+             print_flt (i2f (i 7))
+           ]
+       ])
+    (lines [ "3.75"; "7.5"; "2.5"; "-3.75"; "1"; "1"; "0"; "3"; "7" ])
+
+let t_calls =
+  check "procedure calls and recursion"
+    (prog
+       [ proc "add" ~params:[ ("a", I); ("b", I) ] ~ret:I
+           [ ret (v "a" +% v "b") ];
+         proc "fib" ~params:[ ("n", I) ] ~ret:I
+           [ if_ (v "n" <% i 2)
+               [ ret (v "n") ]
+               [ ret (call "fib" [ v "n" -% i 1 ] +% call "fib" [ v "n" -% i 2 ]) ]
+           ];
+         proc "work"
+           [ print_int (call "add" [ i 20; i 22 ]);
+             print_int (call "fib" [ i 15 ]);
+             (* spills: a live temporary across nested calls *)
+             print_int (i 1000 +% call "add" [ call "add" [ i 1; i 2 ]; i 3 ])
+           ]
+       ])
+    (lines [ "42"; "610"; "1006" ])
+
+let t_float_calls =
+  check "float parameters and returns"
+    (prog
+       [ proc "fma" ~params:[ ("a", F); ("b", F); ("c", F) ] ~ret:F
+           [ ret ((v "a" *. v "b") +. v "c") ];
+         proc "work" [ print_flt (call "fma" [ f 2.0; f 3.0; f 0.5 ]) ]
+       ])
+    (lines [ "6.5" ])
+
+let t_globals =
+  check "globals and appinit"
+    (prog
+       ~globals:[ ("gi", I); ("gf", F) ]
+       [ proc "appinit" [ gset "gi" (i 41); gset "gf" (f 2.5) ];
+         proc "work"
+           [ gset "gi" (g "gi" +% i 1);
+             print_int (g "gi");
+             print_flt (g "gf")
+           ]
+       ])
+    (lines [ "42"; "2.5" ])
+
+let t_shared_memory =
+  check "shared heap loads and stores"
+    (prog
+       ~globals:[ ("a", I) ]
+       [ proc "appinit"
+           [ gset "a" (Gmalloc (i 512));
+             for_ "k" (i 0) (i 64) [ sti (g "a") (v "k") (v "k" *% v "k") ]
+           ];
+         proc "work"
+           [ let_i "s" (i 0);
+             for_ "k" (i 0) (i 64) [ set "s" (v "s" +% ldi (g "a") (v "k")) ];
+             print_int (v "s")
+           ]
+       ])
+    (lines [ string_of_int (let s = ref 0 in
+                            for k = 0 to 63 do s := !s + (k * k) done;
+                            !s) ])
+
+let t_float_arrays =
+  check "float arrays in shared memory"
+    (prog
+       ~globals:[ ("a", I) ]
+       [ proc "appinit"
+           [ gset "a" (Gmalloc (i 256));
+             for_ "k" (i 0) (i 32)
+               [ stf (g "a") (v "k") (i2f (v "k") *. f 0.5) ]
+           ];
+         proc "work"
+           [ let_f "s" (f 0.0);
+             for_ "k" (i 0) (i 32) [ set "s" (v "s" +. ldf (g "a") (v "k")) ];
+             print_flt (v "s")
+           ]
+       ])
+    (lines [ "248" ])
+
+let t_private_heap =
+  check "private heap allocation"
+    (prog
+       [ proc "work"
+           [ let_i "p" (Pmalloc (i 256));
+             for_ "k" (i 0) (i 32) [ sti (v "p") (v "k") (v "k" +% i 1) ];
+             let_i "s" (i 0);
+             for_ "k" (i 0) (i 32) [ set "s" (v "s" +% ldi (v "p") (v "k")) ];
+             print_int (v "s")
+           ]
+       ])
+    (lines [ "528" ])
+
+let t_struct_fields =
+  check "struct-style field access"
+    (prog
+       ~globals:[ ("obj", I) ]
+       [ proc "appinit"
+           [ gset "obj" (Gmalloc (i 32));
+             set_fld_i (g "obj") 0 (i 7);
+             set_fld_i (g "obj") 8 (i 11);
+             set_fld_f (g "obj") 16 (f 1.25);
+             set_fld_i (g "obj") 24 (i 100)
+           ];
+         proc "work"
+           [ let_i "p" (g "obj");
+             print_int (fld_i (v "p") 0 +% fld_i (v "p") 8 +% fld_i (v "p") 24);
+             print_flt (fld_f (v "p") 16)
+           ]
+       ])
+    (lines [ "118"; "1.25" ])
+
+let t_register_cache =
+  (* x = x + 1 style updates where the cached register must not go
+     stale, plus a call in the middle that spills the cached pointer *)
+  check "register cache consistency"
+    (prog
+       ~globals:[ ("a", I) ]
+       [ proc "bump" ~params:[ ("x", I) ] ~ret:I [ ret (v "x" +% i 1) ];
+         proc "appinit" [ gset "a" (Gmalloc (i 64)) ];
+         proc "work"
+           [ let_i "p" (g "a");
+             let_i "x" (i 1);
+             set "x" (v "x" +% v "x");
+             set "x" (v "x" *% v "x");
+             sti (v "p") (i 0) (v "x");
+             set "x" (call "bump" [ v "x" ]);
+             sti (v "p") (i 1) (v "x");
+             print_int (ldi (v "p") (i 0));
+             print_int (ldi (v "p") (i 1))
+           ]
+       ])
+    (lines [ "4"; "5" ])
+
+let t_deep_exprs =
+  check "deep expressions"
+    (prog
+       [ proc "work"
+           [ print_int
+               ((i 1 +% i 2) *% (i 3 +% i 4) +% ((i 5 +% i 6) *% (i 7 +% i 8)))
+           ]
+       ])
+    (lines [ "186" ])
+
+let t_ult =
+  check "unsigned comparison"
+    (prog
+       [ proc "work"
+           [ print_int (Bin (Ult, i 3, i 5));
+             print_int (Bin (Ult, i 5, i 3));
+             print_int (Bin (Ult, neg (i 1), i 5))
+             (* -1 unsigned is huge *)
+           ]
+       ])
+    (lines [ "1"; "0"; "0" ])
+
+let () =
+  Alcotest.run "minic"
+    [ ( "semantics",
+        [ t_arith; t_compare; t_control; t_floats; t_calls; t_float_calls;
+          t_globals; t_shared_memory; t_float_arrays; t_private_heap;
+          t_struct_fields; t_register_cache; t_deep_exprs; t_ult ] )
+    ]

@@ -1,0 +1,101 @@
+(* Timing-model tests: the pipeline features the paper's overhead
+   analysis depends on — dual issue, load-use and shift-use delays,
+   static branch prediction, the single memory port. *)
+
+open Shasta_isa
+open Shasta_machine
+
+let issue_seq ?(config = Pipeline.alpha_21064a) insns =
+  let p = Pipeline.create config in
+  List.iter
+    (fun i -> Pipeline.issue p i ~iaddr:0 ~maddr:None ~branch:Pipeline.B_none)
+    insns;
+  Pipeline.cycle p
+
+let add d a b : Insn.t = Opi (Addq, d, Reg a, b)
+let shift d a : Insn.t = Opi (Srl, d, Imm 6, a)
+
+let t_dual_issue () =
+  let two = issue_seq [ add 1 2 3; add 4 5 6 ] in
+  let four =
+    issue_seq ~config:Pipeline.alpha_21164
+      [ add 1 2 3; add 4 5 6; add 7 8 9; add 10 11 12 ]
+  in
+  Alcotest.(check int) "two adds in one group (21064A)" 0 two;
+  Alcotest.(check int) "four adds in one group (21164)" 0 four
+
+let t_dependent_serializes () =
+  let c = issue_seq [ add 1 2 3; add 4 1 5 ] in
+  Alcotest.(check bool) "dependent add waits" true (c >= 1)
+
+let t_shift_use_delay () =
+  (* the 21064A's shift result delay: srl ; use stalls one extra cycle
+     compared to srl ; unrelated ; use (Figure 4's motivation) *)
+  let stalled = issue_seq [ shift 1 2; add 3 1 4 ] in
+  let filled = issue_seq [ shift 1 2; add 9 10 11; add 3 1 4 ] in
+  Alcotest.(check bool) "shift-use stalls" true (stalled >= 1);
+  Alcotest.(check bool) "delay slot fill is free" true (filled <= stalled + 1);
+  let fast =
+    issue_seq ~config:Pipeline.alpha_21164 [ shift 1 2; add 3 1 4 ]
+  in
+  Alcotest.(check bool) "21164 shift cheaper" true (fast <= stalled)
+
+let t_load_use_delay () =
+  let quick = issue_seq [ Ldq (1, 0, 2); add 5 6 7 ] in
+  let stalled = issue_seq [ Ldq (1, 0, 2); add 5 1 7 ] in
+  Alcotest.(check bool) "load-use stalls more than load-other" true
+    (stalled > quick)
+
+let t_single_memory_port () =
+  let c = issue_seq [ Ldq (1, 0, 30); Ldq (2, 8, 30) ] in
+  Alcotest.(check bool) "two loads cannot share a cycle" true (c >= 1)
+
+let t_branch_prediction () =
+  let p = Pipeline.create Pipeline.alpha_21064a in
+  Pipeline.issue p (Insn.Bc (Eq, 1, "x")) ~iaddr:0 ~maddr:None
+    ~branch:(Pipeline.B_taken { backward = false });
+  let mispredicted = Pipeline.cycle p in
+  let p2 = Pipeline.create Pipeline.alpha_21064a in
+  Pipeline.issue p2 (Insn.Bc (Eq, 1, "x")) ~iaddr:0 ~maddr:None
+    ~branch:(Pipeline.B_taken { backward = true });
+  Alcotest.(check bool) "mispredict costs" true
+    (mispredicted > Pipeline.cycle p2)
+
+let t_fp_latency () =
+  let dep = issue_seq [ Opf (Addt, 1, 2, 3); Opf (Mult, 4, 1, 5) ] in
+  let indep = issue_seq [ Opf (Addt, 1, 2, 3); Opf (Mult, 4, 6, 5) ] in
+  Alcotest.(check bool) "fp dependence stalls fp latency" true
+    (dep >= Pipeline.alpha_21064a.fp_latency);
+  Alcotest.(check bool) "independent fp cheaper" true (indep < dep)
+
+let t_caches_charge_misses () =
+  let caches = Cache.alpha_hierarchy () in
+  let p = Pipeline.create ~caches Pipeline.alpha_21064a in
+  Pipeline.issue p (Insn.Ldq (1, 0, 2)) ~iaddr:0 ~maddr:(Some 0x10000)
+    ~branch:Pipeline.B_none;
+  Pipeline.issue p (add 3 1 4) ~iaddr:4 ~maddr:None ~branch:Pipeline.B_none;
+  let cold = Pipeline.cycle p in
+  Alcotest.(check bool) "cold miss costs more than the hit latency" true
+    (cold > Pipeline.alpha_21064a.load_latency)
+
+let t_stall_resets_group () =
+  let p = Pipeline.create Pipeline.alpha_21064a in
+  Pipeline.issue p (add 1 2 3) ~iaddr:0 ~maddr:None ~branch:Pipeline.B_none;
+  Pipeline.stall p 10;
+  Alcotest.(check int) "stall advances time" 10 (Pipeline.cycle p);
+  Pipeline.advance_to p 5;
+  Alcotest.(check int) "advance_to never goes backward" 10 (Pipeline.cycle p)
+
+let () =
+  Alcotest.run "pipeline"
+    [ ( "issue",
+        [ Alcotest.test_case "dual issue" `Quick t_dual_issue;
+          Alcotest.test_case "dependences" `Quick t_dependent_serializes;
+          Alcotest.test_case "shift-use delay" `Quick t_shift_use_delay;
+          Alcotest.test_case "load-use delay" `Quick t_load_use_delay;
+          Alcotest.test_case "memory port" `Quick t_single_memory_port;
+          Alcotest.test_case "branch prediction" `Quick t_branch_prediction;
+          Alcotest.test_case "fp latency" `Quick t_fp_latency;
+          Alcotest.test_case "cache misses" `Quick t_caches_charge_misses;
+          Alcotest.test_case "stalls" `Quick t_stall_resets_group ] )
+    ]

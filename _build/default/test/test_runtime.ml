@@ -1,0 +1,306 @@
+(* Runtime/protocol end-to-end scenarios: states and directory after
+   directed sharing patterns, dirty sharing, synchronization semantics,
+   release consistency, and whole-system invariants after runs. *)
+
+open Shasta_minic.Builder
+open Shasta_runtime
+
+let prepare ~nprocs prog =
+  let spec = { (Api.default_spec prog) with nprocs } in
+  let state, _, _ = Api.prepare spec in
+  state
+
+let run ~nprocs prog =
+  let state = prepare ~nprocs prog in
+  let ph = Cluster.run_app state in
+  (state, ph)
+
+(* Structural invariants that must hold whenever the system is idle:
+   every block has a valid owner whose sharer bit is set; an exclusive
+   holder is the unique valid copy; every node holding a valid copy is
+   in the sharer vector. *)
+let check_invariants (state : State.t) =
+  let ls = state.config.line_shift in
+  Shasta_protocol.Directory.iter state.dir (fun block e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "block 0x%x owner in range" block)
+      true
+      (e.owner >= 0 && e.owner < state.config.nprocs);
+    Alcotest.(check bool)
+      (Printf.sprintf "block 0x%x owner is sharer" block)
+      true
+      (Shasta_protocol.Directory.is_sharer e e.owner);
+    let valid_nodes =
+      Array.to_list state.nodes
+      |> List.filter (fun (n : Node.t) ->
+        let st = Tables.get_state n ~ls block in
+        st = Shasta.Layout.st_exclusive || st = Shasta.Layout.st_shared)
+    in
+    List.iter
+      (fun (n : Node.t) ->
+        Alcotest.(check bool)
+          (Printf.sprintf "valid holder n%d of 0x%x is a sharer" n.id block)
+          true
+          (Shasta_protocol.Directory.is_sharer e n.id))
+      valid_nodes;
+    let exclusive_nodes =
+      List.filter
+        (fun (n : Node.t) ->
+          Tables.get_state n ~ls block = Shasta.Layout.st_exclusive)
+        valid_nodes
+    in
+    match exclusive_nodes with
+    | [] -> ()
+    | [ x ] ->
+      Alcotest.(check int)
+        (Printf.sprintf "exclusive holder of 0x%x is sole valid copy" block)
+        1 (List.length valid_nodes);
+      Alcotest.(check int) "exclusive holder is the owner" e.owner x.id
+    | _ -> Alcotest.fail (Printf.sprintf "two exclusive holders of 0x%x" block))
+
+(* --- sharing patterns ----------------------------------------------- *)
+
+let t_read_sharing () =
+  (* everyone reads a block written during init: all end up sharers *)
+  let p =
+    prog ~globals:[ ("a", I) ]
+      [ proc "appinit"
+          [ gset "a" (Gmalloc_b (i 64, i 64)); sti (g "a") (i 0) (i 7) ];
+        proc "work"
+          [ let_i "x" (ldi (g "a") (i 0));
+            barrier;
+            when_ (Pid ==% i 0) [ print_int (v "x") ] ]
+      ]
+  in
+  let state, ph = run ~nprocs:4 p in
+  Alcotest.(check string) "value read everywhere" "7\n" ph.output;
+  let block = Shasta_runtime.State.shared_heap_start in
+  let e = Shasta_protocol.Directory.entry state.dir block in
+  Alcotest.(check int) "all four share" 4
+    (Shasta_protocol.Directory.sharer_count e);
+  check_invariants state
+
+let t_write_invalidates () =
+  (* node 1 writes after everyone read: it becomes the sole owner and
+     the others' copies are flagged invalid *)
+  let p =
+    prog ~globals:[ ("a", I) ]
+      [ proc "appinit" [ gset "a" (Gmalloc_b (i 64, i 64)) ];
+        proc "work"
+          [ let_i "x" (ldi (g "a") (i 0));
+            barrier;
+            when_ (Pid ==% i 1) [ sti (g "a") (i 0) (i 42) ];
+            barrier;
+            when_ (Pid ==% i 0) [ print_int (ldi (g "a") (i 0) +% v "x") ] ]
+      ]
+  in
+  let state, ph = run ~nprocs:4 p in
+  Alcotest.(check string) "new value visible" "42\n" ph.output;
+  let block = Shasta_runtime.State.shared_heap_start in
+  let ls = state.config.line_shift in
+  (* nodes 2 and 3 must hold invalid, flagged copies *)
+  List.iter
+    (fun id ->
+      let n = state.nodes.(id) in
+      Alcotest.(check int)
+        (Printf.sprintf "n%d invalidated" id)
+        Shasta.Layout.st_invalid
+        (Tables.get_state n ~ls block);
+      Alcotest.(check int)
+        (Printf.sprintf "n%d flagged" id)
+        Shasta.Layout.flag_pattern
+        (Shasta_machine.Memory.read_long_u n.mem block))
+    [ 2; 3 ];
+  check_invariants state
+
+let t_dirty_sharing () =
+  (* the home never gets a copy back when a dirty owner serves a read:
+     its memory stays stale (dirty sharing, Section 2.1) *)
+  let p =
+    prog ~globals:[ ("a", I) ]
+      [ proc "appinit" [ gset "a" (Gmalloc_b (i 64, i 64)) ];
+        proc "work"
+          [ (* node 1 writes, then node 2 reads (forwarded to node 1) *)
+            when_ (Pid ==% i 1) [ sti (g "a") (i 0) (i 99) ];
+            barrier;
+            when_ (Pid ==% i 2) [ sti (g "a") (i 1) (ldi (g "a") (i 0)) ];
+            barrier;
+            when_ (Pid ==% i 0) [ print_int (ldi (g "a") (i 1)) ] ]
+      ]
+  in
+  let state, ph = run ~nprocs:4 p in
+  Alcotest.(check string) "reader got the dirty data" "99\n" ph.output;
+  check_invariants state
+
+let t_migratory_ownership () =
+  (* the lock-protected counter migrates: every node takes write misses *)
+  let _, r = run ~nprocs:4 (Shasta_apps.Micro.migratory ~rounds:8 ()) in
+  Array.iteri
+    (fun id (c : Node.counters) ->
+      if id > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "n%d missed for ownership" id)
+          true
+          (c.read_misses + c.write_misses + c.upgrade_misses > 0))
+    r.counters
+
+(* --- synchronization ------------------------------------------------ *)
+
+let t_lock_mutual_exclusion () =
+  (* read-modify-write without atomicity would lose updates; under the
+     lock every increment survives at any processor count *)
+  let p =
+    prog ~globals:[ ("c", I) ]
+      [ proc "appinit"
+          [ gset "c" (Gmalloc_b (i 64, i 64)); sti (g "c") (i 0) (i 0) ];
+        proc "work"
+          [ for_ "k" (i 0) (i 25)
+              [ lock (i 3);
+                sti (g "c") (i 0) (ldi (g "c") (i 0) +% i 1);
+                unlock (i 3) ];
+            barrier;
+            when_ (Pid ==% i 0) [ print_int (ldi (g "c") (i 0)) ] ]
+      ]
+  in
+  List.iter
+    (fun np ->
+      let _, ph = run ~nprocs:np p in
+      Alcotest.(check string)
+        (Printf.sprintf "all increments survive at P=%d" np)
+        (string_of_int (np * 25) ^ "\n")
+        ph.output)
+    [ 1; 2; 3; 4 ]
+
+let t_barrier_separates_phases () =
+  (* without the barrier node 1 could read 0; with it, it must see 5 *)
+  let p =
+    prog ~globals:[ ("a", I) ]
+      [ proc "appinit" [ gset "a" (Gmalloc_b (i 64, i 64)) ];
+        proc "work"
+          [ when_ (Pid ==% i 0) [ sti (g "a") (i 0) (i 5) ];
+            barrier;
+            let_i "x" (ldi (g "a") (i 0));
+            sti (g "a") (i 1 +% Pid) (v "x");
+            barrier;
+            when_ (Pid ==% i 0)
+              [ let_i "s" (i 0);
+                for_ "p" (i 0) Nprocs
+                  [ set "s" (v "s" +% ldi (g "a") (i 1 +% v "p")) ];
+                print_int (v "s") ] ]
+      ]
+  in
+  let _, ph = run ~nprocs:4 p in
+  Alcotest.(check string) "all nodes saw the pre-barrier write" "20\n"
+    ph.output
+
+let t_flags_order () =
+  (* flag set/wait transfers data release->acquire between two nodes *)
+  let _, ph = run ~nprocs:2 (Shasta_apps.Micro.prodcons ~items:6 ()) in
+  let want = List.init 6 (fun k -> (k * k) + 1) |> List.fold_left ( + ) 0 in
+  Alcotest.(check string) "pipeline sum" (string_of_int want ^ "\n") ph.output
+
+let t_release_consistency_nonstalling () =
+  (* a burst of stores to distinct blocks proceeds without stalling;
+     the following unlock is the release that makes them visible *)
+  let p =
+    prog ~globals:[ ("a", I) ]
+      [ proc "appinit" [ gset "a" (Gmalloc (i 4096)) ];
+        proc "work"
+          [ when_ (Pid ==% i 1)
+              [ lock (i 1);
+                for_ "k" (i 0) (i 32) [ sti (g "a") (v "k" *% i 8) (v "k") ];
+                unlock (i 1) ];
+            barrier;
+            when_ (Pid ==% i 0)
+              [ lock (i 1);
+                let_i "s" (i 0);
+                for_ "k" (i 0) (i 32)
+                  [ set "s" (v "s" +% ldi (g "a") (v "k" *% i 8)) ];
+                unlock (i 1);
+                print_int (v "s") ] ]
+      ]
+  in
+  let state, ph = run ~nprocs:2 p in
+  Alcotest.(check string) "all released stores visible" "496\n" ph.output;
+  check_invariants state
+
+let t_invariants_after_stress () =
+  List.iter
+    (fun prog ->
+      let state, _ = run ~nprocs:4 prog in
+      check_invariants state)
+    [ Shasta_apps.Micro.false_sharing ~iters:40 ();
+      Shasta_apps.Micro.migratory ~rounds:12 ();
+      Shasta_apps.Ocean.program ~n:18 ~iters:2 () ]
+
+let t_atm_network_also_correct () =
+  let p = Shasta_apps.Lu.program ~n:16 ~bs:4 () in
+  let expected = Test_support.Support.ground_truth p in
+  let got, _ =
+    Test_support.Support.run ~nprocs:4 ~net:Shasta_network.Network.atm p
+  in
+  Alcotest.(check string) "correct over ATM-class network" expected got
+
+let t_sequential_consistency_correct () =
+  (* the stricter model must still produce identical results *)
+  List.iter
+    (fun prog ->
+      let expected = Test_support.Support.ground_truth prog in
+      let spec =
+        { (Api.default_spec prog) with
+          nprocs = 4;
+          consistency = State.Sequential }
+      in
+      let r = Api.run spec in
+      Alcotest.(check string) "SC results match" expected r.phase.output)
+    [ Shasta_apps.Lu.program ~n:16 ~bs:4 ();
+      Shasta_apps.Radix.program ~nkeys:512 ();
+      Shasta_apps.Ocean.program ~n:18 ~iters:2 () ]
+
+let t_sequential_consistency_slower () =
+  let prog = Shasta_apps.Ocean.program ~n:18 ~iters:2 () in
+  let run c =
+    (Api.run { (Api.default_spec prog) with nprocs = 4; consistency = c })
+      .phase
+      .wall_cycles
+  in
+  Alcotest.(check bool) "RC beats SC on write-heavy sharing" true
+    (run State.Release < run State.Sequential)
+
+let t_atm_slower_than_mc () =
+  let p = Shasta_apps.Ocean.program ~n:18 ~iters:2 () in
+  let _, rm =
+    Test_support.Support.run ~nprocs:4 ~net:Shasta_network.Network.memory_channel p
+  in
+  let _, ra =
+    Test_support.Support.run ~nprocs:4 ~net:Shasta_network.Network.atm p
+  in
+  Alcotest.(check bool) "higher latency, longer run" true
+    (ra.phase.wall_cycles > rm.phase.wall_cycles)
+
+let () =
+  Alcotest.run "runtime"
+    [ ( "sharing",
+        [ Alcotest.test_case "read sharing" `Quick t_read_sharing;
+          Alcotest.test_case "write invalidation" `Quick t_write_invalidates;
+          Alcotest.test_case "dirty sharing" `Quick t_dirty_sharing;
+          Alcotest.test_case "migratory" `Quick t_migratory_ownership ] );
+      ( "synchronization",
+        [ Alcotest.test_case "lock mutual exclusion" `Quick
+            t_lock_mutual_exclusion;
+          Alcotest.test_case "barriers" `Quick t_barrier_separates_phases;
+          Alcotest.test_case "event flags" `Quick t_flags_order;
+          Alcotest.test_case "non-stalling stores + release" `Quick
+            t_release_consistency_nonstalling ] );
+      ( "invariants",
+        [ Alcotest.test_case "after stress" `Quick t_invariants_after_stress ]
+      );
+      ( "consistency",
+        [ Alcotest.test_case "SC correctness" `Quick
+            t_sequential_consistency_correct;
+          Alcotest.test_case "RC faster than SC" `Quick
+            t_sequential_consistency_slower ] );
+      ( "networks",
+        [ Alcotest.test_case "atm correctness" `Quick t_atm_network_also_correct;
+          Alcotest.test_case "atm slower" `Quick t_atm_slower_than_mc ] )
+    ]
