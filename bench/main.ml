@@ -14,6 +14,8 @@ open Shasta
 open Shasta_minic.Builder
 open Shasta_runtime
 module Table = Shasta_stats.Table
+module Obs = Shasta_obs.Obs
+module Metrics = Shasta_obs.Metrics
 
 let quick = ref false
 
@@ -325,15 +327,16 @@ let section_parallel () =
           ([], None) procs
       in
       let last = Option.get last in
+      (* message and miss totals come from the phase's metrics
+         registry: the parallel-phase delta of the typed event stream *)
+      let total = Metrics.counter_total last.phase.metrics in
       let misses =
-        Array.fold_left
-          (fun a (c : Node.counters) ->
-            a + c.read_misses + c.write_misses + c.upgrade_misses)
-          0 last.phase.counters
+        total Obs.c_miss_read + total Obs.c_miss_write
+        + total Obs.c_miss_upgrade
       in
       Table.add_row t
         ((e.name :: cells)
-         @ [ string_of_int last.phase.msgs_sent; string_of_int misses ]))
+         @ [ string_of_int (total Obs.c_msg_sent); string_of_int misses ]))
     Shasta_apps.Apps.all;
   Table.print t;
   print_string
@@ -463,16 +466,14 @@ let section_excltable () =
   let base, _ = run_cycles ~opts:None p in
   let ph_s, dm_s = run_with_caches ~opts:with_state p in
   let ph_e, dm_e = run_with_caches ~opts:with_excl p in
-  Table.add_row t
-    [ "radix"; "state table (byte/line)";
-      Printf.sprintf "%d (overhead %s)" ph_s.wall_cycles
-        (Table.f2 (Table.ratio ph_s.wall_cycles base));
-      string_of_int dm_s ];
-  Table.add_row t
-    [ "radix"; "exclusive table (bit/line)";
-      Printf.sprintf "%d (overhead %s)" ph_e.wall_cycles
-        (Table.f2 (Table.ratio ph_e.wall_cycles base));
-      string_of_int dm_e ];
+  Table.addf t "radix\tstate table (byte/line)\t%d (overhead %s)\t%d"
+    ph_s.wall_cycles
+    (Table.f2 (Table.ratio ph_s.wall_cycles base))
+    dm_s;
+  Table.addf t "radix\texclusive table (bit/line)\t%d (overhead %s)\t%d"
+    ph_e.wall_cycles
+    (Table.f2 (Table.ratio ph_e.wall_cycles base))
+    dm_e;
   Table.add_row t
     [ "radix"; "excl/state ratio";
       Table.f2 (Table.ratio ph_e.wall_cycles ph_s.wall_cycles);
@@ -534,15 +535,16 @@ let section_messages () =
   List.iter
     (fun (name, p) ->
       let _, r = run_cycles ~opts:(Some Opts.full) ~nprocs:np p in
-      let sum f = Array.fold_left (fun a c -> a + f c) 0 r.phase.counters in
-      let rd = sum (fun (c : Node.counters) -> c.read_misses) in
-      let wr = sum (fun (c : Node.counters) -> c.write_misses) in
-      let up = sum (fun (c : Node.counters) -> c.upgrade_misses) in
+      (* read straight from the observability registry (the parallel
+         phase delta) rather than the per-node raw counters *)
+      let total = Metrics.counter_total r.phase.metrics in
+      let rd = total Obs.c_miss_read in
+      let wr = total Obs.c_miss_write in
+      let up = total Obs.c_miss_upgrade in
+      let msgs = total Obs.c_msg_sent in
       let misses = max 1 (rd + wr + up) in
-      Table.add_row t
-        [ name; string_of_int rd; string_of_int wr; string_of_int up;
-          string_of_int r.phase.msgs_sent;
-          Table.f2 (Table.ratio r.phase.msgs_sent misses) ])
+      Table.addf t "%s\t%d\t%d\t%d\t%d\t%s" name rd wr up msgs
+        (Table.f2 (Table.ratio msgs misses)))
     [ ("stream", Shasta_apps.Micro.stream ~nwords:1024 ());
       ("migratory", Shasta_apps.Micro.migratory ~rounds:64 ());
       ("false sharing", Shasta_apps.Micro.false_sharing ~iters:100 ());

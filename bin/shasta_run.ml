@@ -3,13 +3,19 @@
 
      dune exec bin/shasta_run.exe -- --app lu --procs 8 --net mc
      dune exec bin/shasta_run.exe -- --app radix --no-batch --line 128
+     dune exec bin/shasta_run.exe -- --app lu --trace-out /tmp/lu.json
+     dune exec bin/shasta_run.exe -- --app ocean --metrics
      dune exec bin/shasta_run.exe -- --list *)
 
 open Cmdliner
 open Shasta_runtime
+module Obs = Shasta_obs.Obs
+module Metrics = Shasta_obs.Metrics
+module Sink = Shasta_obs.Sink
 
 let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
-    no_excl no_batch poll no_range fixed_block threshold sc trace show_asm =
+    no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
+    metrics metrics_csv show_asm =
   let entry = Shasta_apps.Apps.find app in
   let size =
     match size with
@@ -40,6 +46,24 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
              | "loop" -> Shasta.Opts.Poll_loop
              | s -> failwith ("unknown poll mode " ^ s)) }
   in
+  (* Observability: attach the requested sinks before the run; the
+     metrics registry is always on. *)
+  let obs = Obs.create ~nprocs () in
+  if trace then Obs.attach obs (Sink.text prerr_endline);
+  let open_out_or_die file =
+    try open_out file
+    with Sys_error e ->
+      prerr_endline ("shasta_run: cannot open output file: " ^ e);
+      exit 1
+  in
+  let chrome_oc =
+    match trace_out with
+    | None -> None
+    | Some file ->
+      let oc = open_out_or_die file in
+      Obs.attach obs (Sink.chrome ~nprocs oc);
+      Some oc
+  in
   let spec =
     { (Api.default_spec prog) with
       opts;
@@ -53,9 +77,11 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
       fixed_block;
       granularity_threshold = threshold;
       consistency = (if sc then State.Sequential else State.Release);
-      trace = (if trace then Some prerr_endline else None) }
+      obs = Some obs }
   in
   let r = Api.run spec in
+  Obs.flush obs;
+  Option.iter close_out chrome_oc;
   if show_asm then print_string (Shasta_isa.Asm.program_to_string r.program);
   Printf.printf "== %s (%s), %d processor(s), %s network\n" app entry.descr
     nprocs net;
@@ -79,7 +105,27 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
          stall=%d cyc, polls=%d, locks=%d\n"
         id c.insns c.read_misses c.write_misses c.upgrade_misses
         c.batch_misses c.false_misses c.stall_cycles c.polls c.lock_acquires)
-    r.phase.counters
+    r.phase.counters;
+  if metrics then begin
+    let reg = Obs.metrics obs in
+    Printf.printf "\n== metrics registry (whole run, per node + aggregate)\n";
+    print_string (Metrics.to_string reg);
+    (* cross-check: the registry's protocol-message totals must agree
+       with the interconnect's own accounting *)
+    let sent, pay = Shasta_network.Network.stats r.state.net in
+    Printf.printf
+      "\nnetwork cross-check: registry msg.sent=%d msg.recv=%d, \
+       Network.stats sent=%d (%d payload longwords)\n"
+      (Metrics.counter_total reg Obs.c_msg_sent)
+      (Metrics.counter_total reg Obs.c_msg_recv)
+      sent pay
+  end;
+  match metrics_csv with
+  | None -> ()
+  | Some file ->
+    let oc = open_out_or_die file in
+    output_string oc (Metrics.to_csv (Obs.metrics obs));
+    close_out oc
 
 let list_apps () =
   List.iter
@@ -139,7 +185,26 @@ let cmd =
                    paper's release-consistent protocol).")
   in
   let trace_t =
-    Arg.(value & flag & info [ "trace" ] ~doc:"Print protocol messages.")
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the typed event stream as text on stderr.")
+  in
+  let trace_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace_event JSON trace (open in \
+                   chrome://tracing or Perfetto; one track per node).")
+  in
+  let metrics_t =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the metrics registry: per-node and aggregate \
+                   counters and histograms.")
+  in
+  let metrics_csv_t =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-csv" ] ~docv:"FILE"
+             ~doc:"Dump the metrics registry as CSV.")
   in
   let show_asm_t =
     Arg.(value & flag
@@ -149,18 +214,21 @@ let cmd =
     Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
   in
   let main list app size procs net cpu line no_instrument no_sched no_flag
-      no_excl no_batch poll no_range fixed_block threshold sc trace show_asm =
+      no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
+      metrics metrics_csv show_asm =
     if list then list_apps ()
     else
       run app size procs net cpu line no_instrument no_sched no_flag no_excl
-        no_batch poll no_range fixed_block threshold sc trace show_asm
+        no_batch poll no_range fixed_block threshold sc trace trace_out
+        metrics metrics_csv show_asm
   in
   let term =
     Term.(
       const main $ list_t $ app_t $ size_t $ procs_t $ net_t $ cpu_t
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
-      $ sc_t $ trace_t $ show_asm_t)
+      $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t
+      $ show_asm_t)
   in
   Cmd.v
     (Cmd.info "shasta_run"

@@ -1,11 +1,15 @@
 (* A guided protocol trace: two processors exchange one block, printing
-   every message.  Shows the paper's protocol economics directly: a
-   dirty read is served by the owner without updating the home, an
-   upgrade carries no data, invalidation acks go straight to the
-   requester. *)
+   every message from the typed observability stream.  Shows the
+   paper's protocol economics directly: a dirty read is served by the
+   owner without updating the home, an upgrade carries no data,
+   invalidation acks go straight to the requester. *)
 
 open Shasta_minic.Builder
 open Shasta_runtime
+module Obs = Shasta_obs.Obs
+module Event = Shasta_obs.Event
+module Sink = Shasta_obs.Sink
+module Metrics = Shasta_obs.Metrics
 
 let program =
   prog
@@ -26,14 +30,33 @@ let program =
     ]
 
 let () =
-  print_endline "protocol messages (cycle, src -> dst, kind @block):";
-  let spec =
-    { (Api.default_spec program) with
-      nprocs = 2;
-      trace = Some (fun s -> print_endline ("  " ^ s)) }
-  in
+  print_endline "protocol messages (cycle, sender, kind @block):";
+  (* capture the typed event stream in a ring buffer and render the
+     interesting records ourselves — the stream carries structured
+     fields, not preformatted strings *)
+  let obs = Obs.create ~nprocs:2 () in
+  let ring = Sink.ring ~capacity:65536 in
+  Obs.attach obs (Sink.ring_sink ring);
+  let spec = { (Api.default_spec program) with nprocs = 2; obs = Some obs } in
   let r = Api.run spec in
+  List.iter
+    (fun (rec_ : Event.record) ->
+      match rec_.ev with
+      | Event.Msg_send _ ->
+        Printf.printf "  %8d n%d %s\n" rec_.time rec_.node
+          (Event.describe rec_.ev)
+      | _ -> ())
+    (Sink.ring_contents ring);
   Printf.printf "program output (111 + 222): %s" r.phase.output;
+  (* the registry aggregates the same stream into counters *)
+  let reg = Obs.metrics obs in
+  Printf.printf
+    "registry: %d messages, misses rd=%d wr=%d up=%d, %d invalidation(s)\n"
+    (Metrics.counter_total reg Obs.c_msg_sent)
+    (Metrics.counter_total reg Obs.c_miss_read)
+    (Metrics.counter_total reg Obs.c_miss_write)
+    (Metrics.counter_total reg Obs.c_miss_upgrade)
+    (Metrics.counter_total reg Obs.c_invals);
   print_endline
     "Things to observe above:\n\
      - the first write: read_req->readex path with a data reply;\n\

@@ -60,6 +60,9 @@ type hierarchy = {
   l2 : t;
   l1_miss_cycles : int; (* L1 miss, L2 hit *)
   l2_miss_cycles : int; (* L2 miss, memory fill *)
+  (* observability tap: called with the missing cache on every miss;
+     wired to the metrics registry by the cluster, no-op by default *)
+  mutable on_miss : t -> unit;
 }
 
 (* Cache geometry of the evaluation platform: 16 KB on-chip I and D
@@ -69,7 +72,8 @@ let alpha_hierarchy () =
     l1d = create ~name:"l1d" ~size_bytes:(16 * 1024) ~line_bytes:32;
     l2 = create ~name:"l2" ~size_bytes:(4 * 1024 * 1024) ~line_bytes:64;
     l1_miss_cycles = 10;
-    l2_miss_cycles = 50 }
+    l2_miss_cycles = 50;
+    on_miss = ignore }
 
 let reset_hierarchy h =
   reset h.l1i;
@@ -79,14 +83,26 @@ let reset_hierarchy h =
 (* Extra cycles for a data access. *)
 let daccess h addr =
   if access h.l1d addr then 0
-  else if access h.l2 addr then h.l1_miss_cycles
-  else h.l1_miss_cycles + h.l2_miss_cycles
+  else begin
+    h.on_miss h.l1d;
+    if access h.l2 addr then h.l1_miss_cycles
+    else begin
+      h.on_miss h.l2;
+      h.l1_miss_cycles + h.l2_miss_cycles
+    end
+  end
 
 (* Extra cycles for an instruction fetch. *)
 let iaccess h addr =
   if access h.l1i addr then 0
-  else if access h.l2 addr then h.l1_miss_cycles
-  else h.l1_miss_cycles + h.l2_miss_cycles
+  else begin
+    h.on_miss h.l1i;
+    if access h.l2 addr then h.l1_miss_cycles
+    else begin
+      h.on_miss h.l2;
+      h.l1_miss_cycles + h.l2_miss_cycles
+    end
+  end
 
 let dinvalidate h ~addr ~len =
   invalidate_range h.l1d ~addr ~len;

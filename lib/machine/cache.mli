@@ -30,6 +30,9 @@ type hierarchy = {
   l2 : t;
   l1_miss_cycles : int;
   l2_miss_cycles : int;
+  mutable on_miss : t -> unit;
+      (** observability tap, fired with the missing cache on every
+          miss; no-op by default *)
 }
 
 val alpha_hierarchy : unit -> hierarchy

@@ -47,13 +47,26 @@ type 'a t = {
   mutable seq : int;
   mutable sent : int;
   mutable payload_longs : int;
+  (* observability taps: called on every send (at the sender's time)
+     and every delivery (at arrival time).  The network itself stays
+     agnostic of what listens; the cluster wires these into the
+     observability subsystem. *)
+  mutable on_send : src:int -> dst:int -> now:int -> 'a -> unit;
+  mutable on_recv : src:int -> dst:int -> now:int -> 'a -> unit;
 }
+
+let no_tap ~src:_ ~dst:_ ~now:_ _ = ()
 
 let create ~nprocs profile =
   { profile; nprocs;
     chans = Array.init (nprocs * nprocs) (fun _ -> Queue.create ());
     last_deliver = Array.make (nprocs * nprocs) 0;
-    seq = 0; sent = 0; payload_longs = 0 }
+    seq = 0; sent = 0; payload_longs = 0;
+    on_send = no_tap; on_recv = no_tap }
+
+let set_taps t ~on_send ~on_recv =
+  t.on_send <- on_send;
+  t.on_recv <- on_recv
 
 let chan t ~src ~dst = (src * t.nprocs) + dst
 
@@ -73,6 +86,7 @@ let send t ~src ~dst ~now ~payload_longs msg =
   t.sent <- t.sent + 1;
   t.payload_longs <- t.payload_longs + payload_longs;
   Queue.push { deliver; seq = t.seq; msg } t.chans.(c);
+  t.on_send ~src ~dst ~now msg;
   now + p.send_overhead
 
 (* Earliest arrival time of any message destined for [dst], if any. *)
@@ -100,6 +114,7 @@ let recv t ~dst ~now =
   match !best with
   | Some (src, q) ->
     ignore (Queue.pop t.chans.(chan t ~src ~dst));
+    t.on_recv ~src ~dst ~now:q.deliver q.msg;
     Some (q.deliver, q.msg)
   | None -> None
 

@@ -24,6 +24,16 @@ type 'a t
 
 val create : nprocs:int -> profile -> 'a t
 
+val set_taps :
+  'a t ->
+  on_send:(src:int -> dst:int -> now:int -> 'a -> unit) ->
+  on_recv:(src:int -> dst:int -> now:int -> 'a -> unit) ->
+  unit
+(** Install observability taps: [on_send] fires on every queued
+    message at the sender's time, [on_recv] on every delivery at
+    arrival time.  The cluster points these at the observability
+    subsystem; the default taps do nothing. *)
+
 val send : 'a t -> src:int -> dst:int -> now:int -> payload_longs:int ->
   'a -> int
 (** Queue a message; returns the time at which the sender is done (the

@@ -1,0 +1,78 @@
+(* Typed observability events.
+
+   Every interesting runtime occurrence — protocol messages, miss-check
+   outcomes, invalidations, stalls, synchronization, batch handling —
+   is one constructor here, stamped (in [record]) with the emitting
+   node and its simulated cycle time.  The stream replaces the old
+   printf-style [State.trace] callback: sinks render records as text,
+   keep them in memory for tests, or export Chrome trace_event JSON. *)
+
+type miss_kind = Read | Write | Upgrade
+
+let miss_kind_name = function
+  | Read -> "read"
+  | Write -> "write"
+  | Upgrade -> "upgrade"
+
+type t =
+  | Msg_send of { dst : int; kind : string; block : int; longs : int }
+      (* a message actually handed to the interconnect (local
+         deliveries never reach the network and are not counted,
+         keeping event-derived totals equal to [Network.stats]) *)
+  | Msg_recv of { src : int; kind : string; block : int; longs : int }
+  | Miss of { kind : miss_kind; addr : int }
+  | False_miss of { addr : int }
+      (* the inline check fired but the state lookup resolved it *)
+  | Invalidated of { addr : int; requester : int }
+  | Downgraded of { addr : int; requester : int }
+  | Stall of { reason : string; started : int; cycles : int }
+      (* emitted at wake-up, when the duration is known *)
+  | Lock_acquired of { id : int }
+  | Barrier_passed
+  | Flag_raised of { id : int }
+  | Flag_woken of { id : int }
+  | Batch_run of { nranges : int; waited : int }
+  | Store_reissue of { addr : int }
+  | Node_finished
+
+type record = { node : int; time : int; ev : t }
+
+let describe = function
+  | Msg_send { dst; kind; block; longs } ->
+    Printf.sprintf "-> n%d %s @0x%x (%d lw)" dst kind block longs
+  | Msg_recv { src; kind; block; longs } ->
+    Printf.sprintf "<- n%d %s @0x%x (%d lw)" src kind block longs
+  | Miss { kind; addr } ->
+    Printf.sprintf "miss %s @0x%x" (miss_kind_name kind) addr
+  | False_miss { addr } -> Printf.sprintf "false-miss @0x%x" addr
+  | Invalidated { addr; requester } ->
+    Printf.sprintf "inval @0x%x (ack->n%d)" addr requester
+  | Downgraded { addr; requester } ->
+    Printf.sprintf "downgrade @0x%x (for n%d)" addr requester
+  | Stall { reason; started; cycles } ->
+    Printf.sprintf "stall %s %d cyc (since %d)" reason cycles started
+  | Lock_acquired { id } -> Printf.sprintf "lock %d" id
+  | Barrier_passed -> "barrier"
+  | Flag_raised { id } -> Printf.sprintf "flag-set %d" id
+  | Flag_woken { id } -> Printf.sprintf "flag-wake %d" id
+  | Batch_run { nranges; waited } ->
+    Printf.sprintf "batch %d range(s), %d wait(s)" nranges waited
+  | Store_reissue { addr } -> Printf.sprintf "store-reissue @0x%x" addr
+  | Node_finished -> "finished"
+
+(* Short name used as the Chrome trace_event [name] field. *)
+let chrome_name = function
+  | Msg_send { kind; _ } -> "send:" ^ kind
+  | Msg_recv { kind; _ } -> "recv:" ^ kind
+  | Miss { kind; _ } -> "miss:" ^ miss_kind_name kind
+  | False_miss _ -> "false-miss"
+  | Invalidated _ -> "inval"
+  | Downgraded _ -> "downgrade"
+  | Stall { reason; _ } -> "stall:" ^ reason
+  | Lock_acquired _ -> "lock"
+  | Barrier_passed -> "barrier"
+  | Flag_raised _ -> "flag-set"
+  | Flag_woken _ -> "flag-wake"
+  | Batch_run _ -> "batch"
+  | Store_reissue _ -> "store-reissue"
+  | Node_finished -> "finished"

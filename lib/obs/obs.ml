@@ -1,0 +1,87 @@
+(* Observability facade: one value the whole runtime reports into.
+
+   [emit] is the single entry point: it folds the event into the
+   metrics registry (always on — plain integer bumps) and fans it out
+   to the attached sinks (none attached means no work beyond the
+   registry update).  Hot paths that only need a counter and have no
+   event worth streaming use [incr]/[observe] directly. *)
+
+module Event = Event
+module Metrics = Metrics
+module Sink = Sink
+
+type t = {
+  metrics : Metrics.t;
+  mutable sinks : Sink.t list;
+}
+
+let create ~nprocs () =
+  { metrics = Metrics.create ~nprocs; sinks = [] }
+
+let metrics t = t.metrics
+
+let attach t sink = t.sinks <- t.sinks @ [ sink ]
+
+let tracing t = t.sinks <> []
+
+let flush t = List.iter Sink.flush t.sinks
+
+(* Counter names, fixed here so that every layer and every consumer
+   (CLI tables, bench, tests) agrees on them. *)
+let c_msg_sent = "msg.sent"
+let c_msg_recv = "msg.recv"
+let c_miss_read = "miss.read"
+let c_miss_write = "miss.write"
+let c_miss_upgrade = "miss.upgrade"
+let c_miss_false = "miss.false"
+let c_miss_batch = "miss.batch"
+let c_invals = "protocol.invalidations"
+let c_downgrades = "protocol.downgrades"
+let c_store_reissues = "protocol.store_reissues"
+let c_stalls = "stall.count"
+let c_locks = "sync.lock_acquires"
+let c_barriers = "sync.barriers"
+let c_flag_sets = "sync.flag_sets"
+let c_flag_wakes = "sync.flag_wakes"
+let c_polls = "runtime.polls"
+let c_finished = "runtime.threads_finished"
+
+let h_payload = "msg.payload_longs"
+let h_stall = "stall.cycles"
+let h_miss_latency = "miss.latency_cycles"
+
+let count_event t ~node (ev : Event.t) =
+  let m = t.metrics in
+  match ev with
+  | Msg_send { longs; _ } ->
+    Metrics.incr m ~node c_msg_sent;
+    Metrics.observe m ~node h_payload longs
+  | Msg_recv _ -> Metrics.incr m ~node c_msg_recv
+  | Miss { kind = Read; _ } -> Metrics.incr m ~node c_miss_read
+  | Miss { kind = Write; _ } -> Metrics.incr m ~node c_miss_write
+  | Miss { kind = Upgrade; _ } -> Metrics.incr m ~node c_miss_upgrade
+  | False_miss _ -> Metrics.incr m ~node c_miss_false
+  | Invalidated _ -> Metrics.incr m ~node c_invals
+  | Downgraded _ -> Metrics.incr m ~node c_downgrades
+  | Stall { reason; cycles; _ } ->
+    Metrics.incr m ~node c_stalls;
+    Metrics.observe m ~node h_stall cycles;
+    if reason = "miss" then Metrics.observe m ~node h_miss_latency cycles
+  | Lock_acquired _ -> Metrics.incr m ~node c_locks
+  | Barrier_passed -> Metrics.incr m ~node c_barriers
+  | Flag_raised _ -> Metrics.incr m ~node c_flag_sets
+  | Flag_woken _ -> Metrics.incr m ~node c_flag_wakes
+  | Batch_run _ -> Metrics.incr m ~node c_miss_batch
+  | Store_reissue _ -> Metrics.incr m ~node c_store_reissues
+  | Node_finished -> Metrics.incr m ~node c_finished
+
+let emit t ~node ~time ev =
+  count_event t ~node ev;
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+    let r = { Event.node; time; ev } in
+    List.iter (fun (s : Sink.t) -> s.on_record r) sinks
+
+let incr t ~node name = Metrics.incr t.metrics ~node name
+let observe t ~node name v = Metrics.observe t.metrics ~node name v

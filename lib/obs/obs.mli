@@ -1,0 +1,61 @@
+(** Structured observability: typed event tracing plus a metrics
+    registry, reported into by every layer of the runtime.
+
+    Create one [t] per simulated cluster (the [State.config] carries
+    it), attach zero or more sinks, and read the registry after the
+    run.  With no sinks attached, [emit] only bumps registry counters
+    — cheap enough to leave on unconditionally. *)
+
+module Event = Event
+module Metrics = Metrics
+module Sink = Sink
+
+type t
+
+val create : nprocs:int -> unit -> t
+
+val metrics : t -> Metrics.t
+
+val attach : t -> Sink.t -> unit
+(** Add a sink; events are fanned out to all attached sinks in
+    attachment order. *)
+
+val tracing : t -> bool
+(** [true] when at least one sink is attached — lets emit sites skip
+    building expensive event payloads when nobody is listening. *)
+
+val flush : t -> unit
+(** Finalize every sink (e.g. close the Chrome JSON array). *)
+
+val emit : t -> node:int -> time:int -> Event.t -> unit
+(** Record one event: folded into the registry, then streamed to the
+    sinks (if any). *)
+
+val incr : t -> node:int -> string -> unit
+(** Bump a registry counter directly (hot paths with no event). *)
+
+val observe : t -> node:int -> string -> int -> unit
+(** Observe into a registry histogram directly. *)
+
+(** Registry metric names used by the runtime's emit points. *)
+
+val c_msg_sent : string
+val c_msg_recv : string
+val c_miss_read : string
+val c_miss_write : string
+val c_miss_upgrade : string
+val c_miss_false : string
+val c_miss_batch : string
+val c_invals : string
+val c_downgrades : string
+val c_store_reissues : string
+val c_stalls : string
+val c_locks : string
+val c_barriers : string
+val c_flag_sets : string
+val c_flag_wakes : string
+val c_polls : string
+val c_finished : string
+val h_payload : string
+val h_stall : string
+val h_miss_latency : string

@@ -1,0 +1,139 @@
+(* Pluggable event sinks.
+
+   A sink is a pair of closures: [on_record] consumes each event
+   record as it is emitted, [flush] finalizes any buffered output
+   (closing the Chrome JSON array, for instance).  Three sinks cover
+   the subsystem's uses: an in-memory ring buffer for tests, a
+   line-oriented text log subsuming the old [State.trace] callback,
+   and Chrome trace_event JSON that opens directly in
+   chrome://tracing or Perfetto with one track per node. *)
+
+type t = {
+  on_record : Event.record -> unit;
+  flush : unit -> unit;
+}
+
+let flush t = t.flush ()
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffer                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ring = {
+  cap : int;
+  buf : Event.record option array;
+  mutable next : int; (* total records ever pushed *)
+}
+
+let ring ~capacity =
+  if capacity <= 0 then invalid_arg "Sink.ring: capacity must be positive";
+  { cap = capacity; buf = Array.make capacity None; next = 0 }
+
+let ring_sink r =
+  { on_record =
+      (fun rec_ ->
+        r.buf.(r.next mod r.cap) <- Some rec_;
+        r.next <- r.next + 1);
+    flush = (fun () -> ()) }
+
+(* Records still held, oldest first. *)
+let ring_contents r =
+  let kept = min r.next r.cap in
+  List.init kept (fun i ->
+    Option.get r.buf.((r.next - kept + i) mod r.cap))
+
+(* Records pushed out of the buffer by later ones. *)
+let ring_dropped r = max 0 (r.next - r.cap)
+
+(* ------------------------------------------------------------------ *)
+(* Text log                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One line per record: "  <cycle> n<node> <description>", matching the
+   shape of the printf trace this subsystem replaces. *)
+let line (r : Event.record) =
+  Printf.sprintf "%8d n%d %s" r.time r.node (Event.describe r.ev)
+
+let text out = { on_record = (fun r -> out (line r)); flush = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The "JSON array format": a top-level array of event objects, which
+   both chrome://tracing and Perfetto accept.  Cycles are written as
+   the microsecond timestamps the format expects — the UI then simply
+   displays simulated cycles as "us".  All nodes share pid 0 and get
+   one track (tid) each.  Stalls become complete ("X") events spanning
+   their duration; everything else is an instant ("i"). *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chrome_args (ev : Event.t) =
+  let kv = Printf.sprintf in
+  match ev with
+  | Msg_send { dst; kind = _; block; longs } ->
+    [ kv "\"dst\":%d" dst; kv "\"block\":\"0x%x\"" block;
+      kv "\"longs\":%d" longs ]
+  | Msg_recv { src; kind = _; block; longs } ->
+    [ kv "\"src\":%d" src; kv "\"block\":\"0x%x\"" block;
+      kv "\"longs\":%d" longs ]
+  | Miss { addr; _ } | False_miss { addr } | Store_reissue { addr } ->
+    [ kv "\"addr\":\"0x%x\"" addr ]
+  | Invalidated { addr; requester } | Downgraded { addr; requester } ->
+    [ kv "\"addr\":\"0x%x\"" addr; kv "\"requester\":%d" requester ]
+  | Stall _ -> []
+  | Lock_acquired { id } | Flag_raised { id } | Flag_woken { id } ->
+    [ kv "\"id\":%d" id ]
+  | Batch_run { nranges; waited } ->
+    [ kv "\"nranges\":%d" nranges; kv "\"waited\":%d" waited ]
+  | Barrier_passed | Node_finished -> []
+
+let chrome_record (r : Event.record) =
+  let name = json_escape (Event.chrome_name r.ev) in
+  let args = String.concat "," (chrome_args r.ev) in
+  match r.ev with
+  | Stall { started; cycles; _ } ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%d,\"dur\":%d,\"pid\":0,\
+       \"tid\":%d,\"args\":{%s}}"
+      name started cycles r.node args
+  | _ ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%d,\"pid\":0,\"tid\":%d,\
+       \"s\":\"t\",\"args\":{%s}}"
+      name r.time r.node args
+
+(* Streaming writer: records go out as they arrive; [flush] closes the
+   array.  A metadata record names each node's track. *)
+let chrome ?(nprocs = 0) oc =
+  let first = ref true in
+  let emit s =
+    if !first then first := false else output_string oc ",\n";
+    output_string oc s
+  in
+  output_string oc "[\n";
+  for n = 0 to nprocs - 1 do
+    emit
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\
+          \"args\":{\"name\":\"node %d\"}}"
+         n n)
+  done;
+  { on_record = (fun r -> emit (chrome_record r));
+    flush =
+      (fun () ->
+        output_string oc "\n]\n";
+        Stdlib.flush oc) }

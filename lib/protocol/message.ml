@@ -47,12 +47,31 @@ let payload_longs m =
   | Coh (Data_reply { data; _ }) -> 4 + Array.length data
   | _ -> 4
 
+(* Short, stable kind name — the label typed observability events and
+   trace tracks carry. *)
+let kind_name m =
+  match m.kind with
+  | Coh Read_req -> "read_req"
+  | Coh Readex_req -> "readex_req"
+  | Coh Upgrade_req -> "upgrade_req"
+  | Coh (Fwd_read _) -> "fwd_read"
+  | Coh (Fwd_readex _) -> "fwd_readex"
+  | Coh (Data_reply _) -> "data_reply"
+  | Coh (Upgrade_ack _) -> "upgrade_ack"
+  | Coh (Inv _) -> "inv"
+  | Coh Inv_ack -> "inv_ack"
+  | Sync Lock_req -> "lock_req"
+  | Sync Lock_grant -> "lock_grant"
+  | Sync Unlock_msg -> "unlock"
+  | Sync Barrier_arrive -> "barrier_arrive"
+  | Sync Barrier_release -> "barrier_release"
+  | Sync Flag_set_msg -> "flag_set"
+  | Sync Flag_wait_req -> "flag_wait"
+  | Sync Flag_wake -> "flag_wake"
+
 let describe m =
   let k =
     match m.kind with
-    | Coh Read_req -> "read_req"
-    | Coh Readex_req -> "readex_req"
-    | Coh Upgrade_req -> "upgrade_req"
     | Coh (Fwd_read { requester }) -> Printf.sprintf "fwd_read(r%d)" requester
     | Coh (Fwd_readex { requester; acks }) ->
       Printf.sprintf "fwd_readex(r%d,a%d)" requester acks
@@ -63,14 +82,6 @@ let describe m =
         (4 * Array.length data)
     | Coh (Upgrade_ack { acks }) -> Printf.sprintf "upgrade_ack(a%d)" acks
     | Coh (Inv { requester }) -> Printf.sprintf "inv(ack->%d)" requester
-    | Coh Inv_ack -> "inv_ack"
-    | Sync Lock_req -> "lock_req"
-    | Sync Lock_grant -> "lock_grant"
-    | Sync Unlock_msg -> "unlock"
-    | Sync Barrier_arrive -> "barrier_arrive"
-    | Sync Barrier_release -> "barrier_release"
-    | Sync Flag_set_msg -> "flag_set"
-    | Sync Flag_wait_req -> "flag_wait"
-    | Sync Flag_wake -> "flag_wake"
+    | _ -> kind_name m
   in
   Printf.sprintf "[%d] %s @0x%x" m.src k m.addr

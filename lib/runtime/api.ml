@@ -16,19 +16,22 @@ type spec = {
   fixed_block : int option;
   granularity_threshold : int;
   consistency : State.consistency;
-  trace : (string -> unit) option;
+  obs : Shasta_obs.Obs.t option;
+      (* observability subsystem to report into; [None] builds a fresh
+         sinkless one (the metrics registry is still populated) *)
 }
 
 let default_spec prog =
   { prog; opts = Some Shasta.Opts.full; nprocs = 1;
     pipe = Shasta_machine.Pipeline.alpha_21064a;
     net = Shasta_network.Network.memory_channel; fixed_block = None;
-    granularity_threshold = 1024; consistency = State.Release; trace = None }
+    granularity_threshold = 1024; consistency = State.Release; obs = None }
 
 type result = {
   phase : Cluster.phase_result;
   inst_stats : Shasta.Instrument.stats option;
   program : Shasta_isa.Program.t; (* the executable actually run *)
+  state : State.t; (* post-run cluster state (registry, network, dir) *)
 }
 
 let prepare spec =
@@ -52,7 +55,7 @@ let prepare spec =
       ~consistency:spec.consistency ~pipe_config:spec.pipe
       ~net_profile:spec.net
       ~granularity_threshold:spec.granularity_threshold
-      ?fixed_block:spec.fixed_block ?trace:spec.trace ()
+      ?fixed_block:spec.fixed_block ?obs:spec.obs ()
   in
   let state =
     Cluster.create ~config ~compiled:{ compiled with program } ()
@@ -62,4 +65,4 @@ let prepare spec =
 let run ?(init_proc = "appinit") ?(work_proc = "work") spec =
   let state, inst_stats, program = prepare spec in
   let phase = Cluster.run_app ~init_proc ~work_proc state in
-  { phase; inst_stats; program }
+  { phase; inst_stats; program; state }

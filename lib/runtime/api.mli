@@ -14,7 +14,11 @@ type spec = {
   fixed_block : int option;  (** force one block size (ablations) *)
   granularity_threshold : int;
   consistency : State.consistency;
-  trace : (string -> unit) option;  (** protocol message trace sink *)
+  obs : Shasta_obs.Obs.t option;
+      (** observability subsystem to report into — attach sinks before
+          running; [None] builds a fresh sinkless one (the metrics
+          registry is still populated and readable via the result
+          state) *)
 }
 
 val default_spec : Ast.prog -> spec
@@ -25,6 +29,10 @@ type result = {
   phase : Cluster.phase_result;
   inst_stats : Shasta.Instrument.stats option;
   program : Shasta_isa.Program.t;  (** the executable actually run *)
+  state : State.t;
+      (** the cluster after the run — gives access to the metrics
+          registry ([State.obs]), network stats, directory and node
+          tables *)
 }
 
 val prepare :

@@ -13,6 +13,8 @@
    serving protocol requests — they may still own blocks. *)
 
 open Shasta_machine
+module Obs = Shasta_obs.Obs
+module Ev = Shasta_obs.Event
 
 type phase_result = {
   wall_cycles : int;
@@ -21,6 +23,8 @@ type phase_result = {
   output : string;
   msgs_sent : int;
   payload_longs : int;
+  metrics : Shasta_obs.Metrics.t;
+      (* delta of the observability registry over the timed phase *)
 }
 
 let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
@@ -50,6 +54,34 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
       pid_addr;
       nprocs_addr = np_addr }
   in
+  (* Wire the interconnect and cache-model taps into the observability
+     subsystem: every network send/delivery becomes a typed event,
+     every hardware cache miss a registry bump. *)
+  let obs = config.obs in
+  let msg_info (msg : Shasta_protocol.Message.t) =
+    ( Shasta_protocol.Message.kind_name msg,
+      msg.addr,
+      Shasta_protocol.Message.payload_longs msg )
+  in
+  Shasta_network.Network.set_taps state.net
+    ~on_send:(fun ~src ~dst ~now msg ->
+      let kind, block, longs = msg_info msg in
+      Obs.emit obs ~node:src ~time:now
+        (Ev.Msg_send { dst; kind; block; longs }))
+    ~on_recv:(fun ~src ~dst ~now msg ->
+      let kind, block, longs = msg_info msg in
+      Obs.emit obs ~node:dst ~time:now
+        (Ev.Msg_recv { src; kind; block; longs }));
+  Array.iter
+    (fun (n : Node.t) ->
+      n.caches.on_miss <-
+        (fun (c : Cache.t) ->
+          Obs.incr obs ~node:n.id
+            (match c.cname with
+             | "l1i" -> "cache.l1i.misses"
+             | "l1d" -> "cache.l1d.misses"
+             | _ -> "cache.l2.misses")))
+    nodes;
   Array.iter
     (fun (n : Node.t) ->
       (* private regions are exclusive from the start so that store
@@ -192,6 +224,7 @@ let run_app ?(init_proc = "appinit") ?(work_proc = "work") (state : State.t) =
     nodes;
   let before = Array.map snapshot_counters nodes in
   let sent0, pay0 = Shasta_network.Network.stats state.net in
+  let metrics0 = Shasta_obs.Metrics.copy (Obs.metrics state.config.obs) in
   run_until_done state;
   let t1 =
     Array.fold_left (fun a (n : Node.t) -> max a (Node.time n)) 0 nodes
@@ -204,4 +237,6 @@ let run_app ?(init_proc = "appinit") ?(work_proc = "work") (state : State.t) =
         nodes;
     output = Buffer.contents state.output;
     msgs_sent = sent1 - sent0;
-    payload_longs = pay1 - pay0 }
+    payload_longs = pay1 - pay0;
+    metrics =
+      Shasta_obs.Metrics.sub (Obs.metrics state.config.obs) metrics0 }

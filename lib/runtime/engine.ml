@@ -24,8 +24,15 @@
 open Shasta_machine
 open Shasta_protocol
 open Shasta
+module Obs = Shasta_obs.Obs
+module Ev = Shasta_obs.Event
 
 let ls state = state.State.config.line_shift
+
+(* Report a typed event at the node's current simulated time. *)
+let emit state (node : Node.t) ev =
+  Obs.emit state.State.config.obs ~node:node.id
+    ~time:(Pipeline.cycle node.pipe) ev
 
 let block_of state addr = Granularity.block_base state.State.gran addr
 let block_len state block = Granularity.block_bytes_at state.State.gran block
@@ -44,14 +51,15 @@ let rec send state (node : Node.t) ~dst ~addr kind =
     handle state node msg
   end
   else begin
+    (* the network's send tap reports the message to the
+       observability subsystem *)
     let now = Pipeline.cycle node.pipe in
     let done_at =
       Shasta_network.Network.send state.State.net ~src:node.id ~dst ~now
         ~payload_longs:(Message.payload_longs msg)
         msg
     in
-    charge node (done_at - now);
-    State.trace state "%8d n%d -> n%d %s" now node.id dst (Message.describe msg)
+    charge node (done_at - now)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -76,9 +84,17 @@ and check_wake state (node : Node.t) =
   | Waiting w ->
     if Node.wait_satisfied node then begin
       (match w with W_sync -> node.sync_signal <- false | _ -> ());
-      node.counters.stall_cycles <-
-        node.counters.stall_cycles
-        + (Pipeline.cycle node.pipe - node.wait_started);
+      let stalled = Pipeline.cycle node.pipe - node.wait_started in
+      node.counters.stall_cycles <- node.counters.stall_cycles + stalled;
+      emit state node
+        (Ev.Stall
+           { reason =
+               (match w with
+                | Node.W_blocks _ -> "miss"
+                | Node.W_release -> "release"
+                | Node.W_sync -> "sync");
+             started = node.wait_started;
+             cycles = stalled });
       node.status <- Running;
       let k = node.on_wake in
       node.on_wake <- (fun () -> ());
@@ -255,6 +271,7 @@ and owner_fwd_read state (node : Node.t) ~requester ~block =
   else begin
     let len = block_len state block in
     let data = Tables.read_block node ~addr:block ~len in
+    emit state node (Ev.Downgraded { addr = block; requester });
     send state node ~dst:requester ~addr:block
       (Coh (Data_reply { data; exclusive = false; acks = 0 }));
     if node.in_batch then node.deferred <- D_downgrade block :: node.deferred
@@ -291,6 +308,7 @@ and owner_fwd_readex state (node : Node.t) ~requester ~block ~acks =
 and apply_inv state (node : Node.t) ~block ~requester =
   (* acknowledge straight to the requester, immediately; the flag writes
      may be deferred but the ack is not *)
+  emit state node (Ev.Invalidated { addr = block; requester });
   send state node ~dst:requester ~addr:block (Coh Inv_ack);
   let len = block_len state block in
   if node.in_batch then node.deferred <- D_inv block :: node.deferred
@@ -541,11 +559,13 @@ let apply_deferred state (node : Node.t) =
           (* the batch stored into a block invalidated under it: keep the
              stored longwords, reissue the store miss (Section 4.3) *)
           node.counters.store_reissues <- node.counters.store_reissues + 1;
+          emit state node (Ev.Store_reissue { addr = block });
           Tables.flag_range node ~addr:block ~len;
           let p = start_pending state node block Node.P_readex in
           Hashtbl.iter (fun a v -> Hashtbl.replace p.written a v) written;
           issue_request state node block (Coh Readex_req) (fun () ->
-            node.counters.write_misses <- node.counters.write_misses + 1)
+            node.counters.write_misses <- node.counters.write_misses + 1;
+            emit state node (Ev.Miss { kind = Ev.Write; addr = block }))
         end
         else Tables.make_invalid node ~ls:(ls state) ~addr:block ~len)
       | Node.D_downgrade block ->
@@ -556,10 +576,12 @@ let apply_deferred state (node : Node.t) =
           ()
         else if Hashtbl.length written > 0 then begin
           node.counters.store_reissues <- node.counters.store_reissues + 1;
+          emit state node (Ev.Store_reissue { addr = block });
           let p = start_pending state node block Node.P_upgrade in
           Hashtbl.iter (fun a v -> Hashtbl.replace p.written a v) written;
           issue_request state node block (Coh Upgrade_req) (fun () ->
-            node.counters.upgrade_misses <- node.counters.upgrade_misses + 1)
+            node.counters.upgrade_misses <- node.counters.upgrade_misses + 1;
+            emit state node (Ev.Miss { kind = Ev.Upgrade; addr = block }))
         end
         else
           Tables.make_shared node ~ls:(ls state) ~addr:block ~len)
@@ -583,6 +605,7 @@ let load_miss state (node : Node.t) ~addr ~refill =
   let st = Tables.get_state node ~ls:(ls state) addr in
   if st = Layout.st_exclusive || st = Layout.st_shared then begin
     node.counters.false_misses <- node.counters.false_misses + 1;
+    emit state node (Ev.False_miss { addr });
     charge node state.State.config.costs.false_miss;
     refill ()
   end
@@ -596,6 +619,7 @@ let load_miss state (node : Node.t) ~addr ~refill =
       block_on state node (W_blocks [ block ]) ~k:refill
     | _ ->
       node.counters.false_misses <- node.counters.false_misses + 1;
+      emit state node (Ev.False_miss { addr });
       charge node state.State.config.costs.false_miss;
       refill ()
   end
@@ -610,6 +634,7 @@ let load_miss state (node : Node.t) ~addr ~refill =
   end
   else begin
     node.counters.read_misses <- node.counters.read_misses + 1;
+    emit state node (Ev.Miss { kind = Ev.Read; addr });
     ignore (start_pending state node block Node.P_read);
     issue_request state node block (Coh Read_req) (fun () -> ());
     block_on state node (W_blocks [ block ]) ~k:refill
@@ -641,6 +666,7 @@ let rec store_miss state (node : Node.t) ~addr ~bytes ~store_done =
   if st = Layout.st_exclusive then begin
     (* resolved while the message queue drained: false miss *)
     node.counters.false_misses <- node.counters.false_misses + 1;
+    emit state node (Ev.False_miss { addr });
     charge node state.State.config.costs.false_miss
   end
   else if st = Layout.st_pending_invalid || st = Layout.st_pending_shared
@@ -659,12 +685,14 @@ let rec store_miss state (node : Node.t) ~addr ~bytes ~store_done =
     let sc = state.State.config.consistency = State.Sequential in
     (if st = Layout.st_shared then begin
        node.counters.upgrade_misses <- node.counters.upgrade_misses + 1;
+       emit state node (Ev.Miss { kind = Ev.Upgrade; addr });
        let p = start_pending state node block Node.P_upgrade in
        if store_done then Node.record_written p ~mem:node.mem ~addr ~bytes;
        issue_request state node block (Coh Upgrade_req) (fun () -> ())
      end
      else begin
        node.counters.write_misses <- node.counters.write_misses + 1;
+       emit state node (Ev.Miss { kind = Ev.Write; addr });
        let p = start_pending state node block Node.P_readex in
        if store_done then Node.record_written p ~mem:node.mem ~addr ~bytes;
        issue_request state node block (Coh Readex_req) (fun () -> ())
@@ -724,11 +752,13 @@ let batch_miss state (node : Node.t) ~nranges ~accesses =
         end
         else if st = Layout.st_shared then begin
           node.counters.upgrade_misses <- node.counters.upgrade_misses + 1;
+          emit state node (Ev.Miss { kind = Ev.Upgrade; addr = block });
           ignore (start_pending state node block Node.P_upgrade);
           issue_request state node block (Coh Upgrade_req) (fun () -> ())
         end
         else begin
           node.counters.write_misses <- node.counters.write_misses + 1;
+          emit state node (Ev.Miss { kind = Ev.Write; addr = block });
           ignore (start_pending state node block Node.P_readex);
           issue_request state node block (Coh Readex_req) (fun () -> ());
           waits := block :: !waits
@@ -742,12 +772,15 @@ let batch_miss state (node : Node.t) ~nranges ~accesses =
         else if st = Layout.st_pending_invalid then waits := block :: !waits
         else begin
           node.counters.read_misses <- node.counters.read_misses + 1;
+          emit state node (Ev.Miss { kind = Ev.Read; addr = block });
           ignore (start_pending state node block Node.P_read);
           issue_request state node block (Coh Read_req) (fun () -> ());
           waits := block :: !waits
         end
       end)
     blocks;
+  emit state node
+    (Ev.Batch_run { nranges; waited = List.length !waits });
   if state.State.config.consistency = State.Sequential then begin
     (* Section 4.3: under SC the handler waits for ALL requests,
        including exclusive ones and their acknowledgements *)
@@ -778,6 +811,8 @@ let batch_end state (node : Node.t) =
    "message arrived" location is set, drain and handle. *)
 let poll state (node : Node.t) =
   node.counters.polls <- node.counters.polls + 1;
+  (* polls are far too frequent to stream as events; registry only *)
+  Obs.incr state.State.config.obs ~node:node.id Obs.c_polls;
   charge node state.State.config.costs.poll_cycles;
   drain state node
 
@@ -788,19 +823,22 @@ let poll state (node : Node.t) =
 let rt_lock state (node : Node.t) id =
   enter_handler state node;
   node.counters.lock_acquires <- node.counters.lock_acquires + 1;
+  let acquired () = emit state node (Ev.Lock_acquired { id }) in
   let h = sync_home state id in
   if h = node.id then begin
     charge node state.State.config.costs.sync_local;
     let l = State.lock_state state id in
     match l.holder with
-    | None -> l.holder <- Some node.id
+    | None ->
+      l.holder <- Some node.id;
+      acquired ()
     | Some _ ->
       Queue.push node.id l.lq;
-      block_on state node W_sync ~k:(fun () -> ())
+      block_on state node W_sync ~k:acquired
   end
   else begin
     send state node ~dst:h ~addr:id (Sync Lock_req);
-    block_on state node W_sync ~k:(fun () -> ())
+    block_on state node W_sync ~k:acquired
   end
 
 let rt_unlock state (node : Node.t) id =
@@ -818,21 +856,24 @@ let rt_barrier state (node : Node.t) =
   enter_handler state node;
   block_on state node W_release ~k:(fun () ->
     let master = state.State.nodes.(0) in
+    let passed () =
+      node.counters.barriers_passed <- node.counters.barriers_passed + 1;
+      emit state node Ev.Barrier_passed
+    in
     if node.id = 0 then begin
       charge node state.State.config.costs.sync_local;
-      block_on state node W_sync ~k:(fun () ->
-        node.counters.barriers_passed <- node.counters.barriers_passed + 1);
+      block_on state node W_sync ~k:passed;
       home_barrier_arrive state master
     end
     else begin
       send state node ~dst:0 ~addr:0 (Sync Barrier_arrive);
-      block_on state node W_sync ~k:(fun () ->
-        node.counters.barriers_passed <- node.counters.barriers_passed + 1)
+      block_on state node W_sync ~k:passed
     end)
 
 let rt_flag_set state (node : Node.t) id =
   enter_handler state node;
   block_on state node W_release ~k:(fun () ->
+    emit state node (Ev.Flag_raised { id });
     let h = sync_home state id in
     if h = node.id then begin
       charge node state.State.config.costs.sync_local;
@@ -842,16 +883,18 @@ let rt_flag_set state (node : Node.t) id =
 
 let rt_flag_wait state (node : Node.t) id =
   enter_handler state node;
+  let woken () = emit state node (Ev.Flag_woken { id }) in
   let h = sync_home state id in
   if h = node.id then begin
     charge node state.State.config.costs.sync_local;
     let f = State.flag_state state id in
     if not f.fset then begin
       Queue.push node.id f.fwaiters;
-      block_on state node W_sync ~k:(fun () -> ())
+      block_on state node W_sync ~k:woken
     end
+    else woken ()
   end
   else begin
     send state node ~dst:h ~addr:id (Sync Flag_wait_req);
-    block_on state node W_sync ~k:(fun () -> ())
+    block_on state node W_sync ~k:woken
   end

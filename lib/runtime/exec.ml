@@ -76,6 +76,13 @@ let operand_value (node : Node.t) = function
   | Insn.Reg r -> node.regs.(r)
   | Insn.Imm i -> i
 
+(* The work procedure returned or called exit: mark the thread done and
+   report it, giving traces an end-of-track marker per node. *)
+let finish state (node : Node.t) =
+  node.status <- Finished;
+  Shasta_obs.Obs.emit state.State.config.obs ~node:node.id
+    ~time:(Node.time node) Shasta_obs.Event.Node_finished
+
 let set_ireg (node : Node.t) r v = if r <> Reg.zero then node.regs.(r) <- v
 let set_freg (node : Node.t) f v = if f <> Reg.fzero then node.fregs.(f) <- v
 
@@ -105,7 +112,7 @@ let run state (node : Node.t) ~fuel =
          if node.pc_idx >= Array.length fp.code then begin
            (* fell off the end of a procedure: implicit return *)
            match node.call_stack with
-           | [] -> node.status <- Finished
+           | [] -> finish state node
            | (p, i) :: rest ->
              node.call_stack <- rest;
              node.pc_proc <- p;
@@ -211,7 +218,7 @@ let run state (node : Node.t) ~fuel =
            | Ret ->
              issue ();
              (match node.call_stack with
-              | [] -> node.status <- Finished
+              | [] -> finish state node
               | (p, i) :: rest ->
                 node.call_stack <- rest;
                 node.pc_proc <- p;
@@ -272,7 +279,7 @@ let run state (node : Node.t) ~fuel =
               | Print_float f ->
                 Buffer.add_string state.State.output
                   (Printf.sprintf "%.6g\n" node.fregs.(f))
-              | Exit_thread -> node.status <- Finished);
+              | Exit_thread -> finish state node);
              yield Y_running
          end;
          decr fuel;

@@ -21,16 +21,22 @@ type config = {
   costs : Costs.t;
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
-  trace : (string -> unit) option;
+  obs : Shasta_obs.Obs.t;
+      (* the observability subsystem every layer reports into: typed
+         event stream (when sinks are attached) plus the always-on
+         metrics registry *)
 }
 
 let default_config ?(nprocs = 1) ?(line_shift = 6)
     ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
     ?(net_profile = Shasta_network.Network.memory_channel)
     ?(costs = Costs.default) ?(granularity_threshold = 1024) ?fixed_block
-    ?trace () =
+    ?obs () =
+  let obs =
+    match obs with Some o -> o | None -> Shasta_obs.Obs.create ~nprocs ()
+  in
   { nprocs; line_shift; consistency; pipe_config; net_profile; costs;
-    granularity_threshold; fixed_block; trace }
+    granularity_threshold; fixed_block; obs }
 
 (* A per-block-size allocation pool: shared pages are handed out to one
    block size at a time (Section 4.2's per-page granularity scheme). *)
@@ -81,7 +87,4 @@ let flag_state t id =
     Hashtbl.add t.flags id f;
     f
 
-let trace t fmt =
-  match t.config.trace with
-  | Some f -> Printf.ksprintf f fmt
-  | None -> Printf.ksprintf ignore fmt
+let obs t = t.config.obs

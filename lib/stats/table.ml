@@ -9,7 +9,10 @@ let create header = { header; rows = [] }
 
 let add_row t row = t.rows <- row :: t.rows
 
-let addf t fmts = add_row t fmts
+(* Printf-style row helper: the format renders one row whose cells are
+   separated by tabs, e.g. [addf t "%s\t%d\t%.2f" name n x]. *)
+let addf t fmt =
+  Printf.ksprintf (fun s -> add_row t (String.split_on_char '\t' s)) fmt
 
 let render t =
   let rows = List.rev t.rows in

@@ -5,7 +5,11 @@ type t
 
 val create : string list -> t
 val add_row : t -> string list -> unit
-val addf : t -> string list -> unit
+
+val addf : t -> ('a, unit, string, unit) format4 -> 'a
+(** Printf-style [add_row]: the format renders one row, cells
+    separated by ['\t'] — [addf t "%s\t%d" name count]. *)
+
 val render : t -> string
 val print : t -> unit
 

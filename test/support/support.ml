@@ -4,10 +4,10 @@ open Shasta_runtime
 
 (* Run a MiniC program and return (printed output, phase result). *)
 let run ?(opts = Some Shasta.Opts.full) ?(nprocs = 1)
-    ?(net = Shasta_network.Network.memory_channel) ?fixed_block ?trace
+    ?(net = Shasta_network.Network.memory_channel) ?fixed_block ?obs
     ?(init_proc = "appinit") ?(work_proc = "work") prog =
   let spec =
-    { (Api.default_spec prog) with opts; nprocs; net; fixed_block; trace }
+    { (Api.default_spec prog) with opts; nprocs; net; fixed_block; obs }
   in
   let r = Api.run ~init_proc ~work_proc spec in
   (r.phase.output, r)
