@@ -530,11 +530,20 @@ let section_messages () =
   let t =
     Table.create
       [ "workload"; "read misses"; "write misses"; "upgrades"; "msgs";
-        "msgs/miss" ]
+        "msgs/miss"; "hot site" ]
   in
   List.iter
     (fun (name, p) ->
-      let _, r = run_cycles ~opts:(Some Opts.full) ~nprocs:np p in
+      (* run with a site profiler attached so a regression in any column
+         is attributable to the code location that moved *)
+      let obs = Obs.create ~nprocs:np () in
+      let prof = Obs.Profile.create ~nprocs:np () in
+      Obs.attach_profiler obs prof;
+      let spec =
+        { (Api.default_spec p) with
+          opts = Some Opts.full; nprocs = np; obs = Some obs }
+      in
+      let r = Api.run spec in
       (* read straight from the observability registry (the parallel
          phase delta) rather than the per-node raw counters *)
       let total = Metrics.counter_total r.phase.metrics in
@@ -543,8 +552,17 @@ let section_messages () =
       let up = total Obs.c_miss_upgrade in
       let msgs = total Obs.c_msg_sent in
       let misses = max 1 (rd + wr + up) in
-      Table.addf t "%s\t%d\t%d\t%d\t%d\t%s" name rd wr up msgs
-        (Table.f2 (Table.ratio msgs misses)))
+      let hot =
+        match Obs.Profile.sites prof with
+        | ((proc, pc), s) :: _ ->
+          Printf.sprintf "%s (%d)"
+            (Image.site_name r.state.State.image ~proc ~pc)
+            (Obs.Profile.site_misses s + s.n_false)
+        | [] -> "-"
+      in
+      Table.addf t "%s\t%d\t%d\t%d\t%d\t%s\t%s" name rd wr up msgs
+        (Table.f2 (Table.ratio msgs misses))
+        hot)
     [ ("stream", Shasta_apps.Micro.stream ~nwords:1024 ());
       ("migratory", Shasta_apps.Micro.migratory ~rounds:64 ());
       ("false sharing", Shasta_apps.Micro.false_sharing ~iters:100 ());

@@ -15,7 +15,7 @@ module Sink = Shasta_obs.Sink
 
 let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
     no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
-    metrics metrics_csv show_asm =
+    metrics metrics_csv profile profile_out flame_out top show_asm =
   let entry = Shasta_apps.Apps.find app in
   let size =
     match size with
@@ -64,6 +64,24 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
       Obs.attach obs (Sink.chrome ~nprocs oc);
       Some oc
   in
+  (* the site profiler piggybacks on the same event stream *)
+  let want_profile =
+    profile || profile_out <> None || flame_out <> None
+  in
+  let prof =
+    if want_profile then begin
+      let line =
+        match line_bytes with 128 -> 128 | _ -> 64
+      in
+      let p =
+        Obs.Profile.create ~nprocs ~block_of:(fun a -> a land lnot (line - 1))
+          ()
+      in
+      Obs.attach_profiler obs p;
+      Some p
+    end
+    else None
+  in
   let spec =
     { (Api.default_spec prog) with
       opts;
@@ -106,6 +124,43 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
         id c.insns c.read_misses c.write_misses c.upgrade_misses
         c.batch_misses c.false_misses c.stall_cycles c.polls c.lock_acquires)
     r.phase.counters;
+  (match prof with
+   | None -> ()
+   | Some p ->
+     let image = r.state.State.image in
+     let name_site = Image.site_name image in
+     let report = Obs.Profile.report ~top p ~name_site in
+     Printf.printf "\n== site profile (top %d)\n%s" top report;
+     (* cross-check: the profiler and the registry consumed the same
+        stream, so per-site miss totals must sum to the registry's
+        counters exactly *)
+     let reg = Obs.metrics obs in
+     let tot = Obs.Profile.totals p in
+     Printf.printf
+       "site totals vs registry: read %d/%d write %d/%d upgrade %d/%d \
+        false %d/%d\n"
+       tot.Obs.Profile.t_read
+       (Metrics.counter_total reg Obs.c_miss_read)
+       tot.Obs.Profile.t_write
+       (Metrics.counter_total reg Obs.c_miss_write)
+       tot.Obs.Profile.t_upgrade
+       (Metrics.counter_total reg Obs.c_miss_upgrade)
+       tot.Obs.Profile.t_false
+       (Metrics.counter_total reg Obs.c_miss_false);
+     (match profile_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out_or_die file in
+        output_string oc (Obs.Profile.report ~top:max_int p ~name_site);
+        close_out oc);
+     (match flame_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out_or_die file in
+        output_string oc
+          (Obs.Profile.collapsed p ~name_proc:(Image.proc_name image)
+             ~name_site);
+        close_out oc));
   if metrics then begin
     let reg = Obs.metrics obs in
     Printf.printf "\n== metrics registry (whole run, per node + aggregate)\n";
@@ -206,6 +261,29 @@ let cmd =
          & info [ "metrics-csv" ] ~docv:"FILE"
              ~doc:"Dump the metrics registry as CSV.")
   in
+  let profile_t =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print the site profile: top-N hot sites (misses, \
+                   stalls per code location), contended blocks with a \
+                   false-sharing verdict, and protocol span latencies.")
+  in
+  let profile_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "profile-out" ] ~docv:"FILE"
+             ~doc:"Write the full (untruncated) site profile to FILE.")
+  in
+  let flame_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "flame-out" ] ~docv:"FILE"
+             ~doc:"Write collapsed call stacks (fn;fn;site count) to \
+                   FILE, for flamegraph tools.")
+  in
+  let top_t =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"N"
+             ~doc:"Rows shown in the profile tables (default 10).")
+  in
   let show_asm_t =
     Arg.(value & flag
          & info [ "asm" ] ~doc:"Disassemble the instrumented executable.")
@@ -215,12 +293,12 @@ let cmd =
   in
   let main list app size procs net cpu line no_instrument no_sched no_flag
       no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
-      metrics metrics_csv show_asm =
+      metrics metrics_csv profile profile_out flame_out top show_asm =
     if list then list_apps ()
     else
       run app size procs net cpu line no_instrument no_sched no_flag no_excl
         no_batch poll no_range fixed_block threshold sc trace trace_out
-        metrics metrics_csv show_asm
+        metrics metrics_csv profile profile_out flame_out top show_asm
   in
   let term =
     Term.(
@@ -228,7 +306,7 @@ let cmd =
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t
-      $ show_asm_t)
+      $ profile_t $ profile_out_t $ flame_out_t $ top_t $ show_asm_t)
   in
   Cmd.v
     (Cmd.info "shasta_run"

@@ -37,6 +37,10 @@ let () =
   let obs = Obs.create ~nprocs:2 () in
   let ring = Sink.ring ~capacity:65536 in
   Obs.attach obs (Sink.ring_sink ring);
+  (* a profiler on the same stream attributes the misses to code sites
+     and folds request/reply pairs into latency spans *)
+  let prof = Obs.Profile.create ~nprocs:2 () in
+  Obs.attach_profiler obs prof;
   let spec = { (Api.default_spec program) with nprocs = 2; obs = Some obs } in
   let r = Api.run spec in
   List.iter
@@ -57,6 +61,26 @@ let () =
     (Metrics.counter_total reg Obs.c_miss_write)
     (Metrics.counter_total reg Obs.c_miss_upgrade)
     (Metrics.counter_total reg Obs.c_invals);
+  (* top miss sites, named fn:line through the frozen image *)
+  let image = r.state.State.image in
+  print_endline "hot sites (top 5):";
+  List.iteri
+    (fun i ((proc, pc), (s : Obs.Profile.site_stats)) ->
+      if i < 5 then
+        Printf.printf "  %-12s rd=%d wr=%d up=%d false=%d stall=%d cyc\n"
+          (Image.site_name image ~proc ~pc)
+          s.n_read s.n_write s.n_upgrade s.n_false s.stall_cycles)
+    (Obs.Profile.sites prof);
+  (* one transaction span: the whole remote round trip at one site *)
+  (match Obs.Profile.spans prof with
+   | sp :: _ ->
+     Printf.printf
+       "first span: n%d %s @0x%x, %d cycles request-to-reply\n"
+       sp.sp_node sp.sp_kind sp.sp_addr sp.sp_dur
+   | [] -> ());
+  Printf.printf "spans matched: %d (unmatched: %d)\n"
+    (Obs.Profile.span_count prof)
+    (List.length (Obs.Profile.unmatched prof));
   print_endline
     "Things to observe above:\n\
      - the first write: read_req->readex path with a data reply;\n\

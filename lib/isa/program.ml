@@ -19,6 +19,24 @@ let entry_proc t = proc_exn t t.entry
 let map_procs f t =
   { t with procs = List.map (fun p -> { p with body = f p }) t.procs }
 
+(* --- source-location markers ---------------------------------------- *)
+
+(* Zero-byte labels the MiniC compiler plants in front of every
+   statement: "$src:<proc>:<n>".  They survive instrumentation like any
+   other label (checks are inserted around them, never into them), are
+   never branch targets, and let [Image.freeze] rebuild a statement
+   table over the rewritten code so profiler sites render as fn:line. *)
+
+let src_prefix = "$src:"
+
+let src_marker ~pname n = Printf.sprintf "%s%s:%d" src_prefix pname n
+
+let src_of_label l =
+  let pl = String.length src_prefix in
+  if String.length l > pl && String.sub l 0 pl = src_prefix then
+    Some (String.sub l pl (String.length l - pl))
+  else None
+
 let text_bytes_proc p =
   List.fold_left (fun a i -> a + Insn.bytes i) 0 p.body
 

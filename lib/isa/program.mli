@@ -11,6 +11,14 @@ val entry_proc : t -> proc
 val map_procs : (proc -> Insn.t list) -> t -> t
 (** Rewrite every procedure body (how instrumentation passes apply). *)
 
+val src_marker : pname:string -> int -> string
+(** Label text of the [n]-th source-location marker of procedure
+    [pname] — a zero-byte [Lab] the MiniC compiler plants before every
+    statement so sites survive instrumentation. *)
+
+val src_of_label : string -> string option
+(** ["proc:line"] if the label is a source marker, [None] otherwise. *)
+
 val text_bytes_proc : proc -> int
 val text_bytes : t -> int
 

@@ -41,6 +41,7 @@ type penv = {
   mutable itemps : Reg.ireg list;
   mutable ftemps : Reg.freg list;
   mutable nlabel : int;
+  mutable nsrc : int; (* statement counter for source-location markers *)
   mutable code : Insn.t list; (* reversed *)
   frame : int;
   spill_base : int;
@@ -483,6 +484,12 @@ let with_cache_off env f =
   r
 
 let rec compile_stmt env (s : Ast.stmt) =
+  (* a zero-byte source-location marker in front of every statement
+     (nested ones included): the Shasta instrumenter carries labels
+     through unchanged, so the frozen image can attribute each rewritten
+     instruction — and every miss at it — back to a statement *)
+  env.nsrc <- env.nsrc + 1;
+  emit env (Lab (Program.src_marker ~pname:env.pname env.nsrc));
   match s with
   | Decl (x, ty, e) ->
     let off, sty = slot_of env x in
@@ -654,7 +661,7 @@ let compile_proc g (p : Ast.proc) : Program.proc =
   let frame = (((nslots + spill_slots) * 8) + 15) land lnot 15 in
   let env =
     { g; slots; itemps = Reg.int_temps; ftemps = Reg.float_temps; nlabel = 0;
-      code = []; frame; spill_base = nslots * 8; spill_depth = 0;
+      nsrc = 0; code = []; frame; spill_base = nslots * 8; spill_depth = 0;
       pname = p.name; pret = p.ret; vcache = []; cache_on = true }
   in
   emit env (Lda (Reg.sp, -frame, Reg.sp));

@@ -14,6 +14,13 @@ let miss_kind_name = function
   | Write -> "write"
   | Upgrade -> "upgrade"
 
+(* Code location of the emitting node when the event happened: procedure
+   index and instruction index into the frozen image, plus the call
+   stack by reference ([Node.call_stack] is an immutable list, so
+   storing it costs nothing).  The profiler aggregates per-site; the
+   image maps (sproc, spc) back to a source label. *)
+type site = { sproc : int; spc : int; sstack : (int * int) list }
+
 type t =
   | Msg_send of { dst : int; kind : string; block : int; longs : int }
       (* a message actually handed to the interconnect (local
@@ -34,8 +41,12 @@ type t =
   | Batch_run of { nranges : int; waited : int }
   | Store_reissue of { addr : int }
   | Node_finished
+  | Span of { kind : string; addr : int; dur : int }
+      (* a matched protocol transaction (request to reply), synthesized
+         by the profiler and drained into sinks at flush; [record.time]
+         is the span's start *)
 
-type record = { node : int; time : int; ev : t }
+type record = { node : int; time : int; ev : t; site : site option }
 
 let describe = function
   | Msg_send { dst; kind; block; longs } ->
@@ -59,6 +70,8 @@ let describe = function
     Printf.sprintf "batch %d range(s), %d wait(s)" nranges waited
   | Store_reissue { addr } -> Printf.sprintf "store-reissue @0x%x" addr
   | Node_finished -> "finished"
+  | Span { kind; addr; dur } ->
+    Printf.sprintf "span %s @0x%x %d cyc" kind addr dur
 
 (* Short name used as the Chrome trace_event [name] field. *)
 let chrome_name = function
@@ -76,3 +89,4 @@ let chrome_name = function
   | Batch_run _ -> "batch"
   | Store_reissue _ -> "store-reissue"
   | Node_finished -> "finished"
+  | Span { kind; _ } -> "span:" ^ kind

@@ -95,6 +95,28 @@ let observe t ?bounds ~node name v =
 
 let hist t name node = (hist_cells t name).(node)
 
+(* Percentile estimate from the bucket counts: find the bucket holding
+   the rank-[ceil(p/100 * n)] observation and report its upper bound
+   (the overflow bucket and any bound beyond the observed maximum are
+   clamped to [hmax], so p100 = max exactly). *)
+let percentile (h : hist) p =
+  if h.n = 0 then 0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.n)))
+    in
+    let nb = Array.length h.bounds in
+    let rec go i seen =
+      if i > nb then h.hmax
+      else
+        let seen = seen + h.counts.(i) in
+        if seen >= rank then
+          if i >= nb then h.hmax else min h.bounds.(i) h.hmax
+        else go (i + 1) seen
+    in
+    go 0 0
+  end
+
 (* Cluster-wide aggregate of a histogram (bounds are shared). *)
 let hist_total t name =
   let hs = hist_cells t name in
@@ -185,9 +207,14 @@ let to_string t =
     (fun name ->
       let agg = hist_total t name in
       Buffer.add_string buf
-        (Printf.sprintf "\nhistogram %s: n=%d sum=%d max=%d mean=%.1f\n" name
-           agg.n agg.sum agg.hmax
-           (if agg.n = 0 then 0.0 else float_of_int agg.sum /. float_of_int agg.n));
+        (Printf.sprintf
+           "\nhistogram %s: n=%d sum=%d max=%d mean=%.1f p50<=%d p95<=%d \
+            p99<=%d\n"
+           name agg.n agg.sum agg.hmax
+           (if agg.n = 0 then 0.0
+            else float_of_int agg.sum /. float_of_int agg.n)
+           (percentile agg 50.0) (percentile agg 95.0)
+           (percentile agg 99.0));
       let ht =
         Table.create (("bucket" :: nodes) @ [ "total" ])
       in

@@ -9,22 +9,39 @@
 module Event = Event
 module Metrics = Metrics
 module Sink = Sink
+module Profile = Profile
 
 type t = {
   metrics : Metrics.t;
   mutable sinks : Sink.t list;
+  mutable profiler : Profile.t option;
 }
 
 let create ~nprocs () =
-  { metrics = Metrics.create ~nprocs; sinks = [] }
+  { metrics = Metrics.create ~nprocs; sinks = []; profiler = None }
 
 let metrics t = t.metrics
 
 let attach t sink = t.sinks <- t.sinks @ [ sink ]
 
+let attach_profiler t p = t.profiler <- Some p
+
+let profiler t = t.profiler
+
 let tracing t = t.sinks <> []
 
-let flush t = List.iter Sink.flush t.sinks
+let flush t =
+  (* drain the profiler's matched transactions into the sinks first, so
+     a Chrome trace gets its async span tracks before the array closes;
+     [Profile.drain_spans] is one-shot, so repeated flushes (which the
+     sinks themselves also tolerate) add nothing twice *)
+  (match t.profiler with
+   | Some p when t.sinks <> [] ->
+     List.iter
+       (fun r -> List.iter (fun (s : Sink.t) -> s.on_record r) t.sinks)
+       (Profile.drain_spans p)
+   | _ -> ());
+  List.iter Sink.flush t.sinks
 
 (* Counter names, fixed here so that every layer and every consumer
    (CLI tables, bench, tests) agrees on them. *)
@@ -45,6 +62,7 @@ let c_flag_sets = "sync.flag_sets"
 let c_flag_wakes = "sync.flag_wakes"
 let c_polls = "runtime.polls"
 let c_finished = "runtime.threads_finished"
+let c_spans = "span.matched"
 
 let h_payload = "msg.payload_longs"
 let h_stall = "stall.cycles"
@@ -74,13 +92,15 @@ let count_event t ~node (ev : Event.t) =
   | Batch_run _ -> Metrics.incr m ~node c_miss_batch
   | Store_reissue _ -> Metrics.incr m ~node c_store_reissues
   | Node_finished -> Metrics.incr m ~node c_finished
+  | Span _ -> Metrics.incr m ~node c_spans
 
-let emit t ~node ~time ev =
+let emit t ?site ~node ~time ev =
   count_event t ~node ev;
-  match t.sinks with
-  | [] -> ()
-  | sinks ->
-    let r = { Event.node; time; ev } in
+  match (t.sinks, t.profiler) with
+  | [], None -> ()
+  | sinks, profiler ->
+    let r = { Event.node; time; ev; site } in
+    (match profiler with Some p -> Profile.feed p r | None -> ());
     List.iter (fun (s : Sink.t) -> s.on_record r) sinks
 
 let incr t ~node name = Metrics.incr t.metrics ~node name

@@ -9,6 +9,7 @@
 module Event = Event
 module Metrics = Metrics
 module Sink = Sink
+module Profile = Profile
 
 type t
 
@@ -20,16 +21,23 @@ val attach : t -> Sink.t -> unit
 (** Add a sink; events are fanned out to all attached sinks in
     attachment order. *)
 
+val attach_profiler : t -> Profile.t -> unit
+(** Feed every emitted record to [p] (at most one profiler). *)
+
+val profiler : t -> Profile.t option
+
 val tracing : t -> bool
 (** [true] when at least one sink is attached — lets emit sites skip
     building expensive event payloads when nobody is listening. *)
 
 val flush : t -> unit
-(** Finalize every sink (e.g. close the Chrome JSON array). *)
+(** Drain the profiler's matched spans into the sinks, then finalize
+    every sink (e.g. close the Chrome JSON array).  Idempotent. *)
 
-val emit : t -> node:int -> time:int -> Event.t -> unit
+val emit : t -> ?site:Event.site -> node:int -> time:int -> Event.t -> unit
 (** Record one event: folded into the registry, then streamed to the
-    sinks (if any). *)
+    profiler and sinks (if any).  [site] attributes the event to the
+    emitting node's current code location. *)
 
 val incr : t -> node:int -> string -> unit
 (** Bump a registry counter directly (hot paths with no event). *)
@@ -56,6 +64,7 @@ val c_flag_sets : string
 val c_flag_wakes : string
 val c_polls : string
 val c_finished : string
+val c_spans : string
 val h_payload : string
 val h_stall : string
 val h_miss_latency : string

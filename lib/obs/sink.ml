@@ -50,9 +50,16 @@ let ring_dropped r = max 0 (r.next - r.cap)
 (* ------------------------------------------------------------------ *)
 
 (* One line per record: "  <cycle> n<node> <description>", matching the
-   shape of the printf trace this subsystem replaces. *)
+   shape of the printf trace this subsystem replaces; site-stamped
+   records carry their (proc, pc) so traces can be read next to the
+   disassembly. *)
 let line (r : Event.record) =
-  Printf.sprintf "%8d n%d %s" r.time r.node (Event.describe r.ev)
+  let site =
+    match r.site with
+    | Some s -> Printf.sprintf " [%d:%d]" s.sproc s.spc
+    | None -> ""
+  in
+  Printf.sprintf "%8d n%d %s%s" r.time r.node (Event.describe r.ev) site
 
 let text out = { on_record = (fun r -> out (line r)); flush = (fun () -> ()) }
 
@@ -95,6 +102,8 @@ let chrome_args (ev : Event.t) =
   | Invalidated { addr; requester } | Downgraded { addr; requester } ->
     [ kv "\"addr\":\"0x%x\"" addr; kv "\"requester\":%d" requester ]
   | Stall _ -> []
+  | Span { addr; dur; _ } ->
+    [ kv "\"addr\":\"0x%x\"" addr; kv "\"dur\":%d" dur ]
   | Lock_acquired { id } | Flag_raised { id } | Flag_woken { id } ->
     [ kv "\"id\":%d" id ]
   | Batch_run { nranges; waited } ->
@@ -117,9 +126,15 @@ let chrome_record (r : Event.record) =
       name r.time r.node args
 
 (* Streaming writer: records go out as they arrive; [flush] closes the
-   array.  A metadata record names each node's track. *)
+   array — exactly once, however often it is called (the CLI and a
+   library user may both flush the same [Obs.t]; a second terminator
+   would corrupt the JSON).  Records arriving after the close are
+   dropped.  A metadata record names each node's track; profiler spans
+   become async ("b"/"e") pairs on the emitting node's track. *)
 let chrome ?(nprocs = 0) oc =
   let first = ref true in
+  let closed = ref false in
+  let next_span = ref 0 in
   let emit s =
     if !first then first := false else output_string oc ",\n";
     output_string oc s
@@ -132,8 +147,28 @@ let chrome ?(nprocs = 0) oc =
           \"args\":{\"name\":\"node %d\"}}"
          n n)
   done;
-  { on_record = (fun r -> emit (chrome_record r));
+  { on_record =
+      (fun r ->
+        if not !closed then
+          match r.ev with
+          | Event.Span { kind; addr; dur } ->
+            incr next_span;
+            let name = json_escape ("span:" ^ kind) in
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"b\",\"ts\":%d,\
+                  \"pid\":0,\"tid\":%d,\"id\":%d,\"args\":{\"addr\":\"0x%x\"}}"
+                 name r.time r.node !next_span addr);
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"e\",\"ts\":%d,\
+                  \"pid\":0,\"tid\":%d,\"id\":%d,\"args\":{}}"
+                 name (r.time + dur) r.node !next_span)
+          | _ -> emit (chrome_record r));
     flush =
       (fun () ->
-        output_string oc "\n]\n";
-        Stdlib.flush oc) }
+        if not !closed then begin
+          closed := true;
+          output_string oc "\n]\n";
+          Stdlib.flush oc
+        end) }

@@ -66,7 +66,15 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
   Shasta_network.Network.set_taps state.net
     ~on_send:(fun ~src ~dst ~now msg ->
       let kind, block, longs = msg_info msg in
-      Obs.emit obs ~node:src ~time:now
+      (* stamp the send with the sender's current code site so the
+         profiler's transaction spans open at the requesting access *)
+      let n = nodes.(src) in
+      let site =
+        { Ev.sproc = n.pc_proc;
+          spc = (if n.pc_idx > 0 then n.pc_idx - 1 else 0);
+          sstack = n.call_stack }
+      in
+      Obs.emit obs ~site ~node:src ~time:now
         (Ev.Msg_send { dst; kind; block; longs }))
     ~on_recv:(fun ~src ~dst ~now msg ->
       let kind, block, longs = msg_info msg in

@@ -29,9 +29,20 @@ module Ev = Shasta_obs.Event
 
 let ls state = state.State.config.line_shift
 
-(* Report a typed event at the node's current simulated time. *)
+(* Report a typed event at the node's current simulated time, attributed
+   to the node's current code site.  The interpreter bumps [pc_idx]
+   before dispatching into the engine, so [pc_idx - 1] is the
+   miss-check pseudo-instruction (or Batch_end / Rt_call) that caused
+   the event; a blocked node's pc does not move, so the stall emitted at
+   wake-up lands on the same site as its miss.  [call_stack] is an
+   immutable list — aliasing it costs nothing. *)
+let site_of (node : Node.t) =
+  { Ev.sproc = node.pc_proc;
+    spc = (if node.pc_idx > 0 then node.pc_idx - 1 else 0);
+    sstack = node.call_stack }
+
 let emit state (node : Node.t) ev =
-  Obs.emit state.State.config.obs ~node:node.id
+  Obs.emit state.State.config.obs ~site:(site_of node) ~node:node.id
     ~time:(Pipeline.cycle node.pipe) ev
 
 let block_of state addr = Granularity.block_base state.State.gran addr

@@ -80,7 +80,12 @@ let operand_value (node : Node.t) = function
    report it, giving traces an end-of-track marker per node. *)
 let finish state (node : Node.t) =
   node.status <- Finished;
-  Shasta_obs.Obs.emit state.State.config.obs ~node:node.id
+  let site =
+    { Shasta_obs.Event.sproc = node.pc_proc;
+      spc = (if node.pc_idx > 0 then node.pc_idx - 1 else 0);
+      sstack = node.call_stack }
+  in
+  Shasta_obs.Obs.emit state.State.config.obs ~site ~node:node.id
     ~time:(Node.time node) Shasta_obs.Event.Node_finished
 
 let set_ireg (node : Node.t) r v = if r <> Reg.zero then node.regs.(r) <- v

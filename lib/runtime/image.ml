@@ -11,6 +11,10 @@ type fproc = {
   callee : int array; (* callee procedure index for Jsr, or -1 *)
   offset : int array; (* byte offset of each instruction in the text *)
   base : int; (* text base address of this procedure *)
+  src : string array;
+      (* source location ("proc:stmt") of each instruction, rebuilt from
+         the compiler's zero-byte "$src:" marker labels; "" before the
+         first marker (prologue) or in hand-written code *)
 }
 
 type t = {
@@ -39,12 +43,24 @@ let freeze (prog : Program.t) =
         let target = Array.make n (-1) in
         let callee = Array.make n (-1) in
         let offset = Array.make n 0 in
+        let src = Array.make n "" in
         let base = !next_base in
         let off = ref 0 in
+        let cur_src = ref "" in
         Array.iteri
           (fun i insn ->
             offset.(i) <- !off;
             off := !off + Insn.bytes insn;
+            (* instructions inherit the latest source marker: checks
+               inserted for a statement's accesses sit between its
+               marker and the next one *)
+            (match insn with
+             | Insn.Lab l ->
+               (match Program.src_of_label l with
+                | Some s -> cur_src := s
+                | None -> ())
+             | _ -> ());
+            src.(i) <- !cur_src;
             (match Insn.branch_targets insn with
              | [ l ] -> target.(i) <- Hashtbl.find labels l
              | _ -> ());
@@ -54,7 +70,7 @@ let freeze (prog : Program.t) =
             | _ -> ())
           code;
         next_base := (base + !off + 63) land lnot 63;
-        { fname = p.pname; code; target; callee; offset; base })
+        { fname = p.pname; code; target; callee; offset; base; src })
       prog.procs
     |> Array.of_list
   in
@@ -66,3 +82,21 @@ let proc_index t name =
   | None -> invalid_arg ("Image.proc_index: unknown procedure " ^ name)
 
 let nprocs t = Array.length t.fprocs
+
+(* --- site naming (for the profiler's reports) ----------------------- *)
+
+let proc_name t p =
+  if p >= 0 && p < Array.length t.fprocs then t.fprocs.(p).fname else "?"
+
+(* "proc:stmt" when the compiler planted markers, "proc+idx" otherwise
+   (hand-assembled executables have no source table). *)
+let site_name t ~proc ~pc =
+  if proc < 0 || proc >= Array.length t.fprocs then
+    Printf.sprintf "?%d+%d" proc pc
+  else
+    let fp = t.fprocs.(proc) in
+    if pc < 0 || pc >= Array.length fp.code then fp.fname
+    else
+      match fp.src.(pc) with
+      | "" -> Printf.sprintf "%s+%d" fp.fname pc
+      | s -> s

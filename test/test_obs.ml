@@ -8,7 +8,7 @@ module Event = Shasta_obs.Event
 module Metrics = Shasta_obs.Metrics
 module Sink = Shasta_obs.Sink
 
-let mk_rec node time ev = { Event.node; time; ev }
+let mk_rec node time ev = { Event.node; time; ev; site = None }
 
 (* naive substring scan — enough for asserting on rendered output *)
 let occurrences ~sub s =
@@ -120,6 +120,13 @@ let test_chrome_sink () =
   sink.on_record (mk_rec 1 20 (Event.Stall
     { reason = "miss"; started = 12; cycles = 8 }));
   Sink.flush sink;
+  (* flush is idempotent: a second flush (e.g. Obs.flush called twice,
+     or an at_exit handler racing an explicit flush) must not emit a
+     second terminator, and late records are dropped, not appended
+     after the closing bracket *)
+  Sink.flush sink;
+  sink.on_record (mk_rec 0 30 Event.Barrier_passed);
+  Sink.flush sink;
   close_out oc;
   let ic = open_in file in
   let s = really_input_string ic (in_channel_length ic) in
@@ -135,7 +142,11 @@ let test_chrome_sink () =
   Alcotest.(check int) "one instant event" 1
     (occurrences ~sub:"\"ph\":\"i\"" t);
   Alcotest.(check bool) "stall has a duration" true
-    (contains ~sub:"\"dur\":8" t)
+    (contains ~sub:"\"dur\":8" t);
+  Alcotest.(check int) "single closing bracket despite double flush" 1
+    (occurrences ~sub:"]" t);
+  Alcotest.(check int) "post-flush record dropped" 0
+    (occurrences ~sub:"barrier" t)
 
 (* --- properties over real runs -------------------------------------- *)
 
