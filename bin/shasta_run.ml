@@ -12,10 +12,103 @@ open Shasta_runtime
 module Obs = Shasta_obs.Obs
 module Metrics = Shasta_obs.Metrics
 module Sink = Shasta_obs.Sink
+module Mcheck = Shasta_mcheck.Mcheck
+
+(* --check: enumerate every interleaving of the small built-in protocol
+   scenarios and verify invariants, quiescence and the data oracles.
+   With --inject drop-ack, the routing layer drops the first
+   invalidation acknowledgement: success then means the checker FINDS
+   the violation and prints its counterexample trace. *)
+let model_check nprocs inject fuzz_seed fuzz_runs =
+  let injection =
+    match inject with
+    | None -> Mcheck.No_injection
+    | Some "drop-ack" -> Mcheck.Drop_first_inv_ack
+    | Some s -> failwith ("unknown injection " ^ s)
+  in
+  (* exhaustive enumeration only stays tractable on tiny configs *)
+  let np = max 2 (min nprocs 3) in
+  if np <> nprocs then
+    Printf.printf "(clamped to %d processors for exhaustive search)\n" np;
+  Printf.printf "== model check: %d processors, %s\n" np
+    (match injection with
+     | Mcheck.No_injection -> "no fault injection"
+     | Mcheck.Drop_first_inv_ack -> "dropping first invalidation ack");
+  let results =
+    List.map
+      (fun sc -> Mcheck.run_scenario ~injection stdout sc)
+      (Mcheck.scenarios ~nprocs:np)
+  in
+  let states = List.fold_left (fun a (r : Mcheck.result) -> a + r.states) 0 results in
+  let transitions =
+    List.fold_left (fun a (r : Mcheck.result) -> a + r.transitions) 0 results
+  in
+  let violations =
+    List.filter_map (fun (r : Mcheck.result) -> r.violation) results
+  in
+  Printf.printf "total: %d states, %d transitions, %d scenario(s), %d violation(s)\n"
+    states transitions (List.length results) (List.length violations);
+  (* seeded random-walk fuzzing on top of the exhaustive pass *)
+  let fuzz_violations = ref 0 in
+  if fuzz_runs > 0 then begin
+    List.iter
+      (fun sc ->
+        let steps, v = Mcheck.fuzz ~injection ~seed:fuzz_seed ~runs:fuzz_runs sc in
+        Printf.printf "fuzz %-17s %d runs, %d steps%s\n" sc.Mcheck.sname
+          fuzz_runs steps
+          (match v with None -> "" | Some _ -> " VIOLATION");
+        match v with
+        | Some v ->
+          incr fuzz_violations;
+          Mcheck.pp_violation stdout v
+        | None -> ())
+      (Mcheck.scenarios ~nprocs:np)
+  end;
+  let found = List.length violations + !fuzz_violations > 0 in
+  match injection with
+  | Mcheck.No_injection ->
+    if found then begin
+      print_endline "FAIL: protocol violation found";
+      exit 1
+    end
+    else print_endline "OK: no violations in any explored interleaving"
+  | Mcheck.Drop_first_inv_ack ->
+    if found then
+      print_endline "OK: injected fault caught (counterexample above)"
+    else begin
+      print_endline "FAIL: injected fault was not detected";
+      exit 1
+    end
+
+(* --replay: run the workload with input recording on, then fold the
+   recorded inputs through the pure core from the initial view and
+   demand the exact same final protocol state. *)
+let replay_run spec app =
+  let state, _, _ = Api.prepare spec in
+  state.State.record_inputs <- true;
+  let phase = Cluster.run_app state in
+  let r = Replay.replay state in
+  Printf.printf "== replay: %s, %d processor(s)\n" app spec.Api.nprocs;
+  Printf.printf "live run    : %d wall cycles, %d messages\n" phase.wall_cycles
+    phase.msgs_sent;
+  Printf.printf "replayed    : %d protocol steps through the pure core\n"
+    r.Replay.steps;
+  List.iter
+    (fun (k, errs) ->
+      Printf.printf "invariants broken at step %d:\n" k;
+      List.iter (fun e -> Printf.printf "  %s\n" e) errs)
+    r.Replay.invariant_failures;
+  if r.Replay.mismatch then
+    print_endline "FAIL: replayed view differs from the live run's final view"
+  else if r.Replay.invariant_failures <> [] then
+    print_endline "FAIL: invariant violations during replay"
+  else
+    print_endline "OK: replay reproduces the live run's final protocol state";
+  if not (Replay.ok r) then exit 1
 
 let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
     no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
-    metrics metrics_csv profile profile_out flame_out top show_asm =
+    metrics metrics_csv profile profile_out flame_out top show_asm replay =
   let entry = Shasta_apps.Apps.find app in
   let size =
     match size with
@@ -97,6 +190,8 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
       consistency = (if sc then State.Sequential else State.Release);
       obs = Some obs }
   in
+  if replay then replay_run spec app
+  else begin
   let r = Api.run spec in
   Obs.flush obs;
   Option.iter close_out chrome_oc;
@@ -181,6 +276,7 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
     let oc = open_out_or_die file in
     output_string oc (Metrics.to_csv (Obs.metrics obs));
     close_out oc
+  end
 
 let list_apps () =
   List.iter
@@ -291,22 +387,58 @@ let cmd =
   let list_t =
     Arg.(value & flag & info [ "list" ] ~doc:"List available workloads.")
   in
-  let main list app size procs net cpu line no_instrument no_sched no_flag
-      no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
-      metrics metrics_csv profile profile_out flame_out top show_asm =
+  let check_t =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Model-check the protocol core: exhaustively enumerate \
+                   every interleaving of small built-in scenarios and \
+                   verify coherence invariants, quiescence and data \
+                   oracles.  Exits non-zero on a violation.")
+  in
+  let inject_t =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"FAULT"
+             ~doc:"With --check: inject a protocol bug (drop-ack drops \
+                   the first invalidation acknowledgement).  Success \
+                   inverts: the checker must find and print a \
+                   counterexample.")
+  in
+  let fuzz_seed_t =
+    Arg.(value & opt int 1 & info [ "fuzz-seed" ] ~doc:"Fuzzer seed.")
+  in
+  let fuzz_runs_t =
+    Arg.(value & opt int 50
+         & info [ "fuzz-runs" ]
+             ~doc:"Random interleavings per scenario after the exhaustive \
+                   pass (0 disables).")
+  in
+  let replay_t =
+    Arg.(value & flag
+         & info [ "replay" ]
+             ~doc:"Record every protocol-core input during the run, then \
+                   replay the log through the pure transition core and \
+                   verify it reproduces the exact final protocol state.")
+  in
+  let main list check inject fuzz_seed fuzz_runs app size procs net cpu line
+      no_instrument no_sched no_flag no_excl no_batch poll no_range
+      fixed_block threshold sc trace trace_out metrics metrics_csv profile
+      profile_out flame_out top show_asm replay =
     if list then list_apps ()
+    else if check then model_check procs inject fuzz_seed fuzz_runs
     else
       run app size procs net cpu line no_instrument no_sched no_flag no_excl
         no_batch poll no_range fixed_block threshold sc trace trace_out
-        metrics metrics_csv profile profile_out flame_out top show_asm
+        metrics metrics_csv profile profile_out flame_out top show_asm replay
   in
   let term =
     Term.(
-      const main $ list_t $ app_t $ size_t $ procs_t $ net_t $ cpu_t
+      const main $ list_t $ check_t $ inject_t $ fuzz_seed_t $ fuzz_runs_t
+      $ app_t $ size_t $ procs_t $ net_t $ cpu_t
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t
-      $ profile_t $ profile_out_t $ flame_out_t $ top_t $ show_asm_t)
+      $ profile_t $ profile_out_t $ flame_out_t $ top_t $ show_asm_t
+      $ replay_t)
   in
   Cmd.v
     (Cmd.info "shasta_run"

@@ -1,0 +1,683 @@
+(* Explicit-state model checker for the pure protocol core.
+
+   Because [Transitions.step] is a pure function over an immutable
+   [view], a closed system — the view, per-pair in-flight message
+   queues, per-node scripts and a one-longword-per-block shadow memory —
+   is a small immutable value, and every reachable interleaving of small
+   configurations can be enumerated outright.
+
+   Moves are the nondeterminism the real cluster exhibits: any running
+   node may issue its next scripted operation, and the head of any
+   non-empty (src, dst) channel may be delivered (the network never
+   reorders a pair, so per-pair FIFOs are exact).  A DFS over the move
+   graph with a visited set keyed on canonical state strings checks, at
+   every state, the core's structural invariants, invalidation-ack
+   conservation against the in-flight messages, and flag/value
+   coherence of the shadow memory; terminal states must be quiescent
+   (no waiting node, no unissued script, oracle satisfied).
+
+   A fault can be injected at the routing layer (drop the first
+   invalidation acknowledgement); the checker then demonstrates the
+   protocol's reliance on it by printing a counterexample trace.  A
+   seeded random-walk fuzzer covers larger configurations the
+   exhaustive search cannot. *)
+
+open Shasta_protocol
+module T = Transitions
+module Imap = T.Imap
+
+let marker = Shasta.Layout.flag_pattern
+
+(* ------------------------------------------------------------------ *)
+(* Scripts                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Read of int (* block *)
+  | Write of int * int (* block, value *)
+  | Write_reg_plus of int * int (* block, increment over last read *)
+  | Lock of int
+  | Unlock of int
+  | Flag_set of int
+  | Flag_wait of int
+  | Barrier
+
+let string_of_op = function
+  | Read b -> Printf.sprintf "read 0x%x" b
+  | Write (b, v) -> Printf.sprintf "write 0x%x <- %d" b v
+  | Write_reg_plus (b, k) -> Printf.sprintf "write 0x%x <- reg+%d" b k
+  | Lock id -> Printf.sprintf "lock %d" id
+  | Unlock id -> Printf.sprintf "unlock %d" id
+  | Flag_set id -> Printf.sprintf "flag_set %d" id
+  | Flag_wait id -> Printf.sprintf "flag_wait %d" id
+  | Barrier -> "barrier"
+
+type injection = No_injection | Drop_first_inv_ack
+
+(* ------------------------------------------------------------------ *)
+(* The closed system                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type sys = {
+  v : T.view;
+  chans : Message.t list Imap.t; (* src * nprocs + dst -> FIFO, head next *)
+  scripts : op list Imap.t; (* node -> remaining operations *)
+  shadow : int Imap.t Imap.t; (* node -> block -> value ([marker] = flagged) *)
+  regs : int Imap.t; (* node -> last value read *)
+  pending_read : int Imap.t; (* node -> block of the outstanding load *)
+  dropped : bool; (* the injected fault already fired *)
+}
+
+type scenario = {
+  sname : string;
+  nprocs : int;
+  blocks : int list;
+  scripts : op list array;
+  oracle : sys -> string list; (* extra checks at terminal states *)
+}
+
+let value (sys : sys) ~node ~block =
+  match Imap.find_opt block (Imap.find node sys.shadow) with
+  | Some v when v <> marker -> Some v
+  | _ -> None
+
+let reg (sys : sys) ~node =
+  match Imap.find_opt node sys.regs with Some v -> v | None -> 0
+
+let view (sys : sys) = sys.v
+
+let cfg_of (sc : scenario) =
+  { T.nprocs = sc.nprocs; page_bytes = 8192; sc = false }
+
+let init_sys (sc : scenario) =
+  let cfg = cfg_of sc in
+  let v0 = T.init cfg in
+  (* every block starts exclusively owned by node 0 (the allocator) *)
+  let _, v =
+    T.step cfg v0 ~node:0 (T.I_alloc { owner = 0; blocks = sc.blocks })
+  in
+  let shadow =
+    List.init sc.nprocs (fun n ->
+      ( n,
+        List.fold_left
+          (fun m b -> Imap.add b (if n = 0 then 0 else marker) m)
+          Imap.empty sc.blocks ))
+    |> List.to_seq |> Imap.of_seq
+  in
+  { v;
+    chans = Imap.empty;
+    scripts = Array.to_seqi sc.scripts |> Imap.of_seq;
+    shadow;
+    regs = Imap.empty;
+    pending_read = Imap.empty;
+    dropped = false }
+
+(* ------------------------------------------------------------------ *)
+(* Applying a step's actions to the closed system                       *)
+(* ------------------------------------------------------------------ *)
+
+let shadow_get (sys : sys) ~node ~block =
+  match Imap.find_opt block (Imap.find node sys.shadow) with
+  | Some v -> v
+  | None -> marker
+
+let shadow_set (sys : sys) ~node ~block v =
+  { sys with
+    shadow =
+      Imap.add node (Imap.add block v (Imap.find node sys.shadow)) sys.shadow }
+
+(* Does [node] hold a pending store to [block]'s longword in [v]?  Such
+   longwords keep the node's own value through invalidation (the
+   written-longword merge of Section 4.1). *)
+let has_written v ~node ~block =
+  let nv = T.node_view v ~node in
+  match Imap.find_opt block nv.T.pending with
+  | Some p -> Imap.mem block p.T.written
+  | None -> false
+
+exception Unexpected of string
+
+(* Apply one action.  [v'] is the post-step view (consulted for pending
+   written-longword state); [reply] holds the data of the message being
+   delivered, consumed by the first merge, like the engine's
+   [node.reply_data]. *)
+let apply_action ~inj ~(reply : int array option ref) v' node sys
+    (a : T.action) =
+  match a with
+  | T.A_charge _ | T.A_count _ | T.A_emit _ -> sys
+  | T.A_local _ -> sys
+  | T.A_block _ | T.A_stall _ -> sys (* node status lives in the view *)
+  | T.A_send { dst; msg } ->
+    let msg =
+      match msg.Message.kind with
+      | Message.Coh (Data_reply { data; exclusive; acks })
+        when Array.length data = 0 ->
+        { msg with
+          Message.kind =
+            Message.Coh
+              (Data_reply
+                 { data = [| shadow_get sys ~node ~block:msg.Message.addr |];
+                   exclusive;
+                   acks }) }
+      | _ -> msg
+    in
+    let drop =
+      (match inj with
+       | Drop_first_inv_ack -> msg.Message.kind = Message.Coh Message.Inv_ack
+       | No_injection -> false)
+      && not sys.dropped
+    in
+    if drop then { sys with dropped = true }
+    else
+      let key = (node * 1024) + dst in
+      let q =
+        match Imap.find_opt key sys.chans with Some q -> q | None -> []
+      in
+      { sys with chans = Imap.add key (q @ [ msg ]) sys.chans }
+  | T.A_mem op -> (
+    match op with
+    | T.M_make_exclusive _ | T.M_make_shared _ | T.M_make_pending _ -> sys
+    | T.M_make_invalid b | T.M_flag b ->
+      if has_written v' ~node ~block:b then sys
+      else shadow_set sys ~node ~block:b marker
+    | T.M_merge { block; written } ->
+      let base =
+        match !reply with
+        | Some d when Array.length d > 0 ->
+          reply := None;
+          d.(0)
+        | _ -> shadow_get sys ~node ~block
+      in
+      let value =
+        match List.assoc_opt block written with Some v -> v | None -> base
+      in
+      shadow_set sys ~node ~block value)
+  | T.A_refill -> (
+    match Imap.find_opt node sys.pending_read with
+    | Some b ->
+      { sys with
+        regs = Imap.add node (shadow_get sys ~node ~block:b) sys.regs;
+        pending_read = Imap.remove node sys.pending_read }
+    | None -> sys)
+  | T.A_reenter_store _ ->
+    raise (Unexpected "A_reenter_store under non-stalling stores")
+
+let run_step cfg ~inj ?reply (sys : sys) node input =
+  let acts, v' = T.step cfg sys.v ~node input in
+  let sys = { sys with v = v' } in
+  let reply = ref reply in
+  List.fold_left (apply_action ~inj ~reply v' node) sys acts
+
+(* ------------------------------------------------------------------ *)
+(* Moves                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let running (sys : sys) ~node =
+  (T.node_view sys.v ~node).T.nstat = T.N_running
+  && not (Imap.mem node sys.pending_read)
+
+(* Issue [node]'s next scripted operation.  Loads and stores follow the
+   inline-check semantics: a load hits iff the longword is unflagged
+   (the node's own pending stores satisfy its loads); a store hits iff
+   the line is exclusive.  Stores are non-stalling (release consistency,
+   Section 4.1): the value goes to shadow memory immediately and the
+   miss input carries it as the written longword. *)
+let issue cfg ~inj (sys : sys) node op rest =
+  let sys = { sys with scripts = Imap.add node rest sys.scripts } in
+  match op with
+  | Read b ->
+    if shadow_get sys ~node ~block:b <> marker then
+      { sys with regs = Imap.add node (shadow_get sys ~node ~block:b) sys.regs }
+    else
+      let st = T.line_state sys.v ~node ~block:b in
+      let sys = { sys with pending_read = Imap.add node b sys.pending_read } in
+      run_step cfg ~inj sys node (T.I_load_miss { addr = b; block = b; st })
+  | Write (b, _) | Write_reg_plus (b, _) ->
+    let value =
+      match op with
+      | Write_reg_plus (_, k) -> reg sys ~node + k
+      | Write (_, v) -> v
+      | _ -> assert false
+    in
+    let st = T.line_state sys.v ~node ~block:b in
+    let sys = shadow_set sys ~node ~block:b value in
+    if st = T.L_exclusive then sys
+    else
+      run_step cfg ~inj sys node
+        (T.I_store_miss
+           { addr = b;
+             block = b;
+             st;
+             bytes = 4;
+             store_done = true;
+             stored = [ (b, value) ] })
+  | Lock id -> run_step cfg ~inj sys node (T.I_lock id)
+  | Unlock id -> run_step cfg ~inj sys node (T.I_unlock id)
+  | Flag_set id -> run_step cfg ~inj sys node (T.I_flag_set id)
+  | Flag_wait id -> run_step cfg ~inj sys node (T.I_flag_wait id)
+  | Barrier -> run_step cfg ~inj sys node T.I_barrier
+
+let deliver cfg ~inj (sys : sys) key =
+  match Imap.find key sys.chans with
+  | [] -> assert false
+  | msg :: rest ->
+    let dst = key mod 1024 in
+    let chans =
+      if rest = [] then Imap.remove key sys.chans
+      else Imap.add key rest sys.chans
+    in
+    let sys = { sys with chans } in
+    let reply =
+      match msg.Message.kind with
+      | Message.Coh (Data_reply { data; _ }) -> Some data
+      | _ -> None
+    in
+    run_step cfg ~inj ?reply sys dst (T.I_msg msg)
+
+let moves cfg ~inj (sys : sys) =
+  let issues =
+    Imap.fold
+      (fun node script acc ->
+        match script with
+        | op :: rest when running sys ~node ->
+          ( Printf.sprintf "n%d: %s" node (string_of_op op),
+            fun () -> issue cfg ~inj sys node op rest )
+          :: acc
+        | _ -> acc)
+      sys.scripts []
+  in
+  let delivers =
+    Imap.fold
+      (fun key q acc ->
+        match q with
+        | msg :: _ ->
+          ( Printf.sprintf "deliver %d->%d: %s" (key / 1024) (key mod 1024)
+              (Message.describe msg),
+            fun () -> deliver cfg ~inj sys key )
+          :: acc
+        | [] -> acc)
+      sys.chans []
+  in
+  List.rev_append issues (List.rev delivers)
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Canonical key for the visited set: the view's canonical string plus
+   everything else the closed system carries. *)
+let canon_sys (sys : sys) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (T.canon sys.v);
+  Imap.iter
+    (fun key q ->
+      Buffer.add_string b (Printf.sprintf "|c%d:" key);
+      List.iter (fun m -> Buffer.add_string b (Message.describe m)) q)
+    sys.chans;
+  Imap.iter
+    (fun n s -> Buffer.add_string b (Printf.sprintf "|s%d:%d" n (List.length s)))
+    sys.scripts;
+  Imap.iter
+    (fun n m ->
+      Buffer.add_string b (Printf.sprintf "|m%d:" n);
+      Imap.iter (fun blk v -> Buffer.add_string b (Printf.sprintf "%x=%d," blk v)) m)
+    sys.shadow;
+  Imap.iter (fun n v -> Buffer.add_string b (Printf.sprintf "|r%d:%d" n v)) sys.regs;
+  Imap.iter
+    (fun n blk -> Buffer.add_string b (Printf.sprintf "|p%d:%x" n blk))
+    sys.pending_read;
+  if sys.dropped then Buffer.add_string b "|D";
+  Buffer.contents b
+
+(* Invalidation-ack conservation: a node expecting [e] acks can never
+   have received plus in flight more than [e]. *)
+let check_ack_conservation cfg (sys : sys) =
+  let errs = ref [] in
+  for node = 0 to cfg.T.nprocs - 1 do
+    let nv = T.node_view sys.v ~node in
+    Imap.iter
+      (fun block (a : T.ackst) ->
+        match a.T.expected with
+        | None -> ()
+        | Some e ->
+          let in_flight =
+            Imap.fold
+              (fun key q acc ->
+                if key mod 1024 = node then
+                  acc
+                  + List.length
+                      (List.filter
+                         (fun (m : Message.t) ->
+                           m.Message.kind = Message.Coh Message.Inv_ack
+                           && m.Message.addr = block)
+                         q)
+                else acc)
+              sys.chans 0
+          in
+          if a.T.got + in_flight > e then
+            errs :=
+              Printf.sprintf
+                "node %d block 0x%x: %d acks received + %d in flight > %d \
+                 expected"
+                node block a.T.got in_flight e
+              :: !errs)
+      nv.T.acks
+  done;
+  !errs
+
+(* Flag/value coherence of the shadow memory: a valid line is never
+   flagged; an invalid line with no pending store of its own is always
+   flagged (the inline checks depend on exactly this, Section 3.1). *)
+let check_flag_coherence cfg blocks (sys : sys) =
+  let errs = ref [] in
+  for node = 0 to cfg.T.nprocs - 1 do
+    List.iter
+      (fun block ->
+        let st = T.line_state sys.v ~node ~block in
+        let v = shadow_get sys ~node ~block in
+        match st with
+        | T.L_shared | T.L_exclusive ->
+          if v = marker then
+            errs :=
+              Printf.sprintf "node %d block 0x%x: valid line holds flag value"
+                node block
+              :: !errs
+        | T.L_invalid ->
+          if v <> marker then
+            errs :=
+              Printf.sprintf
+                "node %d block 0x%x: invalid line holds unflagged data" node
+                block
+              :: !errs
+        | T.L_pending_invalid | T.L_pending_shared -> ())
+      blocks
+  done;
+  !errs
+
+let check_state (sc : scenario) cfg (sys : sys) =
+  T.invariants cfg sys.v
+  @ check_ack_conservation cfg sys
+  @ check_flag_coherence cfg sc.blocks sys
+
+let check_terminal (sc : scenario) cfg (sys : sys) =
+  let stuck = ref [] in
+  Imap.iter
+    (fun node script ->
+      if script <> [] then
+        stuck :=
+          Printf.sprintf "node %d stuck with %d operations left (next: %s)"
+            node (List.length script)
+            (string_of_op (List.hd script))
+          :: !stuck)
+    sys.scripts;
+  for node = 0 to cfg.T.nprocs - 1 do
+    (match (T.node_view sys.v ~node).T.nstat with
+     | T.N_waiting w ->
+       stuck :=
+         Printf.sprintf "node %d stuck waiting on %s" node (T.string_of_wait w)
+         :: !stuck
+     | T.N_running -> ());
+    if Imap.mem node sys.pending_read then
+      stuck :=
+        Printf.sprintf "node %d stuck on an unanswered load" node :: !stuck
+  done;
+  !stuck @ T.quiescent_invariants cfg sys.v @ sc.oracle sys
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive search                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type violation = { verr : string list; vtrace : string list }
+
+type result = {
+  states : int; (* distinct states visited *)
+  transitions : int;
+  terminals : int;
+  max_depth : int;
+  truncated : bool; (* hit the state bound before finishing *)
+  violation : violation option;
+}
+
+let check_exhaustive ?(injection = No_injection) ?(max_states = 1_000_000)
+    (sc : scenario) =
+  let cfg = cfg_of sc in
+  let visited = Hashtbl.create 4096 in
+  let states = ref 0 and transitions = ref 0 and terminals = ref 0 in
+  let max_depth = ref 0 and truncated = ref false in
+  let violation = ref None in
+  let rec dfs sys path depth =
+    if !violation <> None then ()
+    else begin
+      if depth > !max_depth then max_depth := depth;
+      match check_state sc cfg sys with
+      | _ :: _ as errs -> violation := Some { verr = errs; vtrace = List.rev path }
+      | [] -> (
+        let ms = moves cfg ~inj:injection sys in
+        match ms with
+        | [] -> (
+          incr terminals;
+          match check_terminal sc cfg sys with
+          | [] -> ()
+          | errs -> violation := Some { verr = errs; vtrace = List.rev path })
+        | ms ->
+          List.iter
+            (fun (label, next) ->
+              if !violation = None && not !truncated then begin
+                let sys' =
+                  try next ()
+                  with Unexpected e | Failure e ->
+                    violation :=
+                      Some { verr = [ e ]; vtrace = List.rev (label :: path) };
+                    sys
+                in
+                if !violation = None then begin
+                  incr transitions;
+                  let key = canon_sys sys' in
+                  if not (Hashtbl.mem visited key) then begin
+                    Hashtbl.add visited key ();
+                    incr states;
+                    if !states >= max_states then truncated := true
+                    else dfs sys' (label :: path) (depth + 1)
+                  end
+                end
+              end)
+            ms)
+    end
+  in
+  let sys0 = init_sys sc in
+  Hashtbl.add visited (canon_sys sys0) ();
+  states := 1;
+  dfs sys0 [] 0;
+  { states = !states;
+    transitions = !transitions;
+    terminals = !terminals;
+    max_depth = !max_depth;
+    truncated = !truncated;
+    violation = !violation }
+
+(* ------------------------------------------------------------------ *)
+(* Seeded random-interleaving fuzzer                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz ?(injection = No_injection) ~seed ~runs (sc : scenario) =
+  let cfg = cfg_of sc in
+  let violation = ref None in
+  let total_steps = ref 0 in
+  let run_one k =
+    let rng = Random.State.make [| seed; k |] in
+    let sys = ref (init_sys sc) in
+    let path = ref [] in
+    let continue = ref true in
+    while !continue && !violation = None do
+      (match check_state sc cfg !sys with
+       | [] -> ()
+       | errs ->
+         violation := Some { verr = errs; vtrace = List.rev !path };
+         continue := false);
+      if !continue then
+        match moves cfg ~inj:injection !sys with
+        | [] ->
+          (match check_terminal sc cfg !sys with
+           | [] -> ()
+           | errs -> violation := Some { verr = errs; vtrace = List.rev !path });
+          continue := false
+        | ms ->
+          let label, next = List.nth ms (Random.State.int rng (List.length ms)) in
+          (try
+             sys := next ();
+             path := label :: !path;
+             incr total_steps
+           with Unexpected e | Failure e ->
+             violation :=
+               Some { verr = [ e ]; vtrace = List.rev (label :: !path) };
+             continue := false)
+    done
+  in
+  let k = ref 0 in
+  while !k < runs && !violation = None do
+    run_one !k;
+    incr k
+  done;
+  (!total_steps, !violation)
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let b0 = 0
+let b1 = 8192 (* a different home when nprocs > 1 *)
+
+let no_oracle _ = []
+
+let expect_value ~node ~block ~want sys =
+  match value sys ~node ~block with
+  | Some v when v = want -> []
+  | Some v ->
+    [ Printf.sprintf "node %d block 0x%x: final value %d, want %d" node block v
+        want ]
+  | None ->
+    [ Printf.sprintf "node %d block 0x%x: no valid final copy, want %d" node
+        block want ]
+
+let expect_reg ~node ~want sys =
+  let v = reg sys ~node in
+  if v = want then []
+  else [ Printf.sprintf "node %d: read %d, want %d" node v want ]
+
+(* Everyone reads a block the allocator wrote: all end as sharers with
+   the same value. *)
+let read_sharing ~nprocs =
+  { sname = "read-sharing";
+    nprocs;
+    blocks = [ b0 ];
+    scripts =
+      Array.init nprocs (fun n -> if n = 0 then [ Write (b0, 7); Barrier; Read b0 ] else [ Barrier; Read b0 ]);
+    oracle =
+      (fun sys ->
+        List.concat_map
+          (fun n -> expect_reg ~node:n ~want:7 sys)
+          (List.init nprocs Fun.id)) }
+
+(* Unsynchronized write race: coherence must survive, and the final
+   value is one of the two writes (write serialization). *)
+let write_race ~nprocs =
+  { sname = "write-race";
+    nprocs;
+    blocks = [ b0 ];
+    scripts =
+      Array.init nprocs (fun n ->
+        if n < 2 then [ Write (b0, 100 + n) ] else []);
+    oracle =
+      (fun sys ->
+        let owner =
+          match T.dir_entry sys.v ~block:b0 with
+          | Some e -> e.T.owner
+          | None -> 0
+        in
+        match value sys ~node:owner ~block:b0 with
+        | Some v when v = 100 || v = 101 -> []
+        | Some v -> [ Printf.sprintf "final value %d is neither write" v ]
+        | None -> [ "owner holds no valid copy" ]) }
+
+(* Lock-protected increments: every increment survives (the migratory
+   pattern; exercises upgrade misses, forwarding, and inv acks). *)
+let lock_increment ~nprocs =
+  { sname = "lock-increment";
+    nprocs;
+    blocks = [ b0 ];
+    scripts =
+      (* the block starts as value 0, exclusive at node 0 *)
+      Array.init nprocs (fun _ ->
+        [ Lock 0; Read b0; Write_reg_plus (b0, 1); Unlock 0 ]);
+    oracle =
+      (fun sys ->
+        let owner =
+          match T.dir_entry sys.v ~block:b0 with
+          | Some e -> e.T.owner
+          | None -> 0
+        in
+        expect_value ~node:owner ~block:b0 ~want:nprocs sys) }
+
+(* Producer/consumer over an event flag: the consumer's read must see
+   the producer's data (release->acquire ordering). *)
+let flag_handoff =
+  { sname = "flag-handoff";
+    nprocs = 2;
+    blocks = [ b0 ];
+    scripts =
+      [| [ Write (b0, 42); Flag_set 0 ]; [ Flag_wait 0; Read b0 ] |];
+    oracle = (fun sys -> expect_reg ~node:1 ~want:42 sys) }
+
+(* Two blocks with different homes, written on opposite sides of a
+   barrier: both post-barrier reads see the pre-barrier writes. *)
+let barrier_exchange =
+  { sname = "barrier-exchange";
+    nprocs = 2;
+    blocks = [ b0; b1 ];
+    scripts =
+      [| [ Write (b0, 5); Barrier; Read b1 ];
+         [ Write (b1, 6); Barrier; Read b0 ] |];
+    oracle =
+      (fun sys ->
+        expect_reg ~node:0 ~want:6 sys @ expect_reg ~node:1 ~want:5 sys) }
+
+(* Read-share then upgrade: the writer must collect an invalidation
+   acknowledgement from the other sharer before its release completes —
+   the scenario that exposes a dropped inv ack. *)
+let upgrade_race ~nprocs =
+  { sname = "upgrade-race";
+    nprocs;
+    blocks = [ b0 ];
+    scripts =
+      Array.init nprocs (fun n ->
+        if n = 0 then [ Write (b0, 1); Barrier; Lock 0; Write (b0, 9); Unlock 0 ]
+        else [ Barrier; Read b0 ]);
+    oracle = no_oracle }
+
+let scenarios ~nprocs =
+  [ read_sharing ~nprocs;
+    write_race ~nprocs;
+    lock_increment ~nprocs;
+    flag_handoff;
+    barrier_exchange;
+    upgrade_race ~nprocs ]
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let pp_violation out { verr; vtrace } =
+  Printf.fprintf out "  counterexample (%d moves):\n" (List.length vtrace);
+  List.iteri (fun k l -> Printf.fprintf out "    %2d. %s\n" (k + 1) l) vtrace;
+  List.iter (fun e -> Printf.fprintf out "  violated: %s\n" e) verr
+
+let run_scenario ?injection ?max_states out (sc : scenario) =
+  let r = check_exhaustive ?injection ?max_states sc in
+  Printf.fprintf out
+    "%-17s P=%d  states=%-7d transitions=%-8d terminals=%-6d depth=%d%s\n"
+    sc.sname sc.nprocs r.states r.transitions r.terminals r.max_depth
+    (if r.truncated then " (truncated)" else "");
+  (match r.violation with
+   | Some v -> pp_violation out v
+   | None -> ());
+  r

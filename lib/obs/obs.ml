@@ -47,6 +47,11 @@ let flush t =
    (CLI tables, bench, tests) agrees on them. *)
 let c_msg_sent = "msg.sent"
 let c_msg_recv = "msg.recv"
+
+(* Same-node deliveries: the engine's local fast path never reaches the
+   network taps, so without this counter local protocol traffic would be
+   invisible in the registry. *)
+let c_msg_local = "msg.local"
 let c_miss_read = "miss.read"
 let c_miss_write = "miss.write"
 let c_miss_upgrade = "miss.upgrade"

@@ -49,6 +49,11 @@ val observe : t -> node:int -> string -> int -> unit
 
 val c_msg_sent : string
 val c_msg_recv : string
+
+val c_msg_local : string
+(** Same-node deliveries taken by the engine's local fast path, which
+    bypasses the network send/recv taps. *)
+
 val c_miss_read : string
 val c_miss_write : string
 val c_miss_upgrade : string

@@ -1,0 +1,1444 @@
+(* The pure protocol transition core.
+
+   Everything the Shasta engine decides — directory updates, pending and
+   invalidation-ack bookkeeping, waiter deferral, sync objects — lives
+   here as a pure function
+
+       step : cfg -> view -> node:int -> input -> action list * view
+
+   over an immutable [view].  Inputs are miss-check outcomes, protocol
+   messages and sync ops; effects (network sends, pipeline charges,
+   state-table writes, observability events, blocking/waking) come back
+   as an ordered [action] list for the runtime interpreter
+   ([Engine]) to apply against Pipeline/Network/Memory.  The ordering
+   contract is strict: applying the actions left to right reproduces the
+   exact effect order of the historical monolithic engine, so event
+   streams and cycle counts are byte-for-byte identical.
+
+   Because the core is pure it can also be driven without a machine
+   underneath: [lib/mcheck] explores all interleavings of small
+   configurations against the invariants below, and the recorded input
+   trace of a real run can be re-fed through [step] to reproduce the
+   final view deterministically (shasta_run --replay).
+
+   Two host artifacts are passed IN as inputs rather than recomputed,
+   to keep bit-exact fidelity with the old engine: the per-block
+   iteration order of a batch miss and the dedup order of deferred
+   invalidations (both historically OCaml-Hashtbl orders), and the
+   memory values of batched stores (the core holds no data memory). *)
+
+module Imap = Map.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* State                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-block line state as the state table sees it (one byte per line in
+   the real tables; the core tracks it per block, which is exact because
+   every table write the engine performs covers whole blocks). *)
+type line = L_invalid | L_shared | L_exclusive | L_pending_invalid
+          | L_pending_shared
+
+type pending_kind = P_read | P_readex | P_upgrade
+
+type pend = {
+  pkind : pending_kind;
+  written : int Imap.t; (* longword addr -> value stored while pending *)
+  invalidated : bool; (* an Inv overtook the reply *)
+}
+
+type ackst = { got : int; expected : int option }
+
+type wait =
+  | W_blocks of int list (* until none of these blocks is pending *)
+  | W_release (* until no pending blocks and no outstanding acks *)
+  | W_sync (* until a synchronization signal (grant/release/wake) *)
+
+(* What to run when the current wait is satisfied — the pure analogue of
+   the engine's [on_wake] continuation closures. *)
+type resume =
+  | R_none
+  | R_refill (* re-run the stalled load (interpreter-side closure) *)
+  | R_store_retry of { addr : int; bytes : int; store_done : bool }
+  | R_then_release (* SC store/batch: now wait for the release point *)
+  | R_done
+  | R_lock_acquired of int
+  | R_unlock of int
+  | R_barrier_enter
+  | R_barrier_passed
+  | R_flag_set of int
+  | R_flag_woken of int
+
+type nstatus = N_running | N_waiting of wait
+
+(* Invalidations/downgrades deferred while inside batched code
+   (Section 4.3): applied at the Batch_end marker. *)
+type deferred = D_inv of int | D_downgrade of int
+
+type nview = {
+  lines : line Imap.t; (* block base -> state (absent = invalid) *)
+  pending : pend Imap.t; (* block base -> pending request *)
+  acks : ackst Imap.t; (* block base -> outstanding invalidation acks *)
+  unacked : int; (* #blocks with incomplete invalidation acks *)
+  waiters : Message.t list Imap.t; (* deferred fwd requests, head oldest *)
+  deferred : deferred list; (* head newest, as in the engine *)
+  in_batch : bool;
+  nstat : nstatus;
+  resume : resume;
+  sync_signal : bool;
+}
+
+type dirent = { owner : int; sharers : int (* bit vector, incl. owner *) }
+type lockst = { holder : int option; lq : int list (* head next *) }
+type flagst = { fset : bool; fwaiters : int list (* head oldest *) }
+
+type view = {
+  dir : dirent Imap.t; (* block base -> directory entry *)
+  nodes : nview Imap.t;
+  locks : lockst Imap.t;
+  flags : flagst Imap.t;
+  barrier_arrived : int;
+}
+
+type cfg = {
+  nprocs : int;
+  page_bytes : int; (* home assignment: (block / page_bytes) mod nprocs *)
+  sc : bool; (* sequential consistency (stalling stores) *)
+}
+
+let empty_nview =
+  { lines = Imap.empty; pending = Imap.empty; acks = Imap.empty; unacked = 0;
+    waiters = Imap.empty; deferred = []; in_batch = false; nstat = N_running;
+    resume = R_none; sync_signal = false }
+
+let init (cfg : cfg) : view =
+  let nodes = ref Imap.empty in
+  for n = 0 to cfg.nprocs - 1 do
+    nodes := Imap.add n empty_nview !nodes
+  done;
+  { dir = Imap.empty; nodes = !nodes; locks = Imap.empty; flags = Imap.empty;
+    barrier_arrived = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Actions and inputs                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Symbolic pipeline charges — the interpreter owns the cycle values. *)
+type cost =
+  | Request_issue
+  | Message_handle
+  | Sync_local
+  | False_miss
+  | Batch_record of int (* nranges *)
+
+type counter =
+  | C_read_miss
+  | C_write_miss
+  | C_upgrade_miss
+  | C_batch_miss
+  | C_false_miss
+  | C_msg_handled
+  | C_lock_acquire
+  | C_barrier_passed
+  | C_store_reissue
+
+type miss_kind = MK_read | MK_write | MK_upgrade
+
+(* Observability events, mirrored to Shasta_obs.Event by the engine. *)
+type ev =
+  | E_miss of miss_kind * int (* access addr *)
+  | E_false_miss of int
+  | E_invalidated of { block : int; requester : int }
+  | E_downgraded of { block : int; requester : int }
+  | E_store_reissue of int
+  | E_batch_run of { nranges : int; waited : int }
+  | E_lock_acquired of int
+  | E_barrier_passed
+  | E_flag_raised of int
+  | E_flag_woken of int
+
+(* State-table / memory effects, applied by the interpreter via Tables
+   (block length resolution lives there). *)
+type memop =
+  | M_make_exclusive of int
+  | M_make_shared of int
+  | M_make_invalid of int
+  | M_make_pending of { block : int; shared : bool }
+  | M_flag of int (* flag-fill every longword of the block *)
+  | M_merge of { block : int; written : (int * int) list }
+    (* merge the triggering Data_reply's longwords into memory,
+       overlaying the node's own pending stores *)
+
+(* Residual pure work to run after an interpreter re-entry (store
+   retry).  The engine's continuation closures captured "the rest of the
+   current handler"; here that rest is reified so it can cross the
+   pure/impure boundary and be resumed with [I_continue]. *)
+type post =
+  | P_register_acks of { block : int; acks : int }
+  | P_flush_waiters of int
+  | P_invalidate_flush of int (* make_invalid + flush (late inv reply) *)
+  | P_check_wake
+
+type action =
+  | A_charge of cost
+  | A_count of counter
+  | A_emit of ev
+  | A_send of { dst : int; msg : Message.t }
+    (* Data_reply is sent with [data = [||]]: the interpreter reads the
+       block out of node memory at apply time (no memory effect can
+       intervene between the pure send point and the apply point). *)
+  | A_local of Message.t (* same-node delivery (handled inside the core) *)
+  | A_mem of memop
+  | A_block of wait (* node blocks; record wait start *)
+  | A_stall of wait (* wait satisfied; emit the stall, resume running *)
+  | A_refill (* run the interpreter's stalled-load continuation *)
+  | A_reenter_store of
+      { addr : int; bytes : int; store_done : bool; post : post list }
+    (* must be the LAST action of a step: the interpreter re-enters
+       [store_miss] (drain and all), then feeds [post] back via
+       [I_continue] *)
+
+type input =
+  | I_msg of Message.t
+  | I_load_miss of { addr : int; block : int; st : line }
+  | I_store_miss of
+      { addr : int; block : int; st : line; bytes : int; store_done : bool;
+        stored : (int * int) list (* longword cover of the store's value *) }
+  | I_batch_miss of
+      { nranges : int;
+        blocks : (int * bool * line) list; (* block, need_excl, state *)
+        stores : (int * int) list (* addr, bytes *) }
+  | I_batch_end of
+      { values : (int * int * int) list; (* longword addr, block, value *)
+        order : deferred list (* deduped, in application order *) }
+  | I_lock of int
+  | I_unlock of int
+  | I_barrier
+  | I_flag_set of int
+  | I_flag_wait of int
+  | I_alloc of { owner : int; blocks : int list }
+  | I_continue of post list
+
+(* ------------------------------------------------------------------ *)
+(* Step context                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  cfg : cfg;
+  node : int; (* the stepping node: all actions target it *)
+  mutable v : view;
+  mutable racc : action list; (* reverse accumulation *)
+  mutable stopped : bool; (* an A_reenter_store truncated this step *)
+}
+
+let act c a = if not c.stopped then c.racc <- a :: c.racc
+
+let nv c = Imap.find c.node c.v.nodes
+let set_nv c n = c.v <- { c.v with nodes = Imap.add c.node n c.v.nodes }
+let upd c f = set_nv c (f (nv c))
+
+let home_of (cfg : cfg) block = block / cfg.page_bytes mod cfg.nprocs
+
+let dir_entry_exn c block =
+  match Imap.find_opt block c.v.dir with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Directory.entry: unallocated block 0x%x" block)
+
+let set_dir c block e = c.v <- { c.v with dir = Imap.add block e c.v.dir }
+
+let is_sharer (e : dirent) node = e.sharers land (1 lsl node) <> 0
+
+let sharer_list (e : dirent) ~nprocs =
+  let rec go n acc =
+    if n < 0 then acc else go (n - 1) (if is_sharer e n then n :: acc else acc)
+  in
+  go (nprocs - 1) []
+
+let line_of (n : nview) block =
+  match Imap.find_opt block n.lines with Some l -> l | None -> L_invalid
+
+(* Emit a table/memory effect and mirror the resulting line state. *)
+let mem_op c (op : memop) =
+  if not c.stopped then begin
+    act c (A_mem op);
+    match op with
+    | M_make_exclusive b -> upd c (fun n -> { n with lines = Imap.add b L_exclusive n.lines })
+    | M_make_shared b -> upd c (fun n -> { n with lines = Imap.add b L_shared n.lines })
+    | M_make_invalid b -> upd c (fun n -> { n with lines = Imap.add b L_invalid n.lines })
+    | M_make_pending { block; shared } ->
+      upd c (fun n ->
+        { n with
+          lines =
+            Imap.add block
+              (if shared then L_pending_shared else L_pending_invalid)
+              n.lines })
+    | M_flag _ | M_merge _ -> ()
+  end
+
+let wait_sat (n : nview) = function
+  | W_blocks bs -> List.for_all (fun b -> not (Imap.mem b n.pending)) bs
+  | W_release -> Imap.is_empty n.pending && n.unacked = 0
+  | W_sync -> n.sync_signal
+
+(* ------------------------------------------------------------------ *)
+(* Messaging, blocking, waking                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The mutually recursive protocol logic.  Function-for-function this is
+   the old engine with every side effect replaced by an [act] and every
+   continuation by a [resume]/[post]. *)
+
+let rec send c ~dst ~addr kind =
+  let msg = { Message.src = c.node; addr; kind } in
+  if dst = c.node then begin
+    (* local delivery: handled immediately at local handler cost *)
+    act c (A_charge Sync_local);
+    act c (A_local msg);
+    handle c msg
+  end
+  else act c (A_send { dst; msg })
+
+and block_on c w r =
+  if wait_sat (nv c) w then begin
+    (match w with
+     | W_sync -> upd c (fun n -> { n with sync_signal = false })
+     | _ -> ());
+    (* satisfied on entry: run the continuation with no stall event *)
+    dispatch c r []
+  end
+  else begin
+    upd c (fun n -> { n with nstat = N_waiting w; resume = r });
+    act c (A_block w)
+  end
+
+and check_wake c ~post =
+  let n = nv c in
+  match n.nstat with
+  | N_running -> run_post c post
+  | N_waiting w ->
+    if wait_sat n w then begin
+      (match w with
+       | W_sync -> upd c (fun n -> { n with sync_signal = false })
+       | _ -> ());
+      act c (A_stall w);
+      let r = (nv c).resume in
+      upd c (fun n -> { n with nstat = N_running; resume = R_none });
+      dispatch c r post
+    end
+    else run_post c post
+
+(* Run a resume (the satisfied wait's continuation), then the residual
+   [post] work.  A store retry crosses back into the interpreter: it
+   truncates the step and carries [post] with it. *)
+and dispatch c r post =
+  match r with
+  | R_none -> run_post c post
+  | R_refill ->
+    act c A_refill;
+    run_post c post
+  | R_store_retry { addr; bytes; store_done } ->
+    act c (A_reenter_store { addr; bytes; store_done; post });
+    c.stopped <- true
+  | R_then_release ->
+    block_on c W_release R_done;
+    run_post c post
+  | R_done -> run_post c post
+  | R_lock_acquired id ->
+    act c (A_emit (E_lock_acquired id));
+    run_post c post
+  | R_unlock id ->
+    let h = id mod c.cfg.nprocs in
+    if h = c.node then begin
+      act c (A_charge Sync_local);
+      home_unlock c ~id
+    end
+    else send c ~dst:h ~addr:id (Message.Sync Unlock_msg);
+    run_post c post
+  | R_barrier_enter ->
+    (if c.node = 0 then begin
+       act c (A_charge Sync_local);
+       block_on c W_sync R_barrier_passed;
+       home_barrier_arrive c
+     end
+     else begin
+       send c ~dst:0 ~addr:0 (Message.Sync Barrier_arrive);
+       block_on c W_sync R_barrier_passed
+     end);
+    run_post c post
+  | R_barrier_passed ->
+    act c (A_count C_barrier_passed);
+    act c (A_emit E_barrier_passed);
+    run_post c post
+  | R_flag_set id ->
+    act c (A_emit (E_flag_raised id));
+    let h = id mod c.cfg.nprocs in
+    if h = c.node then begin
+      act c (A_charge Sync_local);
+      home_flag_set c ~id
+    end
+    else send c ~dst:h ~addr:id (Message.Sync Flag_set_msg);
+    run_post c post
+  | R_flag_woken id ->
+    act c (A_emit (E_flag_woken id));
+    run_post c post
+
+and run_post c = function
+  | [] -> ()
+  | _ when c.stopped -> () (* carried by the A_reenter_store's [post] *)
+  | P_register_acks { block; acks } :: rest ->
+    register_acks c block acks;
+    run_post c rest
+  | P_flush_waiters block :: rest ->
+    flush_waiters c block;
+    run_post c rest
+  | P_invalidate_flush block :: rest ->
+    mem_op c (M_make_invalid block);
+    flush_waiters c block;
+    run_post c rest
+  | P_check_wake :: rest -> check_wake c ~post:rest
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation-ack bookkeeping                                         *)
+(* ------------------------------------------------------------------ *)
+
+and finish_acks c block =
+  upd c (fun n ->
+    { n with acks = Imap.remove block n.acks; unacked = n.unacked - 1 });
+  flush_waiters c block
+
+and register_acks c block expected =
+  match Imap.find_opt block (nv c).acks with
+  | None ->
+    if expected > 0 then
+      upd c (fun n ->
+        { n with
+          acks = Imap.add block { got = 0; expected = Some expected } n.acks;
+          unacked = n.unacked + 1 })
+    else flush_waiters c block
+  | Some a ->
+    upd c (fun n ->
+      { n with acks = Imap.add block { a with expected = Some expected } n.acks });
+    if a.got >= expected then finish_acks c block
+
+and recv_inv_ack c block =
+  let a =
+    match Imap.find_opt block (nv c).acks with
+    | Some a -> a
+    | None ->
+      let a = { got = 0; expected = None } in
+      upd c (fun n ->
+        { n with acks = Imap.add block a n.acks; unacked = n.unacked + 1 });
+      a
+  in
+  let a = { a with got = a.got + 1 } in
+  upd c (fun n -> { n with acks = Imap.add block a n.acks });
+  match a.expected with
+  | Some e when a.got >= e -> finish_acks c block
+  | _ -> ()
+
+(* Service requests that were deferred while the block was pending or
+   had outstanding acks. *)
+and flush_waiters c block =
+  let n = nv c in
+  if (not (Imap.mem block n.pending)) && not (Imap.mem block n.acks) then begin
+    match Imap.find_opt block n.waiters with
+    | None -> ()
+    | Some msgs ->
+      upd c (fun n -> { n with waiters = Imap.remove block n.waiters });
+      List.iter (fun msg -> handle c msg) msgs
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request issue (requester side)                                       *)
+(* ------------------------------------------------------------------ *)
+
+and issue_request c block kind ~count =
+  act c (A_charge Request_issue);
+  count ();
+  send c ~dst:(home_of c.cfg block) ~addr:block kind
+
+and start_pending c block pkind =
+  upd c (fun n ->
+    { n with
+      pending =
+        Imap.add block
+          { pkind; written = Imap.empty; invalidated = false }
+          n.pending });
+  mem_op c (M_make_pending { block; shared = pkind = P_upgrade })
+
+(* ------------------------------------------------------------------ *)
+(* Home-side handlers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+and home_read c ~requester ~block =
+  let e = dir_entry_exn c block in
+  let h = c.node in
+  let home_valid = requester <> h && (is_sharer e h || e.owner = h) in
+  set_dir c block { e with sharers = e.sharers lor (1 lsl requester) };
+  if home_valid then
+    (* home has a valid copy: serve it directly, going through the owner
+       path so the home's own copy is downgraded — and deferred while it
+       is pending or awaiting invalidation acks *)
+    owner_fwd_read c ~requester ~block
+  else
+    send c ~dst:e.owner ~addr:block
+      (Message.Coh (Fwd_read { requester }))
+
+and home_readex c ~requester ~block =
+  let e = dir_entry_exn c block in
+  let h = c.node in
+  let o = e.owner in
+  if o = requester then begin
+    (* requester already owns the block (held shared after a downgrade):
+       grant exclusivity like an upgrade *)
+    let others =
+      List.filter (fun s -> s <> requester)
+        (sharer_list e ~nprocs:c.cfg.nprocs)
+    in
+    set_dir c block { e with sharers = 1 lsl requester };
+    List.iter
+      (fun s ->
+        send c ~dst:s ~addr:block (Message.Coh (Inv { requester })))
+      others;
+    send c ~dst:requester ~addr:block
+      (Message.Coh (Upgrade_ack { acks = List.length others }))
+  end
+  else begin
+    let others =
+      List.filter
+        (fun s -> s <> requester && s <> o)
+        (sharer_list e ~nprocs:c.cfg.nprocs)
+    in
+    let nacks = List.length others in
+    set_dir c block { owner = requester; sharers = 1 lsl requester };
+    List.iter
+      (fun s ->
+        send c ~dst:s ~addr:block (Message.Coh (Inv { requester })))
+      others;
+    if o = h then
+      owner_fwd_readex c ~requester ~block ~acks:nacks
+    else
+      send c ~dst:o ~addr:block
+        (Message.Coh (Fwd_readex { requester; acks = nacks }))
+  end
+
+and home_upgrade c ~requester ~block =
+  let e = dir_entry_exn c block in
+  if is_sharer e requester then begin
+    let others =
+      List.filter (fun s -> s <> requester)
+        (sharer_list e ~nprocs:c.cfg.nprocs)
+    in
+    set_dir c block { owner = requester; sharers = 1 lsl requester };
+    List.iter
+      (fun s ->
+        send c ~dst:s ~addr:block (Message.Coh (Inv { requester })))
+      others;
+    send c ~dst:requester ~addr:block
+      (Message.Coh (Upgrade_ack { acks = List.length others }))
+  end
+  else
+    (* an invalidation raced ahead of the upgrade: the requester's copy
+       is gone, so convert to a read-exclusive (Section 2.1) *)
+    home_readex c ~requester ~block
+
+(* ------------------------------------------------------------------ *)
+(* Owner-side handlers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+and owner_busy (n : nview) block =
+  Imap.mem block n.acks
+  ||
+  match Imap.find_opt block n.pending with
+  | None -> false
+  | Some p -> not (p.pkind = P_upgrade && not p.invalidated)
+
+and enqueue_waiter c block msg =
+  upd c (fun n ->
+    let q =
+      match Imap.find_opt block n.waiters with Some q -> q | None -> []
+    in
+    { n with waiters = Imap.add block (q @ [ msg ]) n.waiters })
+
+and owner_fwd_read c ~requester ~block =
+  if owner_busy (nv c) block then
+    enqueue_waiter c block
+      { Message.src = c.node; addr = block;
+        kind = Coh (Fwd_read { requester }) }
+  else begin
+    act c (A_emit (E_downgraded { block; requester }));
+    send c ~dst:requester ~addr:block
+      (Message.Coh (Data_reply { data = [||]; exclusive = false; acks = 0 }));
+    let n = nv c in
+    if n.in_batch then
+      upd c (fun n -> { n with deferred = D_downgrade block :: n.deferred })
+    else if not (Imap.mem block n.pending) then
+      (* a pending upgrade keeps its pending-shared state bytes *)
+      mem_op c (M_make_shared block)
+  end
+
+and owner_fwd_readex c ~requester ~block ~acks =
+  if owner_busy (nv c) block then
+    enqueue_waiter c block
+      { Message.src = c.node; addr = block;
+        kind = Coh (Fwd_readex { requester; acks }) }
+  else begin
+    send c ~dst:requester ~addr:block
+      (Message.Coh (Data_reply { data = [||]; exclusive = true; acks }));
+    let n = nv c in
+    if n.in_batch then
+      upd c (fun n -> { n with deferred = D_inv block :: n.deferred })
+    else
+      match Imap.find_opt block n.pending with
+      | Some p ->
+        (* our own upgrade is in flight and will be converted by the
+           home; treat this like an invalidation racing it *)
+        upd c (fun n ->
+          { n with
+            pending = Imap.add block { p with invalidated = true } n.pending });
+        mem_op c (M_flag block)
+      | None -> mem_op c (M_make_invalid block)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Requester-side completions                                           *)
+(* ------------------------------------------------------------------ *)
+
+and apply_inv c ~block ~requester =
+  act c (A_emit (E_invalidated { block; requester }));
+  send c ~dst:requester ~addr:block (Message.Coh Inv_ack);
+  let n = nv c in
+  if n.in_batch then
+    upd c (fun n -> { n with deferred = D_inv block :: n.deferred })
+  else if line_of n block = L_exclusive then
+    (* stale invalidation: it targeted a sharer copy we have since
+       replaced by exclusive ownership; nothing beyond the ack *)
+    ()
+  else
+    match Imap.find_opt block n.pending with
+    | Some p ->
+      upd c (fun n ->
+        { n with
+          pending = Imap.add block { p with invalidated = true } n.pending });
+      mem_op c (M_flag block)
+    | None -> mem_op c (M_make_invalid block)
+
+and complete_data_reply c ~block ~exclusive ~acks ~tail =
+  match Imap.find_opt block (nv c).pending with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine: stray data reply at node %d block 0x%x"
+         c.node block)
+  | Some p ->
+    mem_op c (M_merge { block; written = Imap.bindings p.written });
+    upd c (fun n -> { n with pending = Imap.remove block n.pending });
+    (* the node's own stalled access must consume the reply (the refill
+       runs) BEFORE deferred forwarded requests are serviced *)
+    if exclusive then begin
+      mem_op c (M_make_exclusive block);
+      (* any deferred invalidation of this block predates our ownership *)
+      upd c (fun n ->
+        { n with
+          deferred =
+            List.filter
+              (function D_inv b -> b <> block | _ -> true)
+              n.deferred });
+      check_wake c ~post:(P_register_acks { block; acks } :: tail)
+    end
+    else if p.invalidated then begin
+      (* late invalidation: let the stalled load consume the value, then
+         apply the invalidation *)
+      mem_op c (M_make_shared block);
+      check_wake c ~post:(P_invalidate_flush block :: tail)
+    end
+    else begin
+      mem_op c (M_make_shared block);
+      check_wake c ~post:(P_flush_waiters block :: tail)
+    end
+
+and complete_upgrade_ack c ~block ~acks ~tail =
+  match Imap.find_opt block (nv c).pending with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Engine: stray upgrade ack at node %d block 0x%x"
+         c.node block)
+  | Some _ ->
+    upd c (fun n -> { n with pending = Imap.remove block n.pending });
+    mem_op c (M_make_exclusive block);
+    check_wake c ~post:(P_register_acks { block; acks } :: tail)
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization (home side)                                          *)
+(* ------------------------------------------------------------------ *)
+
+and lock_of c id =
+  match Imap.find_opt id c.v.locks with
+  | Some l -> l
+  | None -> { holder = None; lq = [] }
+
+and set_lock c id l = c.v <- { c.v with locks = Imap.add id l c.v.locks }
+
+and flag_of c id =
+  match Imap.find_opt id c.v.flags with
+  | Some f -> f
+  | None -> { fset = false; fwaiters = [] }
+
+and set_flag c id f = c.v <- { c.v with flags = Imap.add id f c.v.flags }
+
+and grant_lock c ~to_ ~id =
+  if to_ = c.node then begin
+    upd c (fun n -> { n with sync_signal = true });
+    check_wake c ~post:[]
+  end
+  else send c ~dst:to_ ~addr:id (Message.Sync Lock_grant)
+
+and home_lock_req c ~requester ~id =
+  let l = lock_of c id in
+  match l.holder with
+  | None ->
+    set_lock c id { l with holder = Some requester };
+    grant_lock c ~to_:requester ~id
+  | Some _ -> set_lock c id { l with lq = l.lq @ [ requester ] }
+
+and home_unlock c ~id =
+  let l = lock_of c id in
+  match l.lq with
+  | next :: rest ->
+    set_lock c id { holder = Some next; lq = rest };
+    grant_lock c ~to_:next ~id
+  | [] -> set_lock c id { l with holder = None }
+
+and home_barrier_arrive c =
+  c.v <- { c.v with barrier_arrived = c.v.barrier_arrived + 1 };
+  if c.v.barrier_arrived = c.cfg.nprocs then begin
+    c.v <- { c.v with barrier_arrived = 0 };
+    for n = 0 to c.cfg.nprocs - 1 do
+      if n = c.node then begin
+        upd c (fun nn -> { nn with sync_signal = true });
+        check_wake c ~post:[]
+      end
+      else send c ~dst:n ~addr:0 (Message.Sync Barrier_release)
+    done
+  end
+
+and wake_flag_waiter c ~to_ ~id =
+  if to_ = c.node then begin
+    upd c (fun n -> { n with sync_signal = true });
+    check_wake c ~post:[]
+  end
+  else send c ~dst:to_ ~addr:id (Message.Sync Flag_wake)
+
+and home_flag_set c ~id =
+  let f = flag_of c id in
+  set_flag c id { fset = true; fwaiters = [] };
+  List.iter (fun w -> wake_flag_waiter c ~to_:w ~id) f.fwaiters
+
+and home_flag_wait c ~requester ~id =
+  let f = flag_of c id in
+  if f.fset then wake_flag_waiter c ~to_:requester ~id
+  else set_flag c id { f with fwaiters = f.fwaiters @ [ requester ] }
+
+(* ------------------------------------------------------------------ *)
+(* Message dispatch                                                     *)
+(* ------------------------------------------------------------------ *)
+
+and handle c (msg : Message.t) =
+  act c (A_count C_msg_handled);
+  act c (A_charge Message_handle);
+  let block = msg.addr in
+  match msg.kind with
+  | Coh Read_req ->
+    home_read c ~requester:msg.src ~block;
+    check_wake c ~post:[]
+  | Coh Readex_req ->
+    home_readex c ~requester:msg.src ~block;
+    check_wake c ~post:[]
+  | Coh Upgrade_req ->
+    home_upgrade c ~requester:msg.src ~block;
+    check_wake c ~post:[]
+  | Coh (Fwd_read { requester }) ->
+    owner_fwd_read c ~requester ~block;
+    check_wake c ~post:[]
+  | Coh (Fwd_readex { requester; acks }) ->
+    owner_fwd_readex c ~requester ~block ~acks;
+    check_wake c ~post:[]
+  | Coh (Data_reply { data = _; exclusive; acks }) ->
+    (* the trailing check_wake rides in the post list: a store retry in
+       the wake must not lose it *)
+    complete_data_reply c ~block ~exclusive ~acks ~tail:[ P_check_wake ]
+  | Coh (Upgrade_ack { acks }) ->
+    complete_upgrade_ack c ~block ~acks ~tail:[ P_check_wake ]
+  | Coh (Inv { requester }) ->
+    apply_inv c ~block ~requester;
+    check_wake c ~post:[]
+  | Coh Inv_ack ->
+    recv_inv_ack c block;
+    check_wake c ~post:[]
+  | Sync Lock_req ->
+    home_lock_req c ~requester:msg.src ~id:msg.addr;
+    check_wake c ~post:[]
+  | Sync Lock_grant ->
+    upd c (fun n -> { n with sync_signal = true });
+    check_wake c ~post:[]
+  | Sync Unlock_msg ->
+    home_unlock c ~id:msg.addr;
+    check_wake c ~post:[]
+  | Sync Barrier_arrive ->
+    home_barrier_arrive c;
+    check_wake c ~post:[]
+  | Sync Barrier_release ->
+    upd c (fun n -> { n with sync_signal = true });
+    check_wake c ~post:[]
+  | Sync Flag_set_msg ->
+    home_flag_set c ~id:msg.addr;
+    check_wake c ~post:[]
+  | Sync Flag_wait_req ->
+    home_flag_wait c ~requester:msg.src ~id:msg.addr;
+    check_wake c ~post:[]
+  | Sync Flag_wake ->
+    upd c (fun n -> { n with sync_signal = true });
+    check_wake c ~post:[]
+
+(* ------------------------------------------------------------------ *)
+(* Inline miss handlers (step entry points)                             *)
+(* ------------------------------------------------------------------ *)
+
+let false_miss c addr =
+  act c (A_count C_false_miss);
+  act c (A_emit (E_false_miss addr));
+  act c (A_charge False_miss)
+
+let add_written c block stored =
+  match Imap.find_opt block (nv c).pending with
+  | None -> ()
+  | Some p ->
+    let written =
+      List.fold_left (fun w (a, v) -> Imap.add a v w) p.written stored
+    in
+    upd c (fun n ->
+      { n with pending = Imap.add block { p with written } n.pending })
+
+let load_miss c ~addr ~block ~st =
+  match st with
+  | L_exclusive | L_shared ->
+    false_miss c addr;
+    act c A_refill
+  | L_pending_shared ->
+    (* pending-shared loads proceed — the node has a copy — unless an
+       invalidation overtook the upgrade and flagged this longword *)
+    (match Imap.find_opt block (nv c).pending with
+     | Some p
+       when p.invalidated && not (Imap.mem (addr land lnot 3) p.written) ->
+       block_on c (W_blocks [ block ]) R_refill
+     | _ ->
+       false_miss c addr;
+       act c A_refill)
+  | L_pending_invalid ->
+    (match Imap.find_opt block (nv c).pending with
+     | Some p
+       when (not p.invalidated) && Imap.mem (addr land lnot 3) p.written ->
+       (* load from a longword this node itself stored while pending:
+          valid section of the line (Section 4.1) *)
+       act c A_refill
+     | _ -> block_on c (W_blocks [ block ]) R_refill)
+  | L_invalid ->
+    act c (A_count C_read_miss);
+    act c (A_emit (E_miss (MK_read, addr)));
+    start_pending c block P_read;
+    issue_request c block (Message.Coh Read_req) ~count:(fun () -> ());
+    block_on c (W_blocks [ block ]) R_refill
+
+let store_miss c ~addr ~block ~st ~bytes ~store_done ~stored =
+  match st with
+  | L_exclusive ->
+    (* resolved while the message queue drained: false miss *)
+    false_miss c addr
+  | L_pending_invalid | L_pending_shared ->
+    (match Imap.find_opt block (nv c).pending with
+     | Some _ ->
+       if store_done then add_written c block stored
+       else
+         block_on c (W_blocks [ block ])
+           (R_store_retry { addr; bytes; store_done })
+     | None ->
+       (* the pending state byte was stale; re-enter with a fresh read *)
+       act c (A_reenter_store { addr; bytes; store_done; post = [] });
+       c.stopped <- true)
+  | L_shared | L_invalid ->
+    (if st = L_shared then begin
+       act c (A_count C_upgrade_miss);
+       act c (A_emit (E_miss (MK_upgrade, addr)));
+       start_pending c block P_upgrade;
+       if store_done then add_written c block stored;
+       issue_request c block (Message.Coh Upgrade_req) ~count:(fun () -> ())
+     end
+     else begin
+       act c (A_count C_write_miss);
+       act c (A_emit (E_miss (MK_write, addr)));
+       start_pending c block P_readex;
+       if store_done then add_written c block stored;
+       issue_request c block (Message.Coh Readex_req) ~count:(fun () -> ())
+     end);
+    if c.cfg.sc then
+      (* sequential consistency: the store completes — ownership AND all
+         invalidation acknowledgements — before execution continues *)
+      block_on c (W_blocks [ block ]) R_then_release
+    else if not store_done then block_on c (W_blocks [ block ]) R_done
+
+(* Batch miss (Section 4.3): [blocks] carries (block, need_excl, state)
+   in the engine's historical per-block iteration order, states as the
+   tables read them at entry. *)
+let batch_miss c ~nranges ~blocks =
+  act c (A_count C_batch_miss);
+  act c (A_charge (Batch_record nranges));
+  upd c (fun n -> { n with in_batch = true });
+  let waits = ref [] in
+  List.iter
+    (fun (block, need_excl, st) ->
+      let pending_invalidated =
+        match Imap.find_opt block (nv c).pending with
+        | Some p -> p.invalidated
+        | None -> false
+      in
+      if need_excl then begin
+        match st with
+        | L_exclusive -> ()
+        | L_pending_invalid -> waits := block :: !waits
+        | L_pending_shared ->
+          if pending_invalidated then waits := block :: !waits
+        | L_shared ->
+          act c (A_count C_upgrade_miss);
+          act c (A_emit (E_miss (MK_upgrade, block)));
+          start_pending c block P_upgrade;
+          issue_request c block (Message.Coh Upgrade_req)
+            ~count:(fun () -> ())
+        | L_invalid ->
+          act c (A_count C_write_miss);
+          act c (A_emit (E_miss (MK_write, block)));
+          start_pending c block P_readex;
+          issue_request c block (Message.Coh Readex_req)
+            ~count:(fun () -> ());
+          waits := block :: !waits
+      end
+      else begin
+        match st with
+        | L_exclusive | L_shared -> ()
+        | L_pending_shared ->
+          if pending_invalidated then waits := block :: !waits
+        | L_pending_invalid -> waits := block :: !waits
+        | L_invalid ->
+          act c (A_count C_read_miss);
+          act c (A_emit (E_miss (MK_read, block)));
+          start_pending c block P_read;
+          issue_request c block (Message.Coh Read_req) ~count:(fun () -> ());
+          waits := block :: !waits
+      end)
+    blocks;
+  act c (A_emit (E_batch_run { nranges; waited = List.length !waits }));
+  if c.cfg.sc then begin
+    (* Section 4.3: under SC the handler waits for ALL requests,
+       including exclusive ones and their acknowledgements *)
+    let all = List.rev_map (fun (b, _, _) -> b) blocks in
+    block_on c (W_blocks all) R_then_release
+  end
+  else if !waits <> [] then block_on c (W_blocks !waits) R_done
+
+(* Deferred invalidations/downgrades at Batch_end (Section 4.3).
+   [order] is the deduped application order; [values] the longword
+   values of the batch's stores (addr, owning block, value). *)
+let apply_deferred c ~order ~values =
+  upd c (fun n -> { n with deferred = [] });
+  let written_for block =
+    List.fold_left
+      (fun m (a, b, v) -> if b = block then Imap.add a v m else m)
+      Imap.empty values
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | D_inv block ->
+        let written = written_for block in
+        (match Imap.find_opt block (nv c).pending with
+         | Some p ->
+           (* a request is already outstanding: fold the invalidation
+              into it rather than issuing a duplicate *)
+           let w = Imap.union (fun _ _ v -> Some v) p.written written in
+           upd c (fun n ->
+             { n with
+               pending =
+                 Imap.add block
+                   { p with written = w; invalidated = true }
+                   n.pending });
+           mem_op c (M_flag block)
+         | None ->
+           if not (Imap.is_empty written) then begin
+             (* the batch stored into a block invalidated under it: keep
+                the stored longwords, reissue the store miss *)
+             act c (A_count C_store_reissue);
+             act c (A_emit (E_store_reissue block));
+             mem_op c (M_flag block);
+             start_pending c block P_readex;
+             add_written c block (Imap.bindings written);
+             issue_request c block (Message.Coh Readex_req) ~count:(fun () ->
+               act c (A_count C_write_miss);
+               act c (A_emit (E_miss (MK_write, block))))
+           end
+           else mem_op c (M_make_invalid block))
+      | D_downgrade block ->
+        let written = written_for block in
+        if Imap.mem block (nv c).pending then
+          (* an outstanding request already covers this block *)
+          ()
+        else if not (Imap.is_empty written) then begin
+          act c (A_count C_store_reissue);
+          act c (A_emit (E_store_reissue block));
+          start_pending c block P_upgrade;
+          add_written c block (Imap.bindings written);
+          issue_request c block (Message.Coh Upgrade_req) ~count:(fun () ->
+            act c (A_count C_upgrade_miss);
+            act c (A_emit (E_miss (MK_upgrade, block))))
+        end
+        else mem_op c (M_make_shared block))
+    order
+
+let batch_end c ~values ~order =
+  if (nv c).in_batch then begin
+    (* transfer batched store longwords into still-pending blocks *)
+    List.iter
+      (fun (a, block, v) ->
+        match Imap.find_opt block (nv c).pending with
+        | Some p ->
+          upd c (fun n ->
+            { n with
+              pending =
+                Imap.add block
+                  { p with written = Imap.add a v p.written }
+                  n.pending })
+        | None -> ())
+      values;
+    upd c (fun n -> { n with in_batch = false });
+    apply_deferred c ~order ~values
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Synchronization entry points                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rt_lock c id =
+  act c (A_count C_lock_acquire);
+  let h = id mod c.cfg.nprocs in
+  if h = c.node then begin
+    act c (A_charge Sync_local);
+    let l = lock_of c id in
+    match l.holder with
+    | None ->
+      set_lock c id { l with holder = Some c.node };
+      act c (A_emit (E_lock_acquired id))
+    | Some _ ->
+      set_lock c id { l with lq = l.lq @ [ c.node ] };
+      block_on c W_sync (R_lock_acquired id)
+  end
+  else begin
+    send c ~dst:h ~addr:id (Message.Sync Lock_req);
+    block_on c W_sync (R_lock_acquired id)
+  end
+
+let rt_flag_wait c id =
+  let h = id mod c.cfg.nprocs in
+  if h = c.node then begin
+    act c (A_charge Sync_local);
+    let f = flag_of c id in
+    if not f.fset then begin
+      set_flag c id { f with fwaiters = f.fwaiters @ [ c.node ] };
+      block_on c W_sync (R_flag_woken id)
+    end
+    else act c (A_emit (E_flag_woken id))
+  end
+  else begin
+    send c ~dst:h ~addr:id (Message.Sync Flag_wait_req);
+    block_on c W_sync (R_flag_woken id)
+  end
+
+let alloc c ~owner ~blocks =
+  List.iter
+    (fun block ->
+      c.v <-
+        { c.v with
+          dir = Imap.add block { owner; sharers = 1 lsl owner } c.v.dir };
+      upd c (fun n -> { n with lines = Imap.add block L_exclusive n.lines }))
+    blocks
+
+(* ------------------------------------------------------------------ *)
+(* The transition function                                              *)
+(* ------------------------------------------------------------------ *)
+
+let step (cfg : cfg) (v : view) ~node (input : input) : action list * view =
+  let c = { cfg; node; v; racc = []; stopped = false } in
+  (match input with
+   | I_msg msg -> handle c msg
+   | I_load_miss { addr; block; st } -> load_miss c ~addr ~block ~st
+   | I_store_miss { addr; block; st; bytes; store_done; stored } ->
+     store_miss c ~addr ~block ~st ~bytes ~store_done ~stored
+   | I_batch_miss { nranges; blocks; stores = _ } ->
+     batch_miss c ~nranges ~blocks
+   | I_batch_end { values; order } -> batch_end c ~values ~order
+   | I_lock id -> rt_lock c id
+   | I_unlock id -> block_on c W_release (R_unlock id)
+   | I_barrier -> block_on c W_release R_barrier_enter
+   | I_flag_set id -> block_on c W_release (R_flag_set id)
+   | I_flag_wait id -> rt_flag_wait c id
+   | I_alloc { owner; blocks } -> alloc c ~owner ~blocks
+   | I_continue post -> run_post c post);
+  (List.rev c.racc, c.v)
+
+(* ------------------------------------------------------------------ *)
+(* Accessors (engine, tests, model checker)                             *)
+(* ------------------------------------------------------------------ *)
+
+let node_view (v : view) ~node = Imap.find node v.nodes
+let deferred_of v ~node = (node_view v ~node).deferred
+let line_state v ~node ~block = line_of (node_view v ~node) block
+let is_pending v ~node ~block = Imap.mem block (node_view v ~node).pending
+let in_batch v ~node = (node_view v ~node).in_batch
+let dir_entry v ~block = Imap.find_opt block v.dir
+let dir_fold f v acc = Imap.fold (fun b e a -> f b e a) v.dir acc
+let wait_satisfied v ~node = wait_sat (node_view v ~node)
+
+let sharer_count (e : dirent) =
+  let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
+  pop e.sharers 0
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Properties that hold in EVERY reachable view, including mid-protocol
+   (requests and invalidations in flight).  Returns human-readable
+   violation strings; [] means the view is consistent.
+
+   Caveat for drivers: a step whose action list ends in
+   [A_reenter_store] is truncated — its residual [post] work has not run
+   yet — so invariants should be checked only after the matching
+   [I_continue]. *)
+let invariants (cfg : cfg) (v : view) : string list =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let mask = (1 lsl cfg.nprocs) - 1 in
+  Imap.iter
+    (fun block (e : dirent) ->
+      if e.owner < 0 || e.owner >= cfg.nprocs then
+        err "block 0x%x: owner %d out of range" block e.owner;
+      if e.sharers land lnot mask <> 0 then
+        err "block 0x%x: sharer bits 0x%x beyond %d procs" block e.sharers
+          cfg.nprocs;
+      if e.sharers land (1 lsl e.owner) = 0 then
+        err "block 0x%x: owner %d missing from sharer vector 0x%x" block
+          e.owner e.sharers)
+    v.dir;
+  (* single-writer: at most one node holds an exclusive copy of a block *)
+  let excl = Hashtbl.create 16 in
+  Imap.iter
+    (fun id (n : nview) ->
+      Imap.iter
+        (fun block l ->
+          if l = L_exclusive then begin
+            (match Hashtbl.find_opt excl block with
+             | Some other ->
+               err "block 0x%x: exclusive at both node %d and node %d" block
+                 other id
+             | None -> Hashtbl.add excl block id);
+            if not (Imap.mem block v.dir) then
+              err "block 0x%x: exclusive at node %d but not in directory"
+                block id
+          end)
+        n.lines;
+      (* ack-count conservation *)
+      if Imap.cardinal n.acks <> n.unacked then
+        err "node %d: unacked=%d but %d ack entries" id n.unacked
+          (Imap.cardinal n.acks);
+      Imap.iter
+        (fun block (a : ackst) ->
+          if a.got < 0 then err "node %d block 0x%x: negative acks" id block;
+          match a.expected with
+          | Some e when a.got >= e ->
+            err "node %d block 0x%x: %d acks received, %d expected — entry \
+                 should have completed"
+              id block a.got e
+          | Some e when e <= 0 ->
+            err "node %d block 0x%x: nonpositive expected acks %d" id block e
+          | _ -> ())
+        n.acks;
+      (* pending lines and pending entries agree *)
+      Imap.iter
+        (fun block l ->
+          let pl = l = L_pending_invalid || l = L_pending_shared in
+          if pl && not (Imap.mem block n.pending) then
+            err "node %d block 0x%x: pending line without pending entry" id
+              block)
+        n.lines;
+      Imap.iter
+        (fun block _ ->
+          match line_of n block with
+          | L_pending_invalid | L_pending_shared -> ()
+          | _ ->
+            err "node %d block 0x%x: pending entry but line not pending" id
+              block)
+        n.pending;
+      (* deferred requests only wait on a genuinely busy block *)
+      Imap.iter
+        (fun block msgs ->
+          if msgs = [] then
+            err "node %d block 0x%x: empty waiter queue entry" id block
+          else if
+            (not (Imap.mem block n.pending)) && not (Imap.mem block n.acks)
+          then
+            err "node %d block 0x%x: %d deferred requests but block not busy"
+              id block (List.length msgs))
+        n.waiters;
+      (* a waiting node's wait really is unsatisfied *)
+      match n.nstat with
+      | N_waiting w when wait_sat n w ->
+        err "node %d: waiting on a satisfied condition" id
+      | N_waiting _ when n.resume = R_none ->
+        err "node %d: waiting with no resume" id
+      | _ -> ())
+    v.nodes;
+  if v.barrier_arrived < 0 || v.barrier_arrived >= max 1 cfg.nprocs then
+    err "barrier_arrived %d out of range" v.barrier_arrived;
+  Imap.iter
+    (fun id (l : lockst) ->
+      (match l.holder with
+       | Some h when h < 0 || h >= cfg.nprocs ->
+         err "lock %d: holder %d out of range" id h
+       | None when l.lq <> [] ->
+         err "lock %d: free but %d queued requesters" id (List.length l.lq)
+       | _ -> ());
+      let sorted = List.sort_uniq compare l.lq in
+      if List.length sorted <> List.length l.lq then
+        err "lock %d: duplicate queued requester" id)
+    v.locks;
+  List.rev !errs
+
+(* Additional properties of QUIESCENT views: no requests in flight, all
+   nodes running (the driver must separately ensure no messages are in
+   transit).  Here the directory must agree exactly with the line
+   states. *)
+let quiescent_invariants (cfg : cfg) (v : view) : string list =
+  let errs = ref (invariants cfg v) in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  Imap.iter
+    (fun id (n : nview) ->
+      if not (Imap.is_empty n.pending) then
+        err "node %d: %d pending blocks at quiescence" id
+          (Imap.cardinal n.pending);
+      if n.unacked <> 0 then
+        err "node %d: %d unacked blocks at quiescence" id n.unacked;
+      if not (Imap.is_empty n.waiters) then
+        err "node %d: deferred requests at quiescence" id;
+      if n.in_batch then err "node %d: still in a batch at quiescence" id;
+      match n.nstat with
+      | N_waiting _ -> err "node %d: still waiting at quiescence" id
+      | N_running -> ())
+    v.nodes;
+  Imap.iter
+    (fun block (e : dirent) ->
+      Imap.iter
+        (fun id n ->
+          let l = line_of n block in
+          let valid = l = L_shared || l = L_exclusive in
+          if is_sharer e id && not valid then
+            err "block 0x%x: node %d in sharer vector but line %s" block id
+              (match l with
+               | L_invalid -> "invalid"
+               | L_pending_invalid -> "pending-invalid"
+               | L_pending_shared -> "pending-shared"
+               | _ -> "?");
+          if valid && not (is_sharer e id) then
+            err "block 0x%x: node %d holds a valid copy but is not in the \
+                 sharer vector"
+              block id;
+          if l = L_exclusive then begin
+            if e.owner <> id then
+              err "block 0x%x: exclusive at node %d but directory owner is %d"
+                block id e.owner;
+            if sharer_count e <> 1 then
+              err "block 0x%x: exclusive at node %d with %d sharers" block id
+                (sharer_count e)
+          end)
+        v.nodes)
+    v.dir;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* Canonical serialization                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A canonical string for a view, built from ordered map bindings.
+   (Marshalling the view directly would NOT be canonical: balanced-tree
+   shapes depend on insertion order.)  Equal strings <=> equal views;
+   used for visited-state deduplication in the model checker and for
+   comparing a replayed trace against the live run. *)
+let canon (v : view) : string =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.bprintf b fmt in
+  Imap.iter (fun blk (e : dirent) -> pf "D%x:%d,%x;" blk e.owner e.sharers)
+    v.dir;
+  Imap.iter
+    (fun id (n : nview) ->
+      pf "N%d{" id;
+      Imap.iter
+        (fun blk l ->
+          pf "l%x=%c;" blk
+            (match l with
+             | L_invalid -> 'i'
+             | L_shared -> 's'
+             | L_exclusive -> 'e'
+             | L_pending_invalid -> 'p'
+             | L_pending_shared -> 'q'))
+        n.lines;
+      Imap.iter
+        (fun blk (p : pend) ->
+          pf "p%x=%c%b[" blk
+            (match p.pkind with
+             | P_read -> 'r'
+             | P_readex -> 'x'
+             | P_upgrade -> 'u')
+            p.invalidated;
+          Imap.iter (fun a w -> pf "%x:%x," a w) p.written;
+          pf "];")
+        n.pending;
+      Imap.iter
+        (fun blk (a : ackst) ->
+          pf "a%x=%d/%s;" blk a.got
+            (match a.expected with Some e -> string_of_int e | None -> "?"))
+        n.acks;
+      pf "u%d;" n.unacked;
+      Imap.iter
+        (fun blk msgs ->
+          pf "w%x=[" blk;
+          List.iter (fun m -> pf "%s;" (Message.describe m)) msgs;
+          pf "];")
+        n.waiters;
+      List.iter
+        (fun d ->
+          match d with
+          | D_inv blk -> pf "di%x;" blk
+          | D_downgrade blk -> pf "dd%x;" blk)
+        n.deferred;
+      if n.in_batch then pf "B;";
+      (match n.nstat with
+       | N_running -> ()
+       | N_waiting w ->
+         pf "W%s;"
+           (match w with
+            | W_blocks bs ->
+              "b" ^ String.concat "," (List.map (Printf.sprintf "%x") bs)
+            | W_release -> "r"
+            | W_sync -> "s"));
+      (match n.resume with
+       | R_none -> ()
+       | R_refill -> pf "Rf;"
+       | R_store_retry { addr; bytes; store_done } ->
+         pf "Rs%x,%d,%b;" addr bytes store_done
+       | R_then_release -> pf "Rr;"
+       | R_done -> pf "Rd;"
+       | R_lock_acquired id -> pf "Rl%d;" id
+       | R_unlock id -> pf "Ru%d;" id
+       | R_barrier_enter -> pf "Rb;"
+       | R_barrier_passed -> pf "Rp;"
+       | R_flag_set id -> pf "Rg%d;" id
+       | R_flag_woken id -> pf "Rw%d;" id);
+      if n.sync_signal then pf "S;";
+      pf "}")
+    v.nodes;
+  Imap.iter
+    (fun id (l : lockst) ->
+      pf "L%d:%s,[%s];" id
+        (match l.holder with Some h -> string_of_int h | None -> "-")
+        (String.concat "," (List.map string_of_int l.lq)))
+    v.locks;
+  Imap.iter
+    (fun id (f : flagst) ->
+      pf "F%d:%b,[%s];" id f.fset
+        (String.concat "," (List.map string_of_int f.fwaiters)))
+    v.flags;
+  pf "B%d" v.barrier_arrived;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Printers (counterexample traces)                                     *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_wait = function
+  | W_blocks bs ->
+    Printf.sprintf "blocks[%s]"
+      (String.concat "," (List.map (Printf.sprintf "0x%x") bs))
+  | W_release -> "release"
+  | W_sync -> "sync"
+
+let string_of_ev = function
+  | E_miss (MK_read, a) -> Printf.sprintf "miss(read,0x%x)" a
+  | E_miss (MK_write, a) -> Printf.sprintf "miss(write,0x%x)" a
+  | E_miss (MK_upgrade, a) -> Printf.sprintf "miss(upgrade,0x%x)" a
+  | E_false_miss a -> Printf.sprintf "false_miss(0x%x)" a
+  | E_invalidated { block; requester } ->
+    Printf.sprintf "invalidated(0x%x,ack->%d)" block requester
+  | E_downgraded { block; requester } ->
+    Printf.sprintf "downgraded(0x%x,->%d)" block requester
+  | E_store_reissue b -> Printf.sprintf "store_reissue(0x%x)" b
+  | E_batch_run { nranges; waited } ->
+    Printf.sprintf "batch_run(%d ranges,%d waits)" nranges waited
+  | E_lock_acquired id -> Printf.sprintf "lock_acquired(%d)" id
+  | E_barrier_passed -> "barrier_passed"
+  | E_flag_raised id -> Printf.sprintf "flag_raised(%d)" id
+  | E_flag_woken id -> Printf.sprintf "flag_woken(%d)" id
+
+let string_of_action = function
+  | A_charge Request_issue -> "charge(request_issue)"
+  | A_charge Message_handle -> "charge(message_handle)"
+  | A_charge Sync_local -> "charge(sync_local)"
+  | A_charge False_miss -> "charge(false_miss)"
+  | A_charge (Batch_record n) -> Printf.sprintf "charge(batch_record*%d)" n
+  | A_count _ -> "count"
+  | A_emit e -> "emit " ^ string_of_ev e
+  | A_send { dst; msg } ->
+    Printf.sprintf "send->%d %s" dst (Message.describe msg)
+  | A_local msg -> Printf.sprintf "local %s" (Message.describe msg)
+  | A_mem (M_make_exclusive b) -> Printf.sprintf "mem(exclusive 0x%x)" b
+  | A_mem (M_make_shared b) -> Printf.sprintf "mem(shared 0x%x)" b
+  | A_mem (M_make_invalid b) -> Printf.sprintf "mem(invalid 0x%x)" b
+  | A_mem (M_make_pending { block; shared }) ->
+    Printf.sprintf "mem(pending-%s 0x%x)"
+      (if shared then "shared" else "invalid")
+      block
+  | A_mem (M_flag b) -> Printf.sprintf "mem(flag 0x%x)" b
+  | A_mem (M_merge { block; written }) ->
+    Printf.sprintf "mem(merge 0x%x,%d written)" block (List.length written)
+  | A_block w -> "block " ^ string_of_wait w
+  | A_stall w -> "wake " ^ string_of_wait w
+  | A_refill -> "refill"
+  | A_reenter_store { addr; bytes; store_done; post } ->
+    Printf.sprintf "reenter_store(0x%x,%dB,done=%b,%d post)" addr bytes
+      store_done (List.length post)
+
+let string_of_input = function
+  | I_msg m -> "deliver " ^ Message.describe m
+  | I_load_miss { addr; _ } -> Printf.sprintf "load_miss 0x%x" addr
+  | I_store_miss { addr; bytes; store_done; _ } ->
+    Printf.sprintf "store_miss 0x%x %dB%s" addr bytes
+      (if store_done then "" else " (stalling)")
+  | I_batch_miss { nranges; blocks; _ } ->
+    Printf.sprintf "batch_miss %d ranges, %d blocks" nranges
+      (List.length blocks)
+  | I_batch_end { order; _ } ->
+    Printf.sprintf "batch_end (%d deferred)" (List.length order)
+  | I_lock id -> Printf.sprintf "lock %d" id
+  | I_unlock id -> Printf.sprintf "unlock %d" id
+  | I_barrier -> "barrier"
+  | I_flag_set id -> Printf.sprintf "flag_set %d" id
+  | I_flag_wait id -> Printf.sprintf "flag_wait %d" id
+  | I_alloc { owner; blocks } ->
+    Printf.sprintf "alloc owner=%d (%d blocks)" owner (List.length blocks)
+  | I_continue post -> Printf.sprintf "continue (%d post)" (List.length post)

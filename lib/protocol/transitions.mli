@@ -1,0 +1,188 @@
+(* Pure protocol transition core.
+
+   [step] is the entire Shasta coherence/synchronization protocol as a
+   pure function over an immutable [view]; the runtime engine interprets
+   the returned [action] list against Pipeline/Network/Memory, and the
+   model checker ([lib/mcheck]) and the deterministic-replay driver
+   (shasta_run --replay) drive [step] directly.  Types are transparent
+   so checkers can build and inspect views. *)
+
+module Imap : Map.S with type key = int
+
+type line = L_invalid | L_shared | L_exclusive | L_pending_invalid
+          | L_pending_shared
+
+type pending_kind = P_read | P_readex | P_upgrade
+
+type pend = {
+  pkind : pending_kind;
+  written : int Imap.t;
+  invalidated : bool;
+}
+
+type ackst = { got : int; expected : int option }
+
+type wait = W_blocks of int list | W_release | W_sync
+
+type resume =
+  | R_none
+  | R_refill
+  | R_store_retry of { addr : int; bytes : int; store_done : bool }
+  | R_then_release
+  | R_done
+  | R_lock_acquired of int
+  | R_unlock of int
+  | R_barrier_enter
+  | R_barrier_passed
+  | R_flag_set of int
+  | R_flag_woken of int
+
+type nstatus = N_running | N_waiting of wait
+
+type deferred = D_inv of int | D_downgrade of int
+
+type nview = {
+  lines : line Imap.t;
+  pending : pend Imap.t;
+  acks : ackst Imap.t;
+  unacked : int;
+  waiters : Message.t list Imap.t;
+  deferred : deferred list;
+  in_batch : bool;
+  nstat : nstatus;
+  resume : resume;
+  sync_signal : bool;
+}
+
+type dirent = { owner : int; sharers : int }
+type lockst = { holder : int option; lq : int list }
+type flagst = { fset : bool; fwaiters : int list }
+
+type view = {
+  dir : dirent Imap.t;
+  nodes : nview Imap.t;
+  locks : lockst Imap.t;
+  flags : flagst Imap.t;
+  barrier_arrived : int;
+}
+
+type cfg = { nprocs : int; page_bytes : int; sc : bool }
+
+type cost =
+  | Request_issue
+  | Message_handle
+  | Sync_local
+  | False_miss
+  | Batch_record of int
+
+type counter =
+  | C_read_miss
+  | C_write_miss
+  | C_upgrade_miss
+  | C_batch_miss
+  | C_false_miss
+  | C_msg_handled
+  | C_lock_acquire
+  | C_barrier_passed
+  | C_store_reissue
+
+type miss_kind = MK_read | MK_write | MK_upgrade
+
+type ev =
+  | E_miss of miss_kind * int
+  | E_false_miss of int
+  | E_invalidated of { block : int; requester : int }
+  | E_downgraded of { block : int; requester : int }
+  | E_store_reissue of int
+  | E_batch_run of { nranges : int; waited : int }
+  | E_lock_acquired of int
+  | E_barrier_passed
+  | E_flag_raised of int
+  | E_flag_woken of int
+
+type memop =
+  | M_make_exclusive of int
+  | M_make_shared of int
+  | M_make_invalid of int
+  | M_make_pending of { block : int; shared : bool }
+  | M_flag of int
+  | M_merge of { block : int; written : (int * int) list }
+
+type post =
+  | P_register_acks of { block : int; acks : int }
+  | P_flush_waiters of int
+  | P_invalidate_flush of int
+  | P_check_wake
+
+type action =
+  | A_charge of cost
+  | A_count of counter
+  | A_emit of ev
+  | A_send of { dst : int; msg : Message.t }
+  | A_local of Message.t
+  | A_mem of memop
+  | A_block of wait
+  | A_stall of wait
+  | A_refill
+  | A_reenter_store of
+      { addr : int; bytes : int; store_done : bool; post : post list }
+
+type input =
+  | I_msg of Message.t
+  | I_load_miss of { addr : int; block : int; st : line }
+  | I_store_miss of
+      { addr : int; block : int; st : line; bytes : int; store_done : bool;
+        stored : (int * int) list }
+  | I_batch_miss of
+      { nranges : int;
+        blocks : (int * bool * line) list;
+        stores : (int * int) list }
+  | I_batch_end of
+      { values : (int * int * int) list; order : deferred list }
+  | I_lock of int
+  | I_unlock of int
+  | I_barrier
+  | I_flag_set of int
+  | I_flag_wait of int
+  | I_alloc of { owner : int; blocks : int list }
+  | I_continue of post list
+
+val empty_nview : nview
+val init : cfg -> view
+
+(* The transition function.  Applying the returned actions in order
+   against the machine reproduces the historical engine's effect order
+   exactly.  An [A_reenter_store] is always the LAST action: the step
+   was truncated and the interpreter must re-enter the store-miss path,
+   then resume the carried [post] list via [I_continue]. *)
+val step : cfg -> view -> node:int -> input -> action list * view
+
+val home_of : cfg -> int -> int
+
+(* Accessors *)
+val node_view : view -> node:int -> nview
+val deferred_of : view -> node:int -> deferred list
+val line_state : view -> node:int -> block:int -> line
+val is_pending : view -> node:int -> block:int -> bool
+val in_batch : view -> node:int -> bool
+val dir_entry : view -> block:int -> dirent option
+val dir_fold : (int -> dirent -> 'a -> 'a) -> view -> 'a -> 'a
+val wait_satisfied : view -> node:int -> wait -> bool
+val is_sharer : dirent -> int -> bool
+val sharer_list : dirent -> nprocs:int -> int list
+val sharer_count : dirent -> int
+
+(* Invariant checking: [] means consistent.  [invariants] holds in every
+   reachable view (but only after any pending [I_continue] has run);
+   [quiescent_invariants] additionally requires all activity drained. *)
+val invariants : cfg -> view -> string list
+val quiescent_invariants : cfg -> view -> string list
+
+(* Canonical string: equal strings <=> equal views (map-shape
+   independent).  Visited-set keys and replay comparison. *)
+val canon : view -> string
+
+val string_of_wait : wait -> string
+val string_of_ev : ev -> string
+val string_of_action : action -> string
+val string_of_input : input -> string

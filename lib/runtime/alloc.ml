@@ -43,11 +43,11 @@ let init_range state ~owner ~base ~len ~bsize =
      | Some _ -> ()
      | None -> Granularity.set_page_block state.State.gran ~page ~block_bytes:bsize)
   done;
-  (* directory entries, owned by the allocator *)
+  (* directory entries, owned by the allocator (registered through the
+     pure protocol view) *)
   let nblocks = len / bsize in
-  for k = 0 to nblocks - 1 do
-    Directory.add_block state.State.dir ~block:(base + (k * bsize)) ~owner
-  done;
+  let blocks = List.init nblocks (fun k -> base + (k * bsize)) in
+  Engine.alloc_blocks state ~owner blocks;
   (* per-node line state *)
   Array.iter
     (fun (n : Node.t) ->

@@ -31,7 +31,7 @@ type result = {
   phase : Cluster.phase_result;
   inst_stats : Shasta.Instrument.stats option;
   program : Shasta_isa.Program.t; (* the executable actually run *)
-  state : State.t; (* post-run cluster state (registry, network, dir) *)
+  state : State.t; (* post-run cluster state (registry, network, protocol view) *)
 }
 
 let prepare spec =

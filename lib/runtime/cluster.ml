@@ -40,19 +40,26 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
     { State.config; image; nodes;
       net = Shasta_network.Network.create ~nprocs:config.nprocs
           config.net_profile;
-      dir = Shasta_protocol.Directory.create ~nprocs:config.nprocs ();
       gran =
         Shasta_protocol.Granularity.create ~line_bytes:(1 lsl config.line_shift)
           ~threshold:config.granularity_threshold ();
-      locks = Hashtbl.create 16;
-      flags = Hashtbl.create 16;
-      barrier_arrived = 0;
+      tcfg =
+        { Shasta_protocol.Transitions.nprocs = config.nprocs;
+          page_bytes = State.page_bytes;
+          sc = (config.consistency = State.Sequential) };
+      proto =
+        Shasta_protocol.Transitions.init
+          { Shasta_protocol.Transitions.nprocs = config.nprocs;
+            page_bytes = State.page_bytes;
+            sc = (config.consistency = State.Sequential) };
       shared_next_page = State.shared_heap_start;
       pools = Hashtbl.create 8;
       output = Buffer.create 256;
       allocations = [];
       pid_addr;
-      nprocs_addr = np_addr }
+      nprocs_addr = np_addr;
+      record_inputs = false;
+      inputs_rev = [] }
   in
   (* Wire the interconnect and cache-model taps into the observability
      subsystem: every network send/delivery becomes a typed event,

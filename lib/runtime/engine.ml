@@ -1,31 +1,35 @@
-(* The Shasta protocol engine (Sections 2.1, 4 of the paper).
+(* The protocol engine as a thin interpreter over the pure transition
+   core ([Shasta_protocol.Transitions]).
 
-   Implements the directory-based invalidation protocol with the paper's
-   properties:
-   - all directory state changes complete when a request reaches the
-     home; a forwarded request is guaranteed to be serviced by the
-     owner (deferring in a per-block queue while the owner's own copy
-     is pending or awaiting invalidation acks);
-   - dirty sharing: a read forwarded to the owner is answered directly
-     to the requester, without updating the home's copy;
-   - exclusive (upgrade) requests avoid data transfer when the
-     requester still holds a shared copy, and are converted to
-     read-exclusive when an invalidation raced ahead;
-   - the expected invalidation-ack count is piggybacked on the data or
-     upgrade reply; sharers acknowledge straight to the requester;
-   - release consistency: stores never stall (written longwords are
-     recorded and merged with the eventual reply); releases wait for
-     outstanding requests and acknowledgements;
-   - batched misses: multiple block requests issued together, waiting
-     only for read/read-exclusive replies; invalidations received while
-     inside batched code are deferred to the Batch_end marker, with
-     stores reissued for blocks lost during the batch (Section 4.3). *)
+   All protocol DECISIONS — directory updates, lockup-free pending
+   states, dirty sharing, piggybacked invalidation acks, deferred
+   batched invalidations, sync objects (Sections 2.1 and 4 of the
+   paper) — are made by [Transitions.step] over the immutable view in
+   [state.proto].  This module:
+
+   - turns machine observations into step inputs (state-table bytes at
+     miss checks, drained network messages, batched access lists with
+     their historical iteration orders, store values the core cannot
+     read itself);
+   - applies the returned action list IN ORDER against
+     Pipeline/Network/Memory/Tables and the observability subsystem,
+     which reproduces the old monolithic engine's effect order — and
+     therefore its event stream and cycle counts — exactly;
+   - records every (node, input) pair when [state.record_inputs] is
+     set, enabling deterministic replay through the pure core alone.
+
+   The one re-entrant corner: a stalling store's retry must re-run the
+   full store-miss path (drain included).  The core ends such a step
+   with [A_reenter_store], the interpreter re-enters [store_miss], and
+   the residual pure work rides along as a post list fed back through
+   [I_continue]. *)
 
 open Shasta_machine
 open Shasta_protocol
 open Shasta
 module Obs = Shasta_obs.Obs
 module Ev = Shasta_obs.Event
+module T = Transitions
 
 let ls state = state.State.config.line_shift
 
@@ -51,19 +55,107 @@ let block_len state block = Granularity.block_bytes_at state.State.gran block
 let charge (node : Node.t) cycles = Pipeline.stall node.pipe cycles
 
 (* ------------------------------------------------------------------ *)
-(* Messaging                                                            *)
+(* Input construction helpers                                           *)
 (* ------------------------------------------------------------------ *)
 
-let rec send state (node : Node.t) ~dst ~addr kind =
-  let msg = { Message.src = node.id; addr; kind } in
-  if dst = node.id then begin
-    (* local delivery: handled immediately at local handler cost *)
-    charge node state.State.config.costs.sync_local;
-    handle state node msg
-  end
-  else begin
-    (* the network's send tap reports the message to the
-       observability subsystem *)
+let line_of_byte st =
+  if st = Layout.st_exclusive then T.L_exclusive
+  else if st = Layout.st_shared then T.L_shared
+  else if st = Layout.st_pending_invalid then T.L_pending_invalid
+  else if st = Layout.st_pending_shared then T.L_pending_shared
+  else T.L_invalid
+
+(* The longwords [addr, addr+bytes) covers, with their current memory
+   values (the store has already executed). *)
+let longword_cover (node : Node.t) ~addr ~bytes =
+  let first = addr land lnot 3 in
+  let n = (addr + bytes - 1 - first) / 4 in
+  let rec go k acc =
+    if k < 0 then acc
+    else
+      let a = first + (4 * k) in
+      go (k - 1) ((a, Memory.read_long_u node.mem a) :: acc)
+  in
+  go n []
+
+(* ------------------------------------------------------------------ *)
+(* Action application                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let cost_cycles state (c : T.cost) =
+  let costs = state.State.config.costs in
+  match c with
+  | T.Request_issue -> costs.request_issue
+  | T.Message_handle -> costs.message_handle
+  | T.Sync_local -> costs.sync_local
+  | T.False_miss -> costs.false_miss
+  | T.Batch_record n -> costs.batch_record * n
+
+let bump (node : Node.t) (k : T.counter) =
+  let c = node.counters in
+  match k with
+  | T.C_read_miss -> c.read_misses <- c.read_misses + 1
+  | T.C_write_miss -> c.write_misses <- c.write_misses + 1
+  | T.C_upgrade_miss -> c.upgrade_misses <- c.upgrade_misses + 1
+  | T.C_batch_miss -> c.batch_misses <- c.batch_misses + 1
+  | T.C_false_miss -> c.false_misses <- c.false_misses + 1
+  | T.C_msg_handled -> c.msgs_handled <- c.msgs_handled + 1
+  | T.C_lock_acquire -> c.lock_acquires <- c.lock_acquires + 1
+  | T.C_barrier_passed -> c.barriers_passed <- c.barriers_passed + 1
+  | T.C_store_reissue -> c.store_reissues <- c.store_reissues + 1
+
+let ev_of (e : T.ev) : Ev.t =
+  match e with
+  | T.E_miss (T.MK_read, addr) -> Ev.Miss { kind = Ev.Read; addr }
+  | T.E_miss (T.MK_write, addr) -> Ev.Miss { kind = Ev.Write; addr }
+  | T.E_miss (T.MK_upgrade, addr) -> Ev.Miss { kind = Ev.Upgrade; addr }
+  | T.E_false_miss addr -> Ev.False_miss { addr }
+  | T.E_invalidated { block; requester } ->
+    Ev.Invalidated { addr = block; requester }
+  | T.E_downgraded { block; requester } ->
+    Ev.Downgraded { addr = block; requester }
+  | T.E_store_reissue addr -> Ev.Store_reissue { addr }
+  | T.E_batch_run { nranges; waited } -> Ev.Batch_run { nranges; waited }
+  | T.E_lock_acquired id -> Ev.Lock_acquired { id }
+  | T.E_barrier_passed -> Ev.Barrier_passed
+  | T.E_flag_raised id -> Ev.Flag_raised { id }
+  | T.E_flag_woken id -> Ev.Flag_woken { id }
+
+(* Data replies leave the core with an empty payload: read the block out
+   of this node's memory at apply time.  No memory action can intervene
+   between the core's send point and this apply point, so the data is
+   exactly what the old engine read inline. *)
+let fill_data state (node : Node.t) (msg : Message.t) =
+  match msg.kind with
+  | Message.Coh (Data_reply { data; exclusive; acks })
+    when Array.length data = 0 ->
+    let data =
+      Tables.read_block node ~addr:msg.addr ~len:(block_len state msg.addr)
+    in
+    { msg with Message.kind = Message.Coh (Data_reply { data; exclusive; acks }) }
+  | _ -> msg
+
+let stall_reason = function
+  | T.W_blocks _ -> "miss"
+  | T.W_release -> "release"
+  | T.W_sync -> "sync"
+
+let rec step state (node : Node.t) (input : T.input) =
+  if state.State.record_inputs then
+    state.State.inputs_rev <- (node.id, input) :: state.State.inputs_rev;
+  let acts, v = T.step state.State.tcfg state.State.proto ~node:node.id input in
+  state.State.proto <- v;
+  List.iter (apply state node) acts
+
+and apply state (node : Node.t) (a : T.action) =
+  match a with
+  | T.A_charge c -> charge node (cost_cycles state c)
+  | T.A_count k -> bump node k
+  | T.A_emit e -> emit state node (ev_of e)
+  | T.A_send { dst; msg } ->
+    let msg = fill_data state node msg in
+    (* the network's send tap reports the message to the observability
+       subsystem *)
     let now = Pipeline.cycle node.pipe in
     let done_at =
       Shasta_network.Network.send state.State.net ~src:node.id ~dst ~now
@@ -71,427 +163,108 @@ let rec send state (node : Node.t) ~dst ~addr kind =
         msg
     in
     charge node (done_at - now)
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Blocking and waking                                                  *)
-(* ------------------------------------------------------------------ *)
-
-and block_on _state (node : Node.t) wait ~k =
-  node.status <- Waiting wait;
-  if Node.wait_satisfied node then begin
-    (match wait with W_sync -> node.sync_signal <- false | _ -> ());
-    node.status <- Running;
-    k ()
-  end
-  else begin
-    node.on_wake <- k;
+  | T.A_local _ ->
+    (* local delivery: the core charged the handler cost and handled the
+       message inline; it never reaches the network taps, so count it
+       here *)
+    Obs.incr state.State.config.obs ~node:node.id Obs.c_msg_local
+  | T.A_mem op -> apply_mem state node op
+  | T.A_block w ->
+    node.status <- Waiting w;
     node.wait_started <- Pipeline.cycle node.pipe
-  end
+  | T.A_stall w ->
+    let stalled = Pipeline.cycle node.pipe - node.wait_started in
+    node.counters.stall_cycles <- node.counters.stall_cycles + stalled;
+    emit state node
+      (Ev.Stall
+         { reason = stall_reason w;
+           started = node.wait_started;
+           cycles = stalled });
+    node.status <- Running
+  | T.A_refill -> node.refill ()
+  | T.A_reenter_store { addr; bytes; store_done; post } ->
+    store_miss state node ~addr ~bytes ~store_done;
+    if post <> [] then step state node (T.I_continue post)
 
-and check_wake state (node : Node.t) =
-  match node.status with
-  | Running | Finished -> ()
-  | Waiting w ->
-    if Node.wait_satisfied node then begin
-      (match w with W_sync -> node.sync_signal <- false | _ -> ());
-      let stalled = Pipeline.cycle node.pipe - node.wait_started in
-      node.counters.stall_cycles <- node.counters.stall_cycles + stalled;
-      emit state node
-        (Ev.Stall
-           { reason =
-               (match w with
-                | Node.W_blocks _ -> "miss"
-                | Node.W_release -> "release"
-                | Node.W_sync -> "sync");
-             started = node.wait_started;
-             cycles = stalled });
-      node.status <- Running;
-      let k = node.on_wake in
-      node.on_wake <- (fun () -> ());
-      k ();
-      (* k may have blocked again; if so the new wait stands *)
-      ignore state
-    end
+and apply_mem state (node : Node.t) (op : T.memop) =
+  match op with
+  | T.M_make_exclusive b ->
+    Tables.make_exclusive node ~ls:(ls state) ~addr:b ~len:(block_len state b)
+  | T.M_make_shared b ->
+    Tables.make_shared node ~ls:(ls state) ~addr:b ~len:(block_len state b)
+  | T.M_make_invalid b ->
+    Tables.make_invalid node ~ls:(ls state) ~addr:b ~len:(block_len state b)
+  | T.M_make_pending { block; shared } ->
+    Tables.make_pending node ~ls:(ls state) ~addr:block
+      ~len:(block_len state block) ~shared
+  | T.M_flag b -> Tables.flag_range node ~addr:b ~len:(block_len state b)
+  | T.M_merge { block; written } ->
+    (* merge the triggering reply's longwords, overlaying the node's own
+       pending stores.  The reply data is consumed at most once per
+       step; a locally served reply (same-node owner) falls back to the
+       node's own memory, which is what the local owner path read. *)
+    let data =
+      match node.reply_data with
+      | Some d ->
+        node.reply_data <- None;
+        d
+      | None -> Tables.read_block node ~addr:block ~len:(block_len state block)
+    in
+    let wtbl = Hashtbl.create 8 in
+    List.iter (fun (a, v) -> Hashtbl.replace wtbl a v) written;
+    Tables.merge_block_data node ~addr:block ~written:wtbl data
 
-(* ------------------------------------------------------------------ *)
-(* Invalidation-ack bookkeeping                                         *)
-(* ------------------------------------------------------------------ *)
-
-and finish_acks state (node : Node.t) block =
-  Hashtbl.remove node.acks block;
-  node.unacked <- node.unacked - 1;
-  flush_waiters state node block
-
-and register_acks state (node : Node.t) block expected =
-  match Hashtbl.find_opt node.acks block with
-  | None ->
-    if expected > 0 then begin
-      Hashtbl.add node.acks block
-        { Node.acks_got = 0; acks_expected = Some expected };
-      node.unacked <- node.unacked + 1
-    end
-    else flush_waiters state node block
-  | Some a ->
-    a.acks_expected <- Some expected;
-    if a.acks_got >= expected then finish_acks state node block
-
-and recv_inv_ack state (node : Node.t) block =
-  let a =
-    match Hashtbl.find_opt node.acks block with
-    | Some a -> a
-    | None ->
-      let a = { Node.acks_got = 0; acks_expected = None } in
-      Hashtbl.add node.acks block a;
-      node.unacked <- node.unacked + 1;
-      a
+(* Store miss.  With [store_done] (the scheduled check of Section 3.1),
+   the store has already written memory and the handler is non-stalling
+   under release consistency; without it, the handler stalls until the
+   line is exclusive and the store executes afterwards. *)
+and store_miss state (node : Node.t) ~addr ~bytes ~store_done =
+  (* Messages drained below may invalidate the block and flag the
+     just-stored longwords before the core records them, so capture the
+     store's value now and re-apply it after the drain: the store is the
+     newest write to these longwords. *)
+  let saved =
+    if store_done then
+      Some (Memory.blit_out node.mem ~addr ~nlongs:(bytes / 4))
+    else None
   in
-  a.acks_got <- a.acks_got + 1;
-  match a.acks_expected with
-  | Some e when a.acks_got >= e -> finish_acks state node block
-  | _ -> ()
-
-(* Service requests that were deferred while the block was pending or
-   had outstanding acks. *)
-and flush_waiters state (node : Node.t) block =
-  if (not (Node.is_pending node block)) && not (Hashtbl.mem node.acks block)
-  then
-    List.iter (fun msg -> handle state node msg)
-      (Node.take_waiters node block)
-
-(* ------------------------------------------------------------------ *)
-(* Request issue (requester side)                                       *)
-(* ------------------------------------------------------------------ *)
-
-and issue_request state (node : Node.t) block kind counter =
-  charge node state.State.config.costs.request_issue;
-  counter ();
-  let home = Directory.home_of state.State.dir block in
-  send state node ~dst:home ~addr:block kind
-
-and start_pending state (node : Node.t) block (pkind : Node.pending_kind) =
-  let p =
-    { Node.pkind; written = Hashtbl.create 8; invalidated = false }
+  enter_handler state node;
+  (match saved with
+   | Some data ->
+     Memory.blit_in node.mem ~addr data;
+     Cache.dinvalidate node.caches ~addr ~len:bytes
+   | None -> ());
+  let block = block_of state addr in
+  let st = line_of_byte (Tables.get_state node ~ls:(ls state) addr) in
+  let stored =
+    if store_done then longword_cover node ~addr ~bytes else []
   in
-  Hashtbl.replace node.pending block p;
-  Tables.make_pending node ~ls:(ls state) ~addr:block
-    ~len:(block_len state block)
-    ~shared:(pkind = Node.P_upgrade);
-  p
+  step state node (T.I_store_miss { addr; block; st; bytes; store_done; stored })
 
 (* ------------------------------------------------------------------ *)
-(* Home-side handlers                                                   *)
+(* Message delivery                                                     *)
 (* ------------------------------------------------------------------ *)
 
-and home_read state (home_node : Node.t) ~requester ~block =
-  let e = Directory.entry state.State.dir block in
-  let h = home_node.id in
-  let home_valid = requester <> h && (Directory.is_sharer e h || e.owner = h) in
-  Directory.add_sharer e requester;
-  if home_valid then
-    (* home has a valid copy: serve it directly (the paper's
-       optimization that avoids forwarding), going through the owner
-       path so the home's own copy is downgraded — and deferred while
-       it is pending or awaiting invalidation acks *)
-    owner_fwd_read state home_node ~requester ~block
-  else
-    send state home_node ~dst:e.owner ~addr:block (Coh (Fwd_read { requester }))
-
-and home_readex state (home_node : Node.t) ~requester ~block =
-  let e = Directory.entry state.State.dir block in
-  let h = home_node.id in
-  let o = e.owner in
-  if o = requester then begin
-    (* requester already owns the block (it held it shared after a
-       downgrade): grant exclusivity like an upgrade *)
-    let others =
-      List.filter (fun s -> s <> requester)
-        (Directory.sharer_list e ~nprocs:state.State.config.nprocs)
-    in
-    e.sharers <- 1 lsl requester;
-    List.iter
-      (fun s -> send state home_node ~dst:s ~addr:block (Coh (Inv { requester })))
-      others;
-    send state home_node ~dst:requester ~addr:block
-      (Coh (Upgrade_ack { acks = List.length others }))
-  end
-  else begin
-    let others =
-      List.filter
-        (fun s -> s <> requester && s <> o)
-        (Directory.sharer_list e ~nprocs:state.State.config.nprocs)
-    in
-    let nacks = List.length others in
-    e.owner <- requester;
-    e.sharers <- 1 lsl requester;
-    List.iter
-      (fun s -> send state home_node ~dst:s ~addr:block (Coh (Inv { requester })))
-      others;
-    if o = h then
-      (* home is the owner: serve the data duty locally through the
-         owner path (which defers if the home's copy is pending) *)
-      owner_fwd_readex state home_node ~requester ~block ~acks:nacks
-    else
-      send state home_node ~dst:o ~addr:block
-        (Coh (Fwd_readex { requester; acks = nacks }))
-  end
-
-and home_upgrade state (home_node : Node.t) ~requester ~block =
-  let e = Directory.entry state.State.dir block in
-  if Directory.is_sharer e requester then begin
-    let others =
-      List.filter (fun s -> s <> requester)
-        (Directory.sharer_list e ~nprocs:state.State.config.nprocs)
-    in
-    e.owner <- requester;
-    e.sharers <- 1 lsl requester;
-    List.iter
-      (fun s -> send state home_node ~dst:s ~addr:block (Coh (Inv { requester })))
-      others;
-    send state home_node ~dst:requester ~addr:block
-      (Coh (Upgrade_ack { acks = List.length others }))
-  end
-  else
-    (* an invalidation raced ahead of the upgrade: the requester's copy
-       is gone, so convert to a read-exclusive (Section 2.1) *)
-    home_readex state home_node ~requester ~block
-
-(* ------------------------------------------------------------------ *)
-(* Owner-side handlers                                                  *)
-(* ------------------------------------------------------------------ *)
-
-(* The directory's owner guarantees to service a forwarded request
-   (Section 2.1).  It may defer only while it genuinely has no usable
-   copy: a pending read/read-exclusive (data still in flight), an
-   upgrade that has already been invalidated under it, or outstanding
-   invalidation acknowledgements ("requests from other processors are
-   delayed until all pending invalidations are acknowledged").  An owner
-   with a plain pending upgrade holds valid data and must serve — its
-   upgrade is then converted to a read-exclusive by the home. *)
-and owner_busy (node : Node.t) block =
-  Hashtbl.mem node.acks block
-  ||
-  match Hashtbl.find_opt node.pending block with
-  | None -> false
-  | Some p -> not (p.pkind = Node.P_upgrade && not p.invalidated)
-
-and owner_fwd_read state (node : Node.t) ~requester ~block =
-  if owner_busy node block then
-    Node.enqueue_waiter node block
-      { Message.src = node.id; addr = block; kind = Coh (Fwd_read { requester }) }
-  else begin
-    let len = block_len state block in
-    let data = Tables.read_block node ~addr:block ~len in
-    emit state node (Ev.Downgraded { addr = block; requester });
-    send state node ~dst:requester ~addr:block
-      (Coh (Data_reply { data; exclusive = false; acks = 0 }));
-    if node.in_batch then node.deferred <- D_downgrade block :: node.deferred
-    else if not (Node.is_pending node block) then
-      (* a pending upgrade keeps its pending-shared state bytes *)
-      Tables.make_shared node ~ls:(ls state) ~addr:block ~len
-  end
-
-and owner_fwd_readex state (node : Node.t) ~requester ~block ~acks =
-  if owner_busy node block then
-    Node.enqueue_waiter node block
-      { Message.src = node.id; addr = block;
-        kind = Coh (Fwd_readex { requester; acks }) }
-  else begin
-    let len = block_len state block in
-    let data = Tables.read_block node ~addr:block ~len in
-    send state node ~dst:requester ~addr:block
-      (Coh (Data_reply { data; exclusive = true; acks }));
-    if node.in_batch then node.deferred <- D_inv block :: node.deferred
-    else
-      match Hashtbl.find_opt node.pending block with
-      | Some p ->
-        (* our own upgrade is in flight and will be converted by the
-           home; treat this like an invalidation racing it *)
-        p.invalidated <- true;
-        Tables.flag_range node ~addr:block ~len
-      | None -> Tables.make_invalid node ~ls:(ls state) ~addr:block ~len
-  end
-
-(* ------------------------------------------------------------------ *)
-(* Requester-side completions                                           *)
-(* ------------------------------------------------------------------ *)
-
-and apply_inv state (node : Node.t) ~block ~requester =
-  (* acknowledge straight to the requester, immediately; the flag writes
-     may be deferred but the ack is not *)
-  emit state node (Ev.Invalidated { addr = block; requester });
-  send state node ~dst:requester ~addr:block (Coh Inv_ack);
-  let len = block_len state block in
-  if node.in_batch then node.deferred <- D_inv block :: node.deferred
-  else if Tables.get_state node ~ls:(ls state) block = Layout.st_exclusive
-  then
-    (* stale invalidation: it targeted a sharer copy we have since
-       replaced by exclusive ownership (home never invalidates the
-       owner); nothing to do beyond the ack *)
-    ()
-  else
-    match Hashtbl.find_opt node.pending block with
-    | Some p ->
-      (* flag the whole block: the node's own pending stores survive in
-         the written map and are overlaid at merge time; full flagging
-         keeps inline (and batch endpoint) checks sound *)
-      p.invalidated <- true;
-      Tables.flag_range node ~addr:block ~len
-    | None -> Tables.make_invalid node ~ls:(ls state) ~addr:block ~len
-
-and complete_data_reply state (node : Node.t) ~block ~data ~exclusive ~acks =
-  match Hashtbl.find_opt node.pending block with
-  | None ->
-    (* replies are only sent in response to our requests *)
-    invalid_arg
-      (Printf.sprintf "Engine: stray data reply at node %d block 0x%x"
-         node.id block)
-  | Some p ->
-    let len = block_len state block in
-    Tables.merge_block_data node ~addr:block ~written:p.written data;
-    Hashtbl.remove node.pending block;
-    (* In every case the node's own stalled access must consume the
-       reply (check_wake runs the refill) BEFORE deferred forwarded
-       requests are serviced: servicing them first could invalidate the
-       block again and hand the stalled load flagged memory. *)
-    if exclusive then begin
-      Tables.make_exclusive node ~ls:(ls state) ~addr:block ~len;
-      (* any deferred invalidation of this block predates our ownership *)
-      node.deferred <-
-        List.filter (function Node.D_inv b -> b <> block | _ -> true)
-          node.deferred;
-      check_wake state node;
-      register_acks state node block acks
-    end
-    else if p.invalidated then begin
-      (* late invalidation: let the stalled load consume the value, then
-         apply the invalidation *)
-      Tables.make_shared node ~ls:(ls state) ~addr:block ~len;
-      check_wake state node;
-      Tables.make_invalid node ~ls:(ls state) ~addr:block ~len;
-      flush_waiters state node block
-    end
-    else begin
-      Tables.make_shared node ~ls:(ls state) ~addr:block ~len;
-      check_wake state node;
-      flush_waiters state node block
-    end
-
-and complete_upgrade_ack state (node : Node.t) ~block ~acks =
-  match Hashtbl.find_opt node.pending block with
-  | None ->
-    invalid_arg
-      (Printf.sprintf "Engine: stray upgrade ack at node %d block 0x%x"
-         node.id block)
-  | Some _ ->
-    let len = block_len state block in
-    Hashtbl.remove node.pending block;
-    Tables.make_exclusive node ~ls:(ls state) ~addr:block ~len;
-    check_wake state node;
-    register_acks state node block acks
-
-(* ------------------------------------------------------------------ *)
-(* Synchronization                                                      *)
-(* ------------------------------------------------------------------ *)
-
-and sync_home state id = id mod state.State.config.nprocs
-
-and grant_lock state (home_node : Node.t) ~to_ ~id =
-  if to_ = home_node.id then begin
-    home_node.sync_signal <- true;
-    check_wake state home_node
-  end
-  else send state home_node ~dst:to_ ~addr:id (Sync Lock_grant)
-
-and home_lock_req state (home_node : Node.t) ~requester ~id =
-  let l = State.lock_state state id in
-  (match l.holder with
-   | None ->
-     l.holder <- Some requester;
-     grant_lock state home_node ~to_:requester ~id
-   | Some _ -> Queue.push requester l.lq)
-
-and home_unlock state (home_node : Node.t) ~id =
-  let l = State.lock_state state id in
-  (match Queue.take_opt l.lq with
-   | Some next ->
-     l.holder <- Some next;
-     grant_lock state home_node ~to_:next ~id
-   | None -> l.holder <- None)
-
-and home_barrier_arrive state (master : Node.t) =
-  state.State.barrier_arrived <- state.State.barrier_arrived + 1;
-  if state.State.barrier_arrived = state.State.config.nprocs then begin
-    state.State.barrier_arrived <- 0;
-    Array.iter
-      (fun (n : Node.t) ->
-        if n.id = master.id then begin
-          n.sync_signal <- true;
-          check_wake state n
-        end
-        else send state master ~dst:n.id ~addr:0 (Sync Barrier_release))
-      state.State.nodes
-  end
-
-and wake_flag_waiter state (home_node : Node.t) ~to_ ~id =
-  if to_ = home_node.id then begin
-    home_node.sync_signal <- true;
-    check_wake state home_node
-  end
-  else send state home_node ~dst:to_ ~addr:id (Sync Flag_wake)
-
-and home_flag_set state (home_node : Node.t) ~id =
-  let f = State.flag_state state id in
-  f.fset <- true;
-  Queue.iter (fun w -> wake_flag_waiter state home_node ~to_:w ~id) f.fwaiters;
-  Queue.clear f.fwaiters
-
-and home_flag_wait state (home_node : Node.t) ~requester ~id =
-  let f = State.flag_state state id in
-  if f.fset then wake_flag_waiter state home_node ~to_:requester ~id
-  else Queue.push requester f.fwaiters
-
-(* ------------------------------------------------------------------ *)
-(* Message dispatch                                                     *)
-(* ------------------------------------------------------------------ *)
-
-and handle state (node : Node.t) (msg : Message.t) =
-  node.counters.msgs_handled <- node.counters.msgs_handled + 1;
-  charge node state.State.config.costs.message_handle;
-  let block = msg.addr in
+and handle_msg state (node : Node.t) (msg : Message.t) =
   (match msg.kind with
-   | Coh Read_req -> home_read state node ~requester:msg.src ~block
-   | Coh Readex_req -> home_readex state node ~requester:msg.src ~block
-   | Coh Upgrade_req -> home_upgrade state node ~requester:msg.src ~block
-   | Coh (Fwd_read { requester }) -> owner_fwd_read state node ~requester ~block
-   | Coh (Fwd_readex { requester; acks }) ->
-     owner_fwd_readex state node ~requester ~block ~acks
-   | Coh (Data_reply { data; exclusive; acks }) ->
-     complete_data_reply state node ~block ~data ~exclusive ~acks
-   | Coh (Upgrade_ack { acks }) -> complete_upgrade_ack state node ~block ~acks
-   | Coh (Inv { requester }) -> apply_inv state node ~block ~requester
-   | Coh Inv_ack -> recv_inv_ack state node block
-   | Sync Lock_req -> home_lock_req state node ~requester:msg.src ~id:msg.addr
-   | Sync Lock_grant ->
-     node.sync_signal <- true
-   | Sync Unlock_msg -> home_unlock state node ~id:msg.addr
-   | Sync Barrier_arrive -> home_barrier_arrive state node
-   | Sync Barrier_release -> node.sync_signal <- true
-   | Sync Flag_set_msg -> home_flag_set state node ~id:msg.addr
-   | Sync Flag_wait_req ->
-     home_flag_wait state node ~requester:msg.src ~id:msg.addr
-   | Sync Flag_wake -> node.sync_signal <- true);
-  check_wake state node
+   | Message.Coh (Data_reply { data; _ }) -> node.reply_data <- Some data
+   | _ -> ());
+  step state node (T.I_msg msg);
+  node.reply_data <- None
 
 (* Drain every message that has already arrived for [node]. *)
-let rec drain state (node : Node.t) =
+and drain state (node : Node.t) =
   let now = Pipeline.cycle node.pipe in
   match Shasta_network.Network.recv state.State.net ~dst:node.id ~now with
   | Some (_, msg) ->
     charge node state.State.config.net_profile.recv_overhead;
-    handle state node msg;
+    handle_msg state node msg;
     drain state node
   | None -> ()
+
+and enter_handler state (node : Node.t) =
+  charge node state.State.config.costs.handler_entry;
+  drain state node
 
 (* Deliver the next message even if it is in the future (used by the
    scheduler for blocked nodes). *)
@@ -508,229 +281,37 @@ let deliver_next state (node : Node.t) =
      with
      | Some (_, msg) ->
        charge node state.State.config.net_profile.recv_overhead;
-       handle state node msg
+       handle_msg state node msg
      | None -> assert false);
     true
-
-(* ------------------------------------------------------------------ *)
-(* Deferred invalidations (Section 4.3)                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* Longwords of batched stores falling inside [block], with their
-   current (just-stored) memory values. *)
-let batch_written (node : Node.t) ~block ~len =
-  let tbl = Hashtbl.create 8 in
-  List.iter
-    (fun (addr, bytes) ->
-      if addr + bytes > block && addr < block + len then begin
-        let first = (max addr block) land lnot 3 in
-        let last = min (addr + bytes) (block + len) - 1 in
-        let n = (last - first) / 4 in
-        for k = 0 to n do
-          let a = first + (4 * k) in
-          Hashtbl.replace tbl a (Memory.read_long_u node.mem a)
-        done
-      end)
-    node.batch_stores;
-  tbl
-
-let apply_deferred state (node : Node.t) =
-  let ds = node.deferred in
-  node.deferred <- [];
-  (* several forwarded requests may have been served during one batch;
-     fold them to one action per block (an invalidation dominates a
-     downgrade) so that a synchronously completed reissue cannot be
-     followed by a duplicate request for the same block *)
-  let strongest = Hashtbl.create 8 in
-  List.iter
-    (fun d ->
-      let block =
-        match d with Node.D_inv b | Node.D_downgrade b -> b
-      in
-      match (Hashtbl.find_opt strongest block, d) with
-      | Some (Node.D_inv _), _ -> ()
-      | _, d -> Hashtbl.replace strongest block d)
-    ds;
-  let ds = Hashtbl.fold (fun _ d acc -> d :: acc) strongest [] in
-  List.iter
-    (fun d ->
-      match d with
-      | Node.D_inv block ->
-        let len = block_len state block in
-        let written = batch_written node ~block ~len in
-        (match Hashtbl.find_opt node.pending block with
-         | Some p ->
-           (* a request is already outstanding: fold the invalidation
-              into it rather than issuing a duplicate *)
-           Hashtbl.iter (fun a v -> Hashtbl.replace p.written a v) written;
-           p.invalidated <- true;
-           Tables.flag_range node ~addr:block ~len
-         | None ->
-        if Hashtbl.length written > 0 then begin
-          (* the batch stored into a block invalidated under it: keep the
-             stored longwords, reissue the store miss (Section 4.3) *)
-          node.counters.store_reissues <- node.counters.store_reissues + 1;
-          emit state node (Ev.Store_reissue { addr = block });
-          Tables.flag_range node ~addr:block ~len;
-          let p = start_pending state node block Node.P_readex in
-          Hashtbl.iter (fun a v -> Hashtbl.replace p.written a v) written;
-          issue_request state node block (Coh Readex_req) (fun () ->
-            node.counters.write_misses <- node.counters.write_misses + 1;
-            emit state node (Ev.Miss { kind = Ev.Write; addr = block }))
-        end
-        else Tables.make_invalid node ~ls:(ls state) ~addr:block ~len)
-      | Node.D_downgrade block ->
-        let len = block_len state block in
-        let written = batch_written node ~block ~len in
-        if Node.is_pending node block then
-          (* an outstanding request already covers this block *)
-          ()
-        else if Hashtbl.length written > 0 then begin
-          node.counters.store_reissues <- node.counters.store_reissues + 1;
-          emit state node (Ev.Store_reissue { addr = block });
-          let p = start_pending state node block Node.P_upgrade in
-          Hashtbl.iter (fun a v -> Hashtbl.replace p.written a v) written;
-          issue_request state node block (Coh Upgrade_req) (fun () ->
-            node.counters.upgrade_misses <- node.counters.upgrade_misses + 1;
-            emit state node (Ev.Miss { kind = Ev.Upgrade; addr = block }))
-        end
-        else
-          Tables.make_shared node ~ls:(ls state) ~addr:block ~len)
-    (List.rev ds)
-
-
 
 (* ------------------------------------------------------------------ *)
 (* Inline miss handlers (called from the interpreter pseudo-ops)        *)
 (* ------------------------------------------------------------------ *)
 
-let enter_handler state (node : Node.t) =
-  charge node state.State.config.costs.handler_entry;
-  drain state node
-
 (* Load miss: the flag matched (or the basic check failed).  False
    misses return immediately after the state lookup (Section 3.2). *)
 let load_miss state (node : Node.t) ~addr ~refill =
   enter_handler state node;
+  node.refill <- refill;
   let block = block_of state addr in
-  let st = Tables.get_state node ~ls:(ls state) addr in
-  if st = Layout.st_exclusive || st = Layout.st_shared then begin
-    node.counters.false_misses <- node.counters.false_misses + 1;
-    emit state node (Ev.False_miss { addr });
-    charge node state.State.config.costs.false_miss;
-    refill ()
-  end
-  else if st = Layout.st_pending_shared then begin
-    (* pending-shared loads proceed — the node has a copy — unless an
-       invalidation overtook the upgrade and flagged this longword, in
-       which case the (converted) data reply must be awaited *)
-    match Hashtbl.find_opt node.pending block with
-    | Some p
-      when p.invalidated && not (Hashtbl.mem p.written (addr land lnot 3)) ->
-      block_on state node (W_blocks [ block ]) ~k:refill
-    | _ ->
-      node.counters.false_misses <- node.counters.false_misses + 1;
-      emit state node (Ev.False_miss { addr });
-      charge node state.State.config.costs.false_miss;
-      refill ()
-  end
-  else if st = Layout.st_pending_invalid then begin
-    match Hashtbl.find_opt node.pending block with
-    | Some p
-      when (not p.invalidated) && Hashtbl.mem p.written (addr land lnot 3) ->
-      (* load from a longword this node itself stored while pending:
-         valid section of the line (Section 4.1) *)
-      refill ()
-    | _ -> block_on state node (W_blocks [ block ]) ~k:refill
-  end
-  else begin
-    node.counters.read_misses <- node.counters.read_misses + 1;
-    emit state node (Ev.Miss { kind = Ev.Read; addr });
-    ignore (start_pending state node block Node.P_read);
-    issue_request state node block (Coh Read_req) (fun () -> ());
-    block_on state node (W_blocks [ block ]) ~k:refill
-  end
-
-(* Store miss.  With [store_done] (the scheduled check of Section 3.1),
-   the store has already written memory and the handler is non-stalling
-   under release consistency; without it, the handler stalls until the
-   line is exclusive and the store executes afterwards. *)
-let rec store_miss state (node : Node.t) ~addr ~bytes ~store_done =
-  (* The store has already written memory (scheduled checks execute it
-     before the handler, Section 3.1).  Messages drained below may
-     invalidate the block and flag the just-stored longwords before we
-     record them, so capture the store's value now and re-apply it after
-     the drain: the store is the newest write to these longwords. *)
-  let saved =
-    if store_done then
-      Some (Memory.blit_out node.mem ~addr ~nlongs:(bytes / 4))
-    else None
-  in
-  enter_handler state node;
-  (match saved with
-   | Some data ->
-     Memory.blit_in node.mem ~addr data;
-     Cache.dinvalidate node.caches ~addr ~len:bytes
-   | None -> ());
-  let block = block_of state addr in
-  let st = Tables.get_state node ~ls:(ls state) addr in
-  if st = Layout.st_exclusive then begin
-    (* resolved while the message queue drained: false miss *)
-    node.counters.false_misses <- node.counters.false_misses + 1;
-    emit state node (Ev.False_miss { addr });
-    charge node state.State.config.costs.false_miss
-  end
-  else if st = Layout.st_pending_invalid || st = Layout.st_pending_shared
-  then begin
-    match Hashtbl.find_opt node.pending block with
-    | Some p ->
-      if store_done then Node.record_written p ~mem:node.mem ~addr ~bytes
-      else
-        block_on state node (W_blocks [ block ]) ~k:(fun () ->
-          store_miss state node ~addr ~bytes ~store_done)
-    | None ->
-      (* the pending state byte was stale; re-read *)
-      store_miss state node ~addr ~bytes ~store_done
-  end
-  else begin
-    let sc = state.State.config.consistency = State.Sequential in
-    (if st = Layout.st_shared then begin
-       node.counters.upgrade_misses <- node.counters.upgrade_misses + 1;
-       emit state node (Ev.Miss { kind = Ev.Upgrade; addr });
-       let p = start_pending state node block Node.P_upgrade in
-       if store_done then Node.record_written p ~mem:node.mem ~addr ~bytes;
-       issue_request state node block (Coh Upgrade_req) (fun () -> ())
-     end
-     else begin
-       node.counters.write_misses <- node.counters.write_misses + 1;
-       emit state node (Ev.Miss { kind = Ev.Write; addr });
-       let p = start_pending state node block Node.P_readex in
-       if store_done then Node.record_written p ~mem:node.mem ~addr ~bytes;
-       issue_request state node block (Coh Readex_req) (fun () -> ())
-     end);
-    if sc then
-      (* sequential consistency: the store completes — ownership AND all
-         invalidation acknowledgements — before execution continues *)
-      block_on state node (W_blocks [ block ]) ~k:(fun () ->
-        block_on state node W_release ~k:(fun () -> ()))
-    else if not store_done then
-      block_on state node (W_blocks [ block ]) ~k:(fun () -> ())
-  end
+  let st = line_of_byte (Tables.get_state node ~ls:(ls state) addr) in
+  step state node (T.I_load_miss { addr; block; st })
 
 (* Batch miss (Section 4.3): issue requests for every block the batch
    ranges touch, then wait for the read and read-exclusive replies only
    (not for invalidation acknowledgements). *)
 let batch_miss state (node : Node.t) ~nranges ~accesses =
   enter_handler state node;
-  node.counters.batch_misses <- node.counters.batch_misses + 1;
-  charge node (state.State.config.costs.batch_record * nranges);
   node.in_batch <- true;
   node.batch_stores <-
     List.filter_map
       (fun (addr, bytes, is_store) ->
         if is_store then Some (addr, bytes) else None)
       accesses;
-  (* per-block need: exclusive if any store touches the block *)
+  (* per-block need: exclusive if any store touches the block.  The
+     iteration order of this table is part of the engine's historical
+     behavior, so it is passed to the core as part of the input. *)
   let blocks = Hashtbl.create 8 in
   List.iter
     (fun (addr, bytes, is_store) ->
@@ -746,75 +327,47 @@ let batch_miss state (node : Node.t) ~nranges ~accesses =
       in
       cover addr)
     accesses;
-  let waits = ref [] in
+  let rev = ref [] in
   Hashtbl.iter
-    (fun block need_excl ->
-      let st = Tables.get_state node ~ls:(ls state) block in
-      let pending_invalidated =
-        match Hashtbl.find_opt node.pending block with
-        | Some p -> p.invalidated
-        | None -> false
-      in
-      if need_excl then begin
-        if st = Layout.st_exclusive then ()
-        else if st = Layout.st_pending_invalid then waits := block :: !waits
-        else if st = Layout.st_pending_shared then begin
-          if pending_invalidated then waits := block :: !waits
-        end
-        else if st = Layout.st_shared then begin
-          node.counters.upgrade_misses <- node.counters.upgrade_misses + 1;
-          emit state node (Ev.Miss { kind = Ev.Upgrade; addr = block });
-          ignore (start_pending state node block Node.P_upgrade);
-          issue_request state node block (Coh Upgrade_req) (fun () -> ())
-        end
-        else begin
-          node.counters.write_misses <- node.counters.write_misses + 1;
-          emit state node (Ev.Miss { kind = Ev.Write; addr = block });
-          ignore (start_pending state node block Node.P_readex);
-          issue_request state node block (Coh Readex_req) (fun () -> ());
-          waits := block :: !waits
-        end
-      end
-      else begin
-        if st = Layout.st_exclusive || st = Layout.st_shared then ()
-        else if st = Layout.st_pending_shared then begin
-          if pending_invalidated then waits := block :: !waits
-        end
-        else if st = Layout.st_pending_invalid then waits := block :: !waits
-        else begin
-          node.counters.read_misses <- node.counters.read_misses + 1;
-          emit state node (Ev.Miss { kind = Ev.Read; addr = block });
-          ignore (start_pending state node block Node.P_read);
-          issue_request state node block (Coh Read_req) (fun () -> ());
-          waits := block :: !waits
-        end
-      end)
+    (fun b need_excl ->
+      rev :=
+        (b, need_excl, line_of_byte (Tables.get_state node ~ls:(ls state) b))
+        :: !rev)
     blocks;
-  emit state node
-    (Ev.Batch_run { nranges; waited = List.length !waits });
-  if state.State.config.consistency = State.Sequential then begin
-    (* Section 4.3: under SC the handler waits for ALL requests,
-       including exclusive ones and their acknowledgements *)
-    let all = Hashtbl.fold (fun b _ acc -> b :: acc) blocks [] in
-    block_on state node (W_blocks all) ~k:(fun () ->
-      block_on state node W_release ~k:(fun () -> ()))
-  end
-  else if !waits <> [] then
-    block_on state node (W_blocks !waits) ~k:(fun () -> ())
+  step state node
+    (T.I_batch_miss
+       { nranges; blocks = List.rev !rev; stores = node.batch_stores })
 
 (* Batch end: transfer batched store locations into still-pending
    blocks, then apply deferred invalidations/downgrades with store
    reissue (Section 4.3). *)
 let batch_end state (node : Node.t) =
   if node.in_batch then begin
+    (* store values at batch end, tagged with their covering block *)
+    let values =
+      List.concat_map
+        (fun (addr, bytes) ->
+          List.map
+            (fun (a, v) -> (a, block_of state a, v))
+            (longword_cover node ~addr ~bytes))
+        node.batch_stores
+    in
+    (* several forwarded requests may have been served during one batch;
+       fold them to one action per block (an invalidation dominates a
+       downgrade).  The fold order of this table is historical behavior
+       too, so the deduped order is input, not recomputed in the core. *)
+    let ds = T.deferred_of state.State.proto ~node:node.id in
+    let strongest = Hashtbl.create 8 in
     List.iter
-      (fun (addr, bytes) ->
-        match Hashtbl.find_opt node.pending (block_of state addr) with
-        | Some p -> Node.record_written p ~mem:node.mem ~addr ~bytes
-        | None -> ())
-      node.batch_stores;
+      (fun d ->
+        let block = match d with T.D_inv b | T.D_downgrade b -> b in
+        match (Hashtbl.find_opt strongest block, d) with
+        | Some (T.D_inv _), _ -> ()
+        | _, d -> Hashtbl.replace strongest block d)
+      ds;
+    let order = List.rev (Hashtbl.fold (fun _ d acc -> d :: acc) strongest []) in
     node.in_batch <- false;
-    apply_deferred state node;
+    step state node (T.I_batch_end { values; order });
     node.batch_stores <- []
   end
 
@@ -833,79 +386,29 @@ let poll state (node : Node.t) =
 
 let rt_lock state (node : Node.t) id =
   enter_handler state node;
-  node.counters.lock_acquires <- node.counters.lock_acquires + 1;
-  let acquired () = emit state node (Ev.Lock_acquired { id }) in
-  let h = sync_home state id in
-  if h = node.id then begin
-    charge node state.State.config.costs.sync_local;
-    let l = State.lock_state state id in
-    match l.holder with
-    | None ->
-      l.holder <- Some node.id;
-      acquired ()
-    | Some _ ->
-      Queue.push node.id l.lq;
-      block_on state node W_sync ~k:acquired
-  end
-  else begin
-    send state node ~dst:h ~addr:id (Sync Lock_req);
-    block_on state node W_sync ~k:acquired
-  end
+  step state node (T.I_lock id)
 
 let rt_unlock state (node : Node.t) id =
   enter_handler state node;
-  let h = sync_home state id in
-  (* release semantics: wait for outstanding stores and invalidations *)
-  block_on state node W_release ~k:(fun () ->
-    if h = node.id then begin
-      charge node state.State.config.costs.sync_local;
-      home_unlock state node ~id
-    end
-    else send state node ~dst:h ~addr:id (Sync Unlock_msg))
+  step state node (T.I_unlock id)
 
 let rt_barrier state (node : Node.t) =
   enter_handler state node;
-  block_on state node W_release ~k:(fun () ->
-    let master = state.State.nodes.(0) in
-    let passed () =
-      node.counters.barriers_passed <- node.counters.barriers_passed + 1;
-      emit state node Ev.Barrier_passed
-    in
-    if node.id = 0 then begin
-      charge node state.State.config.costs.sync_local;
-      block_on state node W_sync ~k:passed;
-      home_barrier_arrive state master
-    end
-    else begin
-      send state node ~dst:0 ~addr:0 (Sync Barrier_arrive);
-      block_on state node W_sync ~k:passed
-    end)
+  step state node T.I_barrier
 
 let rt_flag_set state (node : Node.t) id =
   enter_handler state node;
-  block_on state node W_release ~k:(fun () ->
-    emit state node (Ev.Flag_raised { id });
-    let h = sync_home state id in
-    if h = node.id then begin
-      charge node state.State.config.costs.sync_local;
-      home_flag_set state node ~id
-    end
-    else send state node ~dst:h ~addr:id (Sync Flag_set_msg))
+  step state node (T.I_flag_set id)
 
 let rt_flag_wait state (node : Node.t) id =
   enter_handler state node;
-  let woken () = emit state node (Ev.Flag_woken { id }) in
-  let h = sync_home state id in
-  if h = node.id then begin
-    charge node state.State.config.costs.sync_local;
-    let f = State.flag_state state id in
-    if not f.fset then begin
-      Queue.push node.id f.fwaiters;
-      block_on state node W_sync ~k:woken
-    end
-    else woken ()
-  end
-  else begin
-    send state node ~dst:h ~addr:id (Sync Flag_wait_req);
-    block_on state node W_sync ~k:woken
-  end
+  step state node (T.I_flag_wait id)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Register freshly allocated blocks with the directory inside the pure
+   view, owned exclusively by [owner]. *)
+let alloc_blocks state ~owner blocks =
+  step state state.State.nodes.(owner) (T.I_alloc { owner; blocks })

@@ -1,0 +1,43 @@
+(* The protocol engine: a thin interpreter over the pure transition core
+   ([Shasta_protocol.Transitions]).
+
+   Every entry point builds a [Transitions.input] from what the machine
+   observed (state-table bytes, drained messages, stored longwords),
+   runs the pure [step], and applies the returned actions in order
+   against Pipeline/Network/Memory and the observability subsystem.
+   When [state.record_inputs] is set, every input is also logged for
+   deterministic replay ([Replay]). *)
+
+(* -- inline miss handlers (called from the interpreter pseudo-ops) -- *)
+
+val load_miss : State.t -> Node.t -> addr:int -> refill:(unit -> unit) -> unit
+val store_miss :
+  State.t -> Node.t -> addr:int -> bytes:int -> store_done:bool -> unit
+
+val batch_miss :
+  State.t -> Node.t -> nranges:int -> accesses:(int * int * bool) list -> unit
+(** [accesses] are (address, bytes, is_store) for every access of the
+    batch (Section 4.3). *)
+
+val batch_end : State.t -> Node.t -> unit
+
+val poll : State.t -> Node.t -> unit
+(** The inline poll (Section 2.2): drain and handle arrived messages. *)
+
+(* -- synchronization entry points (Rt_call) -- *)
+
+val rt_lock : State.t -> Node.t -> int -> unit
+val rt_unlock : State.t -> Node.t -> int -> unit
+val rt_barrier : State.t -> Node.t -> unit
+val rt_flag_set : State.t -> Node.t -> int -> unit
+val rt_flag_wait : State.t -> Node.t -> int -> unit
+
+(* -- scheduler and allocator hooks -- *)
+
+val deliver_next : State.t -> Node.t -> bool
+(** Advance a blocked/finished node to its next message arrival and
+    handle it; [false] if nothing is in flight for it. *)
+
+val alloc_blocks : State.t -> owner:int -> int list -> unit
+(** Register freshly allocated blocks with the directory inside the
+    pure view, owned exclusively by [owner]. *)

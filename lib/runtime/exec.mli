@@ -1,0 +1,21 @@
+(* Instruction interpreter with cycle accounting.
+
+   Executes the (instrumented) executable: real instructions go through
+   the pipeline/cache timing model and ordinary memory semantics — the
+   inline checks are just code — while the pseudo-instructions enter the
+   Shasta runtime (Engine). *)
+
+exception Sim_error of string
+
+type yield = Y_running | Y_blocked | Y_done
+
+(* ALU/FPU/branch-condition evaluation, exposed for the instruction-set
+   property tests. *)
+val eval_iop : Shasta_isa.Insn.iop -> int -> int -> int
+val eval_fop : Shasta_isa.Insn.fop -> float -> float -> float
+val eval_cond : Shasta_isa.Insn.cond -> int -> bool
+
+(* Run [node] until it blocks, finishes, or [fuel] instructions have
+   executed; yields control back to the scheduler so cross-node timing
+   stays causal. *)
+val run : State.t -> Node.t -> fuel:int -> yield

@@ -1,16 +1,15 @@
 (* Per-node runtime state: architectural state (memory, caches,
    pipeline, registers), scheduling status, and counters.
 
-   All protocol bookkeeping that used to live here — pending lines,
-   invalidation-ack counts, deferred invalidations, waiter queues, sync
-   signals — moved into the pure transition core
-   ([Shasta_protocol.Transitions]); the node keeps only what the
+   Protocol bookkeeping (pending lines, ack counts, waiter queues, sync
+   signals) lives in the pure transition core
+   ([Shasta_protocol.Transitions]); the node carries only what the
    machine layers and the scheduler need. *)
 
 open Shasta_machine
 
-(* Re-exported from the transition core so the scheduler can match on
-   a node's wait without depending on protocol internals. *)
+(* Re-exported from the transition core so the scheduler can match on a
+   node's wait without depending on protocol internals. *)
 type wait = Shasta_protocol.Transitions.wait =
   | W_blocks of int list (* until none of these blocks is pending *)
   | W_release (* until no pending blocks and no outstanding acks *)
@@ -38,12 +37,7 @@ type counters = {
   mutable dyn_stores_shared : int;
 }
 
-let fresh_counters () =
-  { read_misses = 0; write_misses = 0; upgrade_misses = 0; batch_misses = 0;
-    false_misses = 0; stall_cycles = 0; polls = 0; msgs_handled = 0;
-    lock_acquires = 0; barriers_passed = 0; insns = 0; store_reissues = 0;
-    dyn_loads = 0; dyn_loads_shared = 0; dyn_stores = 0;
-    dyn_stores_shared = 0 }
+val fresh_counters : unit -> counters
 
 type t = {
   id : int;
@@ -69,24 +63,7 @@ type t = {
   counters : counters;
 }
 
-let create ~id ~pipe_config =
-  let caches = Cache.alpha_hierarchy () in
-  { id;
-    mem = Memory.create ();
-    caches;
-    pipe = Pipeline.create ~caches pipe_config;
-    regs = Array.make 32 0;
-    fregs = Array.make 32 0.0;
-    pc_proc = 0;
-    pc_idx = 0;
-    call_stack = [];
-    status = Running;
-    refill = (fun () -> ());
-    wait_started = 0;
-    reply_data = None;
-    in_batch = false;
-    batch_stores = [];
-    priv_brk = Shasta.Layout.static_limit + 0x0800_0000 (* 0x1800_0000 *);
-    counters = fresh_counters () }
+val create : id:int -> pipe_config:Pipeline.config -> t
 
-let time t = Pipeline.cycle t.pipe
+val time : t -> int
+(** The node's current cycle (its pipeline clock). *)

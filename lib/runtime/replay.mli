@@ -1,0 +1,14 @@
+(* Deterministic replay: fold a run's recorded (node, input) log through
+   the pure transition core and verify it reproduces the live run's
+   final protocol view exactly (see shasta_run --replay). *)
+
+type result = {
+  steps : int;
+  invariant_failures : (int * string list) list; (* step index, errors *)
+  mismatch : bool; (* replayed view differs from the live one *)
+}
+
+val ok : result -> bool
+
+val replay : State.t -> result
+(** Requires the run to have executed with [state.record_inputs] set. *)

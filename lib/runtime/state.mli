@@ -15,34 +15,29 @@ type config = {
   nprocs : int;
   line_shift : int;
   consistency : consistency;
-      (* Release: the paper's aggressive RC protocol (non-stalling
-         stores, releases wait for acks).  Sequential: stores and batch
-         misses stall until ownership and all invalidation
-         acknowledgements arrive (Section 4.3's comparison point). *)
   pipe_config : Pipeline.config;
   net_profile : Shasta_network.Network.profile;
   costs : Costs.t;
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
   obs : Shasta_obs.Obs.t;
-      (* the observability subsystem every layer reports into: typed
-         event stream (when sinks are attached) plus the always-on
-         metrics registry *)
 }
 
-let default_config ?(nprocs = 1) ?(line_shift = 6)
-    ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
-    ?(net_profile = Shasta_network.Network.memory_channel)
-    ?(costs = Costs.default) ?(granularity_threshold = 1024) ?fixed_block
-    ?obs () =
-  let obs =
-    match obs with Some o -> o | None -> Shasta_obs.Obs.create ~nprocs ()
-  in
-  { nprocs; line_shift; consistency; pipe_config; net_profile; costs;
-    granularity_threshold; fixed_block; obs }
+val default_config :
+  ?nprocs:int ->
+  ?line_shift:int ->
+  ?consistency:consistency ->
+  ?pipe_config:Pipeline.config ->
+  ?net_profile:Shasta_network.Network.profile ->
+  ?costs:Costs.t ->
+  ?granularity_threshold:int ->
+  ?fixed_block:int ->
+  ?obs:Shasta_obs.Obs.t ->
+  unit ->
+  config
 
-(* Home pages are assigned round-robin at this page size (Section 2.1). *)
-let page_bytes = 8192
+val page_bytes : int
+(** Home pages are assigned round-robin at this page size (Section 2.1). *)
 
 (* A per-block-size allocation pool: shared pages are handed out to one
    block size at a time (Section 4.2's per-page granularity scheme). *)
@@ -59,7 +54,6 @@ type t = {
   mutable shared_next_page : int;
   pools : (int, pool) Hashtbl.t;
   output : Buffer.t;
-  (* every allocated shared range, for fork-time initialization *)
   mutable allocations : (int * int) list; (* base, rounded bytes *)
   pid_addr : int; (* static address of the __pid cell *)
   nprocs_addr : int;
@@ -70,14 +64,7 @@ type t = {
   mutable inputs_rev : (int * Transitions.input) list;
 }
 
-let line_bytes t = 1 lsl t.config.line_shift
-
-(* The shared heap starts a little above 2^39 so that the state/exclusive
-   table entries of the first allocations do not all alias cache set 0
-   together with the start of the static area — a degenerate
-   direct-mapped conflict a real linker/heap layout would not produce. *)
-let shared_heap_start = Shasta.Layout.shared_base + 0x10000
-
-let node t i = t.nodes.(i)
-
-let obs t = t.config.obs
+val line_bytes : t -> int
+val shared_heap_start : int
+val node : t -> int -> Node.t
+val obs : t -> Shasta_obs.Obs.t

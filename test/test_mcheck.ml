@@ -1,0 +1,200 @@
+(* Model-checker tests: exhaustive runs of the built-in scenarios must
+   find no violation; QCheck-generated random scripts driven through
+   random interleavings must keep owner/sharer consistency and
+   invalidation-ack conservation at every reachable state; the injected
+   dropped-ack bug must be caught with a counterexample; and replaying
+   a real workload's recorded inputs through the pure core must
+   reproduce its exact final protocol state. *)
+
+open QCheck2
+module T = Shasta_protocol.Transitions
+module Mcheck = Shasta_mcheck.Mcheck
+
+let qtest name ?(count = 100) gen prop =
+  QCheck_alcotest.to_alcotest (Test.make ~name ~count gen prop)
+
+(* --- exhaustive scenarios ------------------------------------------- *)
+
+let t_exhaustive_clean () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun sc ->
+          let r = Mcheck.check_exhaustive sc in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s P=%d explored fully" sc.Mcheck.sname nprocs)
+            false r.Mcheck.truncated;
+          match r.Mcheck.violation with
+          | None -> ()
+          | Some v ->
+            Mcheck.pp_violation stderr v;
+            Alcotest.fail
+              (Printf.sprintf "%s P=%d: violation" sc.Mcheck.sname nprocs))
+        (Mcheck.scenarios ~nprocs))
+    [ 2; 3 ]
+
+let t_injected_bug_caught () =
+  (* dropping one invalidation ack must be detected in at least one
+     scenario, with a non-empty counterexample trace *)
+  let caught =
+    List.filter_map
+      (fun sc ->
+        (Mcheck.check_exhaustive ~injection:Mcheck.Drop_first_inv_ack sc)
+          .Mcheck.violation)
+      (Mcheck.scenarios ~nprocs:2)
+  in
+  Alcotest.(check bool) "at least one scenario catches the dropped ack" true
+    (caught <> []);
+  List.iter
+    (fun (v : Mcheck.violation) ->
+      Alcotest.(check bool) "counterexample trace is non-empty" true
+        (v.Mcheck.vtrace <> []))
+    caught
+
+let t_fuzz_clean () =
+  List.iter
+    (fun sc ->
+      let _, v = Mcheck.fuzz ~seed:7 ~runs:200 sc in
+      match v with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": fuzz violation"))
+    (Mcheck.scenarios ~nprocs:3)
+
+(* --- random scripts, random interleavings --------------------------- *)
+
+(* Generate small per-node scripts of synchronized accesses: every data
+   access happens under the one lock, so interleavings are racy at the
+   protocol level but race-free at the data level. *)
+let script_gen ~nprocs ~blocks =
+  let block = Gen.oneofl blocks in
+  let access =
+    Gen.oneof
+      [ Gen.map (fun b -> Mcheck.Read b) block;
+        Gen.map2 (fun b v -> Mcheck.Write (b, v + 1)) block (Gen.int_bound 99);
+        Gen.map (fun b -> Mcheck.Write_reg_plus (b, 1)) block ]
+  in
+  let section =
+    Gen.map
+      (fun accs -> (Mcheck.Lock 0 :: accs) @ [ Mcheck.Unlock 0 ])
+      (Gen.list_size (Gen.int_range 1 2) access)
+  in
+  let node_script =
+    Gen.map List.concat (Gen.list_size (Gen.int_range 0 2) section)
+  in
+  Gen.array_size (Gen.pure nprocs) node_script
+
+let scenario_of_scripts scripts ~nprocs ~blocks =
+  { Mcheck.sname = "random";
+    nprocs;
+    blocks;
+    scripts;
+    oracle = (fun _ -> []) }
+
+(* Drive one random interleaving to completion, checking the state
+   invariants (owner in range and a sharer, single exclusive holder,
+   ack conservation against in-flight messages, flag/value coherence)
+   after every move; at the end the system must be quiescent. *)
+let prop_random_trace (seed, scripts) =
+  let nprocs = Array.length scripts in
+  let blocks = [ 0; 8192 ] in
+  let sc = scenario_of_scripts scripts ~nprocs ~blocks in
+  let _, v = Mcheck.fuzz ~seed ~runs:3 sc in
+  match v with
+  | None -> true
+  | Some v ->
+    Mcheck.pp_violation stderr v;
+    false
+
+let trace_gen =
+  Gen.pair (Gen.int_bound 1_000_000) (script_gen ~nprocs:3 ~blocks:[ 0; 8192 ])
+
+(* Owner/sharer consistency, stated directly against the final view of
+   an exhaustive exploration: fold over the directory and re-check the
+   two core rules for every terminal scenario. *)
+let t_owner_sharer_consistency () =
+  List.iter
+    (fun sc ->
+      let sys = Mcheck.init_sys sc in
+      let cfg = Mcheck.cfg_of sc in
+      (* run one deterministic interleaving: always take the first move *)
+      let rec go sys n =
+        if n > 10_000 then Alcotest.fail "no quiescence"
+        else
+          match Mcheck.moves cfg ~inj:Mcheck.No_injection sys with
+          | [] -> sys
+          | (_, next) :: _ -> go (next ()) (n + 1)
+      in
+      let sys = go sys 0 in
+      let v = Mcheck.view sys in
+      T.dir_fold
+        (fun block e () ->
+          Alcotest.(check bool)
+            (Printf.sprintf "0x%x owner in range" block)
+            true
+            (e.T.owner >= 0 && e.T.owner < cfg.T.nprocs);
+          Alcotest.(check bool)
+            (Printf.sprintf "0x%x owner is a sharer" block)
+            true (T.is_sharer e e.T.owner);
+          let exclusives =
+            List.filter
+              (fun n -> T.line_state v ~node:n ~block = T.L_exclusive)
+              (List.init cfg.T.nprocs Fun.id)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "0x%x at most one exclusive holder" block)
+            true
+            (List.length exclusives <= 1))
+        v ())
+    (Mcheck.scenarios ~nprocs:3)
+
+(* --- deterministic replay ------------------------------------------- *)
+
+let t_replay_reproduces () =
+  let open Shasta_runtime in
+  let prog = Shasta_apps.Lu.program ~n:16 ~bs:4 () in
+  let spec = { (Api.default_spec prog) with nprocs = 4 } in
+  let state, _, _ = Api.prepare spec in
+  state.State.record_inputs <- true;
+  let _ = Cluster.run_app state in
+  let r = Replay.replay state in
+  Alcotest.(check bool) "some protocol steps were recorded" true
+    (r.Replay.steps > 0);
+  Alcotest.(check bool) "no invariant failures during replay" true
+    (r.Replay.invariant_failures = []);
+  Alcotest.(check bool) "replayed view equals the live final view" false
+    r.Replay.mismatch
+
+let t_replay_sc_mode () =
+  (* sequential consistency exercises the stalling-store re-entry *)
+  let open Shasta_runtime in
+  let prog = Shasta_apps.Ocean.program ~n:18 ~iters:2 () in
+  let spec =
+    { (Api.default_spec prog) with
+      nprocs = 4;
+      consistency = State.Sequential }
+  in
+  let state, _, _ = Api.prepare spec in
+  state.State.record_inputs <- true;
+  let _ = Cluster.run_app state in
+  let r = Replay.replay state in
+  Alcotest.(check bool) "replay ok under SC" true (Replay.ok r)
+
+let () =
+  Alcotest.run "mcheck"
+    [ ( "exhaustive",
+        [ Alcotest.test_case "scenarios clean at P=2,3" `Quick
+            t_exhaustive_clean;
+          Alcotest.test_case "owner/sharer consistency" `Quick
+            t_owner_sharer_consistency;
+          Alcotest.test_case "injected dropped ack caught" `Quick
+            t_injected_bug_caught ] );
+      ( "fuzz",
+        [ Alcotest.test_case "built-in scenarios" `Quick t_fuzz_clean;
+          qtest "random scripts keep invariants" ~count:60 trace_gen
+            prop_random_trace ] );
+      ( "replay",
+        [ Alcotest.test_case "lu reproduces" `Quick t_replay_reproduces;
+          Alcotest.test_case "ocean under SC" `Quick t_replay_sc_mode ] )
+    ]

@@ -20,43 +20,52 @@ let run ~nprocs prog =
    holder is the unique valid copy; every node holding a valid copy is
    in the sharer vector. *)
 let check_invariants (state : State.t) =
+  let module T = Shasta_protocol.Transitions in
   let ls = state.config.line_shift in
-  Shasta_protocol.Directory.iter state.dir (fun block e ->
-    Alcotest.(check bool)
-      (Printf.sprintf "block 0x%x owner in range" block)
-      true
-      (e.owner >= 0 && e.owner < state.config.nprocs);
-    Alcotest.(check bool)
-      (Printf.sprintf "block 0x%x owner is sharer" block)
-      true
-      (Shasta_protocol.Directory.is_sharer e e.owner);
-    let valid_nodes =
-      Array.to_list state.nodes
-      |> List.filter (fun (n : Node.t) ->
-        let st = Tables.get_state n ~ls block in
-        st = Shasta.Layout.st_exclusive || st = Shasta.Layout.st_shared)
-    in
-    List.iter
-      (fun (n : Node.t) ->
-        Alcotest.(check bool)
-          (Printf.sprintf "valid holder n%d of 0x%x is a sharer" n.id block)
-          true
-          (Shasta_protocol.Directory.is_sharer e n.id))
-      valid_nodes;
-    let exclusive_nodes =
-      List.filter
+  (* the pure view's own quiescent invariants (directory/line agreement,
+     single exclusive holder, no leftover pending state) *)
+  (match T.quiescent_invariants state.tcfg state.proto with
+   | [] -> ()
+   | vs -> Alcotest.fail (String.concat "; " vs));
+  (* and agreement between the view and the per-node state tables the
+     inline checks actually read *)
+  T.dir_fold
+    (fun block e () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "block 0x%x owner in range" block)
+        true
+        (e.T.owner >= 0 && e.T.owner < state.config.nprocs);
+      Alcotest.(check bool)
+        (Printf.sprintf "block 0x%x owner is sharer" block)
+        true (T.is_sharer e e.T.owner);
+      let valid_nodes =
+        Array.to_list state.nodes
+        |> List.filter (fun (n : Node.t) ->
+          let st = Tables.get_state n ~ls block in
+          st = Shasta.Layout.st_exclusive || st = Shasta.Layout.st_shared)
+      in
+      List.iter
         (fun (n : Node.t) ->
-          Tables.get_state n ~ls block = Shasta.Layout.st_exclusive)
-        valid_nodes
-    in
-    match exclusive_nodes with
-    | [] -> ()
-    | [ x ] ->
-      Alcotest.(check int)
-        (Printf.sprintf "exclusive holder of 0x%x is sole valid copy" block)
-        1 (List.length valid_nodes);
-      Alcotest.(check int) "exclusive holder is the owner" e.owner x.id
-    | _ -> Alcotest.fail (Printf.sprintf "two exclusive holders of 0x%x" block))
+          Alcotest.(check bool)
+            (Printf.sprintf "valid holder n%d of 0x%x is a sharer" n.id block)
+            true (T.is_sharer e n.id))
+        valid_nodes;
+      let exclusive_nodes =
+        List.filter
+          (fun (n : Node.t) ->
+            Tables.get_state n ~ls block = Shasta.Layout.st_exclusive)
+          valid_nodes
+      in
+      match exclusive_nodes with
+      | [] -> ()
+      | [ x ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "exclusive holder of 0x%x is sole valid copy" block)
+          1 (List.length valid_nodes);
+        Alcotest.(check int) "exclusive holder is the owner" e.T.owner x.id
+      | _ ->
+        Alcotest.fail (Printf.sprintf "two exclusive holders of 0x%x" block))
+    state.proto ()
 
 (* --- sharing patterns ----------------------------------------------- *)
 
@@ -75,9 +84,13 @@ let t_read_sharing () =
   let state, ph = run ~nprocs:4 p in
   Alcotest.(check string) "value read everywhere" "7\n" ph.output;
   let block = Shasta_runtime.State.shared_heap_start in
-  let e = Shasta_protocol.Directory.entry state.dir block in
+  let e =
+    match Shasta_protocol.Transitions.dir_entry state.proto ~block with
+    | Some e -> e
+    | None -> Alcotest.fail "block not allocated"
+  in
   Alcotest.(check int) "all four share" 4
-    (Shasta_protocol.Directory.sharer_count e);
+    (Shasta_protocol.Transitions.sharer_count e);
   check_invariants state
 
 let t_write_invalidates () =
