@@ -28,9 +28,11 @@ let app_size () =
 
 let run_cycles ?(opts = Some Opts.full) ?(nprocs = 1)
     ?(pipe = Shasta_machine.Pipeline.alpha_21064a)
-    ?(net = Shasta_network.Network.memory_channel) ?fixed_block prog =
+    ?(net = Shasta_network.Network.memory_channel) ?net_faults ?fixed_block
+    prog =
   let spec =
-    { (Api.default_spec prog) with opts; nprocs; pipe; net; fixed_block }
+    { (Api.default_spec prog) with
+      opts; nprocs; pipe; net; net_faults; fixed_block }
   in
   let r = Api.run spec in
   (r.phase.wall_cycles, r)
@@ -576,6 +578,40 @@ let section_messages () =
      messages are included in the totals.\n"
 
 (* ------------------------------------------------------------------ *)
+(* fault overhead: the reliable sublayer over an unreliable wire        *)
+(* ------------------------------------------------------------------ *)
+
+let section_faults () =
+  Table.section
+    "Unreliable network: overhead of the reliable-delivery sublayer\n\
+     (standard fault matrix: drop 1%, dup 1%, reorder 2%)";
+  let np = if !quick then 2 else 4 in
+  let faults = Shasta_network.Network.standard in
+  let t =
+    Table.create
+      [ "application"; "clean cycles"; "faulty cycles"; "overhead";
+        "retx"; "dup"; "reorder"; "backoff cyc" ]
+  in
+  List.iter
+    (fun (e : Shasta_apps.Apps.entry) ->
+      let p = e.make (app_size ()) in
+      let clean, _ = run_cycles ~opts:(Some Opts.full) ~nprocs:np p in
+      let faulty, r =
+        run_cycles ~opts:(Some Opts.full) ~nprocs:np ~net_faults:faults p
+      in
+      let fs = Shasta_network.Network.fault_stats r.state.State.net in
+      Table.addf t "%s\t%d\t%d\t%s\t%d\t%d\t%d\t%d" e.name clean faulty
+        (Table.f2 (Table.ratio faulty clean))
+        fs.Shasta_network.Network.retxs fs.dups fs.reorders fs.backoff_cycles)
+    Shasta_apps.Apps.all;
+  Table.print t;
+  print_string
+    "Both runs compute identical results; the only cost of the faulty\n\
+     wire is time: retransmission timeouts (exponential backoff) on\n\
+     dropped frames, plus resequencing delay on reordered ones.\n\
+     Duplicates are discarded at the receiver and cost nothing.\n"
+
+(* ------------------------------------------------------------------ *)
 (* bechamel microbenchmarks of the instrumenter itself                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -646,6 +682,7 @@ let sections =
     ("excltable", section_excltable);
     ("consistency", section_consistency);
     ("messages", section_messages);
+    ("faults", section_faults);
     ("micro", section_micro) ]
 
 let () =

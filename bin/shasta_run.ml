@@ -16,28 +16,44 @@ module Mcheck = Shasta_mcheck.Mcheck
 
 (* --check: enumerate every interleaving of the small built-in protocol
    scenarios and verify invariants, quiescence and the data oracles.
-   With --inject drop-ack, the routing layer drops the first
-   invalidation acknowledgement: success then means the checker FINDS
-   the violation and prints its counterexample trace. *)
-let model_check nprocs inject fuzz_seed fuzz_runs =
+   With --lossy N the channels become the unreliable wire under the
+   reliable-delivery sublayer, with an adversarial per-channel fault
+   budget of N drop/dup/reorder moves.  With --inject drop-ack, the
+   routing layer drops the first invalidation acknowledgement; with
+   --inject no-dedup, the sublayer's receiver-side dedup is removed so
+   retransmitted/duplicated frames hit the protocol twice.  Success
+   under an injection inverts: the checker must FIND the violation and
+   print its counterexample trace. *)
+let model_check nprocs inject fuzz_seed fuzz_runs lossy fuzz_only =
   let injection =
     match inject with
     | None -> Mcheck.No_injection
     | Some "drop-ack" -> Mcheck.Drop_first_inv_ack
+    | Some "no-dedup" -> Mcheck.Retransmit_no_dedup
     | Some s -> failwith ("unknown injection " ^ s)
   in
+  (match (injection, lossy) with
+   | Mcheck.Retransmit_no_dedup, None ->
+     failwith "--inject no-dedup needs --lossy N (it is a sublayer bug)"
+   | _ -> ());
   (* exhaustive enumeration only stays tractable on tiny configs *)
   let np = max 2 (min nprocs 3) in
   if np <> nprocs then
     Printf.printf "(clamped to %d processors for exhaustive search)\n" np;
-  Printf.printf "== model check: %d processors, %s\n" np
+  Printf.printf "== model check: %d processors, %s%s\n" np
     (match injection with
      | Mcheck.No_injection -> "no fault injection"
-     | Mcheck.Drop_first_inv_ack -> "dropping first invalidation ack");
+     | Mcheck.Drop_first_inv_ack -> "dropping first invalidation ack"
+     | Mcheck.Retransmit_no_dedup -> "retransmit without receiver dedup")
+    (match lossy with
+     | Some b -> Printf.sprintf ", lossy channels (budget %d)" b
+     | None -> "");
   let results =
-    List.map
-      (fun sc -> Mcheck.run_scenario ~injection stdout sc)
-      (Mcheck.scenarios ~nprocs:np)
+    if fuzz_only then []
+    else
+      List.map
+        (fun sc -> Mcheck.run_scenario ~injection ?lossy stdout sc)
+        (Mcheck.scenarios ~nprocs:np)
   in
   let states = List.fold_left (fun a (r : Mcheck.result) -> a + r.states) 0 results in
   let transitions =
@@ -53,7 +69,9 @@ let model_check nprocs inject fuzz_seed fuzz_runs =
   if fuzz_runs > 0 then begin
     List.iter
       (fun sc ->
-        let steps, v = Mcheck.fuzz ~injection ~seed:fuzz_seed ~runs:fuzz_runs sc in
+        let steps, v =
+          Mcheck.fuzz ~injection ?lossy ~seed:fuzz_seed ~runs:fuzz_runs sc
+        in
         Printf.printf "fuzz %-17s %d runs, %d steps%s\n" sc.Mcheck.sname
           fuzz_runs steps
           (match v with None -> "" | Some _ -> " VIOLATION");
@@ -72,7 +90,7 @@ let model_check nprocs inject fuzz_seed fuzz_runs =
       exit 1
     end
     else print_endline "OK: no violations in any explored interleaving"
-  | Mcheck.Drop_first_inv_ack ->
+  | Mcheck.Drop_first_inv_ack | Mcheck.Retransmit_no_dedup ->
     if found then
       print_endline "OK: injected fault caught (counterexample above)"
     else begin
@@ -106,10 +124,16 @@ let replay_run spec app =
     print_endline "OK: replay reproduces the live run's final protocol state";
   if not (Replay.ok r) then exit 1
 
-let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
-    no_excl no_batch poll no_range fixed_block threshold sc trace trace_out
-    metrics metrics_csv profile profile_out flame_out top show_asm replay =
+let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
+    no_flag no_excl no_batch poll no_range fixed_block threshold sc trace
+    trace_out metrics metrics_csv profile profile_out flame_out top show_asm
+    replay =
   let entry = Shasta_apps.Apps.find app in
+  let faults =
+    match net_faults with
+    | None -> None
+    | Some s -> Shasta_network.Network.faults_of_string s
+  in
   let size =
     match size with
     | "test" -> Shasta_apps.Apps.Test
@@ -185,6 +209,7 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
          | "21164" -> Shasta_machine.Pipeline.alpha_21164
          | s -> failwith ("unknown cpu " ^ s));
       net = Shasta_network.Network.profile_of_string net;
+      net_faults = faults;
       fixed_block;
       granularity_threshold = threshold;
       consistency = (if sc then State.Sequential else State.Release);
@@ -196,12 +221,24 @@ let run app size nprocs net cpu line_bytes no_instrument no_sched no_flag
   Obs.flush obs;
   Option.iter close_out chrome_oc;
   if show_asm then print_string (Shasta_isa.Asm.program_to_string r.program);
-  Printf.printf "== %s (%s), %d processor(s), %s network\n" app entry.descr
-    nprocs net;
+  Printf.printf "== %s (%s), %d processor(s), %s network%s\n" app entry.descr
+    nprocs net
+    (match faults with
+     | Some f ->
+       " (faulty: " ^ Shasta_network.Network.describe_faults f ^ ")"
+     | None -> "");
   Printf.printf "output:\n%s" r.phase.output;
   Printf.printf "wall cycles : %d\n" r.phase.wall_cycles;
   Printf.printf "messages    : %d (%d payload longwords)\n" r.phase.msgs_sent
     r.phase.payload_longs;
+  (match faults with
+   | Some _ ->
+     let fs = Shasta_network.Network.fault_stats r.state.State.net in
+     Printf.printf
+       "net faults  : %d dropped (retransmitted), %d duplicated, \
+        %d reordered, %d backoff cycles\n"
+       fs.Shasta_network.Network.drops fs.dups fs.reorders fs.backoff_cycles
+   | None -> ());
   (match r.inst_stats with
    | Some s ->
      Printf.printf
@@ -298,6 +335,16 @@ let cmd =
   let net_t =
     Arg.(value & opt string "mc"
          & info [ "net" ] ~doc:"Network profile: mc, atm or ideal.")
+  in
+  let net_faults_t =
+    Arg.(value & opt (some string) None
+         & info [ "net-faults" ] ~docv:"SPEC"
+             ~doc:"Make the wire unreliable beneath the reliable-delivery \
+                   sublayer.  SPEC is 'none', 'standard' (drop 1%, dup \
+                   1%, reorder 2%) or comma-separated key=value pairs \
+                   among drop, dup, reorder, delay, delay-cycles, seed, \
+                   rto (e.g. 'drop=0.05,seed=3').  Deterministic per \
+                   seed.")
   in
   let cpu_t =
     Arg.(value & opt string "21064a"
@@ -398,10 +445,26 @@ let cmd =
   let inject_t =
     Arg.(value & opt (some string) None
          & info [ "inject" ] ~docv:"FAULT"
-             ~doc:"With --check: inject a protocol bug (drop-ack drops \
-                   the first invalidation acknowledgement).  Success \
-                   inverts: the checker must find and print a \
+             ~doc:"With --check: inject a bug (drop-ack drops the first \
+                   invalidation acknowledgement; no-dedup removes the \
+                   sublayer's receiver-side dedup, needs --lossy).  \
+                   Success inverts: the checker must find and print a \
                    counterexample.")
+  in
+  let lossy_t =
+    Arg.(value & opt (some int) None
+         & info [ "lossy" ] ~docv:"BUDGET"
+             ~doc:"With --check: model-check over the unreliable wire \
+                   under the reliable-delivery sublayer, giving the \
+                   adversary BUDGET drop/dup/reorder moves per channel.")
+  in
+  let fuzz_only_t =
+    Arg.(value & flag
+         & info [ "fuzz-only" ]
+             ~doc:"With --check: skip the exhaustive pass and only run \
+                   the seeded random-walk fuzzer (for configurations \
+                   whose full state space is too large, e.g. --lossy at \
+                   3 processors).")
   in
   let fuzz_seed_t =
     Arg.(value & opt int 1 & info [ "fuzz-seed" ] ~doc:"Fuzzer seed.")
@@ -419,21 +482,24 @@ let cmd =
                    replay the log through the pure transition core and \
                    verify it reproduces the exact final protocol state.")
   in
-  let main list check inject fuzz_seed fuzz_runs app size procs net cpu line
-      no_instrument no_sched no_flag no_excl no_batch poll no_range
-      fixed_block threshold sc trace trace_out metrics metrics_csv profile
-      profile_out flame_out top show_asm replay =
+  let main list check inject lossy fuzz_only fuzz_seed fuzz_runs app size
+      procs net net_faults cpu line no_instrument no_sched no_flag no_excl
+      no_batch poll no_range fixed_block threshold sc trace trace_out metrics
+      metrics_csv profile profile_out flame_out top show_asm replay =
     if list then list_apps ()
-    else if check then model_check procs inject fuzz_seed fuzz_runs
+    else if check then
+      model_check procs inject fuzz_seed fuzz_runs lossy fuzz_only
     else
-      run app size procs net cpu line no_instrument no_sched no_flag no_excl
-        no_batch poll no_range fixed_block threshold sc trace trace_out
-        metrics metrics_csv profile profile_out flame_out top show_asm replay
+      run app size procs net net_faults cpu line no_instrument no_sched
+        no_flag no_excl no_batch poll no_range fixed_block threshold sc trace
+        trace_out metrics metrics_csv profile profile_out flame_out top
+        show_asm replay
   in
   let term =
     Term.(
-      const main $ list_t $ check_t $ inject_t $ fuzz_seed_t $ fuzz_runs_t
-      $ app_t $ size_t $ procs_t $ net_t $ cpu_t
+      const main $ list_t $ check_t $ inject_t $ lossy_t $ fuzz_only_t
+      $ fuzz_seed_t $ fuzz_runs_t
+      $ app_t $ size_t $ procs_t $ net_t $ net_faults_t $ cpu_t
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t

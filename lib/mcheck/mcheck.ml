@@ -20,7 +20,23 @@
    invalidation acknowledgement); the checker then demonstrates the
    protocol's reliance on it by printing a counterexample trace.  A
    seeded random-walk fuzzer covers larger configurations the
-   exhaustive search cannot. *)
+   exhaustive search cannot.
+
+   With [~lossy:budget] the channels model the UNRELIABLE wire under
+   the reliable-delivery sublayer of [Shasta_network]: every sent
+   message becomes a sequence-numbered frame; the adversary may spend a
+   bounded per-channel fault budget to drop the frame at the wire head,
+   duplicate it, or let the next frame overtake it; a lost frame is
+   eventually retransmitted (a move that costs no budget and is enabled
+   exactly while the frame survives nowhere); the receiver dedups and
+   resequences, delivering each payload to the protocol exactly once,
+   in order.  Terminal states additionally require every channel fully
+   drained — frames in flight, held out of order, or lost-but-unacked
+   all contradict quiescence — which is the "eventual delivery implies
+   quiescence" liveness obligation.  [Retransmit_no_dedup] removes the
+   receiver's dedup so stale retransmitted/duplicated frames reach the
+   protocol twice: the checker must catch the resulting double-counted
+   acknowledgements or stale data. *)
 
 open Shasta_protocol
 module T = Transitions
@@ -52,11 +68,30 @@ let string_of_op = function
   | Flag_wait id -> Printf.sprintf "flag_wait %d" id
   | Barrier -> "barrier"
 
-type injection = No_injection | Drop_first_inv_ack
+type injection = No_injection | Drop_first_inv_ack | Retransmit_no_dedup
 
 (* ------------------------------------------------------------------ *)
 (* The closed system                                                    *)
 (* ------------------------------------------------------------------ *)
+
+(* One frame of the reliable-delivery sublayer: a protocol message
+   stamped with its per-channel sequence number. *)
+type frame = { fseq : int; fmsg : Message.t }
+
+(* Per-channel sublayer state in lossy mode.  [wire] is the physical
+   channel, head arrives first; [rx_buf] holds frames received out of
+   order (sorted by fseq); [unacked] are frames sent but not yet
+   delivered up to the protocol — a frame absent from both wire and
+   rx_buf is lost and retransmittable.  [budget] bounds the adversary's
+   remaining fault moves on this channel. *)
+type chanst = {
+  tx_next : int;
+  rx_expected : int;
+  wire : frame list;
+  rx_buf : frame list;
+  unacked : frame list;
+  budget : int;
+}
 
 type sys = {
   v : T.view;
@@ -66,6 +101,8 @@ type sys = {
   regs : int Imap.t; (* node -> last value read *)
   pending_read : int Imap.t; (* node -> block of the outstanding load *)
   dropped : bool; (* the injected fault already fired *)
+  lossy : int option; (* per-channel fault budget; None = reliable wire *)
+  lchans : chanst Imap.t; (* sublayer state per channel (lossy mode) *)
 }
 
 type scenario = {
@@ -89,7 +126,7 @@ let view (sys : sys) = sys.v
 let cfg_of (sc : scenario) =
   { T.nprocs = sc.nprocs; page_bytes = 8192; sc = false }
 
-let init_sys (sc : scenario) =
+let init_sys ?lossy (sc : scenario) =
   let cfg = cfg_of sc in
   let v0 = T.init cfg in
   (* every block starts exclusively owned by node 0 (the allocator) *)
@@ -110,7 +147,9 @@ let init_sys (sc : scenario) =
     shadow;
     regs = Imap.empty;
     pending_read = Imap.empty;
-    dropped = false }
+    dropped = false;
+    lossy;
+    lchans = Imap.empty }
 
 (* ------------------------------------------------------------------ *)
 (* Applying a step's actions to the closed system                       *)
@@ -164,16 +203,38 @@ let apply_action ~inj ~(reply : int array option ref) v' node sys
     let drop =
       (match inj with
        | Drop_first_inv_ack -> msg.Message.kind = Message.Coh Message.Inv_ack
-       | No_injection -> false)
+       | No_injection | Retransmit_no_dedup -> false)
       && not sys.dropped
     in
+    (* Drop_first_inv_ack loses the message ABOVE the sublayer — it is
+       never sequence-numbered, so retransmission cannot recover it:
+       the protocol-layer bug stays detectable even on a lossy wire *)
     if drop then { sys with dropped = true }
-    else
+    else begin
       let key = (node * 1024) + dst in
-      let q =
-        match Imap.find_opt key sys.chans with Some q -> q | None -> []
-      in
-      { sys with chans = Imap.add key (q @ [ msg ]) sys.chans }
+      match sys.lossy with
+      | None ->
+        let q =
+          match Imap.find_opt key sys.chans with Some q -> q | None -> []
+        in
+        { sys with chans = Imap.add key (q @ [ msg ]) sys.chans }
+      | Some budget ->
+        let cs =
+          match Imap.find_opt key sys.lchans with
+          | Some cs -> cs
+          | None ->
+            { tx_next = 0; rx_expected = 0; wire = []; rx_buf = [];
+              unacked = []; budget }
+        in
+        let f = { fseq = cs.tx_next; fmsg = msg } in
+        let cs =
+          { cs with
+            tx_next = cs.tx_next + 1;
+            wire = cs.wire @ [ f ];
+            unacked = cs.unacked @ [ f ] }
+        in
+        { sys with lchans = Imap.add key cs sys.lchans }
+    end
   | T.A_mem op -> (
     match op with
     | T.M_make_exclusive _ | T.M_make_shared _ | T.M_make_pending _ -> sys
@@ -274,6 +335,124 @@ let deliver cfg ~inj (sys : sys) key =
     in
     run_step cfg ~inj ?reply sys dst (T.I_msg msg)
 
+(* --- lossy mode: the sublayer's receive path and the adversary ------ *)
+
+let deliver_up cfg ~inj sys ~dst (msg : Message.t) =
+  let reply =
+    match msg.Message.kind with
+    | Message.Coh (Data_reply { data; _ }) -> Some data
+    | _ -> None
+  in
+  run_step cfg ~inj ?reply sys dst (T.I_msg msg)
+
+let has_fseq fseq frames = List.exists (fun g -> g.fseq = fseq) frames
+let drop_fseq fseq frames = List.filter (fun g -> g.fseq <> fseq) frames
+
+(* The head frame of [key]'s wire arrives.  Receiver-side dedup and
+   resequencing: a duplicate is discarded, a future frame is held, the
+   expected frame is delivered up together with everything consecutive
+   it unblocks.  Under [Retransmit_no_dedup] the duplicate check is
+   gone and stale frames hit the protocol again. *)
+let lossy_deliver cfg ~inj (sys : sys) key =
+  let cs = Imap.find key sys.lchans in
+  match cs.wire with
+  | [] -> assert false
+  | f :: rest ->
+    let dst = key mod 1024 in
+    let cs = { cs with wire = rest } in
+    let is_dup = f.fseq < cs.rx_expected || has_fseq f.fseq cs.rx_buf in
+    if is_dup then
+      let sys = { sys with lchans = Imap.add key cs sys.lchans } in
+      if inj = Retransmit_no_dedup then deliver_up cfg ~inj sys ~dst f.fmsg
+      else sys
+    else if f.fseq > cs.rx_expected then
+      let rx_buf =
+        List.sort (fun a b -> compare a.fseq b.fseq) (f :: cs.rx_buf)
+      in
+      { sys with lchans = Imap.add key { cs with rx_buf } sys.lchans }
+    else begin
+      let rec flush cs acc =
+        match List.find_opt (fun g -> g.fseq = cs.rx_expected) cs.rx_buf with
+        | Some g ->
+          flush
+            { cs with
+              rx_expected = cs.rx_expected + 1;
+              rx_buf = drop_fseq g.fseq cs.rx_buf;
+              unacked = drop_fseq g.fseq cs.unacked }
+            (g.fmsg :: acc)
+        | None -> (cs, List.rev acc)
+      in
+      let cs =
+        { cs with
+          rx_expected = cs.rx_expected + 1;
+          unacked = drop_fseq f.fseq cs.unacked }
+      in
+      let cs, unblocked = flush cs [] in
+      let sys = { sys with lchans = Imap.add key cs sys.lchans } in
+      List.fold_left
+        (fun sys m -> deliver_up cfg ~inj sys ~dst m)
+        (deliver_up cfg ~inj sys ~dst f.fmsg)
+        unblocked
+    end
+
+(* Frames the sender would eventually time out on: sent, not yet
+   delivered up, and surviving neither on the wire nor in the receive
+   buffer.  Lowest sequence number first ([unacked] is append-ordered). *)
+let lost_frames (cs : chanst) =
+  List.filter
+    (fun f ->
+      f.fseq >= cs.rx_expected
+      && (not (has_fseq f.fseq cs.wire))
+      && not (has_fseq f.fseq cs.rx_buf))
+    cs.unacked
+
+let chan_label key = Printf.sprintf "%d->%d" (key / 1024) (key mod 1024)
+
+(* Adversary and recovery moves on one lossy channel.  Each fault move
+   costs one unit of the channel's budget; retransmission is free and
+   enabled exactly while a frame is lost, so no terminal state can
+   leave a frame undelivered (eventual delivery). *)
+let lossy_moves cfg ~inj (sys : sys) key (cs : chanst) =
+  let upd cs' = { sys with lchans = Imap.add key cs' sys.lchans } in
+  let delivers =
+    match cs.wire with
+    | f :: _ ->
+      [ ( Printf.sprintf "deliver %s: #%d %s" (chan_label key) f.fseq
+            (Message.describe f.fmsg),
+          fun () -> lossy_deliver cfg ~inj sys key ) ]
+    | [] -> []
+  in
+  let faults =
+    if cs.budget <= 0 then []
+    else
+      let spend cs' = upd { cs' with budget = cs.budget - 1 } in
+      (match cs.wire with
+       | f :: rest ->
+         [ ( Printf.sprintf "fault %s: drop #%d %s" (chan_label key) f.fseq
+               (Message.describe f.fmsg),
+             fun () -> spend { cs with wire = rest } );
+           ( Printf.sprintf "fault %s: dup #%d %s" (chan_label key) f.fseq
+               (Message.describe f.fmsg),
+             fun () -> spend { cs with wire = (f :: rest) @ [ f ] } ) ]
+       | [] -> [])
+      @
+      (match cs.wire with
+       | f1 :: f2 :: rest when f1.fseq <> f2.fseq ->
+         [ ( Printf.sprintf "fault %s: reorder #%d behind #%d"
+               (chan_label key) f1.fseq f2.fseq,
+             fun () -> spend { cs with wire = f2 :: f1 :: rest } ) ]
+       | _ -> [])
+  in
+  let retransmits =
+    match lost_frames cs with
+    | f :: _ ->
+      [ ( Printf.sprintf "retransmit %s: #%d %s" (chan_label key) f.fseq
+            (Message.describe f.fmsg),
+          fun () -> upd { cs with wire = cs.wire @ [ f ] } ) ]
+    | [] -> []
+  in
+  delivers @ faults @ retransmits
+
 let moves cfg ~inj (sys : sys) =
   let issues =
     Imap.fold
@@ -298,7 +477,12 @@ let moves cfg ~inj (sys : sys) =
         | [] -> acc)
       sys.chans []
   in
-  List.rev_append issues (List.rev delivers)
+  let lossy_all =
+    Imap.fold
+      (fun key cs acc -> List.rev_append (lossy_moves cfg ~inj sys key cs) acc)
+      sys.lchans []
+  in
+  List.rev_append issues (List.rev_append lossy_all (List.rev delivers))
 
 (* ------------------------------------------------------------------ *)
 (* Checks                                                               *)
@@ -327,6 +511,26 @@ let canon_sys (sys : sys) =
     (fun n blk -> Buffer.add_string b (Printf.sprintf "|p%d:%x" n blk))
     sys.pending_read;
   if sys.dropped then Buffer.add_string b "|D";
+  Imap.iter
+    (fun key cs ->
+      Buffer.add_string b
+        (Printf.sprintf "|L%d:%d/%d/%d:" key cs.tx_next cs.rx_expected
+           cs.budget);
+      List.iter
+        (fun f ->
+          Buffer.add_string b
+            (Printf.sprintf "#%d%s;" f.fseq (Message.describe f.fmsg)))
+        cs.wire;
+      Buffer.add_string b "~";
+      List.iter (fun f -> Buffer.add_string b (Printf.sprintf "#%d;" f.fseq))
+        cs.rx_buf;
+      Buffer.add_string b "~";
+      List.iter
+        (fun f ->
+          Buffer.add_string b
+            (Printf.sprintf "#%d%s;" f.fseq (Message.describe f.fmsg)))
+        cs.unacked)
+    sys.lchans;
   Buffer.contents b
 
 (* Invalidation-ack conservation: a node expecting [e] acks can never
@@ -340,19 +544,33 @@ let check_ack_conservation cfg (sys : sys) =
         match a.T.expected with
         | None -> ()
         | Some e ->
+          let is_ack (m : Message.t) =
+            m.Message.kind = Message.Coh Message.Inv_ack
+            && m.Message.addr = block
+          in
           let in_flight =
             Imap.fold
               (fun key q acc ->
                 if key mod 1024 = node then
-                  acc
-                  + List.length
-                      (List.filter
-                         (fun (m : Message.t) ->
-                           m.Message.kind = Message.Coh Message.Inv_ack
-                           && m.Message.addr = block)
-                         q)
+                  acc + List.length (List.filter is_ack q)
                 else acc)
               sys.chans 0
+          in
+          (* lossy mode: each unacked frame is delivered up exactly
+             once eventually (dedup discards extra copies), so the
+             undelivered acks are exactly the unacked ack frames.
+             Under Retransmit_no_dedup, stale copies still on the wire
+             deliver on top of that and push [got] past [expected] —
+             which is precisely the violation this check reports. *)
+          let in_flight =
+            Imap.fold
+              (fun key cs acc ->
+                if key mod 1024 = node then
+                  acc
+                  + List.length
+                      (List.filter (fun f -> is_ack f.fmsg) cs.unacked)
+                else acc)
+              sys.lchans in_flight
           in
           if a.T.got + in_flight > e then
             errs :=
@@ -421,6 +639,26 @@ let check_terminal (sc : scenario) cfg (sys : sys) =
       stuck :=
         Printf.sprintf "node %d stuck on an unanswered load" node :: !stuck
   done;
+  (* eventual delivery => quiescence: a terminal state must have every
+     sublayer channel fully drained — no frame in flight, held out of
+     order, or lost-but-unacknowledged.  The retransmit move makes a
+     lost frame always recoverable, so anything left here means a
+     payload was never delivered to the protocol. *)
+  Imap.iter
+    (fun key cs ->
+      let leak what n =
+        if n > 0 then
+          stuck :=
+            Printf.sprintf
+              "channel %s: %d frame(s) %s at terminal (eventual delivery \
+               violated)"
+              (chan_label key) n what
+            :: !stuck
+      in
+      leak "still on the wire" (List.length cs.wire);
+      leak "held out of order" (List.length cs.rx_buf);
+      leak "undelivered" (List.length cs.unacked))
+    sys.lchans;
   !stuck @ T.quiescent_invariants cfg sys.v @ sc.oracle sys
 
 (* ------------------------------------------------------------------ *)
@@ -438,8 +676,8 @@ type result = {
   violation : violation option;
 }
 
-let check_exhaustive ?(injection = No_injection) ?(max_states = 1_000_000)
-    (sc : scenario) =
+let check_exhaustive ?(injection = No_injection) ?lossy
+    ?(max_states = 1_000_000) (sc : scenario) =
   let cfg = cfg_of sc in
   let visited = Hashtbl.create 4096 in
   let states = ref 0 and transitions = ref 0 and terminals = ref 0 in
@@ -465,7 +703,7 @@ let check_exhaustive ?(injection = No_injection) ?(max_states = 1_000_000)
               if !violation = None && not !truncated then begin
                 let sys' =
                   try next ()
-                  with Unexpected e | Failure e ->
+                  with Unexpected e | Failure e | Invalid_argument e ->
                     violation :=
                       Some { verr = [ e ]; vtrace = List.rev (label :: path) };
                     sys
@@ -484,7 +722,7 @@ let check_exhaustive ?(injection = No_injection) ?(max_states = 1_000_000)
             ms)
     end
   in
-  let sys0 = init_sys sc in
+  let sys0 = init_sys ?lossy sc in
   Hashtbl.add visited (canon_sys sys0) ();
   states := 1;
   dfs sys0 [] 0;
@@ -499,13 +737,13 @@ let check_exhaustive ?(injection = No_injection) ?(max_states = 1_000_000)
 (* Seeded random-interleaving fuzzer                                    *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz ?(injection = No_injection) ~seed ~runs (sc : scenario) =
+let fuzz ?(injection = No_injection) ?lossy ~seed ~runs (sc : scenario) =
   let cfg = cfg_of sc in
   let violation = ref None in
   let total_steps = ref 0 in
   let run_one k =
     let rng = Random.State.make [| seed; k |] in
-    let sys = ref (init_sys sc) in
+    let sys = ref (init_sys ?lossy sc) in
     let path = ref [] in
     let continue = ref true in
     while !continue && !violation = None do
@@ -527,7 +765,7 @@ let fuzz ?(injection = No_injection) ~seed ~runs (sc : scenario) =
              sys := next ();
              path := label :: !path;
              incr total_steps
-           with Unexpected e | Failure e ->
+           with Unexpected e | Failure e | Invalid_argument e ->
              violation :=
                Some { verr = [ e ]; vtrace = List.rev (label :: !path) };
              continue := false)
@@ -671,8 +909,8 @@ let pp_violation out { verr; vtrace } =
   List.iteri (fun k l -> Printf.fprintf out "    %2d. %s\n" (k + 1) l) vtrace;
   List.iter (fun e -> Printf.fprintf out "  violated: %s\n" e) verr
 
-let run_scenario ?injection ?max_states out (sc : scenario) =
-  let r = check_exhaustive ?injection ?max_states sc in
+let run_scenario ?injection ?lossy ?max_states out (sc : scenario) =
+  let r = check_exhaustive ?injection ?lossy ?max_states sc in
   Printf.fprintf out
     "%-17s P=%d  states=%-7d transitions=%-8d terminals=%-6d depth=%d%s\n"
     sc.sname sc.nprocs r.states r.transitions r.terminals r.max_depth

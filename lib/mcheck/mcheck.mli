@@ -10,7 +10,17 @@
    flag/value coherence; terminal states must be quiescent and satisfy
    the scenario's data oracle.  [fuzz] random-walks larger instances.
    [Drop_first_inv_ack] injects a protocol bug at the routing layer to
-   demonstrate the checker catches it. *)
+   demonstrate the checker catches it.
+
+   [~lossy:budget] swaps the perfect channels for the unreliable wire
+   under the reliable-delivery sublayer: every message becomes a
+   sequence-numbered frame, the adversary spends a bounded per-channel
+   budget on drop/duplicate/reorder moves, lost frames are
+   retransmitted, and the receiver dedups and resequences.  Terminal
+   states must additionally have every channel drained — the "eventual
+   delivery implies quiescence" liveness check.  [Retransmit_no_dedup]
+   removes the receiver-side dedup so stale frames reach the protocol
+   twice, a transport bug the checker must catch. *)
 
 open Shasta_protocol
 module T = Transitions
@@ -27,7 +37,7 @@ type op =
 
 val string_of_op : op -> string
 
-type injection = No_injection | Drop_first_inv_ack
+type injection = No_injection | Drop_first_inv_ack | Retransmit_no_dedup
 
 type sys
 
@@ -48,13 +58,17 @@ val reg : sys -> node:int -> int
 
 val view : sys -> T.view
 
-val init_sys : scenario -> sys
+val init_sys : ?lossy:int -> scenario -> sys
+(** [lossy] is the per-channel fault budget; omitted = reliable wire. *)
+
 val cfg_of : scenario -> T.cfg
 
 val moves :
   T.cfg -> inj:injection -> sys -> (string * (unit -> sys)) list
-(** All enabled moves (issue next scripted op / deliver a channel head)
-    with display labels. *)
+(** All enabled moves with display labels: issue next scripted op,
+    deliver a channel head, and — on a lossy system — the adversary's
+    budgeted drop/dup/reorder moves plus free retransmission of lost
+    frames. *)
 
 type violation = { verr : string list; vtrace : string list }
 
@@ -68,10 +82,11 @@ type result = {
 }
 
 val check_exhaustive :
-  ?injection:injection -> ?max_states:int -> scenario -> result
+  ?injection:injection -> ?lossy:int -> ?max_states:int -> scenario -> result
 
 val fuzz :
   ?injection:injection ->
+  ?lossy:int ->
   seed:int ->
   runs:int ->
   scenario ->
@@ -92,6 +107,7 @@ val pp_violation : out_channel -> violation -> unit
 
 val run_scenario :
   ?injection:injection ->
+  ?lossy:int ->
   ?max_states:int ->
   out_channel ->
   scenario ->

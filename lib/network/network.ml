@@ -1,12 +1,35 @@
 (* Cluster interconnect model.
 
    The Shasta protocol "depends on point-to-point order for messages
-   sent between any two nodes" (Section 2.1); this module provides
-   exactly that: per-(src,dst) FIFO channels with a configurable cost
-   model.  Costs are in processor cycles of the 275 MHz machines of the
-   paper; the two named profiles approximate the Memory Channel and ATM
-   clusters used in the evaluation, and `ideal` isolates protocol
-   behaviour from communication cost in tests. *)
+   sent between any two nodes" (Section 2.1).  This module provides
+   that abstraction twice over:
+
+   - the RELIABLE wire the paper assumes: per-(src,dst) FIFO channels
+     with a configurable cost model (costs are in processor cycles of
+     the 275 MHz machines of the paper; the two named profiles
+     approximate the Memory Channel and ATM clusters used in the
+     evaluation, and `ideal` isolates protocol behaviour from
+     communication cost in tests);
+
+   - an UNRELIABLE wire (commodity interconnects drop, duplicate,
+     delay and reorder packets) repaired by a reliable-delivery
+     sublayer, so the protocol above still sees exactly-once,
+     per-channel-FIFO delivery — only slower.  The fault model is
+     seeded and per-channel deterministic: the same seed and the same
+     send sequence produce the same faults, so faulty runs replay and
+     their oracles are checkable.
+
+   The transport sublayer ([Sublayer]) is the textbook construction:
+   per-channel sequence numbers stamped at the sender, receiver-side
+   dedup and resequencing (out-of-order frames are held until the gap
+   fills; duplicates are discarded), and sender-side retransmission on
+   timeout with exponential backoff.  Because every node's send order
+   is deterministic and the fault coins are drawn from a per-channel
+   seeded stream, the arrival time of the first surviving copy of each
+   frame can be computed at send time; the resequencer then assigns
+   delivery times in sequence order.  The protocol layer never sees a
+   dropped, duplicated or reordered message — it sees retransmission
+   stalls, which the observability taps attribute ([on_fault]). *)
 
 type profile = {
   net_name : string;
@@ -36,7 +59,185 @@ let profile_of_string = function
   | "ideal" -> ideal
   | s -> invalid_arg ("Network.profile_of_string: " ^ s)
 
+(* ------------------------------------------------------------------ *)
+(* Fault model                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type faults = {
+  fseed : int; (* per-channel RNG seed component *)
+  drop : float; (* per-transmission-attempt loss probability *)
+  dup : float; (* probability the delivered frame also arrives twice *)
+  reorder : float; (* probability a frame skips the wire FIFO clamp *)
+  delay : float; (* probability of [delay_cycles] of extra flight time *)
+  delay_cycles : int;
+  rto : int; (* base retransmission timeout; 0 = derive from profile *)
+}
+
+let no_faults =
+  { fseed = 1; drop = 0.0; dup = 0.0; reorder = 0.0; delay = 0.0;
+    delay_cycles = 2000; rto = 0 }
+
+(* The standard fault matrix the test suite and benchmarks run under:
+   1% loss, 1% duplication, 2% reordering — commodity-LAN weather. *)
+let standard =
+  { no_faults with drop = 0.01; dup = 0.01; reorder = 0.02 }
+
+let clamp_p p = if p < 0.0 then 0.0 else if p > 0.9 then 0.9 else p
+
+(* "none" | "standard" | "drop=0.01,dup=0.01,reorder=0.02,delay=0.05,
+   delay-cycles=2000,seed=3,rto=5000" *)
+let faults_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "0" | "none" | "off" -> None
+  | "standard" | "std" -> Some standard
+  | spec ->
+    let f = ref no_faults in
+    List.iter
+      (fun kv ->
+        let kv = String.trim kv in
+        if kv <> "" then
+          match String.index_opt kv '=' with
+          | None ->
+            invalid_arg ("Network.faults_of_string: expected key=value: " ^ kv)
+          | Some i ->
+            let k = String.sub kv 0 i in
+            let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+            let fv () =
+              try clamp_p (float_of_string v)
+              with _ ->
+                invalid_arg ("Network.faults_of_string: bad number: " ^ kv)
+            in
+            let iv () =
+              try int_of_string v
+              with _ ->
+                invalid_arg ("Network.faults_of_string: bad number: " ^ kv)
+            in
+            (match k with
+             | "drop" -> f := { !f with drop = fv () }
+             | "dup" -> f := { !f with dup = fv () }
+             | "reorder" -> f := { !f with reorder = fv () }
+             | "delay" -> f := { !f with delay = fv () }
+             | "delay-cycles" | "delay_cycles" ->
+               f := { !f with delay_cycles = iv () }
+             | "seed" -> f := { !f with fseed = iv () }
+             | "rto" -> f := { !f with rto = iv () }
+             | _ -> invalid_arg ("Network.faults_of_string: unknown key " ^ k)))
+      (String.split_on_char ',' spec);
+    Some !f
+
+let describe_faults f =
+  Printf.sprintf
+    "drop=%.3f dup=%.3f reorder=%.3f delay=%.3f seed=%d" f.drop f.dup
+    f.reorder f.delay f.fseed
+
+(* What the fault layer did to one logical send: [retx] dropped
+   transmission attempts (each one retransmitted after a timeout),
+   [backoff] total cycles spent waiting for those timeouts,
+   [duplicated] a second copy also reached the receiver (and was
+   discarded by dedup), [reordered] the frame skipped the wire's FIFO
+   clamp (resequencing restored order at delivery). *)
+type xmit = {
+  retx : int;
+  backoff : int;
+  duplicated : bool;
+  reordered : bool;
+}
+
+let clean_xmit = { retx = 0; backoff = 0; duplicated = false; reordered = false }
+
+(* ------------------------------------------------------------------ *)
+(* Reliable-delivery sublayer                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Receiver side of the sublayer, usable (and unit-tested) on its own:
+   frames carry per-channel sequence numbers; [rx_offer] accepts them
+   in any arrival order and hands payloads up exactly once, in
+   sequence order, at a delivery time never earlier than any
+   previously delivered payload (per-channel FIFO restored). *)
+module Sublayer = struct
+  type 'a rx = {
+    mutable expected : int; (* next sequence number to deliver *)
+    mutable last_deliver : int; (* delivery times are monotonic *)
+    held : (int, int * 'a) Hashtbl.t; (* fseq -> first arrival, payload *)
+  }
+
+  let rx_create () = { expected = 0; last_deliver = 0; held = Hashtbl.create 8 }
+
+  let rx_expected rx = rx.expected
+  let rx_held rx = Hashtbl.length rx.held
+
+  (* Is a frame with [fseq] a duplicate (already delivered or already
+     held)? *)
+  let rx_is_dup rx ~fseq = fseq < rx.expected || Hashtbl.mem rx.held fseq
+
+  (* Offer one frame arrival.  Returns the payloads that become
+     deliverable, in sequence order, each with its delivery time; a
+     duplicate or out-of-order frame returns []. *)
+  let rx_offer rx ~fseq ~arrival payload =
+    if rx_is_dup rx ~fseq then []
+    else begin
+      Hashtbl.replace rx.held fseq (arrival, payload);
+      let out = ref [] in
+      let rec flush () =
+        match Hashtbl.find_opt rx.held rx.expected with
+        | None -> ()
+        | Some (a, p) ->
+          Hashtbl.remove rx.held rx.expected;
+          let t = max a rx.last_deliver in
+          rx.last_deliver <- t;
+          rx.expected <- rx.expected + 1;
+          out := (t, p) :: !out;
+          flush ()
+      in
+      flush ();
+      List.rev !out
+    end
+
+  (* Sender side: plan the transmission of one frame over the faulty
+     wire.  Attempt 0 goes out at [now]; each dropped attempt is
+     retransmitted after a timeout that doubles every time (exponential
+     backoff).  Returns the arrival time of the first surviving copy,
+     the arrival of a duplicated copy (if the dup coin fired), and the
+     fault summary.  Deterministic in [rng]; at most [max_attempts]
+     tries, the last of which always survives (the model never loses a
+     frame for good — that would wedge the protocol, not slow it). *)
+  let max_attempts = 16
+
+  let tx_plan (f : faults) rng ~now ~flight ~rto =
+    let rec attempts k start backoff =
+      if k < max_attempts - 1 && Random.State.float rng 1.0 < f.drop then
+        let timeout = rto * (1 lsl min k 10) in
+        attempts (k + 1) (start + timeout) (backoff + timeout)
+      else (k, start, backoff)
+    in
+    let retx, start, backoff = attempts 0 now 0 in
+    let arrival = start + flight in
+    let arrival =
+      if f.delay > 0.0 && Random.State.float rng 1.0 < f.delay then
+        arrival + f.delay_cycles
+      else arrival
+    in
+    let duplicated = f.dup > 0.0 && Random.State.float rng 1.0 < f.dup in
+    let dup_arrival =
+      if duplicated then Some (arrival + max 1 (flight / 2)) else None
+    in
+    let reordered = f.reorder > 0.0 && Random.State.float rng 1.0 < f.reorder in
+    (arrival, dup_arrival, { retx; backoff; duplicated; reordered })
+end
+
+(* ------------------------------------------------------------------ *)
+(* The interconnect                                                    *)
+(* ------------------------------------------------------------------ *)
+
 type 'a queued = { deliver : int; seq : int; msg : 'a }
+
+type fault_stats = {
+  drops : int;
+  dups : int;
+  retxs : int;
+  reorders : int;
+  backoff_cycles : int;
+}
 
 type 'a t = {
   profile : profile;
@@ -47,45 +248,117 @@ type 'a t = {
   mutable seq : int;
   mutable sent : int;
   mutable payload_longs : int;
+  (* unreliable wire + reliable sublayer (None = the paper's perfect
+     interconnect; the send path is then exactly the historical one) *)
+  faults : faults option;
+  rngs : Random.State.t array; (* per channel, seeded (fseed, src, dst) *)
+  rxs : unit Sublayer.rx array; (* per channel resequencer (times only) *)
+  wire_last : int array; (* per channel raw-wire FIFO point *)
+  mutable fstats : fault_stats;
   (* observability taps: called on every send (at the sender's time)
      and every delivery (at arrival time).  The network itself stays
      agnostic of what listens; the cluster wires these into the
-     observability subsystem. *)
+     observability subsystem.  [on_fault] fires at send time whenever
+     the fault layer perturbed a frame. *)
   mutable on_send : src:int -> dst:int -> now:int -> 'a -> unit;
   mutable on_recv : src:int -> dst:int -> now:int -> 'a -> unit;
+  mutable on_fault : src:int -> dst:int -> now:int -> xmit -> 'a -> unit;
 }
 
 let no_tap ~src:_ ~dst:_ ~now:_ _ = ()
+let no_fault_tap ~src:_ ~dst:_ ~now:_ _ _ = ()
 
-let create ~nprocs profile =
+let zero_fault_stats =
+  { drops = 0; dups = 0; retxs = 0; reorders = 0; backoff_cycles = 0 }
+
+let create ?faults ~nprocs profile =
+  let nchan = nprocs * nprocs in
+  let seed = match faults with Some f -> f.fseed | None -> 0 in
   { profile; nprocs;
-    chans = Array.init (nprocs * nprocs) (fun _ -> Queue.create ());
-    last_deliver = Array.make (nprocs * nprocs) 0;
+    chans = Array.init nchan (fun _ -> Queue.create ());
+    last_deliver = Array.make nchan 0;
     seq = 0; sent = 0; payload_longs = 0;
-    on_send = no_tap; on_recv = no_tap }
+    faults;
+    rngs =
+      Array.init nchan (fun c ->
+        Random.State.make [| seed; c / nprocs; c mod nprocs |]);
+    rxs = Array.init nchan (fun _ -> Sublayer.rx_create ());
+    wire_last = Array.make nchan 0;
+    fstats = zero_fault_stats;
+    on_send = no_tap; on_recv = no_tap; on_fault = no_fault_tap }
 
 let set_taps t ~on_send ~on_recv =
   t.on_send <- on_send;
   t.on_recv <- on_recv
 
+let set_fault_tap t ~on_fault = t.on_fault <- on_fault
+
 let chan t ~src ~dst = (src * t.nprocs) + dst
+
+let effective_rto t =
+  match t.faults with
+  | Some f when f.rto > 0 -> f.rto
+  | _ ->
+    let p = t.profile in
+    4 * (p.send_overhead + p.wire_latency + p.recv_overhead)
 
 (* Send a message; returns the time at which the sender is done with the
    send (the caller charges this to the sending node). *)
 let send t ~src ~dst ~now ~payload_longs msg =
   let p = t.profile in
   let c = chan t ~src ~dst in
-  let deliver =
-    now + p.send_overhead + p.wire_latency + (p.per_longword * payload_longs)
-  in
-  (* point-to-point FIFO: never deliver before a previously sent message
-     on the same channel *)
-  let deliver = max deliver t.last_deliver.(c) in
-  t.last_deliver.(c) <- deliver;
-  t.seq <- t.seq + 1;
+  let flight = p.wire_latency + (p.per_longword * payload_longs) in
+  (match t.faults with
+   | None ->
+     (* the paper's reliable wire: point-to-point FIFO, never deliver
+        before a previously sent message on the same channel *)
+     let deliver = max (now + p.send_overhead + flight) t.last_deliver.(c) in
+     t.last_deliver.(c) <- deliver;
+     t.seq <- t.seq + 1;
+     Queue.push { deliver; seq = t.seq; msg } t.chans.(c)
+   | Some f ->
+     (* unreliable wire under the reliable sublayer: plan the frame's
+        transmission (drops retransmitted with backoff, optional extra
+        delay and duplication), then resequence: the frame is delivered
+        when it AND everything before it on the channel have arrived *)
+     let rng = t.rngs.(c) in
+     let arrival, dup_arrival, x =
+       Sublayer.tx_plan f rng ~now:(now + p.send_overhead) ~flight
+         ~rto:(effective_rto t)
+     in
+     (* a non-reordered frame respects the raw wire's FIFO point; a
+        reordered one may overtake it (resequencing restores order) *)
+     let arrival =
+       if x.reordered then arrival
+       else begin
+         let a = max arrival t.wire_last.(c) in
+         t.wire_last.(c) <- a;
+         a
+       end
+     in
+     (* frames enter the resequencer in sequence order (sends on a
+        channel are issued in order), so delivery time is the arrival
+        clamped to the channel's previous delivery *)
+     (match Sublayer.rx_offer t.rxs.(c) ~fseq:(Sublayer.rx_expected t.rxs.(c))
+              ~arrival ()
+      with
+      | [ (deliver, ()) ] ->
+        t.last_deliver.(c) <- deliver;
+        t.seq <- t.seq + 1;
+        Queue.push { deliver; seq = t.seq; msg } t.chans.(c)
+      | _ -> assert false);
+     (* duplicated copies reach the receiver and are discarded there *)
+     let dups = match dup_arrival with Some _ -> 1 | None -> 0 in
+     let s = t.fstats in
+     t.fstats <-
+       { drops = s.drops + x.retx;
+         dups = s.dups + dups;
+         retxs = s.retxs + x.retx;
+         reorders = (s.reorders + if x.reordered then 1 else 0);
+         backoff_cycles = s.backoff_cycles + x.backoff };
+     if x <> clean_xmit then t.on_fault ~src ~dst ~now x msg);
   t.sent <- t.sent + 1;
   t.payload_longs <- t.payload_longs + payload_longs;
-  Queue.push { deliver; seq = t.seq; msg } t.chans.(c);
   t.on_send ~src ~dst ~now msg;
   now + p.send_overhead
 
@@ -129,3 +402,5 @@ let in_flight t =
   Array.fold_left (fun a q -> a + Queue.length q) 0 t.chans
 
 let stats t = (t.sent, t.payload_longs)
+
+let fault_stats t = t.fstats

@@ -1,7 +1,15 @@
 (** Cluster interconnect: per-(src,dst) FIFO channels — the paper's
     protocol "depends on point-to-point order for messages sent between
     any two nodes" — with a configurable cost model in processor
-    cycles. *)
+    cycles.
+
+    The wire may optionally be made unreliable ([faults]): seeded,
+    per-channel deterministic drop / duplicate / reorder / delay.  A
+    reliable-delivery sublayer (per-channel sequence numbers,
+    receiver-side dedup and resequencing, sender-side retransmit with
+    timeout and exponential backoff) repairs it, so the protocol above
+    still observes exactly-once per-channel-FIFO delivery — only with
+    retransmission stalls, which the fault tap attributes. *)
 
 type profile = {
   net_name : string;
@@ -20,9 +28,96 @@ val atm : profile
 val ideal : profile
 val profile_of_string : string -> profile
 
+(** {2 Fault model} *)
+
+type faults = {
+  fseed : int;  (** per-channel RNG seed component *)
+  drop : float;  (** per-transmission-attempt loss probability *)
+  dup : float;  (** probability a delivered frame also arrives twice *)
+  reorder : float;  (** probability a frame overtakes the wire FIFO *)
+  delay : float;  (** probability of [delay_cycles] extra flight time *)
+  delay_cycles : int;
+  rto : int;  (** base retransmission timeout; 0 derives it from the profile *)
+}
+
+val no_faults : faults
+(** All probabilities zero; a wire with [Some no_faults] behaves like a
+    reliable one (timing included). *)
+
+val standard : faults
+(** The standard fault matrix: drop 1%, dup 1%, reorder 2%. *)
+
+val faults_of_string : string -> faults option
+(** ["none"], ["standard"], or a comma-separated
+    [key=value] spec with keys [drop], [dup], [reorder], [delay],
+    [delay-cycles], [seed], [rto].  Raises [Invalid_argument] on a
+    malformed spec. *)
+
+val describe_faults : faults -> string
+
+type xmit = {
+  retx : int;  (** dropped transmission attempts, each retransmitted *)
+  backoff : int;  (** total cycles spent waiting for timeouts *)
+  duplicated : bool;  (** a second copy arrived and was discarded *)
+  reordered : bool;  (** frame overtook the wire; resequencing restored order *)
+}
+(** What the fault layer did to one logical send. *)
+
+val clean_xmit : xmit
+
+(** {2 Reliable-delivery sublayer}
+
+    The receiver half is exposed on its own so its exactly-once,
+    in-order delivery guarantee can be tested independently of the
+    protocol. *)
+
+module Sublayer : sig
+  type 'a rx
+
+  val rx_create : unit -> 'a rx
+  val rx_expected : 'a rx -> int
+  (** Next sequence number to be delivered. *)
+
+  val rx_held : 'a rx -> int
+  (** Frames buffered waiting for a sequence gap to fill. *)
+
+  val rx_is_dup : 'a rx -> fseq:int -> bool
+
+  val rx_offer : 'a rx -> fseq:int -> arrival:int -> 'a -> (int * 'a) list
+  (** Offer one frame arrival.  Returns the payloads that become
+      deliverable, in sequence order, each with its delivery time
+      (monotonic per channel); a duplicate returns [[]], an
+      out-of-order frame is held. *)
+
+  val max_attempts : int
+
+  val tx_plan :
+    faults -> Random.State.t -> now:int -> flight:int -> rto:int ->
+    int * int option * xmit
+  (** Plan one frame's transmission over the faulty wire: returns the
+      arrival time of the first surviving copy, the arrival of a
+      duplicate copy if any, and the fault summary.  Deterministic in
+      the RNG state; at most [max_attempts] tries, the last of which
+      always survives. *)
+end
+
+(** {2 The interconnect} *)
+
 type 'a t
 
-val create : nprocs:int -> profile -> 'a t
+type fault_stats = {
+  drops : int;
+  dups : int;
+  retxs : int;
+  reorders : int;
+  backoff_cycles : int;
+}
+
+val zero_fault_stats : fault_stats
+
+val create : ?faults:faults -> nprocs:int -> profile -> 'a t
+(** Without [?faults] the wire is the paper's reliable interconnect and
+    behaves exactly as before. *)
 
 val set_taps :
   'a t ->
@@ -34,11 +129,18 @@ val set_taps :
     arrival time.  The cluster points these at the observability
     subsystem; the default taps do nothing. *)
 
+val set_fault_tap :
+  'a t ->
+  on_fault:(src:int -> dst:int -> now:int -> xmit -> 'a -> unit) ->
+  unit
+(** [on_fault] fires at send time whenever the fault layer perturbed a
+    frame (dropped an attempt, duplicated, reordered, or delayed it). *)
+
 val send : 'a t -> src:int -> dst:int -> now:int -> payload_longs:int ->
   'a -> int
 (** Queue a message; returns the time at which the sender is done (the
     caller charges it to the sending node).  Delivery never reorders a
-    channel. *)
+    channel, faults or not. *)
 
 val next_arrival : 'a t -> dst:int -> int option
 val recv : 'a t -> dst:int -> now:int -> (int * 'a) option
@@ -48,3 +150,9 @@ val pending_for : 'a t -> dst:int -> int
 val in_flight : 'a t -> int
 val stats : 'a t -> int * int
 (** (messages sent, payload longwords) since creation. *)
+
+val fault_stats : 'a t -> fault_stats
+(** Cumulative fault-layer activity since creation; all zero when the
+    wire is reliable. *)
+
+val effective_rto : 'a t -> int

@@ -45,6 +45,15 @@ type t =
       (* a matched protocol transaction (request to reply), synthesized
          by the profiler and drained into sinks at flush; [record.time]
          is the span's start *)
+  | Net_fault of
+      { dst : int; kind : string; retx : int; backoff : int;
+        duplicated : bool; reordered : bool }
+      (* the fault layer perturbed one logical send: [retx] attempts
+         were dropped and retransmitted ([backoff] cycles of timeout),
+         a duplicate arrived and was discarded, or the frame was
+         reordered and resequenced.  Emitted at the sender's time with
+         the sender's site, so retransmission stalls attribute to the
+         code that paid for them. *)
 
 type record = { node : int; time : int; ev : t; site : site option }
 
@@ -72,6 +81,12 @@ let describe = function
   | Node_finished -> "finished"
   | Span { kind; addr; dur } ->
     Printf.sprintf "span %s @0x%x %d cyc" kind addr dur
+  | Net_fault { dst; kind; retx; backoff; duplicated; reordered } ->
+    Printf.sprintf "net-fault -> n%d %s%s%s%s" dst kind
+      (if retx > 0 then Printf.sprintf " retx=%d (+%d cyc)" retx backoff
+       else "")
+      (if duplicated then " dup" else "")
+      (if reordered then " reorder" else "")
 
 (* Short name used as the Chrome trace_event [name] field. *)
 let chrome_name = function
@@ -90,3 +105,4 @@ let chrome_name = function
   | Store_reissue _ -> "store-reissue"
   | Node_finished -> "finished"
   | Span { kind; _ } -> "span:" ^ kind
+  | Net_fault { kind; _ } -> "net-fault:" ^ kind

@@ -69,6 +69,16 @@ let c_polls = "runtime.polls"
 let c_finished = "runtime.threads_finished"
 let c_spans = "span.matched"
 
+(* Fault-layer activity under --net-faults: dropped transmission
+   attempts, discarded duplicate arrivals, retransmissions (== drops:
+   every dropped attempt is retransmitted), resequenced reorderings,
+   and total cycles spent waiting out retransmission timeouts. *)
+let c_net_drop = "net.drop"
+let c_net_dup = "net.dup"
+let c_net_retx = "net.retx"
+let c_net_reorder = "net.reorder"
+let c_net_backoff = "net.backoff_cycles"
+
 let h_payload = "msg.payload_longs"
 let h_stall = "stall.cycles"
 let h_miss_latency = "miss.latency_cycles"
@@ -98,6 +108,14 @@ let count_event t ~node (ev : Event.t) =
   | Store_reissue _ -> Metrics.incr m ~node c_store_reissues
   | Node_finished -> Metrics.incr m ~node c_finished
   | Span _ -> Metrics.incr m ~node c_spans
+  | Net_fault { retx; backoff; duplicated; reordered; _ } ->
+    if retx > 0 then begin
+      Metrics.add m ~node c_net_drop retx;
+      Metrics.add m ~node c_net_retx retx;
+      Metrics.add m ~node c_net_backoff backoff
+    end;
+    if duplicated then Metrics.incr m ~node c_net_dup;
+    if reordered then Metrics.incr m ~node c_net_reorder
 
 let emit t ?site ~node ~time ev =
   count_event t ~node ev;

@@ -70,6 +70,22 @@ val c_flag_wakes : string
 val c_polls : string
 val c_finished : string
 val c_spans : string
+
+val c_net_drop : string
+(** Transmission attempts lost by the faulty wire (each retransmitted). *)
+
+val c_net_dup : string
+(** Duplicate arrivals discarded by receiver-side dedup. *)
+
+val c_net_retx : string
+(** Retransmissions performed by the reliable sublayer (== [c_net_drop]). *)
+
+val c_net_reorder : string
+(** Frames that overtook their channel and were resequenced. *)
+
+val c_net_backoff : string
+(** Total cycles spent waiting out retransmission timeouts. *)
+
 val h_payload : string
 val h_stall : string
 val h_miss_latency : string

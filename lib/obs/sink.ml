@@ -108,6 +108,10 @@ let chrome_args (ev : Event.t) =
     [ kv "\"id\":%d" id ]
   | Batch_run { nranges; waited } ->
     [ kv "\"nranges\":%d" nranges; kv "\"waited\":%d" waited ]
+  | Net_fault { dst; retx; backoff; duplicated; reordered; _ } ->
+    [ kv "\"dst\":%d" dst; kv "\"retx\":%d" retx;
+      kv "\"backoff\":%d" backoff;
+      kv "\"dup\":%b" duplicated; kv "\"reorder\":%b" reordered ]
   | Barrier_passed | Node_finished -> []
 
 let chrome_record (r : Event.record) =

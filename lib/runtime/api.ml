@@ -13,6 +13,9 @@ type spec = {
   nprocs : int;
   pipe : Shasta_machine.Pipeline.config;
   net : Shasta_network.Network.profile;
+  net_faults : Shasta_network.Network.faults option;
+      (* None = the paper's reliable wire; Some f injects seeded
+         drop/dup/reorder/delay under the reliable-delivery sublayer *)
   fixed_block : int option;
   granularity_threshold : int;
   consistency : State.consistency;
@@ -24,7 +27,8 @@ type spec = {
 let default_spec prog =
   { prog; opts = Some Shasta.Opts.full; nprocs = 1;
     pipe = Shasta_machine.Pipeline.alpha_21064a;
-    net = Shasta_network.Network.memory_channel; fixed_block = None;
+    net = Shasta_network.Network.memory_channel; net_faults = None;
+    fixed_block = None;
     granularity_threshold = 1024; consistency = State.Release; obs = None }
 
 type result = {
@@ -53,7 +57,7 @@ let prepare spec =
   let config =
     State.default_config ~nprocs:spec.nprocs ~line_shift
       ~consistency:spec.consistency ~pipe_config:spec.pipe
-      ~net_profile:spec.net
+      ~net_profile:spec.net ?net_faults:spec.net_faults
       ~granularity_threshold:spec.granularity_threshold
       ?fixed_block:spec.fixed_block ?obs:spec.obs ()
   in

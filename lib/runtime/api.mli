@@ -11,6 +11,11 @@ type spec = {
   nprocs : int;
   pipe : Shasta_machine.Pipeline.config;
   net : Shasta_network.Network.profile;
+  net_faults : Shasta_network.Network.faults option;
+      (** [None] = the paper's reliable wire; [Some f] injects seeded
+          drop/dup/reorder/delay beneath the reliable-delivery
+          sublayer (the protocol still sees exactly-once FIFO
+          delivery, only slower) *)
   fixed_block : int option;  (** force one block size (ablations) *)
   granularity_threshold : int;
   consistency : State.consistency;

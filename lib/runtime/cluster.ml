@@ -38,8 +38,8 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
   let np_addr = Shasta_minic.Compile.global_address compiled "__nprocs" in
   let state =
     { State.config; image; nodes;
-      net = Shasta_network.Network.create ~nprocs:config.nprocs
-          config.net_profile;
+      net = Shasta_network.Network.create ?faults:config.net_faults
+          ~nprocs:config.nprocs config.net_profile;
       gran =
         Shasta_protocol.Granularity.create ~line_bytes:(1 lsl config.line_shift)
           ~threshold:config.granularity_threshold ();
@@ -87,6 +87,23 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
       let kind, block, longs = msg_info msg in
       Obs.emit obs ~node:dst ~time:now
         (Ev.Msg_recv { src; kind; block; longs }));
+  (* fault-layer perturbations attribute to the sender's site too, so
+     the profiler charges retransmission stalls to the code that sent
+     the frame; with faults off the tap never fires and the event
+     stream is byte-identical to a reliable run *)
+  Shasta_network.Network.set_fault_tap state.net
+    ~on_fault:(fun ~src ~dst ~now (x : Shasta_network.Network.xmit) msg ->
+      let kind, _, _ = msg_info msg in
+      let n = nodes.(src) in
+      let site =
+        { Ev.sproc = n.pc_proc;
+          spc = (if n.pc_idx > 0 then n.pc_idx - 1 else 0);
+          sstack = n.call_stack }
+      in
+      Obs.emit obs ~site ~node:src ~time:now
+        (Ev.Net_fault
+           { dst; kind; retx = x.retx; backoff = x.backoff;
+             duplicated = x.duplicated; reordered = x.reordered }));
   Array.iter
     (fun (n : Node.t) ->
       n.caches.on_miss <-

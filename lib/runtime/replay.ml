@@ -10,6 +10,14 @@
    outside its inputs, i.e. a hidden side channel: precisely the bug
    class the refactor is meant to exclude.
 
+   The recording point sits ABOVE the transport: message inputs are
+   logged when the engine pops them from [Network.recv], which is after
+   the reliable-delivery sublayer has retransmitted drops, discarded
+   duplicates and resequenced reordered frames.  So a run over a faulty
+   wire ([--net-faults]) replays exactly like a clean one — the log
+   already contains the repaired, exactly-once per-channel-FIFO stream
+   the protocol consumed, and the fault layer needs no re-simulation.
+
    Structural invariants are checked after every replayed step, except
    while a truncated store-retry step ([A_reenter_store]) is still
    waiting for its re-entered store miss and carried [I_continue] to

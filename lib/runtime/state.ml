@@ -21,6 +21,10 @@ type config = {
          acknowledgements arrive (Section 4.3's comparison point). *)
   pipe_config : Pipeline.config;
   net_profile : Shasta_network.Network.profile;
+  net_faults : Shasta_network.Network.faults option;
+      (* None: the paper's reliable interconnect.  Some f: a faulty
+         wire under the reliable-delivery sublayer (shasta_run
+         --net-faults) *)
   costs : Costs.t;
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
@@ -32,14 +36,14 @@ type config = {
 
 let default_config ?(nprocs = 1) ?(line_shift = 6)
     ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
-    ?(net_profile = Shasta_network.Network.memory_channel)
+    ?(net_profile = Shasta_network.Network.memory_channel) ?net_faults
     ?(costs = Costs.default) ?(granularity_threshold = 1024) ?fixed_block
     ?obs () =
   let obs =
     match obs with Some o -> o | None -> Shasta_obs.Obs.create ~nprocs ()
   in
-  { nprocs; line_shift; consistency; pipe_config; net_profile; costs;
-    granularity_threshold; fixed_block; obs }
+  { nprocs; line_shift; consistency; pipe_config; net_profile; net_faults;
+    costs; granularity_threshold; fixed_block; obs }
 
 (* Home pages are assigned round-robin at this page size (Section 2.1). *)
 let page_bytes = 8192

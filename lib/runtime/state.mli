@@ -17,6 +17,7 @@ type config = {
   consistency : consistency;
   pipe_config : Pipeline.config;
   net_profile : Shasta_network.Network.profile;
+  net_faults : Shasta_network.Network.faults option;
   costs : Costs.t;
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
@@ -29,6 +30,7 @@ val default_config :
   ?consistency:consistency ->
   ?pipe_config:Pipeline.config ->
   ?net_profile:Shasta_network.Network.profile ->
+  ?net_faults:Shasta_network.Network.faults ->
   ?costs:Costs.t ->
   ?granularity_threshold:int ->
   ?fixed_block:int ->

@@ -1,0 +1,262 @@
+(* Fault-injection suite.
+
+   Two halves:
+
+   - the fault-matrix soak: every pinned workload runs under each row
+     of a fault matrix (drop-only, dup-only, reorder-only, combined) at
+     several seeds, and must still reproduce the uninstrumented
+     single-node ground-truth output — the reliable sublayer makes a
+     lossy wire invisible to the protocol, faults only cost cycles.
+     The fault counters must move when faults are on and stay at zero
+     when they are off.
+
+   - QCheck properties of the reliable sublayer in isolation: the
+     receiver half delivers every payload exactly once, in per-channel
+     sequence order, with monotonic delivery times, whatever arrival
+     order and duplication the wire inflicts; the sender half's
+     transmission plan is deterministic in the RNG and respects the
+     backoff arithmetic. *)
+
+module Support = Test_support.Support
+module Network = Shasta_network.Network
+open Shasta_runtime
+
+(* Probabilities are deliberately higher than [Network.standard] (5%
+   vs 1-2%) so the counter assertions below can't go flaky: at test
+   sizes a 1% coin may simply never fire for one kind on one seed, so
+   we also aggregate counters across seeds before asserting. *)
+let matrix =
+  [ ("drop", { Network.no_faults with drop = 0.05 });
+    ("dup", { Network.no_faults with dup = 0.05 });
+    ("reorder", { Network.no_faults with reorder = 0.05 });
+    ("combined",
+     { Network.no_faults with drop = 0.02; dup = 0.02; reorder = 0.02;
+       delay = 0.02 })
+  ]
+
+let seeds = [ 1; 2; 3 ]
+
+let add_stats (a : Network.fault_stats) (b : Network.fault_stats) =
+  { Network.drops = a.drops + b.drops;
+    dups = a.dups + b.dups;
+    retxs = a.retxs + b.retxs;
+    reorders = a.reorders + b.reorders;
+    backoff_cycles = a.backoff_cycles + b.backoff_cycles }
+
+(* Run one workload under one fault row at one seed; the data oracle is
+   the ground-truth output.  Returns the wire's fault counters. *)
+let soak_one name nprocs make expected (f : Network.faults) seed =
+  let faults = { f with fseed = seed } in
+  let got, r = Support.run ~nprocs ~net_faults:faults (make ()) in
+  Alcotest.(check string)
+    (Printf.sprintf "%s output (seed %d, %s)" name seed
+       (Network.describe_faults faults))
+    expected got;
+  Network.fault_stats r.Api.state.State.net
+
+let t_soak (name, nprocs, make) () =
+  let expected = Support.ground_truth (make ()) in
+  List.iter
+    (fun (row, f) ->
+      let total =
+        List.fold_left
+          (fun acc seed ->
+            add_stats acc (soak_one name nprocs make expected f seed))
+          Network.zero_fault_stats seeds
+      in
+      (* the matrix row must actually have exercised its fault kind
+         (aggregated across seeds so a single quiet run can't flake) *)
+      let nonzero what n =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s: %s fired across seeds" name row what)
+          true (n > 0)
+      in
+      match row with
+      | "drop" ->
+        nonzero "retx" total.Network.retxs;
+        nonzero "backoff" total.Network.backoff_cycles
+      | "dup" -> nonzero "dup" total.Network.dups
+      | "reorder" -> nonzero "reorder" total.Network.reorders
+      | _ ->
+        nonzero "any fault"
+          (total.Network.retxs + total.Network.dups + total.Network.reorders))
+    matrix
+
+(* With faults off the counters must be exactly zero — both the wire's
+   own statistics and the observability registry's net.* counters. *)
+let t_counters_zero_when_off () =
+  let _, nprocs, make = List.hd Support.golden_runs in
+  let obs = Shasta_obs.Obs.create ~nprocs () in
+  let _, r = Support.run ~nprocs ~obs (make ()) in
+  let s = Network.fault_stats r.Api.state.State.net in
+  Alcotest.(check bool) "wire stats zero" true (s = Network.zero_fault_stats);
+  let m = Shasta_obs.Obs.metrics obs in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) (c ^ " zero")
+        0
+        (Shasta_obs.Obs.Metrics.counter_total m c))
+    [ Shasta_obs.Obs.c_net_drop; Shasta_obs.Obs.c_net_dup;
+      Shasta_obs.Obs.c_net_retx; Shasta_obs.Obs.c_net_reorder;
+      Shasta_obs.Obs.c_net_backoff ]
+
+(* With faults on, the registry counters mirror the wire's statistics:
+   the fault tap is the only writer of net.*, so the two must agree. *)
+let t_counters_match_wire () =
+  let _, nprocs, make = List.hd Support.golden_runs in
+  let obs = Shasta_obs.Obs.create ~nprocs () in
+  let faults = { Network.standard with drop = 0.05; fseed = 7 } in
+  let expected = Support.ground_truth (make ()) in
+  let got, r = Support.run ~nprocs ~obs ~net_faults:faults (make ()) in
+  Alcotest.(check string) "output under faults" expected got;
+  let s = Network.fault_stats r.Api.state.State.net in
+  Alcotest.(check bool) "some faults fired" true (s.Network.retxs > 0);
+  let m = Shasta_obs.Obs.metrics obs in
+  let total c = Shasta_obs.Obs.Metrics.counter_total m c in
+  Alcotest.(check int) "net.retx" s.Network.retxs (total Shasta_obs.Obs.c_net_retx);
+  Alcotest.(check int) "net.drop" s.Network.drops (total Shasta_obs.Obs.c_net_drop);
+  Alcotest.(check int) "net.dup" s.Network.dups (total Shasta_obs.Obs.c_net_dup);
+  Alcotest.(check int) "net.reorder" s.Network.reorders
+    (total Shasta_obs.Obs.c_net_reorder);
+  Alcotest.(check int) "net.backoff_cycles" s.Network.backoff_cycles
+    (total Shasta_obs.Obs.c_net_backoff)
+
+(* Seeded faults are deterministic: same spec, same run, same cycle
+   count and same fault counters. *)
+let t_faults_deterministic () =
+  let _, nprocs, make = List.hd Support.golden_runs in
+  let go () =
+    let _, r = Support.run ~nprocs ~net_faults:Network.standard (make ()) in
+    (r.Api.phase.Cluster.wall_cycles, Network.fault_stats r.Api.state.State.net)
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "identical cycles and counters" true (a = b)
+
+(* --- QCheck: the receiver half of the reliable sublayer ------------- *)
+
+(* An adversarial arrival schedule for one channel: sequence numbers
+   0..n-1, each transmitted 1..3 times (duplicates), the whole lot
+   shuffled (reordering), each copy with its own arrival time. *)
+let arrivals_gen =
+  let open QCheck2.Gen in
+  int_range 1 30 >>= fun n ->
+  list_size (return n) (int_range 1 3) >>= fun copies ->
+  let frames =
+    List.concat (List.mapi (fun seq c -> List.init c (fun _ -> seq)) copies)
+  in
+  shuffle_l frames >>= fun order ->
+  list_size (return (List.length order)) (int_range 0 100_000) >>= fun times ->
+  return (n, List.combine order times)
+
+let prop_exactly_once_in_order (n, events) =
+  let rx = Network.Sublayer.rx_create () in
+  let delivered = ref [] in
+  List.iter
+    (fun (fseq, arrival) ->
+      List.iter
+        (fun d -> delivered := d :: !delivered)
+        (Network.Sublayer.rx_offer rx ~fseq ~arrival fseq))
+    events;
+  let ds = List.rev !delivered in
+  (* every payload exactly once, in sequence order *)
+  List.map snd ds = List.init n Fun.id
+  (* delivery times never go backwards (channel FIFO restored) *)
+  && fst
+       (List.fold_left
+          (fun (ok, last) (t, _) -> (ok && t >= last, t))
+          (true, min_int) ds)
+  (* delivery never precedes the payload's own (first) arrival *)
+  && List.for_all
+       (fun (t, p) ->
+         let first_arrival =
+           List.fold_left
+             (fun acc (fseq, a) -> if fseq = p then min acc a else acc)
+             max_int events
+         in
+         t >= first_arrival)
+       ds
+  (* nothing held back once every gap is filled *)
+  && Network.Sublayer.rx_held rx = 0
+  && Network.Sublayer.rx_expected rx = n
+
+(* Offering a partial, gappy schedule never delivers past the first
+   gap, and re-offering a delivered or held frame is a no-op. *)
+let prop_gap_holds (n, events) =
+  let rx = Network.Sublayer.rx_create () in
+  (* withhold sequence number 0 entirely *)
+  let events = List.filter (fun (fseq, _) -> fseq <> 0) events in
+  List.iter
+    (fun (fseq, arrival) ->
+      match Network.Sublayer.rx_offer rx ~fseq ~arrival fseq with
+      | [] -> ()
+      | _ -> failwith "delivered across a sequence gap")
+    events;
+  Network.Sublayer.rx_expected rx = 0
+  && (n <= 1 || Network.Sublayer.rx_held rx > 0)
+  && (* dups of held frames are detected *)
+  List.for_all
+    (fun (fseq, _) -> Network.Sublayer.rx_is_dup rx ~fseq)
+    events
+
+(* --- QCheck: the sender half (transmission planning) ---------------- *)
+
+let tx_gen =
+  let open QCheck2.Gen in
+  int_range 1 1_000_000 >>= fun seed ->
+  float_bound_inclusive 0.5 >>= fun drop ->
+  float_bound_inclusive 0.3 >>= fun dup ->
+  float_bound_inclusive 0.3 >>= fun reorder ->
+  float_bound_inclusive 0.3 >>= fun delay ->
+  int_range 0 100_000 >>= fun now ->
+  int_range 1 5_000 >>= fun flight ->
+  int_range 1 10_000 >>= fun rto ->
+  return (seed, drop, dup, reorder, delay, now, flight, rto)
+
+let prop_tx_plan (seed, drop, dup, reorder, delay, now, flight, rto) =
+  let f =
+    { Network.no_faults with drop; dup; reorder; delay; delay_cycles = 2000 }
+  in
+  let plan () =
+    Network.Sublayer.tx_plan f
+      (Random.State.make [| seed |])
+      ~now ~flight ~rto
+  in
+  let arrival, dup_arrival, x = plan () in
+  (* deterministic in the RNG seed *)
+  plan () = (arrival, dup_arrival, x)
+  (* bounded retries; the last attempt always survives *)
+  && x.Network.retx >= 0
+  && x.Network.retx < Network.Sublayer.max_attempts
+  (* the frame arrives after its (possibly backed-off) flight *)
+  && arrival >= now + flight + x.Network.backoff
+  (* backoff is exactly the sum of the doubling timeouts *)
+  && (let expect = ref 0 in
+      for k = 0 to x.Network.retx - 1 do
+        expect := !expect + (rto * (1 lsl min k 10))
+      done;
+      x.Network.backoff = !expect)
+  (* a duplicate copy trails the original *)
+  && (match dup_arrival with
+      | None -> not x.Network.duplicated
+      | Some d -> x.Network.duplicated && d > arrival)
+
+let () =
+  Alcotest.run "faults"
+    [ ( "soak",
+        List.map
+          (fun ((name, _, _) as g) ->
+            Alcotest.test_case name `Slow (t_soak g))
+          Support.golden_runs );
+      ( "counters",
+        [ Alcotest.test_case "zero when off" `Quick t_counters_zero_when_off;
+          Alcotest.test_case "registry matches wire" `Quick
+            t_counters_match_wire;
+          Alcotest.test_case "deterministic" `Quick t_faults_deterministic ] );
+      ( "sublayer",
+        [ Support.qtest "exactly-once, in-order delivery" ~count:300
+            arrivals_gen prop_exactly_once_in_order;
+          Support.qtest "gaps hold delivery" ~count:300 arrivals_gen
+            prop_gap_holds;
+          Support.qtest "tx plan: deterministic, bounded, backoff arithmetic"
+            ~count:500 tx_gen prop_tx_plan ] )
+    ]

@@ -149,6 +149,60 @@ let t_owner_sharer_consistency () =
         v ())
     (Mcheck.scenarios ~nprocs:3)
 
+(* --- lossy channels ------------------------------------------------- *)
+
+(* With the adversary allowed a bounded number of drop/dup/swap moves
+   per channel, every safety invariant must still hold at every
+   reachable state AND every terminal state must have drained its
+   channels (eventual delivery => quiescence: a frame the adversary
+   dropped is always retransmittable, so a wedged channel is a bug in
+   the sublayer model, not an allowed outcome). *)
+let t_lossy_exhaustive_clean () =
+  List.iter
+    (fun sc ->
+      let r = Mcheck.check_exhaustive ~lossy:1 sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s P=2 lossy explored fully" sc.Mcheck.sname)
+        false r.Mcheck.truncated;
+      match r.Mcheck.violation with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": lossy violation"))
+    (Mcheck.scenarios ~nprocs:2)
+
+let t_lossy_fuzz_clean () =
+  List.iter
+    (fun sc ->
+      let _, v = Mcheck.fuzz ~lossy:2 ~seed:11 ~runs:150 sc in
+      match v with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": lossy fuzz violation"))
+    (Mcheck.scenarios ~nprocs:3)
+
+(* A sublayer that retransmits but forgets to dedup hands stale frames
+   to the protocol; the checker must catch it (stray data replies or
+   ack over-delivery), with a printable counterexample. *)
+let t_no_dedup_caught () =
+  let caught =
+    List.filter_map
+      (fun sc ->
+        (Mcheck.check_exhaustive ~injection:Mcheck.Retransmit_no_dedup
+           ~lossy:1 sc)
+          .Mcheck.violation)
+      (Mcheck.scenarios ~nprocs:2)
+  in
+  Alcotest.(check bool)
+    "at least one scenario catches retransmit-without-dedup" true
+    (caught <> []);
+  List.iter
+    (fun (v : Mcheck.violation) ->
+      Alcotest.(check bool) "counterexample trace is non-empty" true
+        (v.Mcheck.vtrace <> []))
+    caught
+
 (* --- deterministic replay ------------------------------------------- *)
 
 let t_replay_reproduces () =
@@ -165,6 +219,28 @@ let t_replay_reproduces () =
     (r.Replay.invariant_failures = []);
   Alcotest.(check bool) "replayed view equals the live final view" false
     r.Replay.mismatch
+
+let t_replay_under_faults () =
+  (* the engine records protocol inputs AFTER the reliable sublayer
+     (post-dedup, post-resequencing), so a run over a faulty wire
+     replays exactly like a clean one: the log already contains the
+     repaired, exactly-once FIFO stream the core consumed *)
+  let open Shasta_runtime in
+  let prog = Shasta_apps.Lu.program ~n:16 ~bs:4 () in
+  let spec =
+    { (Api.default_spec prog) with
+      nprocs = 4;
+      net_faults = Some { Shasta_network.Network.standard with drop = 0.05 } }
+  in
+  let state, _, _ = Api.prepare spec in
+  state.State.record_inputs <- true;
+  let _ = Cluster.run_app state in
+  Alcotest.(check bool) "faults actually fired" true
+    ((Shasta_network.Network.fault_stats state.State.net)
+       .Shasta_network.Network.retxs > 0);
+  let r = Replay.replay state in
+  Alcotest.(check bool) "steps recorded" true (r.Replay.steps > 0);
+  Alcotest.(check bool) "replay ok under net faults" true (Replay.ok r)
 
 let t_replay_sc_mode () =
   (* sequential consistency exercises the stalling-store re-entry *)
@@ -194,7 +270,16 @@ let () =
         [ Alcotest.test_case "built-in scenarios" `Quick t_fuzz_clean;
           qtest "random scripts keep invariants" ~count:60 trace_gen
             prop_random_trace ] );
+      ( "lossy",
+        [ Alcotest.test_case "scenarios clean at P=2 (exhaustive)" `Quick
+            t_lossy_exhaustive_clean;
+          Alcotest.test_case "scenarios clean at P=3 (fuzz)" `Quick
+            t_lossy_fuzz_clean;
+          Alcotest.test_case "retransmit-without-dedup caught" `Quick
+            t_no_dedup_caught ] );
       ( "replay",
         [ Alcotest.test_case "lu reproduces" `Quick t_replay_reproduces;
-          Alcotest.test_case "ocean under SC" `Quick t_replay_sc_mode ] )
+          Alcotest.test_case "ocean under SC" `Quick t_replay_sc_mode;
+          Alcotest.test_case "lu under net faults" `Quick
+            t_replay_under_faults ] )
     ]
