@@ -124,10 +124,44 @@ let replay_run spec app =
     print_endline "OK: replay reproduces the live run's final protocol state";
   if not (Replay.ok r) then exit 1
 
+(* --kv: drive the sharded hash table with a YCSB-style workload built
+   from the command line instead of the registry's preset, and print
+   the parsed end-of-run report (throughput in simulated cycles,
+   per-op latency percentiles, table/shard accounting). *)
+type kv_opts = {
+  kv : bool;
+  kv_ops : int;
+  kv_mix : string;
+  kv_theta : float;
+  kv_keys : int option;
+  kv_seed : int;
+  kv_report : bool;
+  bench_out : string option;
+}
+
+let kv_workload size kvo =
+  let module W = Shasta_workload.Workload in
+  let nkeys, quanta =
+    match size with
+    | Shasta_apps.Apps.Test -> (256, 256)
+    | Shasta_apps.Apps.Small -> (1024, 1024)
+    | Shasta_apps.Apps.Large -> (4096, 1024)
+  in
+  let nkeys = Option.value kvo.kv_keys ~default:nkeys in
+  let dist =
+    if kvo.kv_theta <= 0.0 then W.Uniform else W.Zipfian kvo.kv_theta
+  in
+  let wl =
+    W.spec ~nkeys ~ops:kvo.kv_ops ~quanta
+      ~mix:(W.mix_of_string kvo.kv_mix)
+      ~dist ~seed:kvo.kv_seed ()
+  in
+  (wl, Shasta_apps.Sht.default_cfg ~nkeys)
+
 let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
     no_flag no_excl no_batch poll no_range fixed_block threshold sc trace
     trace_out metrics metrics_csv profile profile_out flame_out top show_asm
-    replay =
+    replay kvo =
   let entry = Shasta_apps.Apps.find app in
   let faults =
     match net_faults with
@@ -141,7 +175,19 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
     | "large" -> Shasta_apps.Apps.Large
     | s -> failwith ("unknown size " ^ s)
   in
-  let prog = entry.make size in
+  let kv_wl =
+    if kvo.kv || kvo.bench_out <> None then begin
+      if app <> "sht" then
+        failwith "--kv drives the sharded hash table; use --app sht";
+      Some (kv_workload size kvo)
+    end
+    else None
+  in
+  let prog =
+    match kv_wl with
+    | Some (wl, cfg) -> Shasta_apps.Sht.program ~cfg ~wl ()
+    | None -> entry.make size
+  in
   let opts =
     if no_instrument then None
     else
@@ -183,7 +229,7 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
   in
   (* the site profiler piggybacks on the same event stream *)
   let want_profile =
-    profile || profile_out <> None || flame_out <> None
+    profile || profile_out <> None || flame_out <> None || kvo.kv_report
   in
   let prof =
     if want_profile then begin
@@ -227,7 +273,9 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
      | Some f ->
        " (faulty: " ^ Shasta_network.Network.describe_faults f ^ ")"
      | None -> "");
-  Printf.printf "output:\n%s" r.phase.output;
+  (match kv_wl with
+   | Some _ -> () (* the raw output block is the report's wire format *)
+   | None -> Printf.printf "output:\n%s" r.phase.output);
   Printf.printf "wall cycles : %d\n" r.phase.wall_cycles;
   Printf.printf "messages    : %d (%d payload longwords)\n" r.phase.msgs_sent
     r.phase.payload_longs;
@@ -292,6 +340,44 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
         output_string oc
           (Obs.Profile.collapsed p ~name_proc:(Image.proc_name image)
              ~name_site);
+        close_out oc));
+  (match kv_wl with
+   | None -> ()
+   | Some (wl, _) ->
+     let module W = Shasta_workload.Workload in
+     let module Report = Shasta_workload.Report in
+     let rep = Report.parse r.phase.output in
+     let label =
+       Printf.sprintf "%s mix, %s, %d procs" (W.mix_name wl.W.mix)
+         (W.dist_name wl.W.dist) nprocs
+     in
+     print_newline ();
+     print_string (Report.render ~label rep);
+     (match prof with
+      | Some p when kvo.kv_report ->
+        (* protocol-level view of the same run: per-request-kind
+           latency percentiles from the profiler's span histograms *)
+        let sm = Obs.Profile.span_metrics p in
+        Printf.printf "protocol spans:\n";
+        List.iter
+          (fun name ->
+            let h = Metrics.hist_total sm name in
+            if h.Metrics.n > 0 then
+              Printf.printf
+                "  %-14s n=%-7d p50 %-6d p95 %-6d p99 %-6d p99.9 %d cycles\n"
+                name h.Metrics.n
+                (Metrics.percentile h 50.0)
+                (Metrics.percentile h 95.0)
+                (Metrics.percentile h 99.0)
+                (Metrics.percentile h 99.9))
+          (Metrics.hist_names sm)
+      | _ -> ());
+     (match kvo.bench_out with
+      | None -> ()
+      | Some file ->
+        let oc = open_out_or_die file in
+        output_string oc (Report.to_json ~workload:(W.mix_name wl.W.mix) rep);
+        output_string oc "\n";
         close_out oc));
   if metrics then begin
     let reg = Obs.metrics obs in
@@ -475,6 +561,66 @@ let cmd =
              ~doc:"Random interleavings per scenario after the exhaustive \
                    pass (0 disables).")
   in
+  let kv_t =
+    Arg.(value & flag
+         & info [ "kv" ]
+             ~doc:"Drive the sharded hash table (--app sht) with a \
+                   YCSB-style key-value workload built from the --kv-* \
+                   flags, and print the end-of-run report (simulated \
+                   throughput, per-operation latency percentiles, \
+                   table and shard-handoff accounting).")
+  in
+  let kv_ops_t =
+    Arg.(value & opt int 100_000
+         & info [ "kv-ops" ] ~docv:"N"
+             ~doc:"Total run-phase operations across all nodes.")
+  in
+  let kv_mix_t =
+    Arg.(value & opt string "b"
+         & info [ "kv-mix" ] ~docv:"MIX"
+             ~doc:"Operation mix: a (50/50 read/update), b (95/5), c \
+                   (read-only), e (95/5 scan/insert) or m \
+                   (40/40/10/10 read/update/delete/scan).")
+  in
+  let kv_theta_t =
+    Arg.(value & opt float 0.99
+         & info [ "kv-theta" ] ~docv:"THETA"
+             ~doc:"Zipfian skew of the key popularity (0 or negative \
+                   selects the uniform distribution).")
+  in
+  let kv_keys_t =
+    Arg.(value & opt (some int) None
+         & info [ "kv-keys" ] ~docv:"N"
+             ~doc:"Key-space size (default picked by --size).")
+  in
+  let kv_seed_t =
+    Arg.(value & opt int 42
+         & info [ "kv-seed" ]
+             ~doc:"Workload seed; identical seeds give byte-identical \
+                   reports.")
+  in
+  let kv_report_t =
+    Arg.(value & flag
+         & info [ "kv-report" ]
+             ~doc:"With --kv: also attach the site profiler and print \
+                   per-request-kind protocol span latency percentiles \
+                   under the report.")
+  in
+  let bench_out_t =
+    Arg.(value & opt (some string) None
+         & info [ "bench-out" ] ~docv:"FILE"
+             ~doc:"Write the KV report as one JSON object to FILE \
+                   (implies --kv).")
+  in
+  let kv_opts_t =
+    let mk kv kv_ops kv_mix kv_theta kv_keys kv_seed kv_report bench_out =
+      { kv; kv_ops; kv_mix; kv_theta; kv_keys; kv_seed; kv_report;
+        bench_out }
+    in
+    Term.(
+      const mk $ kv_t $ kv_ops_t $ kv_mix_t $ kv_theta_t $ kv_keys_t
+      $ kv_seed_t $ kv_report_t $ bench_out_t)
+  in
   let replay_t =
     Arg.(value & flag
          & info [ "replay" ]
@@ -485,7 +631,7 @@ let cmd =
   let main list check inject lossy fuzz_only fuzz_seed fuzz_runs app size
       procs net net_faults cpu line no_instrument no_sched no_flag no_excl
       no_batch poll no_range fixed_block threshold sc trace trace_out metrics
-      metrics_csv profile profile_out flame_out top show_asm replay =
+      metrics_csv profile profile_out flame_out top show_asm replay kvo =
     if list then list_apps ()
     else if check then
       model_check procs inject fuzz_seed fuzz_runs lossy fuzz_only
@@ -493,7 +639,7 @@ let cmd =
       run app size procs net net_faults cpu line no_instrument no_sched
         no_flag no_excl no_batch poll no_range fixed_block threshold sc trace
         trace_out metrics metrics_csv profile profile_out flame_out top
-        show_asm replay
+        show_asm replay kvo
   in
   let term =
     Term.(
@@ -504,7 +650,7 @@ let cmd =
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t
       $ profile_t $ profile_out_t $ flame_out_t $ top_t $ show_asm_t
-      $ replay_t)
+      $ replay_t $ kv_opts_t)
   in
   Cmd.v
     (Cmd.info "shasta_run"

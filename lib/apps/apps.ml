@@ -12,6 +12,16 @@ type entry = {
   make : size -> Shasta_minic.Ast.prog;
 }
 
+(* The sht Test preset runs in disjoint mode (each node owns its slice
+   of the key space) so that its final table contents are checkable
+   against the [Sht.shadow] oracle at any node count; the preset pieces
+   are exposed so tests can call the oracle with the same spec. *)
+let sht_test_cfg = { Sht.nbuckets = 128; slots = 8; handoff = 8 }
+
+let sht_test_wl =
+  Shasta_workload.Workload.spec ~nkeys:256 ~ops:2000 ~quanta:256
+    ~disjoint:true ()
+
 let all =
   [ { name = "lu";
       descr = "blocked dense LU factorization (contiguous blocks)";
@@ -76,6 +86,23 @@ let all =
          | Test -> Em3d.program ~nnodes:64 ~degree:3 ~iters:2 ()
          | Small -> Em3d.program ~nnodes:256 ~degree:4 ~iters:3 ()
          | Large -> Em3d.program ~nnodes:1024 ~degree:5 ~iters:4 ()) };
+    { name = "sht";
+      descr = "sharded hash-table KV service under a YCSB-style mix";
+      make =
+        (let wl nkeys ops quanta =
+           Shasta_workload.Workload.spec ~nkeys ~ops ~quanta ()
+         in
+         function
+         | Test ->
+           Sht.program ~cfg:sht_test_cfg ~wl:sht_test_wl ()
+         | Small ->
+           Sht.program
+             ~cfg:{ Sht.nbuckets = 512; slots = 8; handoff = 8 }
+             ~wl:(wl 1024 20000 1024) ()
+         | Large ->
+           Sht.program
+             ~cfg:{ Sht.nbuckets = 2048; slots = 8; handoff = 8 }
+             ~wl:(wl 4096 200000 1024) ()) };
     { name = "radiosity";
       descr = "task-queue energy redistribution with locks";
       make =

@@ -1,0 +1,299 @@
+(* SHT: a sharded, node-partitioned hash-table key-value service kept
+   entirely in DSM global memory — the IronFleet/YCSB-style serving
+   workload, as opposed to the SPLASH scientific kernels.
+
+   The table is an array of fixed-size buckets (a power-of-two number
+   of 16-byte slots, so one bucket is exactly one coherence block at
+   the allocation's block size).  Every operation takes the bucket's
+   lock, runs as a local atomic step, and unlocks — so a get/put/
+   delete is a tiny lock-protected critical section whose data moves
+   between nodes migratory-style, and a scan is a multi-bucket
+   transaction over consecutive buckets acquired in ascending order.
+
+   A bucket-ownership directory implements the shard-handoff path:
+   buckets start node-partitioned ([owner = b mod nprocs]); each
+   foreign access under the lock bumps a per-bucket counter, and when
+   it reaches the handoff threshold the bucket's ownership migrates to
+   the traffic source.  The data movement itself is the DSM protocol's
+   job — the directory is the service-level bookkeeping that the
+   report surfaces (handoff count, final ownership spread).
+
+   Correctness is self-checking: put(k) installs value = ver*nkeys+k
+   and records ver in a version table under the same lock, so get and
+   scan can verify "every read sees the last write" in-line and count
+   violations; the driver's report must show zero. *)
+
+open Shasta_minic.Builder
+open Shasta_minic.Ast
+module Workload = Shasta_workload.Workload
+
+type cfg = {
+  nbuckets : int; (* power of two *)
+  slots : int; (* per bucket, power of two *)
+  handoff : int; (* foreign accesses before ownership migrates *)
+}
+
+let default_cfg ~nkeys =
+  let rec pow2 v n = if v >= n then v else pow2 (v * 2) n in
+  { nbuckets = pow2 64 (nkeys / 2); slots = 8; handoff = 8 }
+
+(* Multiplicative hash, mirrored exactly by [bucket_of_key]. *)
+let hash_mult = 0x2545F4914F6CDD1D
+
+let bucket_of_key cfg key = (key * hash_mult) lsr 20 land (cfg.nbuckets - 1)
+
+let max_bucket_load cfg ~nkeys =
+  let load = Array.make cfg.nbuckets 0 in
+  for k = 0 to nkeys - 1 do
+    let b = bucket_of_key cfg k in
+    load.(b) <- load.(b) + 1
+  done;
+  Array.fold_left max 0 load
+
+let lock_base = 1000
+
+let table cfg ~(wl : Workload.spec) =
+  let nkeys = wl.Workload.nkeys in
+  let bshift =
+    (* log2 of the bucket's byte size; one slot is 16 bytes *)
+    let rec lg n = if n <= 1 then 0 else 1 + lg (n / 2) in
+    4 + lg cfg.slots
+  in
+  let bucket_bytes = cfg.slots * 16 in
+  if bucket_bytes land (bucket_bytes - 1) <> 0 then
+    invalid_arg "Sht.table: slots must be a power of two";
+  if cfg.nbuckets land (cfg.nbuckets - 1) <> 0 then
+    invalid_arg "Sht.table: nbuckets must be a power of two";
+  if wl.Workload.scan_len > cfg.nbuckets then
+    invalid_arg "Sht.table: scan_len exceeds nbuckets";
+  let hash key = (key *% i hash_mult) >>% i 20 &% i (cfg.nbuckets - 1) in
+  let slot bp j = v bp +% (v j <<% i 4) in
+  (* under the bucket lock: count foreign accesses, migrate ownership
+     to the requester once they hit the threshold *)
+  let handoff_stmts =
+    [ when_ (ldi (g "sht_dir") (v "b" *% i 2) <>% Pid)
+        [ let_i "hc" (ldi (g "sht_dir") ((v "b" *% i 2) +% i 1) +% i 1);
+          if_ (v "hc" >=% i cfg.handoff)
+            [ sti (g "sht_dir") (v "b" *% i 2) Pid;
+              sti (g "sht_dir") ((v "b" *% i 2) +% i 1) (i 0);
+              let_i "sp0" (g "sht_stats" +% (Pid <<% i 8));
+              set_fld_i (v "sp0") 8 (fld_i (v "sp0") 8 +% i 1)
+            ]
+            [ sti (g "sht_dir") ((v "b" *% i 2) +% i 1) (v "hc") ]
+        ]
+    ]
+  in
+  let p_get =
+    proc "sht_get" ~params:[ ("key", I) ] ~ret:I
+      ([ let_i "b" (hash (v "key"));
+         lock (i lock_base +% v "b")
+       ]
+       @ handoff_stmts
+       @ [ let_i "bp" (g "sht_ht" +% (v "b" <<% i bshift));
+           let_i "r" (i 0);
+           for_ "j" (i 0) (i cfg.slots)
+             [ when_ (fld_i (slot "bp" "j") 0 ==% (v "key" +% i 1))
+                 [ set "r" (fld_i (slot "bp" "j") 8 +% i 1) ]
+             ];
+           let_i "ver" (ldi (g "sht_vtab") (v "key"));
+           if_ (v "r" ==% i 0)
+             [ when_ (v "ver" <>% i 0) [ set "r" (i (-1)) ] ]
+             [ when_
+                 ((v "r" -% i 1) <>% ((v "ver" *% i nkeys) +% v "key"))
+                 [ set "r" (i (-1)) ]
+             ];
+           unlock (i lock_base +% v "b");
+           ret (v "r")
+         ])
+  in
+  let p_put =
+    proc "sht_put" ~params:[ ("key", I) ] ~ret:I
+      ([ let_i "b" (hash (v "key"));
+         lock (i lock_base +% v "b")
+       ]
+       @ handoff_stmts
+       @ [ let_i "bp" (g "sht_ht" +% (v "b" <<% i bshift));
+           let_i "s" (i (-1));
+           let_i "e" (i (-1));
+           for_ "j" (i 0) (i cfg.slots)
+             [ let_i "tg" (fld_i (slot "bp" "j") 0);
+               when_ (v "tg" ==% (v "key" +% i 1)) [ set "s" (v "j") ];
+               when_ ((v "tg" ==% i 0) &% (v "e" <% i 0))
+                 [ set "e" (v "j") ]
+             ];
+           let_i "r" (i 0);
+           if_ (v "s" >=% i 0)
+             [ let_i "ver" (ldi (g "sht_vtab") (v "key") +% i 1);
+               set_fld_i (slot "bp" "s") 8
+                 ((v "ver" *% i nkeys) +% v "key");
+               sti (g "sht_vtab") (v "key") (v "ver")
+             ]
+             [ if_ (v "e" >=% i 0)
+                 [ let_i "ver" (ldi (g "sht_vtab") (v "key") +% i 1);
+                   set_fld_i (slot "bp" "e") 0 (v "key" +% i 1);
+                   set_fld_i (slot "bp" "e") 8
+                     ((v "ver" *% i nkeys) +% v "key");
+                   sti (g "sht_vtab") (v "key") (v "ver")
+                 ]
+                 [ let_i "sp0" (g "sht_stats" +% (Pid <<% i 8));
+                   set_fld_i (v "sp0") 0 (fld_i (v "sp0") 0 +% i 1);
+                   set "r" (i 1)
+                 ]
+             ];
+           unlock (i lock_base +% v "b");
+           ret (v "r")
+         ])
+  in
+  let p_del =
+    proc "sht_del" ~params:[ ("key", I) ] ~ret:I
+      ([ let_i "b" (hash (v "key"));
+         lock (i lock_base +% v "b")
+       ]
+       @ handoff_stmts
+       @ [ let_i "bp" (g "sht_ht" +% (v "b" <<% i bshift));
+           for_ "j" (i 0) (i cfg.slots)
+             [ when_ (fld_i (slot "bp" "j") 0 ==% (v "key" +% i 1))
+                 [ set_fld_i (slot "bp" "j") 0 (i 0) ]
+             ];
+           sti (g "sht_vtab") (v "key") (i 0);
+           unlock (i lock_base +% v "b");
+           ret (i 0)
+         ])
+  in
+  let p_scan =
+    proc "sht_scan" ~params:[ ("key", I) ] ~ret:I
+      [ let_i "b0" (hash (v "key"));
+        when_ (v "b0" >% i (cfg.nbuckets - wl.Workload.scan_len))
+          [ set "b0" (i (cfg.nbuckets - wl.Workload.scan_len)) ];
+        (* multi-bucket transaction: ascending acquisition order *)
+        for_ "t" (i 0) (i wl.Workload.scan_len)
+          [ lock ((i lock_base +% v "b0") +% v "t") ];
+        let_i "viol" (i 0);
+        let_i "ssum" (i 0);
+        for_ "t" (i 0) (i wl.Workload.scan_len)
+          [ let_i "bp"
+              (g "sht_ht" +% ((v "b0" +% v "t") <<% i bshift));
+            for_ "j" (i 0) (i cfg.slots)
+              [ let_i "tg" (fld_i (slot "bp" "j") 0);
+                when_ (v "tg" <>% i 0)
+                  [ let_i "k2" (v "tg" -% i 1);
+                    let_i "vv" (fld_i (slot "bp" "j") 8);
+                    set "ssum" (v "ssum" +% v "vv");
+                    when_
+                      (v "vv"
+                       <>% ((ldi (g "sht_vtab") (v "k2") *% i nkeys)
+                            +% v "k2"))
+                      [ set "viol" (v "viol" +% i 1) ]
+                  ]
+              ]
+          ];
+        for_ "t" (i 0) (i wl.Workload.scan_len)
+          [ unlock ((i lock_base +% v "b0") +% v "t") ];
+        ret (v "viol" +% (v "ssum" *% i 0))
+      ]
+  in
+  let t_init =
+    [ gset "sht_ht" (Gmalloc_b (i (cfg.nbuckets * bucket_bytes), i bucket_bytes));
+      gset "sht_dir" (Gmalloc_b (i (cfg.nbuckets * 16), i 64));
+      gset "sht_vtab" (Gmalloc (i (nkeys * 8)));
+      gset "sht_stats" (Gmalloc_b (Nprocs *% i 256, i 256));
+      (* node-partitioned to start: bucket b served by node b mod P *)
+      for_ "b" (i 0) (i cfg.nbuckets)
+        [ sti (g "sht_dir") (v "b" *% i 2) (v "b" %% Nprocs);
+          sti (g "sht_dir") ((v "b" *% i 2) +% i 1) (i 0)
+        ]
+    ]
+  in
+  let t_finish =
+    [ let_i "tov" (i 0);
+      for_ "p" (i 0) Nprocs
+        [ set "tov"
+            (v "tov" +% fld_i (g "sht_stats" +% (v "p" <<% i 8)) 0)
+        ];
+      print_int (v "tov");
+      let_i "tmg" (i 0);
+      for_ "p" (i 0) Nprocs
+        [ set "tmg"
+            (v "tmg" +% fld_i (g "sht_stats" +% (v "p" <<% i 8)) 8)
+        ];
+      print_int (v "tmg");
+      (* final sweep: every key's last write must still be visible *)
+      let_i "verr" (i 0);
+      let_i "pop" (i 0);
+      let_i "cs" (i 0);
+      for_ "k" (i 0) (i nkeys)
+        [ let_i "r" (call "sht_get" [ v "k" ]);
+          when_ (v "r" <% i 0) [ set "verr" (v "verr" +% i 1) ];
+          when_ (v "r" >% i 0)
+            [ set "pop" (v "pop" +% i 1);
+              set "cs" ((v "cs" *% i 31) +% v "r")
+            ]
+        ];
+      print_int (v "verr");
+      print_int (v "pop");
+      print_int (v "cs");
+      for_ "p" (i 0) Nprocs
+        [ let_i "cnt" (i 0);
+          for_ "b" (i 0) (i cfg.nbuckets)
+            [ when_ (ldi (g "sht_dir") (v "b" *% i 2) ==% v "p")
+                [ set "cnt" (v "cnt" +% i 1) ]
+            ];
+          print_int (v "cnt")
+        ]
+    ]
+  in
+  { Workload.t_globals =
+      [ ("sht_ht", I); ("sht_dir", I); ("sht_vtab", I); ("sht_stats", I) ];
+    t_procs = [ p_get; p_put; p_del; p_scan ];
+    t_init;
+    t_get = (fun key -> call "sht_get" [ key ]);
+    t_put = (fun key -> call "sht_put" [ key ]);
+    t_del = (fun key -> call "sht_del" [ key ]);
+    t_scan = (fun key -> call "sht_scan" [ key ]);
+    t_finish
+  }
+
+let program ?cfg ~wl () =
+  let cfg =
+    match cfg with
+    | Some c -> c
+    | None -> default_cfg ~nkeys:wl.Workload.nkeys
+  in
+  Workload.program wl (table cfg ~wl)
+
+(* ------------------------------------------------------------------ *)
+(* Oracle: replay the plan against a shadow table (disjoint mode)      *)
+(* ------------------------------------------------------------------ *)
+
+type shadow = {
+  s_population : int;
+  s_checksum : int;
+  s_versions : int array;
+}
+
+(* Valid when [wl.disjoint] is set and no insert can overflow
+   (check [max_bucket_load cfg <= cfg.slots]): then each key's
+   operation sequence is node-local and the final table state is
+   independent of the cross-node interleaving. *)
+let shadow ~(wl : Workload.spec) ~nprocs =
+  if not wl.Workload.disjoint then
+    invalid_arg "Sht.shadow: spec must be disjoint";
+  if wl.Workload.nkeys mod nprocs <> 0 then
+    invalid_arg "Sht.shadow: nkeys must be a multiple of nprocs";
+  let nkeys = wl.Workload.nkeys in
+  let ver = Array.make nkeys 1 (* load phase inserts every key once *) in
+  let plans = Workload.plan wl ~nprocs in
+  Array.iter
+    (Array.iter (function
+      | Workload.Get _ | Workload.Scan _ -> ()
+      | Workload.Put k -> ver.(k) <- ver.(k) + 1
+      | Workload.Del k -> ver.(k) <- 0))
+    plans;
+  let pop = ref 0 and cs = ref 0 in
+  for k = 0 to nkeys - 1 do
+    if ver.(k) > 0 then begin
+      incr pop;
+      cs := (!cs * 31) + ((ver.(k) * nkeys) + k + 1)
+    end
+  done;
+  { s_population = !pop; s_checksum = !cs; s_versions = ver }

@@ -181,6 +181,7 @@ let flag_load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
 let basic_load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
   let ls = opts.line_shift in
   let nomiss = fresh () in
+  let rejoin = fresh () in
   with_scratch ~needed:2 ~free ~avoid:[ base ] @@ fun regs ->
   let rx, ry = match regs with [ a; b ] -> (a, b) | _ -> assert false in
   let setup, a = addr_setup ~base ~disp ~rx in
@@ -190,19 +191,24 @@ let basic_load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
   in
   let range_beq = if opts.range_check then [ Bc (Eq, ry, nomiss) ] else [] in
   let line_srl = [ Opi (Srl, rx, Imm ls, a) ] in
+  (* The miss path must branch AROUND the original load: the handler
+     delivers the value by refill, and a late invalidation may have
+     re-flagged the line by the time the thread resumes, so re-executing
+     the load would read the flag pattern as data. *)
   let lookup =
     [ Ldq_u (ry, 0, rx);
       Extbl (ry, ry, rx);
       Opi (Cmpule, ry, Imm Layout.st_shared, ry);
       Bc (Ne, ry, nomiss);
       Call_load_miss { base; disp; refill };
+      Br rejoin;
       Lab nomiss ]
   in
   let pre =
     if opts.schedule then setup @ range_srl @ line_srl @ range_beq @ lookup
     else setup @ range_srl @ range_beq @ line_srl @ lookup
   in
-  { pre; post = [] }
+  { pre; post = [ Lab rejoin ] }
 
 let load_check (opts : Opts.t) ~fresh ~free ~base ~disp ~refill =
   if opts.flag_loads then flag_load_check opts ~fresh ~free ~base ~disp ~refill

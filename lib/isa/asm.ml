@@ -39,6 +39,7 @@ let rt_name : Insn.rt -> string = function
   | Flag_wait r -> "flag_wait " ^ Reg.name r
   | Print_int r -> "print_int " ^ Reg.name r
   | Print_float f -> "print_float " ^ Reg.fname f
+  | Rdcycle r -> "rdcycle " ^ Reg.name r
   | Exit_thread -> "exit_thread"
 
 let to_string (i : Insn.t) =

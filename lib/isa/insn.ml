@@ -57,6 +57,10 @@ type rt =
   | Flag_wait of Reg.ireg
   | Print_int of Reg.ireg
   | Print_float of Reg.freg
+  | Rdcycle of Reg.ireg
+    (* dest <- the node's current cycle counter; stands for reading the
+       Alpha's processor cycle counter (rpcc), used by workload drivers
+       to timestamp operations in simulated time *)
   | Exit_thread
 
 type t =
@@ -143,7 +147,7 @@ let uses = function
      | Malloc { size; bsize; _ } -> [ size; bsize ]
      | Malloc_priv { size; _ } -> [ size ]
      | Lock r | Unlock r | Flag_set r | Flag_wait r | Print_int r -> [ r ]
-     | Barrier | Print_float _ | Exit_thread -> [])
+     | Barrier | Print_float _ | Rdcycle _ | Exit_thread -> [])
 
 (* Integer register written by an instruction, if any. *)
 let def = function
@@ -156,6 +160,7 @@ let def = function
   | Call_load_miss { refill = Rint (d, _); _ } -> Some d
   | Rt_call (Malloc { dest; _ }) -> Some dest
   | Rt_call (Malloc_priv { dest; _ }) -> Some dest
+  | Rt_call (Rdcycle dest) -> Some dest
   | _ -> None
 
 let fuses = function

@@ -238,7 +238,7 @@ let apply_action ~inj ~(reply : int array option ref) v' node sys
   | T.A_mem op -> (
     match op with
     | T.M_make_exclusive _ | T.M_make_shared _ | T.M_make_pending _ -> sys
-    | T.M_make_invalid b | T.M_flag b ->
+    | T.M_make_invalid b | T.M_flag { block = b; _ } ->
       if has_written v' ~node ~block:b then sys
       else shadow_set sys ~node ~block:b marker
     | T.M_merge { block; written } ->
@@ -262,6 +262,8 @@ let apply_action ~inj ~(reply : int array option ref) v' node sys
     | None -> sys)
   | T.A_reenter_store _ ->
     raise (Unexpected "A_reenter_store under non-stalling stores")
+  | T.A_commit_store ->
+    raise (Unexpected "A_commit_store under non-stalling stores")
 
 let run_step cfg ~inj ?reply (sys : sys) node input =
   let acts, v' = T.step cfg sys.v ~node input in
@@ -742,7 +744,7 @@ let fuzz ?(injection = No_injection) ?lossy ~seed ~runs (sc : scenario) =
   let violation = ref None in
   let total_steps = ref 0 in
   let run_one k =
-    let rng = Random.State.make [| seed; k |] in
+    let rng = Shasta_prng.Prng.of_list [ seed; k ] in
     let sys = ref (init_sys ?lossy sc) in
     let path = ref [] in
     let continue = ref true in
@@ -760,7 +762,9 @@ let fuzz ?(injection = No_injection) ?lossy ~seed ~runs (sc : scenario) =
            | errs -> violation := Some { verr = errs; vtrace = List.rev !path });
           continue := false
         | ms ->
-          let label, next = List.nth ms (Random.State.int rng (List.length ms)) in
+          let label, next =
+            List.nth ms (Shasta_prng.Prng.int rng (List.length ms))
+          in
           (try
              sys := next ();
              path := label :: !path;

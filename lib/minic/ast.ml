@@ -43,6 +43,7 @@ type expr =
   | Pmalloc of expr (* private per-node allocation *)
   | Pid
   | Nprocs
+  | Now (* the node's cycle counter (simulated time), cf. Alpha rpcc *)
 
 type stmt =
   | Decl of string * ty * expr

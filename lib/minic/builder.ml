@@ -48,6 +48,7 @@ let i2f a = Un (I2f, a)
 let f2i a = Un (F2i, a)
 
 let call name args = Call (name, args)
+let now = Now
 
 (* Element address of an 8-byte array slot: base + 8*index. *)
 let elt base index = Bin (Add, base, Bin (Shl, index, Int 3))

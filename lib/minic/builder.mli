@@ -54,6 +54,9 @@ val i2f : expr -> expr
 val f2i : expr -> expr
 val call : string -> expr list -> expr
 
+val now : expr
+(** The node's current cycle counter (simulated time). *)
+
 (** {1 Memory access} *)
 
 val elt : expr -> expr -> expr

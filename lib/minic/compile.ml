@@ -131,7 +131,7 @@ let sig_of env name =
 
 let type_of env (e : Ast.expr) : Ast.ty =
   match e with
-  | Int _ | Pid | Nprocs | Gmalloc _ | Gmalloc_b _ | Pmalloc _ -> I
+  | Int _ | Pid | Nprocs | Now | Gmalloc _ | Gmalloc_b _ | Pmalloc _ -> I
   | Flt _ -> F
   | Var x -> snd (slot_of env x)
   | Glob x -> snd (global_of env x)
@@ -215,6 +215,10 @@ let rec compile_i env (e : Ast.expr) : Reg.ireg =
     rd
   | Pid -> compile_i env (Glob "__pid")
   | Nprocs -> compile_i env (Glob "__nprocs")
+  | Now ->
+    let rd = alloc_i env in
+    emit env (Rt_call (Rdcycle rd));
+    rd
   | Load (I, base, off) ->
     let rb = compile_i env base in
     let rd = alloc_i env in

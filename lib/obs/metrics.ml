@@ -96,9 +96,12 @@ let observe t ?bounds ~node name v =
 let hist t name node = (hist_cells t name).(node)
 
 (* Percentile estimate from the bucket counts: find the bucket holding
-   the rank-[ceil(p/100 * n)] observation and report its upper bound
-   (the overflow bucket and any bound beyond the observed maximum are
-   clamped to [hmax], so p100 = max exactly). *)
+   the rank-[ceil(p/100 * n)] observation and interpolate linearly
+   within it by rank position.  The bucket's upper edge is clamped to
+   [hmax] (for the overflow bucket and for bounds beyond the observed
+   maximum), so p100 = max exactly; fractional percentiles such as
+   99.9 resolve to distinct values instead of all collapsing onto the
+   same bucket bound. *)
 let percentile (h : hist) p =
   if h.n = 0 then 0
   else begin
@@ -109,10 +112,18 @@ let percentile (h : hist) p =
     let rec go i seen =
       if i > nb then h.hmax
       else
-        let seen = seen + h.counts.(i) in
-        if seen >= rank then
-          if i >= nb then h.hmax else min h.bounds.(i) h.hmax
-        else go (i + 1) seen
+        let c = h.counts.(i) in
+        if seen + c >= rank then begin
+          let lo = if i = 0 then 0 else h.bounds.(i - 1) in
+          let hi = if i >= nb then h.hmax else min h.bounds.(i) h.hmax in
+          if hi <= lo then min hi h.hmax
+          else
+            (* rank-th observation is the (rank-seen)-th of the [c] in
+               this bucket; spread them evenly across (lo, hi]. *)
+            let frac = float_of_int (rank - seen) /. float_of_int c in
+            lo + int_of_float (ceil (frac *. float_of_int (hi - lo)))
+        end
+        else go (i + 1) (seen + c)
     in
     go 0 0
   end

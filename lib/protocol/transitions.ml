@@ -60,6 +60,9 @@ type resume =
   | R_none
   | R_refill (* re-run the stalled load (interpreter-side closure) *)
   | R_store_retry of { addr : int; bytes : int; store_done : bool }
+  | R_store_commit of { then_release : bool }
+    (* stalled non-scheduled store: commit its memory effect first, so
+       the value is visible before any queued request is served *)
   | R_then_release (* SC store/batch: now wait for the release point *)
   | R_done
   | R_lock_acquired of int
@@ -164,7 +167,11 @@ type memop =
   | M_make_shared of int
   | M_make_invalid of int
   | M_make_pending of { block : int; shared : bool }
-  | M_flag of int (* flag-fill every longword of the block *)
+  | M_flag of { block : int; keep : int list }
+    (* flag-fill the block's longwords, except [keep] — longwords the
+       node stored while the request was pending must survive the
+       stamping (Section 4.1), or its own loads of them (which the
+       inline checks let through) would read the flag as data *)
   | M_merge of { block : int; written : (int * int) list }
     (* merge the triggering Data_reply's longwords into memory,
        overlaying the node's own pending stores *)
@@ -192,6 +199,9 @@ type action =
   | A_block of wait (* node blocks; record wait start *)
   | A_stall of wait (* wait satisfied; emit the stall, resume running *)
   | A_refill (* run the interpreter's stalled-load continuation *)
+  | A_commit_store
+    (* run the stalled store's memory write (non-scheduled checks: the
+       store instruction itself only executes after the thread resumes) *)
   | A_reenter_store of
       { addr : int; bytes : int; store_done : bool; post : post list }
     (* must be the LAST action of a step: the interpreter re-enters
@@ -341,6 +351,10 @@ and dispatch c r post =
   | R_store_retry { addr; bytes; store_done } ->
     act c (A_reenter_store { addr; bytes; store_done; post });
     c.stopped <- true
+  | R_store_commit { then_release } ->
+    act c A_commit_store;
+    if then_release then block_on c W_release R_done;
+    run_post c post
   | R_then_release ->
     block_on c W_release R_done;
     run_post c post
@@ -394,8 +408,12 @@ and run_post c = function
     flush_waiters c block;
     run_post c rest
   | P_invalidate_flush block :: rest ->
-    mem_op c (M_make_invalid block);
+    (* serve queued forwarded reads BEFORE stamping the copy: their
+       reads serialize before the invalidating write, and the reply
+       data is read out of this node's memory at send time — flagging
+       first would ship the flag pattern as data *)
     flush_waiters c block;
+    mem_op c (M_make_invalid block);
     run_post c rest
   | P_check_wake :: rest -> check_wake c ~post:rest
 
@@ -598,7 +616,8 @@ and owner_fwd_readex c ~requester ~block ~acks =
         upd c (fun n ->
           { n with
             pending = Imap.add block { p with invalidated = true } n.pending });
-        mem_op c (M_flag block)
+        mem_op c
+          (M_flag { block; keep = List.map fst (Imap.bindings p.written) })
       | None -> mem_op c (M_make_invalid block)
   end
 
@@ -622,7 +641,8 @@ and apply_inv c ~block ~requester =
       upd c (fun n ->
         { n with
           pending = Imap.add block { p with invalidated = true } n.pending });
-      mem_op c (M_flag block)
+      mem_op c
+        (M_flag { block; keep = List.map fst (Imap.bindings p.written) })
     | None -> mem_op c (M_make_invalid block)
 
 and complete_data_reply c ~block ~exclusive ~acks ~tail =
@@ -884,8 +904,11 @@ let store_miss c ~addr ~block ~st ~bytes ~store_done ~stored =
     if c.cfg.sc then
       (* sequential consistency: the store completes — ownership AND all
          invalidation acknowledgements — before execution continues *)
-      block_on c (W_blocks [ block ]) R_then_release
-    else if not store_done then block_on c (W_blocks [ block ]) R_done
+      block_on c (W_blocks [ block ])
+        (if store_done then R_then_release
+         else R_store_commit { then_release = true })
+    else if not store_done then
+      block_on c (W_blocks [ block ]) (R_store_commit { then_release = false })
 
 (* Batch miss (Section 4.3): [blocks] carries (block, need_excl, state)
    in the engine's historical per-block iteration order, states as the
@@ -971,14 +994,16 @@ let apply_deferred c ~order ~values =
                  Imap.add block
                    { p with written = w; invalidated = true }
                    n.pending });
-           mem_op c (M_flag block)
+           mem_op c (M_flag { block; keep = List.map fst (Imap.bindings w) })
          | None ->
            if not (Imap.is_empty written) then begin
              (* the batch stored into a block invalidated under it: keep
                 the stored longwords, reissue the store miss *)
              act c (A_count C_store_reissue);
              act c (A_emit (E_store_reissue block));
-             mem_op c (M_flag block);
+             mem_op c
+               (M_flag
+                  { block; keep = List.map fst (Imap.bindings written) });
              start_pending c block P_readex;
              add_written c block (Imap.bindings written);
              issue_request c block (Message.Coh Readex_req) ~count:(fun () ->
@@ -1342,6 +1367,7 @@ let canon (v : view) : string =
        | R_refill -> pf "Rf;"
        | R_store_retry { addr; bytes; store_done } ->
          pf "Rs%x,%d,%b;" addr bytes store_done
+       | R_store_commit { then_release } -> pf "Rc%b;" then_release
        | R_then_release -> pf "Rr;"
        | R_done -> pf "Rd;"
        | R_lock_acquired id -> pf "Rl%d;" id
@@ -1413,12 +1439,14 @@ let string_of_action = function
     Printf.sprintf "mem(pending-%s 0x%x)"
       (if shared then "shared" else "invalid")
       block
-  | A_mem (M_flag b) -> Printf.sprintf "mem(flag 0x%x)" b
+  | A_mem (M_flag { block; keep }) ->
+    Printf.sprintf "mem(flag 0x%x,%d kept)" block (List.length keep)
   | A_mem (M_merge { block; written }) ->
     Printf.sprintf "mem(merge 0x%x,%d written)" block (List.length written)
   | A_block w -> "block " ^ string_of_wait w
   | A_stall w -> "wake " ^ string_of_wait w
   | A_refill -> "refill"
+  | A_commit_store -> "commit_store"
   | A_reenter_store { addr; bytes; store_done; post } ->
     Printf.sprintf "reenter_store(0x%x,%dB,done=%b,%d post)" addr bytes
       store_done (List.length post)

@@ -28,6 +28,7 @@ type resume =
   | R_none
   | R_refill
   | R_store_retry of { addr : int; bytes : int; store_done : bool }
+  | R_store_commit of { then_release : bool }
   | R_then_release
   | R_done
   | R_lock_acquired of int
@@ -105,7 +106,7 @@ type memop =
   | M_make_shared of int
   | M_make_invalid of int
   | M_make_pending of { block : int; shared : bool }
-  | M_flag of int
+  | M_flag of { block : int; keep : int list }
   | M_merge of { block : int; written : (int * int) list }
 
 type post =
@@ -124,6 +125,7 @@ type action =
   | A_block of wait
   | A_stall of wait
   | A_refill
+  | A_commit_store
   | A_reenter_store of
       { addr : int; bytes : int; store_done : bool; post : post list }
 

@@ -182,8 +182,17 @@ and apply state (node : Node.t) (a : T.action) =
            cycles = stalled });
     node.status <- Running
   | T.A_refill -> node.refill ()
+  | T.A_commit_store ->
+    node.commit_store ();
+    node.commit_store <- (fun () -> ())
   | T.A_reenter_store { addr; bytes; store_done; post } ->
     store_miss state node ~addr ~bytes ~store_done;
+    (* a stalled non-scheduled store that can now proceed must become
+       visible before the carried post work serves any queued request *)
+    if (not store_done) && node.status = Node.Running then begin
+      node.commit_store ();
+      node.commit_store <- (fun () -> ())
+    end;
     if post <> [] then step state node (T.I_continue post)
 
 and apply_mem state (node : Node.t) (op : T.memop) =
@@ -197,7 +206,10 @@ and apply_mem state (node : Node.t) (op : T.memop) =
   | T.M_make_pending { block; shared } ->
     Tables.make_pending node ~ls:(ls state) ~addr:block
       ~len:(block_len state block) ~shared
-  | T.M_flag b -> Tables.flag_range node ~addr:b ~len:(block_len state b)
+  | T.M_flag { block; keep } ->
+    Tables.flag_range node
+      ~skip:(fun a -> List.mem a keep)
+      ~addr:block ~len:(block_len state block)
   | T.M_merge { block; written } ->
     (* merge the triggering reply's longwords, overlaying the node's own
        pending stores.  The reply data is consumed at most once per

@@ -239,6 +239,35 @@ let run state (node : Node.t) ~fuel =
            | Call_store_miss { base; disp; ssize; store_done } ->
              let addr = node.regs.(base) + disp in
              let bytes = match ssize with Insn.Long -> 4 | Insn.Quad -> 8 in
+             (* A non-scheduled store executes only after the handler
+                returns; capture its effect so the engine can make it
+                visible at wake time, before serving queued requests (on
+                a real processor the handler's return and the store are
+                back-to-back instructions nothing can interleave). *)
+             (if not store_done then
+                let rec find i =
+                  if i >= Array.length fp.code then fun () -> ()
+                  else
+                    match fp.code.(i) with
+                    | Lab _ -> find (i + 1)
+                    | Stl (r, d, b) ->
+                      fun () ->
+                        Memory.write_long_u node.mem
+                          (node.regs.(b) + d)
+                          (node.regs.(r) land 0xFFFFFFFF)
+                    | Stq (r, d, b) ->
+                      fun () ->
+                        Memory.write_quad node.mem
+                          (node.regs.(b) + d)
+                          node.regs.(r)
+                    | Stt (f, d, b) ->
+                      fun () ->
+                        Memory.write_float node.mem
+                          (node.regs.(b) + d)
+                          node.fregs.(f)
+                    | _ -> fun () -> ()
+                in
+                node.commit_store <- find node.pc_idx);
              Engine.store_miss state node ~addr ~bytes ~store_done;
              yield Y_running
            | Call_batch_miss { ranges } ->
@@ -284,6 +313,7 @@ let run state (node : Node.t) ~fuel =
               | Print_float f ->
                 Buffer.add_string state.State.output
                   (Printf.sprintf "%.6g\n" node.fregs.(f))
+              | Rdcycle d -> set_ireg node d (Node.time node)
               | Exit_thread -> finish state node);
              yield Y_running
          end;

@@ -52,6 +52,9 @@ type t = {
   mutable status : status;
   mutable refill : unit -> unit;
       (* the stalled load's continuation, run by the A_refill action *)
+  mutable commit_store : unit -> unit;
+      (* a stalled non-scheduled store's memory effect, made visible by
+         the engine at wake time before any queued request is served *)
   mutable wait_started : int; (* cycle when the current wait began *)
   mutable reply_data : int array option;
       (* longwords of the Data_reply currently being applied (consumed

@@ -1,0 +1,30 @@
+(** Key-popularity distributions for the YCSB-style workload driver.
+
+    The Zipfian sampler is the exact inverse-CDF construction (not the
+    YCSB rejection approximation): rank 0 is the most popular key and
+    rank frequency falls off as 1/(k+1)^theta.  [quantile_table]
+    compresses the CDF into a fixed number of equal-probability quanta
+    so the MiniC drive program can sample the same distribution with
+    one table lookup and two integer draws. *)
+
+type zipf
+
+val zipf : n:int -> theta:float -> zipf
+(** Zipfian distribution over ranks [0, n).  [theta] in [0, 1);
+    [theta = 0] degenerates to uniform. *)
+
+val draw : zipf -> float -> int
+(** [draw z u] maps a uniform deviate [u] in [0, 1) to a rank by
+    inverse-CDF binary search. *)
+
+val pmf : zipf -> int -> float
+(** Probability mass of one rank. *)
+
+val quantile_table : n:int -> theta:float -> quanta:int -> int array
+(** Inverse-CDF boundary table of length [quanta + 1]: entry [q] is
+    the smallest rank whose cumulative mass reaches [q/quanta]
+    (entry 0 is 0, entry [quanta] is [n]).  Quantum [q] then covers
+    ranks [[t.(q), t.(q+1))]; a hot rank spans many quanta (empty
+    ranges), and drawing uniformly inside a multi-rank range gives a
+    piecewise-uniform approximation of the tail that still reaches
+    every key. *)

@@ -1,0 +1,109 @@
+(** YCSB-style drive programs for key-value tables on the DSM.
+
+    [program] assembles a complete two-phase MiniC benchmark around a
+    key-value {!table} implementation: a {b load} phase in which the
+    nodes partition the key space and insert every key once, then a
+    timed {b run} phase in which each node issues its share of a
+    configurable read/update/delete/scan mix against keys drawn
+    uniformly or Zipfian (via {!Keygen.quantile_table}), timestamping
+    every operation with the cycle-counter intrinsic into a per-node
+    latency histogram.  Node 0 finally prints a self-describing block
+    of integers that {!Report.parse} turns back into a report.
+
+    Everything is deterministic: the per-node operation streams come
+    from a seeded multiplicative congruential generator written in
+    MiniC and mirrored bit-for-bit by {!plan}, so a test can predict
+    exactly which operations a run will issue without running it. *)
+
+open Shasta_minic
+
+(** Operation mixes, per the YCSB core workloads: A = 50/50
+    read/update, B = 95/5 read/update, C = read-only, E = 95/5
+    scan/insert, M = 40/40/10/10 read/update/delete/scan (exercises
+    every operation). *)
+type mix = A | B | C | E | M
+
+type dist = Uniform | Zipfian of float  (** theta, typically 0.99 *)
+
+type spec = {
+  nkeys : int;
+  ops : int;  (** total operation target; each node runs [ops/nprocs] *)
+  mix : mix;
+  dist : dist;
+  seed : int;
+  scan_len : int;  (** consecutive buckets touched by one scan *)
+  quanta : int;  (** Zipfian inverse-CDF table resolution *)
+  disjoint : bool;
+      (** remap every key to [key ≡ pid (mod nprocs)] so per-key
+          operation sequences are node-local — used by the oracle
+          tests; requires [nkeys mod nprocs = 0] *)
+}
+
+val spec :
+  ?ops:int ->
+  ?mix:mix ->
+  ?dist:dist ->
+  ?seed:int ->
+  ?scan_len:int ->
+  ?quanta:int ->
+  ?disjoint:bool ->
+  nkeys:int ->
+  unit ->
+  spec
+(** Defaults: 100_000 ops, mix B, Zipfian 0.99, seed 42, scan_len 4,
+    1024 quanta, disjoint off. *)
+
+val mix_of_string : string -> mix
+(** Accepts "a".."e" and "m" (case-insensitive); raises
+    [Invalid_argument] otherwise. *)
+
+val mix_name : mix -> string
+val dist_name : dist -> string
+
+val shares : mix -> int * int * int * int
+(** Per-10000 (read, update, delete, scan) shares of a mix. *)
+
+(** What a key-value table must provide to be driven.  The value
+    contract: [t_get key] evaluates to [value+1] when the key is
+    present, [0] when absent, and a negative number when the table
+    detected an internal consistency violation; [t_put key] evaluates
+    to 0 on success and 1 when the insert was dropped (table full);
+    [t_scan key] evaluates to the number of violations seen.
+    [t_finish] runs on node 0 after the run phase and must print the
+    table tail expected by {!Report.parse}: total dropped inserts,
+    total shard migrations, sweep violations, population, checksum,
+    then one shard-ownership count per node. *)
+type table = {
+  t_globals : (string * Ast.ty) list;
+  t_procs : Ast.proc list;
+  t_init : Ast.stmt list;  (** appended to [appinit] *)
+  t_get : Ast.expr -> Ast.expr;
+  t_put : Ast.expr -> Ast.expr;
+  t_del : Ast.expr -> Ast.expr;
+  t_scan : Ast.expr -> Ast.expr;
+  t_finish : Ast.stmt list;
+}
+
+val magic : int
+(** First integer of the printed report block. *)
+
+val nb_lat : int
+(** Number of per-operation latency buckets (16). *)
+
+val lat_bounds : int array
+(** Upper bounds of the first [nb_lat - 1] latency buckets, in cycles
+    (powers of two minus one from 127 up; the last bucket is
+    overflow), matching the driver's shift-count bucketing. *)
+
+val program : spec -> table -> Ast.prog
+
+(** One planned operation, carrying its (post-remap) key. *)
+type op = Get of int | Put of int | Del of int | Scan of int
+
+val plan : spec -> nprocs:int -> op array array
+(** Bit-exact mirror of the run-phase driver: [plan s ~nprocs].(p) is
+    the operation sequence node [p] will issue.  Does not include the
+    load phase. *)
+
+val plan_counts : op array array -> int * int * int * int
+(** Total (gets, puts, dels, scans) of a plan. *)

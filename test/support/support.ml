@@ -79,5 +79,10 @@ let digest_chunks lines =
 let golden_runs =
   [ ("lu", 4, fun () -> Shasta_apps.Lu.program ~n:16 ~bs:4 ());
     ("fft", 4, fun () -> Shasta_apps.Fft.program ~n:64 ());
-    ("radix", 4, fun () -> Shasta_apps.Radix.program ~nkeys:1024 ~max_bits:16 ())
+    ("radix", 4, fun () -> Shasta_apps.Radix.program ~nkeys:1024 ~max_bits:16 ());
+    ( "sht",
+      4,
+      fun () ->
+        Shasta_apps.Sht.program ~cfg:Shasta_apps.Apps.sht_test_cfg
+          ~wl:Shasta_apps.Apps.sht_test_wl () )
   ]
