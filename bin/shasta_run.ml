@@ -24,7 +24,8 @@ module Mcheck = Shasta_mcheck.Mcheck
    retransmitted/duplicated frames hit the protocol twice.  Success
    under an injection inverts: the checker must FIND the violation and
    print its counterexample trace. *)
-let model_check nprocs inject fuzz_seed fuzz_runs lossy fuzz_only =
+let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
+    fuzz_only =
   let injection =
     match inject with
     | None -> Mcheck.No_injection
@@ -36,24 +37,39 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy fuzz_only =
    | Mcheck.Retransmit_no_dedup, None ->
      failwith "--inject no-dedup needs --lossy N (it is a sublayer bug)"
    | _ -> ());
+  if crash > 0 && lossy <> None then
+    failwith "--crash needs the reliable wire (drop --lossy)";
+  if recover > 0 && crash = 0 then
+    failwith "--recover needs --crash N (nothing to restart otherwise)";
   (* exhaustive enumeration only stays tractable on tiny configs *)
   let np = max 2 (min nprocs 3) in
   if np <> nprocs then
     Printf.printf "(clamped to %d processors for exhaustive search)\n" np;
-  Printf.printf "== model check: %d processors, %s%s\n" np
+  Printf.printf "== model check: %d processors, %s%s%s\n" np
     (match injection with
      | Mcheck.No_injection -> "no fault injection"
      | Mcheck.Drop_first_inv_ack -> "dropping first invalidation ack"
      | Mcheck.Retransmit_no_dedup -> "retransmit without receiver dedup")
     (match lossy with
      | Some b -> Printf.sprintf ", lossy channels (budget %d)" b
-     | None -> "");
+     | None -> "")
+    (if crash > 0 then
+       Printf.sprintf ", crash adversary (%d halt%s)" crash
+         (if recover > 0 then Printf.sprintf ", %d restart" recover else "")
+     else "");
+  let scenario_set ~nprocs =
+    if crash > 0 then Mcheck.crash_scenarios ~nprocs
+    else Mcheck.scenarios ~nprocs
+  in
+  let crash = if crash > 0 then Some crash else None in
+  let recover = match recover with 0 -> None | r -> Some r in
   let results =
     if fuzz_only then []
     else
       List.map
-        (fun sc -> Mcheck.run_scenario ~injection ?lossy stdout sc)
-        (Mcheck.scenarios ~nprocs:np)
+        (fun sc ->
+          Mcheck.run_scenario ~injection ?lossy ?crash ?recover stdout sc)
+        (scenario_set ~nprocs:np)
   in
   let states = List.fold_left (fun a (r : Mcheck.result) -> a + r.states) 0 results in
   let transitions =
@@ -70,7 +86,8 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy fuzz_only =
     List.iter
       (fun sc ->
         let steps, v =
-          Mcheck.fuzz ~injection ?lossy ~seed:fuzz_seed ~runs:fuzz_runs sc
+          Mcheck.fuzz ~injection ?lossy ?crash ?recover ~seed:fuzz_seed
+            ~runs:fuzz_runs sc
         in
         Printf.printf "fuzz %-17s %d runs, %d steps%s\n" sc.Mcheck.sname
           fuzz_runs steps
@@ -80,7 +97,7 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy fuzz_only =
           incr fuzz_violations;
           Mcheck.pp_violation stdout v
         | None -> ())
-      (Mcheck.scenarios ~nprocs:np)
+      (scenario_set ~nprocs:np)
   end;
   let found = List.length violations + !fuzz_violations > 0 in
   match injection with
@@ -158,15 +175,33 @@ let kv_workload size kvo =
   in
   (wl, Shasta_apps.Sht.default_cfg ~nkeys)
 
-let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
-    no_flag no_excl no_batch poll no_range fixed_block threshold sc trace
-    trace_out metrics metrics_csv profile profile_out flame_out top show_asm
-    replay kvo =
+let run app size nprocs net net_faults node_faults cpu line_bytes
+    no_instrument no_sched no_flag no_excl no_batch poll no_range fixed_block
+    threshold sc trace trace_out metrics metrics_csv profile profile_out
+    flame_out top show_asm replay kvo =
   let entry = Shasta_apps.Apps.find app in
   let faults =
     match net_faults with
     | None -> None
     | Some s -> Shasta_network.Network.faults_of_string s
+  in
+  let nfaults =
+    match node_faults with
+    | None -> None
+    | Some s -> Nodefaults.of_string s
+  in
+  (* the spec's max-retx knob rides on the network's fault layer: give
+     it a fault-free wire to carry the bound when none was asked for
+     (Some no_faults is trace-identical to None) *)
+  let faults =
+    match (nfaults, faults) with
+    | Some nf, _ when nf.Nodefaults.max_retx = 0 -> faults
+    | Some nf, Some f -> Some { f with max_retx = nf.Nodefaults.max_retx }
+    | Some nf, None ->
+      Some
+        { Shasta_network.Network.no_faults with
+          max_retx = nf.Nodefaults.max_retx }
+    | None, _ -> faults
   in
   let size =
     match size with
@@ -256,6 +291,7 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
          | s -> failwith ("unknown cpu " ^ s));
       net = Shasta_network.Network.profile_of_string net;
       net_faults = faults;
+      node_faults = nfaults;
       fixed_block;
       granularity_threshold = threshold;
       consistency = (if sc then State.Sequential else State.Release);
@@ -267,12 +303,17 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
   Obs.flush obs;
   Option.iter close_out chrome_oc;
   if show_asm then print_string (Shasta_isa.Asm.program_to_string r.program);
-  Printf.printf "== %s (%s), %d processor(s), %s network%s\n" app entry.descr
-    nprocs net
+  Printf.printf "== %s (%s), %d processor(s), %s network%s%s\n" app
+    entry.descr nprocs net
     (match faults with
      | Some f ->
        " (faulty: " ^ Shasta_network.Network.describe_faults f ^ ")"
-     | None -> "");
+     | None -> "")
+    (match nfaults with
+     | Some nf when not (Nodefaults.is_off nf) ->
+       ", node faults: "
+       ^ Nodefaults.describe (Nodefaults.resolve nf ~nprocs)
+     | _ -> "");
   (match kv_wl with
    | Some _ -> () (* the raw output block is the report's wire format *)
    | None -> Printf.printf "output:\n%s" r.phase.output);
@@ -287,6 +328,16 @@ let run app size nprocs net net_faults cpu line_bytes no_instrument no_sched
         %d reordered, %d backoff cycles\n"
        fs.Shasta_network.Network.drops fs.dups fs.reorders fs.backoff_cycles
    | None -> ());
+  (match nfaults with
+   | Some nf when not (Nodefaults.is_off nf) ->
+     let m = Obs.metrics obs in
+     let total c = Obs.Metrics.counter_total m c in
+     Printf.printf
+       "node faults : %d crashed, %d recovered, %d lock leases taken over, \
+        %d directory entries rebuilt\n"
+       (total Obs.c_node_crash) (total Obs.c_node_recover)
+       (total Obs.c_lease_takeover) (total Obs.c_dir_rebuild)
+   | _ -> ());
   (match r.inst_stats with
    | Some s ->
      Printf.printf
@@ -432,6 +483,21 @@ let cmd =
                    rto (e.g. 'drop=0.05,seed=3').  Deterministic per \
                    seed.")
   in
+  let node_faults_t =
+    Arg.(value & opt (some string) None
+         & info [ "node-faults" ] ~docv:"SPEC"
+             ~doc:"Crash (and optionally restart) whole nodes mid-run.  \
+                   SPEC is 'none' or comma-separated key=value pairs \
+                   among crash=NODE@CYCLE (NODE may be '*' for a seeded \
+                   victim), recover=NODE@CYCLE, lease=CYCLES (liveness \
+                   lease horizon driving detection), max-retx=N (bound \
+                   per-channel retransmissions) and seed=S.  The \
+                   surviving coordinator reconstructs the directory, \
+                   takes over the victim's locks and re-serves its \
+                   in-flight replies from salvaged memory; the run's \
+                   report then skips the dead node's shards.  \
+                   Deterministic per seed.")
+  in
   let cpu_t =
     Arg.(value & opt string "21064a"
          & info [ "cpu" ] ~doc:"Pipeline model: 21064a or 21164.")
@@ -544,6 +610,25 @@ let cmd =
                    under the reliable-delivery sublayer, giving the \
                    adversary BUDGET drop/dup/reorder moves per channel.")
   in
+  let crash_t =
+    Arg.(value & opt int 0
+         & info [ "crash" ] ~docv:"N"
+             ~doc:"With --check: give the node-crash adversary N halt \
+                   moves — at any state it may kill any node (while two \
+                   or more are live), with the surviving coordinator \
+                   reconstructing directory, lock and in-flight state.  \
+                   Data oracles are skipped once a crash fires; \
+                   invariants, survivor liveness and quiescence are \
+                   still required.  Needs the reliable wire.")
+  in
+  let recover_t =
+    Arg.(value & opt int 0
+         & info [ "recover" ] ~docv:"N"
+             ~doc:"With --check --crash: also give the adversary N \
+                   restart moves that bring crashed nodes back into \
+                   protocol duty; terminal states must be quiescent \
+                   post-recovery.")
+  in
   let fuzz_only_t =
     Arg.(value & flag
          & info [ "fuzz-only" ]
@@ -628,24 +713,27 @@ let cmd =
                    replay the log through the pure transition core and \
                    verify it reproduces the exact final protocol state.")
   in
-  let main list check inject lossy fuzz_only fuzz_seed fuzz_runs app size
-      procs net net_faults cpu line no_instrument no_sched no_flag no_excl
-      no_batch poll no_range fixed_block threshold sc trace trace_out metrics
-      metrics_csv profile profile_out flame_out top show_asm replay kvo =
+  let main list check inject lossy crash recover fuzz_only fuzz_seed
+      fuzz_runs app size procs net net_faults node_faults cpu line
+      no_instrument no_sched no_flag no_excl no_batch poll no_range
+      fixed_block threshold sc trace trace_out metrics metrics_csv profile
+      profile_out flame_out top show_asm replay kvo =
     if list then list_apps ()
     else if check then
-      model_check procs inject fuzz_seed fuzz_runs lossy fuzz_only
+      model_check procs inject fuzz_seed fuzz_runs lossy crash recover
+        fuzz_only
     else
-      run app size procs net net_faults cpu line no_instrument no_sched
-        no_flag no_excl no_batch poll no_range fixed_block threshold sc trace
-        trace_out metrics metrics_csv profile profile_out flame_out top
-        show_asm replay kvo
+      run app size procs net net_faults node_faults cpu line no_instrument
+        no_sched no_flag no_excl no_batch poll no_range fixed_block threshold
+        sc trace trace_out metrics metrics_csv profile profile_out flame_out
+        top show_asm replay kvo
   in
   let term =
     Term.(
-      const main $ list_t $ check_t $ inject_t $ lossy_t $ fuzz_only_t
-      $ fuzz_seed_t $ fuzz_runs_t
-      $ app_t $ size_t $ procs_t $ net_t $ net_faults_t $ cpu_t
+      const main $ list_t $ check_t $ inject_t $ lossy_t $ crash_t
+      $ recover_t $ fuzz_only_t $ fuzz_seed_t $ fuzz_runs_t
+      $ app_t $ size_t $ procs_t $ net_t $ net_faults_t $ node_faults_t
+      $ cpu_t
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t

@@ -217,21 +217,33 @@ let table cfg ~(wl : Workload.spec) =
             (v "tmg" +% fld_i (g "sht_stats" +% (v "p" <<% i 8)) 8)
         ];
       print_int (v "tmg");
-      (* final sweep: every key's last write must still be visible *)
+      (* final sweep: every key's last write must still be visible.
+         Keys loaded by a node whose program died mid-plan (bit set in
+         the runtime-maintained [__crashed] mask) are counted as lost
+         instead of verified: their bytes survive in the DSM (crash
+         recovery salvages block data), but they reflect whatever
+         prefix of the victim's plan ran, which no oracle can predict
+         without the crash cycle. *)
+      let_i "dead" (g "__crashed");
       let_i "verr" (i 0);
       let_i "pop" (i 0);
       let_i "cs" (i 0);
+      let_i "lost" (i 0);
       for_ "k" (i 0) (i nkeys)
-        [ let_i "r" (call "sht_get" [ v "k" ]);
-          when_ (v "r" <% i 0) [ set "verr" (v "verr" +% i 1) ];
-          when_ (v "r" >% i 0)
-            [ set "pop" (v "pop" +% i 1);
-              set "cs" ((v "cs" *% i 31) +% v "r")
+        [ if_ ((v "dead" >>% (v "k" %% Nprocs)) &% i 1)
+            [ set "lost" (v "lost" +% i 1) ]
+            [ let_i "r" (call "sht_get" [ v "k" ]);
+              when_ (v "r" <% i 0) [ set "verr" (v "verr" +% i 1) ];
+              when_ (v "r" >% i 0)
+                [ set "pop" (v "pop" +% i 1);
+                  set "cs" ((v "cs" *% i 31) +% v "r")
+                ]
             ]
         ];
       print_int (v "verr");
       print_int (v "pop");
       print_int (v "cs");
+      print_int (v "lost");
       for_ "p" (i 0) Nprocs
         [ let_i "cnt" (i 0);
           for_ "b" (i 0) (i cfg.nbuckets)
@@ -243,7 +255,10 @@ let table cfg ~(wl : Workload.spec) =
     ]
   in
   { Workload.t_globals =
-      [ ("sht_ht", I); ("sht_dir", I); ("sht_vtab", I); ("sht_stats", I) ];
+      (* [__crashed] last, so the other globals keep their addresses
+         relative to a build without it *)
+      [ ("sht_ht", I); ("sht_dir", I); ("sht_vtab", I); ("sht_stats", I);
+        ("__crashed", I) ];
     t_procs = [ p_get; p_put; p_del; p_scan ];
     t_init;
     t_get = (fun key -> call "sht_get" [ key ]);
@@ -268,14 +283,23 @@ let program ?cfg ~wl () =
 type shadow = {
   s_population : int;
   s_checksum : int;
+  s_lost : int;
   s_versions : int array;
 }
 
 (* Valid when [wl.disjoint] is set and no insert can overflow
    (check [max_bucket_load cfg <= cfg.slots]): then each key's
    operation sequence is node-local and the final table state is
-   independent of the cross-node interleaving. *)
-let shadow ~(wl : Workload.spec) ~nprocs =
+   independent of the cross-node interleaving.
+
+   [dead] are nodes whose programs crashed mid-plan: their keys are
+   excluded from the predicted population/checksum exactly as the
+   crash-aware final sweep excludes them (the victim executed only an
+   unknowable prefix of its plan, so its keys verify as "lost", not as
+   any particular version).  In disjoint mode a node's operations touch
+   only its own key partition, so every other key's outcome is
+   unaffected by the crash. *)
+let shadow ?(dead = []) ~(wl : Workload.spec) ~nprocs () =
   if not wl.Workload.disjoint then
     invalid_arg "Sht.shadow: spec must be disjoint";
   if wl.Workload.nkeys mod nprocs <> 0 then
@@ -289,11 +313,13 @@ let shadow ~(wl : Workload.spec) ~nprocs =
       | Workload.Put k -> ver.(k) <- ver.(k) + 1
       | Workload.Del k -> ver.(k) <- 0))
     plans;
-  let pop = ref 0 and cs = ref 0 in
+  let pop = ref 0 and cs = ref 0 and lost = ref 0 in
   for k = 0 to nkeys - 1 do
-    if ver.(k) > 0 then begin
+    if List.mem (k mod nprocs) dead then incr lost
+    else if ver.(k) > 0 then begin
       incr pop;
       cs := (!cs * 31) + ((ver.(k) * nkeys) + k + 1)
     end
   done;
-  { s_population = !pop; s_checksum = !cs; s_versions = ver }
+  { s_population = !pop; s_checksum = !cs; s_lost = !lost;
+    s_versions = ver }

@@ -36,7 +36,24 @@
    quiescence" liveness obligation.  [Retransmit_no_dedup] removes the
    receiver's dedup so stale retransmitted/duplicated frames reach the
    protocol twice: the checker must catch the resulting double-counted
-   acknowledgements or stale data. *)
+   acknowledgements or stale data.
+
+   With [~crash:budget] a node-crash adversary joins the move set: at
+   any state it may halt any node (while at least two are live and the
+   budget lasts), purging every frame queued to or from the victim and
+   feeding the purged list to the lowest surviving node's
+   [I_node_crash] step — exactly what the runtime's crash detector
+   does.  [~recover:budget] adds restart moves for crashed nodes.  The
+   obligations become fault-tolerance theorems: every invariant holds
+   through crash and recovery, no survivor is ever stuck at a terminal
+   state (locks held by the dead are taken over, barriers excuse the
+   halted, purged replies are re-served from salvaged memory), and
+   terminal states are quiescent even after recovery.  Data oracles
+   are skipped once a crash fires — a victim dies at an arbitrary
+   script position, so final values are unknowable; structural and
+   liveness obligations still apply in full.  Crash moves require the
+   reliable wire (the runtime layers crash detection above the
+   delivery sublayer, so the combination is not modeled). *)
 
 open Shasta_protocol
 module T = Transitions
@@ -103,6 +120,8 @@ type sys = {
   dropped : bool; (* the injected fault already fired *)
   lossy : int option; (* per-channel fault budget; None = reliable wire *)
   lchans : chanst Imap.t; (* sublayer state per channel (lossy mode) *)
+  crash_budget : int; (* remaining node-crash adversary moves *)
+  recover_budget : int; (* remaining node-restart adversary moves *)
 }
 
 type scenario = {
@@ -126,7 +145,9 @@ let view (sys : sys) = sys.v
 let cfg_of (sc : scenario) =
   { T.nprocs = sc.nprocs; page_bytes = 8192; sc = false }
 
-let init_sys ?lossy (sc : scenario) =
+let init_sys ?lossy ?(crash = 0) ?(recover = 0) (sc : scenario) =
+  if crash > 0 && lossy <> None then
+    invalid_arg "mcheck: the crash adversary needs the reliable wire";
   let cfg = cfg_of sc in
   let v0 = T.init cfg in
   (* every block starts exclusively owned by node 0 (the allocator) *)
@@ -149,7 +170,9 @@ let init_sys ?lossy (sc : scenario) =
     pending_read = Imap.empty;
     dropped = false;
     lossy;
-    lchans = Imap.empty }
+    lchans = Imap.empty;
+    crash_budget = crash;
+    recover_budget = recover }
 
 (* ------------------------------------------------------------------ *)
 (* Applying a step's actions to the closed system                       *)
@@ -252,7 +275,10 @@ let apply_action ~inj ~(reply : int array option ref) v' node sys
       let value =
         match List.assoc_opt block written with Some v -> v | None -> base
       in
-      shadow_set sys ~node ~block value)
+      shadow_set sys ~node ~block value
+    | T.M_adopt { block; from } ->
+      (* crash salvage: copy the dead node's (frozen) shadow value *)
+      shadow_set sys ~node ~block (shadow_get sys ~node:from ~block))
   | T.A_refill -> (
     match Imap.find_opt node sys.pending_read with
     | Some b ->
@@ -455,6 +481,75 @@ let lossy_moves cfg ~inj (sys : sys) key (cs : chanst) =
   in
   delivers @ faults @ retransmits
 
+(* --- the node-crash adversary --------------------------------------- *)
+
+(* Halt [victim]: purge every channel to or from it (per-channel FIFO
+   order preserved; Map iteration makes the cross-channel order
+   deterministic), discard its remaining script and outstanding load,
+   and feed the purged frames to the lowest surviving node's
+   [I_node_crash] step — the same consistent cut the runtime's crash
+   detector takes with [Network.mark_dead]. *)
+let crash_node cfg ~inj (sys : sys) victim =
+  let purged = ref [] in
+  let chans =
+    Imap.filter
+      (fun key q ->
+        if key / 1024 = victim || key mod 1024 = victim then begin
+          purged := !purged @ List.map (fun m -> (key mod 1024, m)) q;
+          false
+        end
+        else true)
+      sys.chans
+  in
+  let sys =
+    { sys with
+      chans;
+      scripts = Imap.add victim [] sys.scripts;
+      pending_read = Imap.remove victim sys.pending_read;
+      crash_budget = sys.crash_budget - 1 }
+  in
+  let coord =
+    let rec go n =
+      if n = victim || not (T.is_live sys.v ~node:n) then go (n + 1) else n
+    in
+    go 0
+  in
+  run_step cfg ~inj sys coord (T.I_node_crash { victim; lost = !purged })
+
+let crash_moves cfg ~inj (sys : sys) =
+  let crashes =
+    if sys.crash_budget <= 0 then []
+    else
+      let live =
+        List.filter
+          (fun n -> T.is_live sys.v ~node:n)
+          (List.init cfg.T.nprocs Fun.id)
+      in
+      if List.length live < 2 then []
+      else
+        List.map
+          (fun v ->
+            ( Printf.sprintf "crash n%d" v,
+              fun () -> crash_node cfg ~inj sys v ))
+          live
+  in
+  let recovers =
+    if sys.recover_budget <= 0 then []
+    else
+      List.filter_map
+        (fun v ->
+          if T.is_live sys.v ~node:v then None
+          else
+            Some
+              ( Printf.sprintf "recover n%d" v,
+                fun () ->
+                  run_step cfg ~inj
+                    { sys with recover_budget = sys.recover_budget - 1 }
+                    v (T.I_node_recover v) ))
+        (List.init cfg.T.nprocs Fun.id)
+  in
+  crashes @ recovers
+
 let moves cfg ~inj (sys : sys) =
   let issues =
     Imap.fold
@@ -471,12 +566,12 @@ let moves cfg ~inj (sys : sys) =
     Imap.fold
       (fun key q acc ->
         match q with
-        | msg :: _ ->
+        | msg :: _ when T.is_live sys.v ~node:(key mod 1024) ->
           ( Printf.sprintf "deliver %d->%d: %s" (key / 1024) (key mod 1024)
               (Message.describe msg),
             fun () -> deliver cfg ~inj sys key )
           :: acc
-        | [] -> acc)
+        | _ -> acc)
       sys.chans []
   in
   let lossy_all =
@@ -484,7 +579,9 @@ let moves cfg ~inj (sys : sys) =
       (fun key cs acc -> List.rev_append (lossy_moves cfg ~inj sys key cs) acc)
       sys.lchans []
   in
-  List.rev_append issues (List.rev_append lossy_all (List.rev delivers))
+  List.rev_append issues
+    (List.rev_append lossy_all (List.rev delivers))
+  @ crash_moves cfg ~inj sys
 
 (* ------------------------------------------------------------------ *)
 (* Checks                                                               *)
@@ -513,6 +610,9 @@ let canon_sys (sys : sys) =
     (fun n blk -> Buffer.add_string b (Printf.sprintf "|p%d:%x" n blk))
     sys.pending_read;
   if sys.dropped then Buffer.add_string b "|D";
+  if sys.crash_budget > 0 || sys.recover_budget > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "|X%d/%d" sys.crash_budget sys.recover_budget);
   Imap.iter
     (fun key cs ->
       Buffer.add_string b
@@ -590,8 +690,13 @@ let check_ack_conservation cfg (sys : sys) =
    flagged (the inline checks depend on exactly this, Section 3.1). *)
 let check_flag_coherence cfg blocks (sys : sys) =
   let errs = ref [] in
+  let halted = T.halted_mask sys.v in
   for node = 0 to cfg.T.nprocs - 1 do
-    List.iter
+    (* an ever-crashed node's shadow memory is its frozen crash image:
+       unflagged bytes under emptied (invalid) line state is exactly
+       what salvage reads from, not a coherence violation *)
+    if halted land (1 lsl node) = 0 then
+      List.iter
       (fun block ->
         let st = T.line_state sys.v ~node ~block in
         let v = shadow_get sys ~node ~block in
@@ -621,6 +726,17 @@ let check_state (sc : scenario) cfg (sys : sys) =
 
 let check_terminal (sc : scenario) cfg (sys : sys) =
   let stuck = ref [] in
+  (* delivery to a crashed node is disabled, so a frame addressed to
+     one would otherwise linger invisibly: the protocol must never
+     send to a node it knows is dead *)
+  Imap.iter
+    (fun key q ->
+      if q <> [] && not (T.is_live sys.v ~node:(key mod 1024)) then
+        stuck :=
+          Printf.sprintf "channel %s: %d frame(s) addressed to crashed node"
+            (chan_label key) (List.length q)
+          :: !stuck)
+    sys.chans;
   Imap.iter
     (fun node script ->
       if script <> [] then
@@ -661,7 +777,12 @@ let check_terminal (sc : scenario) cfg (sys : sys) =
       leak "held out of order" (List.length cs.rx_buf);
       leak "undelivered" (List.length cs.unacked))
     sys.lchans;
-  !stuck @ T.quiescent_invariants cfg sys.v @ sc.oracle sys
+  (* once a node has crashed mid-script the scenario's data outcome is
+     unknowable (the victim died at an arbitrary position); the
+     structural, quiescence and no-survivor-stuck obligations above
+     remain in full force *)
+  let oracle = if T.halted_mask sys.v = 0 then sc.oracle sys else [] in
+  !stuck @ T.quiescent_invariants cfg sys.v @ oracle
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive search                                                    *)
@@ -678,7 +799,7 @@ type result = {
   violation : violation option;
 }
 
-let check_exhaustive ?(injection = No_injection) ?lossy
+let check_exhaustive ?(injection = No_injection) ?lossy ?crash ?recover
     ?(max_states = 1_000_000) (sc : scenario) =
   let cfg = cfg_of sc in
   let visited = Hashtbl.create 4096 in
@@ -724,7 +845,7 @@ let check_exhaustive ?(injection = No_injection) ?lossy
             ms)
     end
   in
-  let sys0 = init_sys ?lossy sc in
+  let sys0 = init_sys ?lossy ?crash ?recover sc in
   Hashtbl.add visited (canon_sys sys0) ();
   states := 1;
   dfs sys0 [] 0;
@@ -739,13 +860,14 @@ let check_exhaustive ?(injection = No_injection) ?lossy
 (* Seeded random-interleaving fuzzer                                    *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz ?(injection = No_injection) ?lossy ~seed ~runs (sc : scenario) =
+let fuzz ?(injection = No_injection) ?lossy ?crash ?recover ~seed ~runs
+    (sc : scenario) =
   let cfg = cfg_of sc in
   let violation = ref None in
   let total_steps = ref 0 in
   let run_one k =
     let rng = Shasta_prng.Prng.of_list [ seed; k ] in
-    let sys = ref (init_sys ?lossy sc) in
+    let sys = ref (init_sys ?lossy ?crash ?recover sc) in
     let path = ref [] in
     let continue = ref true in
     while !continue && !violation = None do
@@ -904,6 +1026,19 @@ let scenarios ~nprocs =
     barrier_exchange;
     upgrade_race ~nprocs ]
 
+(* Scenarios safe under the crash adversary: everything except
+   [flag_handoff].  An event flag the dead producer never set stays
+   unset forever — the protocol cannot invent it — so its consumer is
+   legitimately stuck; tolerating dead producers is an application
+   obligation (the KV service uses locks and barriers across nodes,
+   both of which recovery unblocks). *)
+let crash_scenarios ~nprocs =
+  [ read_sharing ~nprocs;
+    write_race ~nprocs;
+    lock_increment ~nprocs;
+    barrier_exchange;
+    upgrade_race ~nprocs ]
+
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -913,8 +1048,9 @@ let pp_violation out { verr; vtrace } =
   List.iteri (fun k l -> Printf.fprintf out "    %2d. %s\n" (k + 1) l) vtrace;
   List.iter (fun e -> Printf.fprintf out "  violated: %s\n" e) verr
 
-let run_scenario ?injection ?lossy ?max_states out (sc : scenario) =
-  let r = check_exhaustive ?injection ?lossy ?max_states sc in
+let run_scenario ?injection ?lossy ?crash ?recover ?max_states out
+    (sc : scenario) =
+  let r = check_exhaustive ?injection ?lossy ?crash ?recover ?max_states sc in
   Printf.fprintf out
     "%-17s P=%d  states=%-7d transitions=%-8d terminals=%-6d depth=%d%s\n"
     sc.sname sc.nprocs r.states r.transitions r.terminals r.max_depth

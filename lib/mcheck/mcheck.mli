@@ -20,7 +20,17 @@
    states must additionally have every channel drained — the "eventual
    delivery implies quiescence" liveness check.  [Retransmit_no_dedup]
    removes the receiver-side dedup so stale frames reach the protocol
-   twice, a transport bug the checker must catch. *)
+   twice, a transport bug the checker must catch.
+
+   [~crash:budget] adds a node-crash adversary: at any state it may
+   halt any node (while at least two are live), purge the victim's
+   in-flight frames and feed them to the surviving coordinator's
+   [I_node_crash] step, exactly as the runtime's crash detector does;
+   [~recover:budget] adds restart moves.  Invariants must hold through
+   crash and recovery, survivors must never be stuck at terminal
+   states, and terminal states must be quiescent; scenario data
+   oracles are skipped once a crash fires.  Requires the reliable
+   wire. *)
 
 open Shasta_protocol
 module T = Transitions
@@ -58,8 +68,11 @@ val reg : sys -> node:int -> int
 
 val view : sys -> T.view
 
-val init_sys : ?lossy:int -> scenario -> sys
-(** [lossy] is the per-channel fault budget; omitted = reliable wire. *)
+val init_sys : ?lossy:int -> ?crash:int -> ?recover:int -> scenario -> sys
+(** [lossy] is the per-channel fault budget; omitted = reliable wire.
+    [crash]/[recover] are the node-crash adversary's halt and restart
+    move budgets (default 0 = no crash moves); [crash] requires the
+    reliable wire. *)
 
 val cfg_of : scenario -> T.cfg
 
@@ -82,11 +95,19 @@ type result = {
 }
 
 val check_exhaustive :
-  ?injection:injection -> ?lossy:int -> ?max_states:int -> scenario -> result
+  ?injection:injection ->
+  ?lossy:int ->
+  ?crash:int ->
+  ?recover:int ->
+  ?max_states:int ->
+  scenario ->
+  result
 
 val fuzz :
   ?injection:injection ->
   ?lossy:int ->
+  ?crash:int ->
+  ?recover:int ->
   seed:int ->
   runs:int ->
   scenario ->
@@ -103,11 +124,19 @@ val barrier_exchange : scenario
 val upgrade_race : nprocs:int -> scenario
 val scenarios : nprocs:int -> scenario list
 
+val crash_scenarios : nprocs:int -> scenario list
+(** The scenarios safe under the crash adversary: all but
+    [flag_handoff] (a flag the dead producer never set legitimately
+    strands its waiter — tolerating that is an application
+    obligation). *)
+
 val pp_violation : out_channel -> violation -> unit
 
 val run_scenario :
   ?injection:injection ->
   ?lossy:int ->
+  ?crash:int ->
+  ?recover:int ->
   ?max_states:int ->
   out_channel ->
   scenario ->

@@ -716,3 +716,6 @@ let global_address compiled name =
   match List.assoc_opt name compiled.global_addr with
   | Some a -> a
   | None -> err "unknown global %s" name
+
+let global_address_opt compiled name =
+  List.assoc_opt name compiled.global_addr

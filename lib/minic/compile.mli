@@ -30,3 +30,7 @@ val compile : Ast.prog -> compiled
     type mismatches, or temporary exhaustion. *)
 
 val global_address : compiled -> string -> int
+
+val global_address_opt : compiled -> string -> int option
+(** Like {!global_address} but [None] for globals the program does not
+    declare (used for opt-in cells like [__crashed]). *)

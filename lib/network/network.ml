@@ -71,11 +71,17 @@ type faults = {
   delay : float; (* probability of [delay_cycles] of extra flight time *)
   delay_cycles : int;
   rto : int; (* base retransmission timeout; 0 = derive from profile *)
+  max_retx : int; (* give up after this many retransmissions; 0 = retry
+                     forever (well, [Sublayer.max_attempts] — the
+                     historical behaviour).  A bounded channel turns a
+                     persistent loss into a counted [net.timeout]
+                     instead of an unbounded stall; the crash detector
+                     builds on it. *)
 }
 
 let no_faults =
   { fseed = 1; drop = 0.0; dup = 0.0; reorder = 0.0; delay = 0.0;
-    delay_cycles = 2000; rto = 0 }
+    delay_cycles = 2000; rto = 0; max_retx = 0 }
 
 (* The standard fault matrix the test suite and benchmarks run under:
    1% loss, 1% duplication, 2% reordering — commodity-LAN weather. *)
@@ -121,6 +127,7 @@ let faults_of_string s =
                f := { !f with delay_cycles = iv () }
              | "seed" -> f := { !f with fseed = iv () }
              | "rto" -> f := { !f with rto = iv () }
+             | "max-retx" | "max_retx" -> f := { !f with max_retx = iv () }
              | _ -> invalid_arg ("Network.faults_of_string: unknown key " ^ k)))
       (String.split_on_char ',' spec);
     Some !f
@@ -141,9 +148,14 @@ type xmit = {
   backoff : int;
   duplicated : bool;
   reordered : bool;
+  timed_out : bool; (* retransmission budget exhausted: the frame was
+                       never delivered (only possible on a channel with
+                       [max_retx] > 0) *)
 }
 
-let clean_xmit = { retx = 0; backoff = 0; duplicated = false; reordered = false }
+let clean_xmit =
+  { retx = 0; backoff = 0; duplicated = false; reordered = false;
+    timed_out = false }
 
 (* ------------------------------------------------------------------ *)
 (* Reliable-delivery sublayer                                          *)
@@ -203,26 +215,101 @@ module Sublayer = struct
      frame for good — that would wedge the protocol, not slow it). *)
   let max_attempts = 16
 
-  let tx_plan (f : faults) rng ~now ~flight ~rto =
+  (* Bounded variant: with [max_retx] > 0 the sender gives up after
+     that many retransmissions and reports a timeout ([None] arrival,
+     [timed_out] set) instead of forcing the last attempt through.
+     [max_retx] = 0 keeps the historical never-lose behaviour, and
+     draws exactly the same coins in exactly the same order, so a
+     zero/absent knob is byte-identical. *)
+  let tx_plan_bounded (f : faults) ~max_retx rng ~now ~flight ~rto =
+    let cap = if max_retx > 0 then min max_retx (max_attempts - 1)
+      else max_attempts - 1 in
     let rec attempts k start backoff =
-      if k < max_attempts - 1 && Random.State.float rng 1.0 < f.drop then
+      if k < cap && Random.State.float rng 1.0 < f.drop then
         let timeout = rto * (1 lsl min k 10) in
         attempts (k + 1) (start + timeout) (backoff + timeout)
-      else (k, start, backoff)
+      else if k >= cap && max_retx > 0 && k = cap
+              && Random.State.float rng 1.0 < f.drop then
+        (* the final allowed attempt was itself dropped: give up *)
+        (k + 1, start, backoff, true)
+      else (k, start, backoff, false)
     in
-    let retx, start, backoff = attempts 0 now 0 in
-    let arrival = start + flight in
-    let arrival =
-      if f.delay > 0.0 && Random.State.float rng 1.0 < f.delay then
-        arrival + f.delay_cycles
-      else arrival
-    in
-    let duplicated = f.dup > 0.0 && Random.State.float rng 1.0 < f.dup in
-    let dup_arrival =
-      if duplicated then Some (arrival + max 1 (flight / 2)) else None
-    in
-    let reordered = f.reorder > 0.0 && Random.State.float rng 1.0 < f.reorder in
-    (arrival, dup_arrival, { retx; backoff; duplicated; reordered })
+    let retx, start, backoff, timed_out = attempts 0 now 0 in
+    if timed_out then
+      (None, None, { retx; backoff; duplicated = false; reordered = false;
+                     timed_out = true })
+    else begin
+      let arrival = start + flight in
+      let arrival =
+        if f.delay > 0.0 && Random.State.float rng 1.0 < f.delay then
+          arrival + f.delay_cycles
+        else arrival
+      in
+      let duplicated = f.dup > 0.0 && Random.State.float rng 1.0 < f.dup in
+      let dup_arrival =
+        if duplicated then Some (arrival + max 1 (flight / 2)) else None
+      in
+      let reordered =
+        f.reorder > 0.0 && Random.State.float rng 1.0 < f.reorder
+      in
+      (Some arrival, dup_arrival,
+       { retx; backoff; duplicated; reordered; timed_out = false })
+    end
+
+  let tx_plan (f : faults) rng ~now ~flight ~rto =
+    match tx_plan_bounded f ~max_retx:0 rng ~now ~flight ~rto with
+    | Some arrival, dup_arrival, x -> (arrival, dup_arrival, x)
+    | None, _, _ -> assert false (* unbounded plans always deliver *)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Lease arithmetic                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure lease bookkeeping for node liveness: a lease is granted to a
+   holder for a fixed [horizon] of cycles and renewed by heartbeats —
+   which, in this transport, are simply observed sends (every frame a
+   node puts on the wire piggybacks "I am alive" for free; the
+   interconnect's [last_activity] is the heartbeat stream).  A lease
+   that outlives its horizon without renewal marks its holder suspect;
+   takeover hands the lease to a new holder under a bumped epoch so
+   stale holders can be fenced.  All arithmetic is pure and unit-tested
+   (QCheck, test_crash.ml): expiry never precedes the grant horizon,
+   takeover is idempotent, heartbeat application dedups by sequence
+   number (exactly-once renewal). *)
+module Lease = struct
+  type t = {
+    holder : int;
+    granted : int; (* cycle of grant or last accepted renewal *)
+    horizon : int; (* validity window, cycles *)
+    epoch : int; (* bumped on every takeover, fences stale holders *)
+    last_hb : int; (* highest heartbeat sequence number applied *)
+  }
+
+  let grant ~holder ~now ~horizon =
+    { holder; granted = now; horizon = max 1 horizon; epoch = 0;
+      last_hb = -1 }
+
+  let holder l = l.holder
+  let epoch l = l.epoch
+  let expiry l = l.granted + l.horizon
+  let expired l ~now = now >= expiry l
+
+  (* Apply one heartbeat; renewal happens exactly once per sequence
+     number (re-delivered heartbeats are no-ops), and renewal never
+     moves the grant backwards. *)
+  let heartbeat l ~seq ~now =
+    if seq <= l.last_hb then (l, false)
+    else ({ l with granted = max l.granted now; last_hb = seq }, true)
+
+  (* Reassign the lease.  Idempotent: taking over to the current holder
+     changes nothing (same epoch, same grant), so two racing takeovers
+     by the same claimant converge. *)
+  let takeover l ~new_holder ~now =
+    if l.holder = new_holder then l
+    else
+      { holder = new_holder; granted = now; horizon = l.horizon;
+        epoch = l.epoch + 1; last_hb = -1 }
 end
 
 (* ------------------------------------------------------------------ *)
@@ -237,6 +324,7 @@ type fault_stats = {
   retxs : int;
   reorders : int;
   backoff_cycles : int;
+  timeouts : int; (* frames abandoned after [max_retx] retransmissions *)
 }
 
 type 'a t = {
@@ -255,6 +343,12 @@ type 'a t = {
   rxs : unit Sublayer.rx array; (* per channel resequencer (times only) *)
   wire_last : int array; (* per channel raw-wire FIFO point *)
   mutable fstats : fault_stats;
+  (* node-level liveness: [dead] is the bitmask of nodes declared
+     crashed (sends to them are dropped and counted as timeouts;
+     nothing is queued); [last_activity] is the implicit heartbeat
+     stream — the last cycle each node put a frame on the wire. *)
+  mutable dead : int;
+  last_activity : int array;
   (* observability taps: called on every send (at the sender's time)
      and every delivery (at arrival time).  The network itself stays
      agnostic of what listens; the cluster wires these into the
@@ -269,7 +363,8 @@ let no_tap ~src:_ ~dst:_ ~now:_ _ = ()
 let no_fault_tap ~src:_ ~dst:_ ~now:_ _ _ = ()
 
 let zero_fault_stats =
-  { drops = 0; dups = 0; retxs = 0; reorders = 0; backoff_cycles = 0 }
+  { drops = 0; dups = 0; retxs = 0; reorders = 0; backoff_cycles = 0;
+    timeouts = 0 }
 
 let create ?faults ~nprocs profile =
   let nchan = nprocs * nprocs in
@@ -285,6 +380,8 @@ let create ?faults ~nprocs profile =
     rxs = Array.init nchan (fun _ -> Sublayer.rx_create ());
     wire_last = Array.make nchan 0;
     fstats = zero_fault_stats;
+    dead = 0;
+    last_activity = Array.make nprocs 0;
     on_send = no_tap; on_recv = no_tap; on_fault = no_fault_tap }
 
 let set_taps t ~on_send ~on_recv =
@@ -308,59 +405,87 @@ let send t ~src ~dst ~now ~payload_longs msg =
   let p = t.profile in
   let c = chan t ~src ~dst in
   let flight = p.wire_latency + (p.per_longword * payload_longs) in
-  (match t.faults with
-   | None ->
-     (* the paper's reliable wire: point-to-point FIFO, never deliver
-        before a previously sent message on the same channel *)
-     let deliver = max (now + p.send_overhead + flight) t.last_deliver.(c) in
-     t.last_deliver.(c) <- deliver;
-     t.seq <- t.seq + 1;
-     Queue.push { deliver; seq = t.seq; msg } t.chans.(c)
-   | Some f ->
-     (* unreliable wire under the reliable sublayer: plan the frame's
-        transmission (drops retransmitted with backoff, optional extra
-        delay and duplication), then resequence: the frame is delivered
-        when it AND everything before it on the channel have arrived *)
-     let rng = t.rngs.(c) in
-     let arrival, dup_arrival, x =
-       Sublayer.tx_plan f rng ~now:(now + p.send_overhead) ~flight
-         ~rto:(effective_rto t)
-     in
-     (* a non-reordered frame respects the raw wire's FIFO point; a
-        reordered one may overtake it (resequencing restores order) *)
-     let arrival =
-       if x.reordered then arrival
-       else begin
-         let a = max arrival t.wire_last.(c) in
-         t.wire_last.(c) <- a;
-         a
-       end
-     in
-     (* frames enter the resequencer in sequence order (sends on a
-        channel are issued in order), so delivery time is the arrival
-        clamped to the channel's previous delivery *)
-     (match Sublayer.rx_offer t.rxs.(c) ~fseq:(Sublayer.rx_expected t.rxs.(c))
-              ~arrival ()
-      with
-      | [ (deliver, ()) ] ->
-        t.last_deliver.(c) <- deliver;
-        t.seq <- t.seq + 1;
-        Queue.push { deliver; seq = t.seq; msg } t.chans.(c)
-      | _ -> assert false);
-     (* duplicated copies reach the receiver and are discarded there *)
-     let dups = match dup_arrival with Some _ -> 1 | None -> 0 in
-     let s = t.fstats in
-     t.fstats <-
-       { drops = s.drops + x.retx;
-         dups = s.dups + dups;
-         retxs = s.retxs + x.retx;
-         reorders = (s.reorders + if x.reordered then 1 else 0);
-         backoff_cycles = s.backoff_cycles + x.backoff };
-     if x <> clean_xmit then t.on_fault ~src ~dst ~now x msg);
-  t.sent <- t.sent + 1;
-  t.payload_longs <- t.payload_longs + payload_longs;
-  t.on_send ~src ~dst ~now msg;
-  now + p.send_overhead
+  t.last_activity.(src) <- max t.last_activity.(src) now;
+  if t.dead land (1 lsl dst) <> 0 then begin
+    (* the receiver has been declared crashed: nothing will ever
+       acknowledge, so the sublayer's retransmissions are futile — drop
+       the frame on the floor and account it as a timeout.  (The
+       protocol layer routes around detected-dead nodes; this is the
+       safety net underneath it.)  Not counted in [sent]: the frame
+       never reached the wire, keeping event-derived totals equal to
+       [stats]. *)
+    t.fstats <- { t.fstats with timeouts = t.fstats.timeouts + 1 };
+    let x = { clean_xmit with timed_out = true } in
+    t.on_fault ~src ~dst ~now x msg;
+    now + p.send_overhead
+  end
+  else begin
+    let delivered = ref true in
+    (match t.faults with
+     | None ->
+       (* the paper's reliable wire: point-to-point FIFO, never deliver
+          before a previously sent message on the same channel *)
+       let deliver = max (now + p.send_overhead + flight) t.last_deliver.(c) in
+       t.last_deliver.(c) <- deliver;
+       t.seq <- t.seq + 1;
+       Queue.push { deliver; seq = t.seq; msg } t.chans.(c)
+     | Some f ->
+       (* unreliable wire under the reliable sublayer: plan the frame's
+          transmission (drops retransmitted with backoff, optional extra
+          delay and duplication), then resequence: the frame is delivered
+          when it AND everything before it on the channel have arrived *)
+       let rng = t.rngs.(c) in
+       let arrival, dup_arrival, x =
+         Sublayer.tx_plan_bounded f ~max_retx:f.max_retx rng
+           ~now:(now + p.send_overhead) ~flight ~rto:(effective_rto t)
+       in
+       (match arrival with
+        | None ->
+          (* retransmission budget exhausted: the sublayer gives up on
+             this frame.  The channel's sequence space is untouched (the
+             frame was never offered to the resequencer), so later
+             frames flow past the loss. *)
+          delivered := false
+        | Some arrival ->
+          (* a non-reordered frame respects the raw wire's FIFO point; a
+             reordered one may overtake it (resequencing restores order) *)
+          let arrival =
+            if x.reordered then arrival
+            else begin
+              let a = max arrival t.wire_last.(c) in
+              t.wire_last.(c) <- a;
+              a
+            end
+          in
+          (* frames enter the resequencer in sequence order (sends on a
+             channel are issued in order), so delivery time is the arrival
+             clamped to the channel's previous delivery *)
+          (match Sublayer.rx_offer t.rxs.(c)
+                   ~fseq:(Sublayer.rx_expected t.rxs.(c)) ~arrival ()
+           with
+           | [ (deliver, ()) ] ->
+             t.last_deliver.(c) <- deliver;
+             t.seq <- t.seq + 1;
+             Queue.push { deliver; seq = t.seq; msg } t.chans.(c)
+           | _ -> assert false));
+       (* duplicated copies reach the receiver and are discarded there *)
+       let dups = match dup_arrival with Some _ -> 1 | None -> 0 in
+       let s = t.fstats in
+       t.fstats <-
+         { drops = s.drops + x.retx;
+           dups = s.dups + dups;
+           retxs = s.retxs + x.retx;
+           reorders = (s.reorders + if x.reordered then 1 else 0);
+           backoff_cycles = s.backoff_cycles + x.backoff;
+           timeouts = (s.timeouts + if x.timed_out then 1 else 0) };
+       if x <> clean_xmit then t.on_fault ~src ~dst ~now x msg);
+    if !delivered then begin
+      t.sent <- t.sent + 1;
+      t.payload_longs <- t.payload_longs + payload_longs;
+      t.on_send ~src ~dst ~now msg
+    end;
+    now + p.send_overhead
+  end
 
 (* Earliest arrival time of any message destined for [dst], if any. *)
 let next_arrival t ~dst =
@@ -404,3 +529,38 @@ let in_flight t =
 let stats t = (t.sent, t.payload_longs)
 
 let fault_stats t = t.fstats
+
+(* ------------------------------------------------------------------ *)
+(* Node-level liveness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let last_activity t ~node = t.last_activity.(node)
+
+let mark_live t ~node = t.dead <- t.dead land lnot (1 lsl node)
+
+(* Declare [node] crashed: every frame still queued to or from it is
+   removed from the wire and returned (in global send order, so the
+   caller's recovery handling is deterministic and replayable), the
+   per-channel sublayer state on those channels is reset (a recovered
+   node starts fresh sequence spaces — held fragments of purged
+   streams must not gate post-recovery traffic), and future sends to
+   the node are dropped and counted as timeouts until [mark_live]. *)
+let mark_dead t ~node =
+  t.dead <- t.dead lor (1 lsl node);
+  let lost = ref [] in
+  for other = 0 to t.nprocs - 1 do
+    List.iter
+      (fun (src, dst) ->
+        let c = chan t ~src ~dst in
+        Queue.iter
+          (fun (q : _ queued) -> lost := (q.seq, src, dst, q.msg) :: !lost)
+          t.chans.(c);
+        Queue.clear t.chans.(c);
+        t.rxs.(c) <- Sublayer.rx_create ();
+        t.wire_last.(c) <- 0;
+        t.last_deliver.(c) <- 0)
+      (if other = node then [ (node, node) ]
+       else [ (node, other); (other, node) ])
+  done;
+  List.map (fun (_, src, dst, msg) -> (src, dst, msg))
+    (List.sort compare !lost)

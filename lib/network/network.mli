@@ -38,6 +38,10 @@ type faults = {
   delay : float;  (** probability of [delay_cycles] extra flight time *)
   delay_cycles : int;
   rto : int;  (** base retransmission timeout; 0 derives it from the profile *)
+  max_retx : int;
+      (** give up on a frame after this many retransmissions, counting
+          a [net.timeout] instead of stalling forever; 0 (the default)
+          keeps the historical retry-forever behaviour, byte-identical *)
 }
 
 val no_faults : faults
@@ -50,8 +54,8 @@ val standard : faults
 val faults_of_string : string -> faults option
 (** ["none"], ["standard"], or a comma-separated
     [key=value] spec with keys [drop], [dup], [reorder], [delay],
-    [delay-cycles], [seed], [rto].  Raises [Invalid_argument] on a
-    malformed spec. *)
+    [delay-cycles], [seed], [rto], [max-retx].  Raises
+    [Invalid_argument] on a malformed spec. *)
 
 val describe_faults : faults -> string
 
@@ -60,6 +64,10 @@ type xmit = {
   backoff : int;  (** total cycles spent waiting for timeouts *)
   duplicated : bool;  (** a second copy arrived and was discarded *)
   reordered : bool;  (** frame overtook the wire; resequencing restored order *)
+  timed_out : bool;
+      (** retransmission budget exhausted — the frame was abandoned
+          (only on a channel with [max_retx] > 0, or a send to a node
+          already declared dead) *)
 }
 (** What the fault layer did to one logical send. *)
 
@@ -99,6 +107,44 @@ module Sublayer : sig
       duplicate copy if any, and the fault summary.  Deterministic in
       the RNG state; at most [max_attempts] tries, the last of which
       always survives. *)
+
+  val tx_plan_bounded :
+    faults -> max_retx:int -> Random.State.t ->
+    now:int -> flight:int -> rto:int -> int option * int option * xmit
+  (** Like {!tx_plan} but the sender gives up after [max_retx]
+      retransmissions: [None] arrival with [timed_out] set means the
+      frame was abandoned.  [max_retx = 0] never abandons and draws the
+      same coins as {!tx_plan}. *)
+end
+
+(** {2 Lease arithmetic}
+
+    Pure node-liveness leases: granted for a fixed horizon, renewed by
+    sequence-numbered heartbeats (on this transport, every observed
+    send doubles as a heartbeat — see {!last_activity}), reassigned by
+    epoch-bumping takeover when they expire. *)
+
+module Lease : sig
+  type t
+
+  val grant : holder:int -> now:int -> horizon:int -> t
+  val holder : t -> int
+  val epoch : t -> int
+
+  val expiry : t -> int
+  (** First cycle at which the lease is no longer valid; never earlier
+      than the grant time plus the horizon. *)
+
+  val expired : t -> now:int -> bool
+
+  val heartbeat : t -> seq:int -> now:int -> t * bool
+  (** Apply one heartbeat.  Renewal is exactly-once per sequence number
+      (redelivered heartbeats return [false] and change nothing) and
+      never moves the grant backwards. *)
+
+  val takeover : t -> new_holder:int -> now:int -> t
+  (** Reassign the lease under a bumped epoch.  Idempotent: a takeover
+      to the current holder is the identity. *)
 end
 
 (** {2 The interconnect} *)
@@ -111,6 +157,8 @@ type fault_stats = {
   retxs : int;
   reorders : int;
   backoff_cycles : int;
+  timeouts : int;  (** frames abandoned: retransmission budget exhausted
+                       or destination declared dead *)
 }
 
 val zero_fault_stats : fault_stats
@@ -156,3 +204,19 @@ val fault_stats : 'a t -> fault_stats
     wire is reliable. *)
 
 val effective_rto : 'a t -> int
+
+(** {2 Node-level liveness} *)
+
+val last_activity : 'a t -> node:int -> int
+(** Last cycle at which [node] put a frame on the wire — the implicit
+    (piggybacked) heartbeat stream the crash detector watches. *)
+
+val mark_dead : 'a t -> node:int -> (int * int * 'a) list
+(** Declare [node] crashed.  Every frame still queued to or from it is
+    removed from the wire and returned as [(src, dst, msg)] in global
+    send order (deterministic, so recovery handling replays); the
+    sublayer state of the purged channels is reset; until {!mark_live},
+    sends addressed to the node are dropped and counted as timeouts. *)
+
+val mark_live : 'a t -> node:int -> unit
+(** Clear the dead bit set by {!mark_dead} (node recovery). *)

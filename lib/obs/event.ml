@@ -47,13 +47,27 @@ type t =
          is the span's start *)
   | Net_fault of
       { dst : int; kind : string; retx : int; backoff : int;
-        duplicated : bool; reordered : bool }
+        duplicated : bool; reordered : bool; timed_out : bool }
       (* the fault layer perturbed one logical send: [retx] attempts
          were dropped and retransmitted ([backoff] cycles of timeout),
-         a duplicate arrived and was discarded, or the frame was
-         reordered and resequenced.  Emitted at the sender's time with
-         the sender's site, so retransmission stalls attribute to the
-         code that paid for them. *)
+         a duplicate arrived and was discarded, the frame was reordered
+         and resequenced, or — on a bounded channel — the
+         retransmission budget ran out and the frame was abandoned
+         ([timed_out]).  Emitted at the sender's time with the sender's
+         site, so retransmission stalls attribute to the code that paid
+         for them. *)
+  | Node_crash of { victim : int }
+      (* crash-marker: the injector halted [victim]; stamped with the
+         crash cycle so recovery cost is measurable from the trace *)
+  | Node_recover of { victim : int }
+      (* the injector brought [victim] back (protocol duties only — its
+         program died with it) *)
+  | Lease_takeover of { id : int; from : int }
+      (* a lock/flag lease held by crashed node [from] was reclaimed so
+         waiters make progress *)
+  | Dir_rebuild of { block : int; from : int }
+      (* a directory entry owned by (or homed on) crashed node [from]
+         was reconstructed from surviving sharer state *)
 
 type record = { node : int; time : int; ev : t; site : site option }
 
@@ -81,12 +95,19 @@ let describe = function
   | Node_finished -> "finished"
   | Span { kind; addr; dur } ->
     Printf.sprintf "span %s @0x%x %d cyc" kind addr dur
-  | Net_fault { dst; kind; retx; backoff; duplicated; reordered } ->
-    Printf.sprintf "net-fault -> n%d %s%s%s%s" dst kind
+  | Net_fault { dst; kind; retx; backoff; duplicated; reordered; timed_out } ->
+    Printf.sprintf "net-fault -> n%d %s%s%s%s%s" dst kind
       (if retx > 0 then Printf.sprintf " retx=%d (+%d cyc)" retx backoff
        else "")
       (if duplicated then " dup" else "")
       (if reordered then " reorder" else "")
+      (if timed_out then " timeout" else "")
+  | Node_crash { victim } -> Printf.sprintf "node-crash n%d" victim
+  | Node_recover { victim } -> Printf.sprintf "node-recover n%d" victim
+  | Lease_takeover { id; from } ->
+    Printf.sprintf "lease-takeover %d (from n%d)" id from
+  | Dir_rebuild { block; from } ->
+    Printf.sprintf "dir-rebuild @0x%x (from n%d)" block from
 
 (* Short name used as the Chrome trace_event [name] field. *)
 let chrome_name = function
@@ -106,3 +127,7 @@ let chrome_name = function
   | Node_finished -> "finished"
   | Span { kind; _ } -> "span:" ^ kind
   | Net_fault { kind; _ } -> "net-fault:" ^ kind
+  | Node_crash _ -> "node-crash"
+  | Node_recover _ -> "node-recover"
+  | Lease_takeover _ -> "lease-takeover"
+  | Dir_rebuild _ -> "dir-rebuild"

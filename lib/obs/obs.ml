@@ -78,6 +78,16 @@ let c_net_dup = "net.dup"
 let c_net_retx = "net.retx"
 let c_net_reorder = "net.reorder"
 let c_net_backoff = "net.backoff_cycles"
+let c_net_timeout = "net.timeout"
+
+(* Node-level fault tolerance under --node-faults: injected halts and
+   restarts, lock/flag leases reclaimed from dead holders, and
+   directory entries reconstructed from surviving sharer state.  The
+   takeover/rebuild counters are the measurable cost of one recovery. *)
+let c_node_crash = "node.crash"
+let c_node_recover = "node.recover"
+let c_lease_takeover = "lease.takeover"
+let c_dir_rebuild = "dir.rebuild"
 
 let h_payload = "msg.payload_longs"
 let h_stall = "stall.cycles"
@@ -108,14 +118,19 @@ let count_event t ~node (ev : Event.t) =
   | Store_reissue _ -> Metrics.incr m ~node c_store_reissues
   | Node_finished -> Metrics.incr m ~node c_finished
   | Span _ -> Metrics.incr m ~node c_spans
-  | Net_fault { retx; backoff; duplicated; reordered; _ } ->
+  | Net_fault { retx; backoff; duplicated; reordered; timed_out; _ } ->
     if retx > 0 then begin
       Metrics.add m ~node c_net_drop retx;
       Metrics.add m ~node c_net_retx retx;
       Metrics.add m ~node c_net_backoff backoff
     end;
     if duplicated then Metrics.incr m ~node c_net_dup;
-    if reordered then Metrics.incr m ~node c_net_reorder
+    if reordered then Metrics.incr m ~node c_net_reorder;
+    if timed_out then Metrics.incr m ~node c_net_timeout
+  | Node_crash _ -> Metrics.incr m ~node c_node_crash
+  | Node_recover _ -> Metrics.incr m ~node c_node_recover
+  | Lease_takeover _ -> Metrics.incr m ~node c_lease_takeover
+  | Dir_rebuild _ -> Metrics.incr m ~node c_dir_rebuild
 
 let emit t ?site ~node ~time ev =
   count_event t ~node ev;

@@ -86,6 +86,22 @@ val c_net_reorder : string
 val c_net_backoff : string
 (** Total cycles spent waiting out retransmission timeouts. *)
 
+val c_net_timeout : string
+(** Frames abandoned: retransmission budget exhausted ([max_retx]) or
+    destination already declared dead. *)
+
+val c_node_crash : string
+(** Nodes halted by the crash injector. *)
+
+val c_node_recover : string
+(** Crashed nodes brought back (protocol duties only). *)
+
+val c_lease_takeover : string
+(** Lock/flag leases reclaimed from dead holders. *)
+
+val c_dir_rebuild : string
+(** Directory entries reconstructed after a crash. *)
+
 val h_payload : string
 val h_stall : string
 val h_miss_latency : string

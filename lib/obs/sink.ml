@@ -108,10 +108,17 @@ let chrome_args (ev : Event.t) =
     [ kv "\"id\":%d" id ]
   | Batch_run { nranges; waited } ->
     [ kv "\"nranges\":%d" nranges; kv "\"waited\":%d" waited ]
-  | Net_fault { dst; retx; backoff; duplicated; reordered; _ } ->
+  | Net_fault { dst; retx; backoff; duplicated; reordered; timed_out; _ } ->
     [ kv "\"dst\":%d" dst; kv "\"retx\":%d" retx;
       kv "\"backoff\":%d" backoff;
-      kv "\"dup\":%b" duplicated; kv "\"reorder\":%b" reordered ]
+      kv "\"dup\":%b" duplicated; kv "\"reorder\":%b" reordered;
+      kv "\"timeout\":%b" timed_out ]
+  | Node_crash { victim } | Node_recover { victim } ->
+    [ kv "\"victim\":%d" victim ]
+  | Lease_takeover { id; from } ->
+    [ kv "\"id\":%d" id; kv "\"from\":%d" from ]
+  | Dir_rebuild { block; from } ->
+    [ kv "\"block\":\"0x%x\"" block; kv "\"from\":%d" from ]
   | Barrier_passed | Node_finished -> []
 
 let chrome_record (r : Event.record) =

@@ -100,7 +100,13 @@ type view = {
   nodes : nview Imap.t;
   locks : lockst Imap.t;
   flags : flagst Imap.t;
-  barrier_arrived : int;
+  barrier_arrived : int; (* bitmask of nodes waiting at the barrier *)
+  crashed : int; (* bitmask: currently-down nodes (home duties routed
+                    around them; sends to them are suppressed) *)
+  halted : int; (* bitmask: ever-crashed nodes.  Monotone — a recovered
+                   node resumes protocol duties (crashed bit cleared)
+                   but its program died with it, so barriers treat it
+                   as permanently arrived. *)
 }
 
 type cfg = {
@@ -120,7 +126,7 @@ let init (cfg : cfg) : view =
     nodes := Imap.add n empty_nview !nodes
   done;
   { dir = Imap.empty; nodes = !nodes; locks = Imap.empty; flags = Imap.empty;
-    barrier_arrived = 0 }
+    barrier_arrived = 0; crashed = 0; halted = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Actions and inputs                                                   *)
@@ -159,6 +165,10 @@ type ev =
   | E_barrier_passed
   | E_flag_raised of int
   | E_flag_woken of int
+  | E_lease_takeover of { id : int; from : int }
+    (* a lock held by crashed node [from] was reclaimed for its waiters *)
+  | E_dir_rebuild of { block : int; from : int }
+    (* a directory entry involving crashed node [from] was repaired *)
 
 (* State-table / memory effects, applied by the interpreter via Tables
    (block length resolution lives there). *)
@@ -175,6 +185,10 @@ type memop =
   | M_merge of { block : int; written : (int * int) list }
     (* merge the triggering Data_reply's longwords into memory,
        overlaying the node's own pending stores *)
+  | M_adopt of { block : int; from : int }
+    (* crash recovery: copy the block's bytes out of dead node [from]'s
+       (frozen) memory image into the acting node's memory.  A pure byte
+       salvage — no line-state change; pair with M_make_* to claim. *)
 
 (* Residual pure work to run after an interpreter re-entry (store
    retry).  The engine's continuation closures captured "the rest of the
@@ -228,6 +242,14 @@ type input =
   | I_flag_wait of int
   | I_alloc of { owner : int; blocks : int list }
   | I_continue of post list
+  | I_node_crash of { victim : int; lost : (int * Message.t) list }
+    (* [victim] was declared dead; [lost] are the frames purged off the
+       wire (still queued to or from it) as [(dst, msg)] in send order.
+       Stepped at a surviving coordinator node, which reconstructs the
+       directory, reclaims the victim's locks, and re-dispatches or
+       answers the lost frames on the victim's behalf. *)
+  | I_node_recover of int
+    (* the victim rejoins protocol duties (its program stays dead) *)
 
 (* ------------------------------------------------------------------ *)
 (* Step context                                                         *)
@@ -284,7 +306,22 @@ let mem_op c (op : memop) =
             Imap.add block
               (if shared then L_pending_shared else L_pending_invalid)
               n.lines })
-    | M_flag _ | M_merge _ -> ()
+    | M_flag _ | M_merge _ | M_adopt _ -> ()
+  end
+
+let is_crashed (v : view) node = v.crashed land (1 lsl node) <> 0
+
+(* Effective home: the natural home, or — while it is down — its ring
+   successor among the live nodes.  Identity whenever no node is
+   crashed, so fault-free runs route (and trace) exactly as before. *)
+let route (cfg : cfg) (v : view) h =
+  if v.crashed = 0 then h
+  else begin
+    let rec go k =
+      let n = (h + k) mod cfg.nprocs in
+      if is_crashed v n then go (k + 1) else n
+    in
+    go 0
   end
 
 let wait_sat (n : nview) = function
@@ -302,7 +339,11 @@ let wait_sat (n : nview) = function
 
 let rec send c ~dst ~addr kind =
   let msg = { Message.src = c.node; addr; kind } in
-  if dst = c.node then begin
+  if is_crashed c.v dst then
+    (* crash-stop: the frame would be purged at the dead node's door
+       anyway; suppressing it here keeps replay exact *)
+    ()
+  else if dst = c.node then begin
     (* local delivery: handled immediately at local handler cost *)
     act c (A_charge Sync_local);
     act c (A_local msg);
@@ -363,7 +404,7 @@ and dispatch c r post =
     act c (A_emit (E_lock_acquired id));
     run_post c post
   | R_unlock id ->
-    let h = id mod c.cfg.nprocs in
+    let h = route c.cfg c.v (id mod c.cfg.nprocs) in
     if h = c.node then begin
       act c (A_charge Sync_local);
       home_unlock c ~id
@@ -371,13 +412,14 @@ and dispatch c r post =
     else send c ~dst:h ~addr:id (Message.Sync Unlock_msg);
     run_post c post
   | R_barrier_enter ->
-    (if c.node = 0 then begin
+    let bh = route c.cfg c.v 0 in
+    (if c.node = bh then begin
        act c (A_charge Sync_local);
        block_on c W_sync R_barrier_passed;
-       home_barrier_arrive c
+       home_barrier_arrive c ~who:c.node
      end
      else begin
-       send c ~dst:0 ~addr:0 (Message.Sync Barrier_arrive);
+       send c ~dst:bh ~addr:0 (Message.Sync Barrier_arrive);
        block_on c W_sync R_barrier_passed
      end);
     run_post c post
@@ -387,7 +429,7 @@ and dispatch c r post =
     run_post c post
   | R_flag_set id ->
     act c (A_emit (E_flag_raised id));
-    let h = id mod c.cfg.nprocs in
+    let h = route c.cfg c.v (id mod c.cfg.nprocs) in
     if h = c.node then begin
       act c (A_charge Sync_local);
       home_flag_set c ~id
@@ -475,7 +517,7 @@ and flush_waiters c block =
 and issue_request c block kind ~count =
   act c (A_charge Request_issue);
   count ();
-  send c ~dst:(home_of c.cfg block) ~addr:block kind
+  send c ~dst:(route c.cfg c.v (home_of c.cfg block)) ~addr:block kind
 
 and start_pending c block pkind =
   upd c (fun n ->
@@ -581,7 +623,15 @@ and enqueue_waiter c block msg =
     { n with waiters = Imap.add block (q @ [ msg ]) n.waiters })
 
 and owner_fwd_read c ~requester ~block =
-  if owner_busy (nv c) block then
+  if requester = c.node && Imap.mem block (nv c).pending then
+    (* post-crash only: recovery salvaged the dead owner's bytes into
+       this node and named it owner while its own read request was still
+       in flight to the home — the forward arriving back here IS the
+       data grant, served from the salvaged copy (queueing it behind the
+       pending entry would deadlock on itself) *)
+    complete_data_reply c ~block ~exclusive:false ~acks:0
+      ~tail:[ P_check_wake ]
+  else if owner_busy (nv c) block then
     enqueue_waiter c block
       { Message.src = c.node; addr = block;
         kind = Coh (Fwd_read { requester }) }
@@ -598,7 +648,11 @@ and owner_fwd_read c ~requester ~block =
   end
 
 and owner_fwd_readex c ~requester ~block ~acks =
-  if owner_busy (nv c) block then
+  if requester = c.node && Imap.mem block (nv c).pending then
+    (* see owner_fwd_read: self-forward after crash recovery *)
+    complete_data_reply c ~block ~exclusive:true ~acks
+      ~tail:[ P_check_wake ]
+  else if owner_busy (nv c) block then
     enqueue_waiter c block
       { Message.src = c.node; addr = block;
         kind = Coh (Fwd_readex { requester; acks }) }
@@ -730,16 +784,29 @@ and home_unlock c ~id =
     grant_lock c ~to_:next ~id
   | [] -> set_lock c id { l with holder = None }
 
-and home_barrier_arrive c =
-  c.v <- { c.v with barrier_arrived = c.v.barrier_arrived + 1 };
-  if c.v.barrier_arrived = c.cfg.nprocs then begin
+and home_barrier_arrive c ~who =
+  c.v <- { c.v with barrier_arrived = c.v.barrier_arrived lor (1 lsl who) };
+  barrier_maybe_release c
+
+(* Release when every node has either arrived or halted: a crashed
+   node's program never reaches the barrier, so its slot is excused
+   ([halted] is monotone — recovered nodes stay excused too).  With no
+   crashes the mask condition is exactly the old "all arrived" count. *)
+and barrier_maybe_release c =
+  let full = (1 lsl c.cfg.nprocs) - 1 in
+  if
+    c.v.barrier_arrived <> 0
+    && (c.v.barrier_arrived lor c.v.halted) land full = full
+  then begin
+    let arrived = c.v.barrier_arrived in
     c.v <- { c.v with barrier_arrived = 0 };
     for n = 0 to c.cfg.nprocs - 1 do
-      if n = c.node then begin
-        upd c (fun nn -> { nn with sync_signal = true });
-        check_wake c ~post:[]
-      end
-      else send c ~dst:n ~addr:0 (Message.Sync Barrier_release)
+      if arrived land (1 lsl n) <> 0 then
+        if n = c.node then begin
+          upd c (fun nn -> { nn with sync_signal = true });
+          check_wake c ~post:[]
+        end
+        else send c ~dst:n ~addr:0 (Message.Sync Barrier_release)
     done
   end
 
@@ -806,7 +873,7 @@ and handle c (msg : Message.t) =
     home_unlock c ~id:msg.addr;
     check_wake c ~post:[]
   | Sync Barrier_arrive ->
-    home_barrier_arrive c;
+    home_barrier_arrive c ~who:msg.src;
     check_wake c ~post:[]
   | Sync Barrier_release ->
     upd c (fun n -> { n with sync_signal = true });
@@ -1053,7 +1120,7 @@ let batch_end c ~values ~order =
 
 let rt_lock c id =
   act c (A_count C_lock_acquire);
-  let h = id mod c.cfg.nprocs in
+  let h = route c.cfg c.v (id mod c.cfg.nprocs) in
   if h = c.node then begin
     act c (A_charge Sync_local);
     let l = lock_of c id in
@@ -1071,7 +1138,7 @@ let rt_lock c id =
   end
 
 let rt_flag_wait c id =
-  let h = id mod c.cfg.nprocs in
+  let h = route c.cfg c.v (id mod c.cfg.nprocs) in
   if h = c.node then begin
     act c (A_charge Sync_local);
     let f = flag_of c id in
@@ -1096,6 +1163,231 @@ let alloc c ~owner ~blocks =
     blocks
 
 (* ------------------------------------------------------------------ *)
+(* Crash recovery                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* All recovery logic runs inside ONE coordinator step (the lowest live
+   node), fed by the engine/model-checker with the frames it purged off
+   the wire.  The crash model is crash-stop with a salvageable memory
+   image: the victim's volatile protocol state (pending requests, ack
+   counts, queued service work) is gone, but its memory bytes are frozen
+   at the crash point and can be copied out ([M_adopt]) — the software
+   analogue of recovering a node's pages over RDMA from NVM.
+
+   Why no extra bookkeeping is needed for the victim's ack debts: the
+   interconnect is per-channel FIFO and the purge returns EVERY frame
+   still queued to or from the victim.  An invalidation the victim never
+   acked is therefore either still on the wire to it (we ack on its
+   behalf), or its ack is on the wire back (we re-send it) — there is no
+   third state.  Likewise a Data_reply captured on the wire carries its
+   data bytes, so re-sending it verbatim loses nothing. *)
+
+let redispatch c ~victim ((dst : int), (msg : Message.t)) =
+  let live n = not (is_crashed c.v n) in
+  let block = msg.addr in
+  let reply_from_salvage ~requester ~exclusive ~acks =
+    if live requester then begin
+      act c (A_mem (M_adopt { block; from = victim }));
+      send c ~dst:requester ~addr:block
+        (Message.Coh (Data_reply { data = [||]; exclusive; acks }))
+    end
+  in
+  let resend ~dst (msg : Message.t) =
+    (* forward a purged frame unchanged (its origin may be the victim:
+       receivers never key on [src] for these kinds) *)
+    if live dst then act c (A_send { dst; msg })
+  in
+  if msg.src = victim && dst = victim then ()
+  else if dst = victim then begin
+    (* a frame the dead node will never receive: requests addressed to
+       it as home run at the coordinator (which now routes for it);
+       forwards to it as owner are answered from its salvaged memory;
+       replies and wakeups meant for it evaporate with it *)
+    if live msg.src then
+      match msg.kind with
+      | Coh Read_req -> home_read c ~requester:msg.src ~block
+      | Coh Readex_req -> home_readex c ~requester:msg.src ~block
+      | Coh Upgrade_req -> home_upgrade c ~requester:msg.src ~block
+      | Coh (Fwd_read { requester }) ->
+        reply_from_salvage ~requester ~exclusive:false ~acks:0
+      | Coh (Fwd_readex { requester; acks }) ->
+        reply_from_salvage ~requester ~exclusive:true ~acks
+      | Coh (Inv { requester }) ->
+        (* the victim's sharer copy died with it; ack on its behalf so
+           the requester's count closes *)
+        if live requester then
+          send c ~dst:requester ~addr:block (Message.Coh Inv_ack)
+      | Coh (Data_reply _) | Coh (Upgrade_ack _) | Coh Inv_ack -> ()
+      | Sync Lock_req -> home_lock_req c ~requester:msg.src ~id:msg.addr
+      | Sync Unlock_msg -> home_unlock c ~id:msg.addr
+      | Sync Flag_set_msg -> home_flag_set c ~id:msg.addr
+      | Sync Flag_wait_req -> home_flag_wait c ~requester:msg.src ~id:msg.addr
+      | Sync Barrier_arrive -> home_barrier_arrive c ~who:msg.src
+      | Sync Lock_grant | Sync Flag_wake | Sync Barrier_release -> ()
+  end
+  else begin
+    (* a frame the dead node sent but that never arrived: completed
+       protocol obligations (replies, acks, grants, forwards it issued
+       as home) are re-driven; its own unfinished requests die with it *)
+    match msg.kind with
+    | Coh (Data_reply { exclusive; acks; _ }) ->
+      (* served from the victim's memory before it crashed; FIFO order
+         guarantees nothing younger overtook it, so the frozen image
+         still holds exactly these bytes — salvage and re-serve *)
+      reply_from_salvage ~requester:dst ~exclusive ~acks
+    | Coh (Upgrade_ack _) | Coh Inv_ack -> resend ~dst msg
+    | Coh (Inv { requester }) -> if live requester then resend ~dst msg
+    | Coh (Fwd_read { requester }) | Coh (Fwd_readex { requester; _ }) ->
+      if live requester then resend ~dst msg
+    | Sync Lock_grant | Sync Flag_wake | Sync Barrier_release ->
+      resend ~dst msg
+    | Coh Read_req | Coh Readex_req | Coh Upgrade_req
+    | Sync Lock_req | Sync Unlock_msg | Sync Flag_set_msg
+    | Sync Flag_wait_req | Sync Barrier_arrive -> ()
+  end
+
+let recover_directory c ~victim =
+  let vbit = 1 lsl victim in
+  Imap.iter
+    (fun block (e : dirent) ->
+      let sharers = e.sharers land lnot vbit in
+      if e.owner = victim then begin
+        act c (A_emit (E_dir_rebuild { block; from = victim }));
+        (* prefer a surviving sharer that still holds a valid copy *)
+        let candidate =
+          let rec go n =
+            if n >= c.cfg.nprocs then None
+            else if
+              sharers land (1 lsl n) <> 0
+              && not (is_crashed c.v n)
+              &&
+              match line_of (Imap.find n c.v.nodes) block with
+              | L_shared | L_exclusive -> true
+              | _ -> false
+            then Some n
+            else go (n + 1)
+          in
+          go 0
+        in
+        match candidate with
+        | Some n -> set_dir c block { owner = n; sharers }
+        | None ->
+          (* no live copy: salvage the victim's bytes here.  If a live
+             sharer's request is still pending its re-dispatched reply
+             resolves it; naming the lowest pending sharer owner keeps
+             the entry well-formed without claiming a copy we'd then
+             have to invalidate *)
+          act c (A_mem (M_adopt { block; from = victim }));
+          let pending_sharer =
+            let rec go n =
+              if n >= c.cfg.nprocs then None
+              else if sharers land (1 lsl n) <> 0 && not (is_crashed c.v n)
+              then Some n
+              else go (n + 1)
+            in
+            go 0
+          in
+          (match pending_sharer with
+           | Some n -> set_dir c block { owner = n; sharers }
+           | None ->
+             let cbit = 1 lsl c.node in
+             if Imap.mem block (nv c).pending then
+               (* our own request is in flight: the re-dispatched (or
+                  self-forwarded) reply completes it against this entry *)
+               set_dir c block { owner = c.node; sharers = cbit }
+             else begin
+               mem_op c (M_make_exclusive block);
+               set_dir c block { owner = c.node; sharers = cbit }
+             end)
+      end
+      else if sharers <> e.sharers then begin
+        act c (A_emit (E_dir_rebuild { block; from = victim }));
+        set_dir c block { e with sharers }
+      end)
+    c.v.dir
+
+let recover_locks c ~victim =
+  Imap.iter
+    (fun id (l : lockst) ->
+      let lq = List.filter (fun n -> n <> victim) l.lq in
+      match l.holder with
+      | Some h when h = victim -> begin
+        (* lease takeover: the dead holder never unlocks; grant the
+           next waiter so the queue makes progress *)
+        act c (A_emit (E_lease_takeover { id; from = victim }));
+        match lq with
+        | next :: rest ->
+          set_lock c id { holder = Some next; lq = rest };
+          grant_lock c ~to_:next ~id
+        | [] -> set_lock c id { holder = None; lq = [] }
+      end
+      | _ -> if lq <> l.lq then set_lock c id { l with lq })
+    c.v.locks
+
+let recover_flags c ~victim =
+  Imap.iter
+    (fun id (f : flagst) ->
+      let fw = List.filter (fun n -> n <> victim) f.fwaiters in
+      if fw <> f.fwaiters then set_flag c id { f with fwaiters = fw })
+    c.v.flags
+
+(* Forwarded requests parked in live nodes' service queues on behalf of
+   a now-dead requester would be answered into the void; drop them. *)
+let drop_dead_waiters c ~victim =
+  let keep (m : Message.t) =
+    match m.kind with
+    | Coh (Fwd_read { requester }) | Coh (Fwd_readex { requester; _ }) ->
+      requester <> victim
+    | _ -> true
+  in
+  let nodes =
+    Imap.mapi
+      (fun id (n : nview) ->
+        if id = victim || Imap.is_empty n.waiters then n
+        else
+          { n with
+            waiters =
+              Imap.filter_map
+                (fun _ q ->
+                  match List.filter keep q with [] -> None | q -> Some q)
+                n.waiters })
+      c.v.nodes
+  in
+  c.v <- { c.v with nodes }
+
+let node_crash c ~victim ~lost =
+  let vbit = 1 lsl victim in
+  if c.v.crashed land vbit = 0 then begin
+    let vv = Imap.find victim c.v.nodes in
+    c.v <-
+      { c.v with
+        crashed = c.v.crashed lor vbit;
+        halted = c.v.halted lor vbit;
+        (* a victim that had already arrived at the barrier is excused
+           via [halted], not counted as arrived — the masks must stay
+           disjoint *)
+        barrier_arrived = c.v.barrier_arrived land lnot vbit;
+        nodes = Imap.add victim empty_nview c.v.nodes };
+    recover_directory c ~victim;
+    recover_locks c ~victim;
+    recover_flags c ~victim;
+    drop_dead_waiters c ~victim;
+    (* forwarded requests parked in the victim's own service queue are
+       indistinguishable from forwards lost on the wire to it *)
+    Imap.iter
+      (fun _ q -> List.iter (fun m -> redispatch c ~victim (victim, m)) q)
+      vv.waiters;
+    List.iter (redispatch c ~victim) lost;
+    (* the victim will never arrive at the barrier: its absence may be
+       what the current episode was waiting on *)
+    barrier_maybe_release c;
+    check_wake c ~post:[]
+  end
+
+let node_recover c ~victim =
+  c.v <- { c.v with crashed = c.v.crashed land lnot (1 lsl victim) }
+
+(* ------------------------------------------------------------------ *)
 (* The transition function                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1115,7 +1407,9 @@ let step (cfg : cfg) (v : view) ~node (input : input) : action list * view =
    | I_flag_set id -> block_on c W_release (R_flag_set id)
    | I_flag_wait id -> rt_flag_wait c id
    | I_alloc { owner; blocks } -> alloc c ~owner ~blocks
-   | I_continue post -> run_post c post);
+   | I_continue post -> run_post c post
+   | I_node_crash { victim; lost } -> node_crash c ~victim ~lost
+   | I_node_recover victim -> node_recover c ~victim);
   (List.rev c.racc, c.v)
 
 (* ------------------------------------------------------------------ *)
@@ -1130,6 +1424,9 @@ let in_batch v ~node = (node_view v ~node).in_batch
 let dir_entry v ~block = Imap.find_opt block v.dir
 let dir_fold f v acc = Imap.fold (fun b e a -> f b e a) v.dir acc
 let wait_satisfied v ~node = wait_sat (node_view v ~node)
+let crashed_mask (v : view) = v.crashed
+let halted_mask (v : view) = v.halted
+let is_live (v : view) ~node = not (is_crashed v node)
 
 let sharer_count (e : dirent) =
   let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
@@ -1230,20 +1527,55 @@ let invariants (cfg : cfg) (v : view) : string list =
         err "node %d: waiting with no resume" id
       | _ -> ())
     v.nodes;
-  if v.barrier_arrived < 0 || v.barrier_arrived >= max 1 cfg.nprocs then
-    err "barrier_arrived %d out of range" v.barrier_arrived;
+  if v.barrier_arrived land lnot mask <> 0 then
+    err "barrier_arrived 0x%x has bits beyond %d procs" v.barrier_arrived
+      cfg.nprocs;
+  if v.barrier_arrived land v.halted <> 0 then
+    err "barrier_arrived 0x%x includes halted nodes 0x%x" v.barrier_arrived
+      v.halted;
+  if
+    v.barrier_arrived <> 0
+    && (v.barrier_arrived lor v.halted) land mask = mask
+  then
+    err "barrier_arrived 0x%x: release condition met but not released"
+      v.barrier_arrived;
+  (* crash-mask sanity: crashed ⊆ halted ⊆ procs, and no dead node may
+     appear in post-recovery protocol state *)
+  if v.halted land lnot mask <> 0 then
+    err "halted mask 0x%x has bits beyond %d procs" v.halted cfg.nprocs;
+  if v.crashed land lnot v.halted <> 0 then
+    err "crashed mask 0x%x not contained in halted mask 0x%x" v.crashed
+      v.halted;
+  if v.crashed <> 0 then
+    Imap.iter
+      (fun block (e : dirent) ->
+        if v.crashed land (1 lsl e.owner) <> 0 then
+          err "block 0x%x: owner %d is crashed" block e.owner;
+        if e.sharers land v.crashed <> 0 then
+          err "block 0x%x: crashed nodes 0x%x in sharer vector" block
+            (e.sharers land v.crashed))
+      v.dir;
   Imap.iter
     (fun id (l : lockst) ->
       (match l.holder with
        | Some h when h < 0 || h >= cfg.nprocs ->
          err "lock %d: holder %d out of range" id h
+       | Some h when v.crashed land (1 lsl h) <> 0 ->
+         err "lock %d: holder %d is crashed (missed takeover)" id h
        | None when l.lq <> [] ->
          err "lock %d: free but %d queued requesters" id (List.length l.lq)
        | _ -> ());
+      if List.exists (fun n -> v.crashed land (1 lsl n) <> 0) l.lq then
+        err "lock %d: crashed node still queued" id;
       let sorted = List.sort_uniq compare l.lq in
       if List.length sorted <> List.length l.lq then
         err "lock %d: duplicate queued requester" id)
     v.locks;
+  Imap.iter
+    (fun id (f : flagst) ->
+      if List.exists (fun n -> v.crashed land (1 lsl n) <> 0) f.fwaiters then
+        err "flag %d: crashed node still waiting" id)
+    v.flags;
   List.rev !errs
 
 (* Additional properties of QUIESCENT views: no requests in flight, all
@@ -1391,6 +1723,7 @@ let canon (v : view) : string =
         (String.concat "," (List.map string_of_int f.fwaiters)))
     v.flags;
   pf "B%d" v.barrier_arrived;
+  if v.halted <> 0 then pf ";X%x,%x" v.crashed v.halted;
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -1420,6 +1753,10 @@ let string_of_ev = function
   | E_barrier_passed -> "barrier_passed"
   | E_flag_raised id -> Printf.sprintf "flag_raised(%d)" id
   | E_flag_woken id -> Printf.sprintf "flag_woken(%d)" id
+  | E_lease_takeover { id; from } ->
+    Printf.sprintf "lease_takeover(%d,from=%d)" id from
+  | E_dir_rebuild { block; from } ->
+    Printf.sprintf "dir_rebuild(0x%x,from=%d)" block from
 
 let string_of_action = function
   | A_charge Request_issue -> "charge(request_issue)"
@@ -1443,6 +1780,8 @@ let string_of_action = function
     Printf.sprintf "mem(flag 0x%x,%d kept)" block (List.length keep)
   | A_mem (M_merge { block; written }) ->
     Printf.sprintf "mem(merge 0x%x,%d written)" block (List.length written)
+  | A_mem (M_adopt { block; from }) ->
+    Printf.sprintf "mem(adopt 0x%x from %d)" block from
   | A_block w -> "block " ^ string_of_wait w
   | A_stall w -> "wake " ^ string_of_wait w
   | A_refill -> "refill"
@@ -1470,3 +1809,7 @@ let string_of_input = function
   | I_alloc { owner; blocks } ->
     Printf.sprintf "alloc owner=%d (%d blocks)" owner (List.length blocks)
   | I_continue post -> Printf.sprintf "continue (%d post)" (List.length post)
+  | I_node_crash { victim; lost } ->
+    Printf.sprintf "node_crash victim=%d (%d lost frames)" victim
+      (List.length lost)
+  | I_node_recover victim -> Printf.sprintf "node_recover %d" victim

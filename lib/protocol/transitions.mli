@@ -64,7 +64,11 @@ type view = {
   nodes : nview Imap.t;
   locks : lockst Imap.t;
   flags : flagst Imap.t;
-  barrier_arrived : int;
+  barrier_arrived : int; (* bitmask of nodes waiting at the barrier *)
+  crashed : int; (* bitmask of currently-down nodes *)
+  halted : int; (* bitmask of ever-crashed nodes (monotone): a recovered
+                   node serves the protocol again but its program is
+                   gone, so barriers excuse it permanently *)
 }
 
 type cfg = { nprocs : int; page_bytes : int; sc : bool }
@@ -100,6 +104,8 @@ type ev =
   | E_barrier_passed
   | E_flag_raised of int
   | E_flag_woken of int
+  | E_lease_takeover of { id : int; from : int }
+  | E_dir_rebuild of { block : int; from : int }
 
 type memop =
   | M_make_exclusive of int
@@ -108,6 +114,10 @@ type memop =
   | M_make_pending of { block : int; shared : bool }
   | M_flag of { block : int; keep : int list }
   | M_merge of { block : int; written : (int * int) list }
+  | M_adopt of { block : int; from : int }
+    (* crash salvage: copy the block's bytes out of dead node [from]'s
+       frozen memory image into the acting node's memory (no line-state
+       change) *)
 
 type post =
   | P_register_acks of { block : int; acks : int }
@@ -148,6 +158,12 @@ type input =
   | I_flag_wait of int
   | I_alloc of { owner : int; blocks : int list }
   | I_continue of post list
+  | I_node_crash of { victim : int; lost : (int * Message.t) list }
+    (* stepped at a surviving coordinator: marks [victim] dead,
+       reconstructs directory entries it owned, reclaims its locks by
+       lease takeover, and re-dispatches/answers the purged [lost]
+       frames ([(dst, msg)] in send order) on its behalf *)
+  | I_node_recover of int
 
 val empty_nview : nview
 val init : cfg -> view
@@ -161,6 +177,10 @@ val step : cfg -> view -> node:int -> input -> action list * view
 
 val home_of : cfg -> int -> int
 
+val route : cfg -> view -> int -> int
+(* Effective home: the natural home, or its ring successor among live
+   nodes while it is crashed.  Identity when nothing is crashed. *)
+
 (* Accessors *)
 val node_view : view -> node:int -> nview
 val deferred_of : view -> node:int -> deferred list
@@ -170,6 +190,9 @@ val in_batch : view -> node:int -> bool
 val dir_entry : view -> block:int -> dirent option
 val dir_fold : (int -> dirent -> 'a -> 'a) -> view -> 'a -> 'a
 val wait_satisfied : view -> node:int -> wait -> bool
+val crashed_mask : view -> int
+val halted_mask : view -> int
+val is_live : view -> node:int -> bool
 val is_sharer : dirent -> int -> bool
 val sharer_list : dirent -> nprocs:int -> int list
 val sharer_count : dirent -> int

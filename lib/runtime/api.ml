@@ -16,6 +16,10 @@ type spec = {
   net_faults : Shasta_network.Network.faults option;
       (* None = the paper's reliable wire; Some f injects seeded
          drop/dup/reorder/delay under the reliable-delivery sublayer *)
+  node_faults : Nodefaults.t option;
+      (* None (or an event-free spec) = no crash injection; Some s
+         halts/restarts nodes per the schedule with lease-based
+         detection and directory reconstruction *)
   fixed_block : int option;
   granularity_threshold : int;
   consistency : State.consistency;
@@ -28,7 +32,7 @@ let default_spec prog =
   { prog; opts = Some Shasta.Opts.full; nprocs = 1;
     pipe = Shasta_machine.Pipeline.alpha_21064a;
     net = Shasta_network.Network.memory_channel; net_faults = None;
-    fixed_block = None;
+    node_faults = None; fixed_block = None;
     granularity_threshold = 1024; consistency = State.Release; obs = None }
 
 type result = {
@@ -58,6 +62,7 @@ let prepare spec =
     State.default_config ~nprocs:spec.nprocs ~line_shift
       ~consistency:spec.consistency ~pipe_config:spec.pipe
       ~net_profile:spec.net ?net_faults:spec.net_faults
+      ?node_faults:spec.node_faults
       ~granularity_threshold:spec.granularity_threshold
       ?fixed_block:spec.fixed_block ?obs:spec.obs ()
   in

@@ -16,6 +16,10 @@ type spec = {
           drop/dup/reorder/delay beneath the reliable-delivery
           sublayer (the protocol still sees exactly-once FIFO
           delivery, only slower) *)
+  node_faults : Nodefaults.t option;
+      (** [None] (or an event-free spec) = no crash injection; [Some s]
+          halts/restarts nodes per the schedule, with lease-based
+          detection, directory reconstruction and lock-lease takeover *)
   fixed_block : int option;  (** force one block size (ablations) *)
   granularity_threshold : int;
   consistency : State.consistency;

@@ -36,6 +36,13 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
   in
   let pid_addr = Shasta_minic.Compile.global_address compiled "__pid" in
   let np_addr = Shasta_minic.Compile.global_address compiled "__nprocs" in
+  (* crash-aware programs declare a [__crashed] global; the cluster
+     keeps it equal to the detected-crash mask on every live node *)
+  let crashed_addr =
+    match Shasta_minic.Compile.global_address_opt compiled "__crashed" with
+    | Some a -> a
+    | None -> -1
+  in
   let state =
     { State.config; image; nodes;
       net = Shasta_network.Network.create ?faults:config.net_faults
@@ -58,8 +65,10 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
       allocations = [];
       pid_addr;
       nprocs_addr = np_addr;
+      crashed_addr;
       record_inputs = false;
-      inputs_rev = [] }
+      inputs_rev = [];
+      fault_queue = [] }
   in
   (* Wire the interconnect and cache-model taps into the observability
      subsystem: every network send/delivery becomes a typed event,
@@ -103,7 +112,8 @@ let create ~(config : State.config) ~(compiled : Shasta_minic.Compile.compiled)
       Obs.emit obs ~site ~node:src ~time:now
         (Ev.Net_fault
            { dst; kind; retx = x.retx; backoff = x.backoff;
-             duplicated = x.duplicated; reordered = x.reordered }));
+             duplicated = x.duplicated; reordered = x.reordered;
+             timed_out = x.timed_out }));
   Array.iter
     (fun (n : Node.t) ->
       n.caches.on_miss <-
@@ -144,6 +154,7 @@ let reset_node_for (state : State.t) (node : Node.t) ~proc =
 let next_event_time (state : State.t) (node : Node.t) =
   match node.status with
   | Node.Running -> Node.time node
+  | Node.Crashed -> max_int (* never runs, never delivers *)
   | Node.Waiting _ | Node.Finished ->
     (match
        Shasta_network.Network.next_arrival state.net ~dst:node.id
@@ -153,12 +164,114 @@ let next_event_time (state : State.t) (node : Node.t) =
 
 exception Deadlock of string
 
+(* ------------------------------------------------------------------ *)
+(* Node crash/recovery injection (--node-faults)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Mirror the ever-crashed (halted) mask into every live node's
+   [__crashed] cell (declared by crash-aware programs; a private
+   global, so the write never touches the protocol).  Halted, not
+   currently-crashed: a recovered node serves protocol traffic again
+   but its program died with the crash, and that is what programs need
+   to know (e.g. which shards' data reflects a truncated plan). *)
+let write_crashed_cells (state : State.t) =
+  if state.crashed_addr >= 0 then begin
+    let mask = Shasta_protocol.Transitions.halted_mask state.proto in
+    Array.iter
+      (fun (n : Node.t) ->
+        if n.status <> Node.Crashed then
+          Memory.write_quad n.mem state.crashed_addr mask)
+      state.nodes
+  end
+
+(* Detection: purge the victim's in-flight frames off the wire and feed
+   the pure core the crash at the lowest surviving node, which becomes
+   the recovery coordinator (directory rebuild, lease takeover, re-sent
+   replies all run as its protocol work and are recorded for replay). *)
+let detect_crash (state : State.t) ~victim ~at =
+  let lost =
+    Shasta_network.Network.mark_dead state.net ~node:victim
+    |> List.map (fun (_src, dst, msg) -> (dst, msg))
+  in
+  let coord = ref (-1) in
+  Array.iter
+    (fun (n : Node.t) ->
+      if !coord < 0 && n.status <> Node.Crashed then coord := n.id)
+    state.nodes;
+  if !coord >= 0 then begin
+    let coord = state.nodes.(!coord) in
+    Pipeline.advance_to coord.pipe at;
+    Engine.node_crash state coord ~victim ~lost;
+    write_crashed_cells state
+  end
+
+let fire_fault (state : State.t) (at, (e : Nodefaults.event)) =
+  let obs = state.config.obs in
+  match e.what with
+  | Nodefaults.Crash ->
+    let victim = state.nodes.(e.node) in
+    if victim.status <> Node.Crashed then begin
+      (* crash-stop: the program dies here; the memory image freezes
+         (recovery salvages block bytes out of it) *)
+      Pipeline.advance_to victim.pipe at;
+      victim.status <- Node.Crashed;
+      victim.refill <- (fun () -> ());
+      victim.commit_store <- (fun () -> ());
+      Obs.emit obs ~node:e.node ~time:at (Ev.Node_crash { victim = e.node });
+      (* schedule detection at the liveness lease expiry over the
+         victim's last observed send — its implicit final heartbeat *)
+      let spec =
+        match state.config.node_faults with
+        | Some s -> s
+        | None -> Nodefaults.empty
+      in
+      let lease =
+        Shasta_network.Network.Lease.grant ~holder:e.node
+          ~now:(Shasta_network.Network.last_activity state.net ~node:e.node)
+          ~horizon:spec.lease
+      in
+      let d = max (at + 1) (Shasta_network.Network.Lease.expiry lease) in
+      state.fault_queue <-
+        List.merge
+          (fun (a, _) (b, _) -> compare a b)
+          state.fault_queue
+          [ (d, { Nodefaults.at = d; node = e.node; what = Nodefaults.Detect }) ]
+    end
+  | Nodefaults.Detect -> detect_crash state ~victim:e.node ~at
+  | Nodefaults.Recover ->
+    let victim = state.nodes.(e.node) in
+    if victim.status = Node.Crashed then begin
+      (* an undetected crash detects now: recovery must rejoin a clean
+         protocol identity, not resume half-stale pending state *)
+      if Shasta_protocol.Transitions.is_live state.proto ~node:e.node then
+        detect_crash state ~victim:e.node ~at;
+      state.fault_queue <-
+        List.filter
+          (fun (_, (f : Nodefaults.event)) ->
+            not (f.node = e.node && f.what = Nodefaults.Detect))
+          state.fault_queue;
+      Engine.node_recover state victim ~victim:e.node;
+      Shasta_network.Network.mark_live state.net ~node:e.node;
+      Pipeline.advance_to victim.pipe at;
+      (* protocol duties only: the node serves home/owner traffic again
+         but its program died with the crash *)
+      victim.status <- Node.Finished;
+      Obs.emit obs ~node:e.node ~time:at (Ev.Node_recover { victim = e.node });
+      write_crashed_cells state
+    end
+
+let next_fault_time (state : State.t) =
+  match state.fault_queue with [] -> max_int | (t, _) :: _ -> t
+
 (* Run the scheduler until every node has finished and the network has
    drained. *)
 let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
   let events = ref 0 in
   let finished () =
-    Array.for_all (fun (n : Node.t) -> n.status = Node.Finished) state.nodes
+    Array.for_all
+      (fun (n : Node.t) ->
+        n.status = Node.Finished || n.status = Node.Crashed)
+      state.nodes
     && Shasta_network.Network.in_flight state.net = 0
   in
   while not (finished ()) do
@@ -174,7 +287,20 @@ let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
           best := n.id
         end)
       state.nodes;
-    if !best < 0 then begin
+    (* a scheduled fault fires once simulated time reaches it — i.e. no
+       node has an earlier event.  The [best < 0] arm matters: before a
+       crash is detected, every live node may be blocked on the victim
+       with nothing in flight; that is the detector's cue, not a
+       deadlock. *)
+    let nft = next_fault_time state in
+    if nft < max_int && (!best < 0 || nft <= !best_t) then begin
+      match state.fault_queue with
+      | [] -> assert false
+      | entry :: rest ->
+        state.fault_queue <- rest;
+        fire_fault state entry
+    end
+    else if !best < 0 then begin
       let diag =
         Array.to_list state.nodes
         |> List.map (fun (n : Node.t) ->
@@ -182,6 +308,7 @@ let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
             (match n.status with
              | Node.Running -> "run"
              | Node.Finished -> "done"
+             | Node.Crashed -> "crashed"
              | Node.Waiting (Node.W_blocks bs) ->
                Printf.sprintf "blocks[%s]"
                  (String.concat ","
@@ -191,13 +318,16 @@ let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
         |> String.concat " "
       in
       raise (Deadlock diag)
-    end;
-    let node = state.nodes.(!best) in
-    match node.status with
-    | Node.Running -> ignore (Exec.run state node ~fuel:400)
-    | Node.Waiting _ | Node.Finished ->
-      if not (Engine.deliver_next state node) then
-        raise (Deadlock "waiting node has no incoming messages")
+    end
+    else begin
+      let node = state.nodes.(!best) in
+      match node.status with
+      | Node.Running -> ignore (Exec.run state node ~fuel:400)
+      | Node.Crashed -> assert false (* never the earliest event *)
+      | Node.Waiting _ | Node.Finished ->
+        if not (Engine.deliver_next state node) then
+          raise (Deadlock "waiting node has no incoming messages")
+    end
   done
 
 let snapshot_counters (n : Node.t) =
@@ -254,6 +384,22 @@ let run_app ?(init_proc = "appinit") ?(work_proc = "work") (state : State.t) =
       Pipeline.advance_to n.pipe t0;
       reset_node_for state n ~proc:work_proc)
     nodes;
+  (* arm the crash schedule: spec cycles are parallel-phase relative,
+     the queue holds absolute times.  With no events (or no spec) the
+     queue stays empty and the scheduler never looks at the clock — the
+     run is byte-identical to one without the layer. *)
+  (match state.config.node_faults with
+   | Some spec when not (Nodefaults.is_off spec) ->
+     let spec = Nodefaults.resolve spec ~nprocs:state.config.nprocs in
+     List.iter
+       (fun (e : Nodefaults.event) ->
+         if e.node < 0 || e.node >= state.config.nprocs then
+           invalid_arg
+             (Printf.sprintf "node-faults: node %d out of range" e.node))
+       spec.events;
+     state.fault_queue <-
+       List.map (fun (e : Nodefaults.event) -> (t0 + e.at, e)) spec.events
+   | _ -> state.fault_queue <- []);
   let before = Array.map snapshot_counters nodes in
   let sent0, pay0 = Shasta_network.Network.stats state.net in
   let metrics0 = Shasta_obs.Metrics.copy (Obs.metrics state.config.obs) in

@@ -120,6 +120,8 @@ let ev_of (e : T.ev) : Ev.t =
   | T.E_barrier_passed -> Ev.Barrier_passed
   | T.E_flag_raised id -> Ev.Flag_raised { id }
   | T.E_flag_woken id -> Ev.Flag_woken { id }
+  | T.E_lease_takeover { id; from } -> Ev.Lease_takeover { id; from }
+  | T.E_dir_rebuild { block; from } -> Ev.Dir_rebuild { block; from }
 
 (* Data replies leave the core with an empty payload: read the block out
    of this node's memory at apply time.  No memory action can intervene
@@ -225,6 +227,15 @@ and apply_mem state (node : Node.t) (op : T.memop) =
     let wtbl = Hashtbl.create 8 in
     List.iter (fun (a, v) -> Hashtbl.replace wtbl a v) written;
     Tables.merge_block_data node ~addr:block ~written:wtbl data
+  | T.M_adopt { block; from } ->
+    (* crash salvage: copy the block's bytes out of the dead node's
+       frozen memory image (its pipeline never runs again, so the image
+       is stable); a pure byte copy — no state-table change *)
+    let victim = state.State.nodes.(from) in
+    let len = block_len state block in
+    let data = Tables.read_block victim ~addr:block ~len in
+    Memory.blit_in node.mem ~addr:block data;
+    Cache.dinvalidate node.caches ~addr:block ~len
 
 (* Store miss.  With [store_done] (the scheduled check of Section 3.1),
    the store has already written memory and the handler is non-stalling
@@ -424,3 +435,18 @@ let rt_flag_wait state (node : Node.t) id =
    view, owned exclusively by [owner]. *)
 let alloc_blocks state ~owner blocks =
   step state state.State.nodes.(owner) (T.I_alloc { owner; blocks })
+
+(* ------------------------------------------------------------------ *)
+(* Node fault injection (called by the cluster scheduler)               *)
+(* ------------------------------------------------------------------ *)
+
+(* The detected-crash step runs at the surviving coordinator: the pure
+   core gets the victim's purged in-flight frames (global send order)
+   and returns the recovery work — directory rebuilds, lease takeovers,
+   salvage copies, re-sent replies — as the coordinator's own actions.
+   Recorded like any other input, so --replay reproduces recovery. *)
+let node_crash state (coord : Node.t) ~victim ~lost =
+  step state coord (T.I_node_crash { victim; lost })
+
+let node_recover state (node : Node.t) ~victim =
+  step state node (T.I_node_recover victim)

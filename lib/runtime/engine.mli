@@ -41,3 +41,16 @@ val deliver_next : State.t -> Node.t -> bool
 val alloc_blocks : State.t -> owner:int -> int list -> unit
 (** Register freshly allocated blocks with the directory inside the
     pure view, owned exclusively by [owner]. *)
+
+(* -- node fault injection (called by the cluster scheduler) -- *)
+
+val node_crash :
+  State.t -> Node.t -> victim:int ->
+  lost:(int * Shasta_protocol.Message.t) list -> unit
+(** Feed the pure core a detected crash of [victim], run at the
+    surviving coordinator node.  [lost] are the victim's purged
+    in-flight frames as [(dst, msg)] in global send order. *)
+
+val node_recover : State.t -> Node.t -> victim:int -> unit
+(** Rejoin [victim] to protocol duties (clears its crashed bit in the
+    pure view). *)

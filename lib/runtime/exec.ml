@@ -110,7 +110,7 @@ let run state (node : Node.t) ~fuel =
   (try
      while !result = None do
        match node.status with
-       | Node.Finished -> yield Y_done
+       | Node.Finished | Node.Crashed -> yield Y_done
        | Node.Waiting _ -> yield Y_blocked
        | Node.Running ->
          let fp = image.Image.fprocs.(node.pc_proc) in
@@ -329,7 +329,7 @@ let run state (node : Node.t) ~fuel =
   match !result with
   | Some r ->
     (match node.status with
-     | Node.Finished -> Y_done
+     | Node.Finished | Node.Crashed -> Y_done
      | Node.Waiting _ -> Y_blocked
      | Node.Running -> r)
   | None -> assert false

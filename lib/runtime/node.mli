@@ -15,7 +15,14 @@ type wait = Shasta_protocol.Transitions.wait =
   | W_release (* until no pending blocks and no outstanding acks *)
   | W_sync (* until a synchronization signal (grant/release/wake) *)
 
-type status = Running | Waiting of wait | Finished
+type status =
+  | Running
+  | Waiting of wait
+  | Finished
+  | Crashed
+    (* halted by the fault injector: the program never resumes and no
+       message is ever delivered again; the memory image stays frozen
+       so recovery can salvage block bytes out of it *)
 
 type counters = {
   mutable read_misses : int;

@@ -25,6 +25,10 @@ type config = {
       (* None: the paper's reliable interconnect.  Some f: a faulty
          wire under the reliable-delivery sublayer (shasta_run
          --net-faults) *)
+  node_faults : Nodefaults.t option;
+      (* None (or a spec with no events): no crash injection, and the
+         run is byte-identical to one without the layer.  Some s: halt
+         and restart nodes per the schedule (shasta_run --node-faults) *)
   costs : Costs.t;
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
@@ -37,13 +41,13 @@ type config = {
 let default_config ?(nprocs = 1) ?(line_shift = 6)
     ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
     ?(net_profile = Shasta_network.Network.memory_channel) ?net_faults
-    ?(costs = Costs.default) ?(granularity_threshold = 1024) ?fixed_block
-    ?obs () =
+    ?node_faults ?(costs = Costs.default) ?(granularity_threshold = 1024)
+    ?fixed_block ?obs () =
   let obs =
     match obs with Some o -> o | None -> Shasta_obs.Obs.create ~nprocs ()
   in
   { nprocs; line_shift; consistency; pipe_config; net_profile; net_faults;
-    costs; granularity_threshold; fixed_block; obs }
+    node_faults; costs; granularity_threshold; fixed_block; obs }
 
 (* Home pages are assigned round-robin at this page size (Section 2.1). *)
 let page_bytes = 8192
@@ -67,11 +71,20 @@ type t = {
   mutable allocations : (int * int) list; (* base, rounded bytes *)
   pid_addr : int; (* static address of the __pid cell *)
   nprocs_addr : int;
+  crashed_addr : int;
+  (* static address of the __crashed cell (-1 when the program does not
+     declare one): a per-node private mask of nodes whose programs have
+     died, maintained by the cluster at crash detection so programs can
+     account for shards served by a truncated plan *)
   (* deterministic replay: when [record_inputs] is set, every
      (node, input) fed to Transitions.step is logged so the run can be
      reproduced through the pure core alone (shasta_run --replay) *)
   mutable record_inputs : bool;
   mutable inputs_rev : (int * Transitions.input) list;
+  (* node-fault injection: schedule entries become (absolute cycle,
+     event) once the timed phase starts; the scheduler fires them when
+     simulated time reaches them *)
+  mutable fault_queue : (int * Nodefaults.event) list;
 }
 
 let line_bytes t = 1 lsl t.config.line_shift

@@ -18,6 +18,10 @@ type config = {
   pipe_config : Pipeline.config;
   net_profile : Shasta_network.Network.profile;
   net_faults : Shasta_network.Network.faults option;
+  node_faults : Nodefaults.t option;
+      (* None (or a spec with no events): no crash injection, and the
+         run is byte-identical to one without the layer.  Some s: halt
+         and restart nodes per the schedule (shasta_run --node-faults) *)
   costs : Costs.t;
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
@@ -31,6 +35,7 @@ val default_config :
   ?pipe_config:Pipeline.config ->
   ?net_profile:Shasta_network.Network.profile ->
   ?net_faults:Shasta_network.Network.faults ->
+  ?node_faults:Nodefaults.t ->
   ?costs:Costs.t ->
   ?granularity_threshold:int ->
   ?fixed_block:int ->
@@ -59,11 +64,20 @@ type t = {
   mutable allocations : (int * int) list; (* base, rounded bytes *)
   pid_addr : int; (* static address of the __pid cell *)
   nprocs_addr : int;
+  crashed_addr : int;
+  (* static address of the __crashed cell (-1 when the program does not
+     declare one): a per-node private mask of nodes whose programs have
+     died, maintained by the cluster at crash detection so programs can
+     account for shards served by a truncated plan *)
   (* deterministic replay: when [record_inputs] is set, every
      (node, input) fed to Transitions.step is logged so the run can be
      reproduced through the pure core alone (shasta_run --replay) *)
   mutable record_inputs : bool;
   mutable inputs_rev : (int * Transitions.input) list;
+  (* node-fault injection: schedule entries become (absolute cycle,
+     event) once the timed phase starts; the scheduler fires them when
+     simulated time reaches them *)
+  mutable fault_queue : (int * Nodefaults.event) list;
 }
 
 val line_bytes : t -> int

@@ -19,6 +19,7 @@ type t = {
   verify_errors : int;
   population : int;
   checksum : int;
+  lost : int;
   owned : int array;
 }
 
@@ -68,6 +69,7 @@ let parse output =
   let verify_errors = next "verify_errors" in
   let population = next "population" in
   let checksum = next "checksum" in
+  let lost = next "lost" in
   let owned = Array.init nprocs (fun _ -> next "owned") in
   if !rest <> [] then
     failwith
@@ -75,7 +77,7 @@ let parse output =
          (List.length !rest));
   { nprocs; nkeys; ops; load_ops; gets; puts; dels; scans; errors;
     lat_sum; lat_max; hist; per_node; overflows; migrations;
-    verify_errors; population; checksum; owned }
+    verify_errors; population; checksum; lost; owned }
 
 (* Zero every cycle-counter-derived field.  What remains is fixed by
    the workload plan and the table logic alone, so it must be identical
@@ -128,8 +130,11 @@ let render ?label t =
     (if n = 0 then 0.0 else float_of_int t.lat_sum /. float_of_int n)
     (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
     (percentile t 99.9) t.lat_max;
-  pf "table       : %d keys live, checksum %d, %d dropped puts\n"
-    t.population t.checksum t.overflows;
+  pf "table       : %d keys live, checksum %d, %d dropped puts%s\n"
+    t.population t.checksum t.overflows
+    (if t.lost > 0 then
+       Printf.sprintf ", %d lost to crashed shards" t.lost
+     else "");
   pf "shards      : %d handoffs, owned per node:" t.migrations;
   Array.iter (fun c -> pf " %d" c) t.owned;
   pf "\n";
@@ -140,8 +145,9 @@ let to_json ~workload t =
     "{\"workload\": \"%s\", \"procs\": %d, \"simulated_cycles\": %d, \
      \"ops\": %d, \"ops_per_mcycle\": %.3f, \"p50\": %d, \"p95\": %d, \
      \"p99\": %d, \"p999\": %d, \"lat_max\": %d, \"errors\": %d, \
-     \"overflows\": %d, \"migrations\": %d, \"population\": %d}"
+     \"overflows\": %d, \"migrations\": %d, \"population\": %d, \
+     \"lost\": %d}"
     workload t.nprocs (run_cycles t) t.ops (ops_per_mcycle t)
     (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
     (percentile t 99.9) t.lat_max (t.errors + t.verify_errors) t.overflows
-    t.migrations t.population
+    t.migrations t.population t.lost

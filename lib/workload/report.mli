@@ -26,6 +26,10 @@ type t = {
   verify_errors : int;  (** violations during the final sweep *)
   population : int;
   checksum : int;
+  lost : int;
+      (** keys skipped by the final sweep because their loading node's
+          program crashed mid-plan (their state reflects an unknowable
+          plan prefix) *)
   owned : int array;  (** final shard-ownership count per node *)
 }
 

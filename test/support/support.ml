@@ -4,11 +4,11 @@ open Shasta_runtime
 
 (* Run a MiniC program and return (printed output, phase result). *)
 let run ?(opts = Some Shasta.Opts.full) ?(nprocs = 1)
-    ?(net = Shasta_network.Network.memory_channel) ?net_faults ?fixed_block
-    ?obs ?(init_proc = "appinit") ?(work_proc = "work") prog =
+    ?(net = Shasta_network.Network.memory_channel) ?net_faults ?node_faults
+    ?fixed_block ?obs ?(init_proc = "appinit") ?(work_proc = "work") prog =
   let spec =
     { (Api.default_spec prog) with
-      opts; nprocs; net; net_faults; fixed_block; obs }
+      opts; nprocs; net; net_faults; node_faults; fixed_block; obs }
   in
   let r = Api.run ~init_proc ~work_proc spec in
   (r.phase.output, r)
@@ -41,14 +41,14 @@ let qtest name ?(count = 100) gen prop =
    the byte-exact protocol behaviour of the run — the golden-trace
    suite digests it to pin workloads down across refactors. *)
 let run_trace ?(opts = Some Shasta.Opts.full) ?(nprocs = 1) ?net ?net_faults
-    prog =
+    ?node_faults prog =
   let obs = Shasta_obs.Obs.create ~nprocs () in
   let lines = ref [] in
   Shasta_obs.Obs.attach obs
     { Shasta_obs.Sink.on_record =
         (fun r -> lines := Shasta_obs.Sink.line r :: !lines);
       flush = (fun () -> ()) };
-  let out, r = run ~opts ~nprocs ?net ?net_faults ~obs prog in
+  let out, r = run ~opts ~nprocs ?net ?net_faults ?node_faults ~obs prog in
   (List.rev !lines, out, r)
 
 (* Digest a trace in fixed-size chunks so a mismatch can be narrowed to

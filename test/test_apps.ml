@@ -37,7 +37,7 @@ let t_sht (e : Apps.entry) () =
     (fun nprocs ->
       let out, _ = Test_support.Support.run ~nprocs prog in
       let r = Report.parse out in
-      let s = Sht.shadow ~wl:Apps.sht_test_wl ~nprocs in
+      let s = Sht.shadow ~wl:Apps.sht_test_wl ~nprocs () in
       Alcotest.(check int)
         (Printf.sprintf "consistency violations at %d procs" nprocs)
         0

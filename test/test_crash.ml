@@ -1,0 +1,340 @@
+(* Node crash/recovery fault-tolerance suite.
+
+   Four layers, bottom up:
+
+   - QCheck properties of the pure lease arithmetic ([Network.Lease]):
+     a lease never expires before its grant horizon, heartbeat renewal
+     is exactly-once per sequence number and monotone, takeover to the
+     current holder is the identity and epoch bumps fence stale
+     holders.
+
+   - [Nodefaults] spec parsing: round trips, wildcard victim
+     resolution (seeded, deterministic, never node 0), malformed specs
+     rejected.
+
+   - Zero-schedule identity: a --node-faults spec with no events must
+     leave the canonical event trace byte-identical to a run without
+     the layer at all (the golden suite pins the absent case; this
+     pins Some-but-empty against it).
+
+   - Live crash runs: a lock held by a crashed node is reclaimed by
+     lease takeover so waiters progress; the P=4 KV service survives a
+     node crash mid-run (directory reconstruction, salvaged data, the
+     crash-aware final sweep) with its data outcome matching the
+     [Sht.shadow ~dead] oracle; crash followed by recovery rejoins the
+     node to protocol duty; recorded crash inputs replay exactly
+     through the pure core; runs are deterministic. *)
+
+module Support = Test_support.Support
+module Network = Shasta_network.Network
+module Lease = Shasta_network.Network.Lease
+module Report = Shasta_workload.Report
+module Obs = Shasta_obs.Obs
+open Shasta_runtime
+open Shasta_apps
+
+(* ------------------------------------------------------------------ *)
+(* Lease arithmetic properties                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_lease =
+  QCheck2.Gen.(
+    quad (int_range 0 7) (int_range 0 1_000_000) (int_range 1 100_000)
+      (small_list (pair small_nat (int_range 0 2_000_000))))
+
+let t_lease_horizon =
+  Support.qtest "lease never expires before grant horizon" gen_lease
+    (fun (h, now, hz, hbs) ->
+      let l = Lease.grant ~holder:h ~now ~horizon:hz in
+      Lease.expiry l >= now + hz
+      && (not (Lease.expired l ~now))
+      && List.for_all
+           (fun (seq, at) ->
+             let l', _ = Lease.heartbeat l ~seq ~now:at in
+             Lease.expiry l' >= Lease.expiry l)
+           hbs)
+
+let t_lease_heartbeat =
+  Support.qtest "heartbeat renewal is exactly-once per seq" gen_lease
+    (fun (h, now, hz, hbs) ->
+      let l = ref (Lease.grant ~holder:h ~now ~horizon:hz) in
+      List.for_all
+        (fun (seq, at) ->
+          let l1, fresh1 = Lease.heartbeat !l ~seq ~now:at in
+          (* redelivery of the same sequence number is a no-op *)
+          let l2, fresh2 = Lease.heartbeat l1 ~seq ~now:(at + 17) in
+          let ok =
+            (not fresh2) && l2 = l1
+            && Lease.expiry l1 >= Lease.expiry !l
+            && (fresh1 || l1 = !l)
+          in
+          l := l1;
+          ok)
+        hbs)
+
+let t_lease_takeover =
+  Support.qtest "takeover idempotent, epoch fences stale holders"
+    gen_lease
+    (fun (h, now, hz, _) ->
+      let l = Lease.grant ~holder:h ~now ~horizon:hz in
+      let w = h + 1 in
+      let t1 = Lease.takeover l ~new_holder:w ~now:(now + hz) in
+      let t2 = Lease.takeover t1 ~new_holder:w ~now:(now + hz + 999) in
+      Lease.takeover l ~new_holder:h ~now = l (* to current holder: id *)
+      && Lease.holder t1 = w
+      && Lease.epoch t1 = Lease.epoch l + 1
+      && t2 = t1 (* racing takeovers by the same claimant converge *)
+      && Lease.expiry t1 >= now + hz)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule parsing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let t_spec_parse () =
+  Alcotest.(check bool) "none is None" true (Nodefaults.of_string "none" = None);
+  Alcotest.(check bool) "empty is None" true (Nodefaults.of_string "" = None);
+  let s = Option.get (Nodefaults.of_string "crash=2@5000,recover=2@90000,lease=1234") in
+  Alcotest.(check int) "lease" 1234 s.Nodefaults.lease;
+  Alcotest.(check int) "events" 2 (List.length s.Nodefaults.events);
+  (match s.Nodefaults.events with
+   | [ a; b ] ->
+     Alcotest.(check bool) "sorted by cycle" true
+       (a.Nodefaults.at = 5000 && a.node = 2 && a.what = Nodefaults.Crash
+        && b.at = 90000 && b.what = Nodefaults.Recover)
+   | _ -> Alcotest.fail "expected two events");
+  let s = Option.get (Nodefaults.of_string "crash=*@100,seed=7") in
+  let r1 = Nodefaults.resolve s ~nprocs:4 in
+  let r2 = Nodefaults.resolve s ~nprocs:4 in
+  Alcotest.(check bool) "wildcard resolution deterministic" true (r1 = r2);
+  (match r1.Nodefaults.events with
+   | [ e ] ->
+     Alcotest.(check bool) "victim in range, never node 0" true
+       (e.Nodefaults.node >= 1 && e.node < 4)
+   | _ -> Alcotest.fail "expected one event");
+  List.iter
+    (fun bad ->
+      Alcotest.check_raises ("rejects " ^ bad)
+        (Invalid_argument
+           (match bad with
+            | "crash=3" -> "node-faults: expected NODE@CYCLE, got \"3\""
+            | "lease=0" -> "node-faults: lease must be positive"
+            | _ -> "node-faults: unknown key \"frob\""))
+        (fun () -> ignore (Nodefaults.of_string bad)))
+    [ "crash=3"; "lease=0"; "frob=1" ]
+
+(* ------------------------------------------------------------------ *)
+(* Zero-schedule identity                                              *)
+(* ------------------------------------------------------------------ *)
+
+let t_zero_schedule_identity () =
+  let _, nprocs, make = List.hd Support.golden_runs in
+  let base, out0, _ = Support.run_trace ~nprocs (make ()) in
+  let spec = Option.get (Nodefaults.of_string "lease=777") in
+  Alcotest.(check bool) "event-free spec is off" true (Nodefaults.is_off spec);
+  let got, out1, _ =
+    Support.run_trace ~nprocs ~node_faults:spec (make ())
+  in
+  Alcotest.(check string) "output identical" out0 out1;
+  Alcotest.(check int) "trace length identical" (List.length base)
+    (List.length got);
+  List.iteri
+    (fun k (a, b) ->
+      if a <> b then
+        Alcotest.failf "trace diverges at line %d:\n  -%s\n  +%s" k a b)
+    (List.combine base got)
+
+(* ------------------------------------------------------------------ *)
+(* Lock-lease takeover: a crashed holder's lock is reclaimed           *)
+(* ------------------------------------------------------------------ *)
+
+let locked_prog () =
+  let open Shasta_minic.Builder in
+  let open Shasta_minic.Ast in
+  prog
+    ~globals:[ ("cnt", I) ]
+    [ proc "appinit" [ gset "cnt" (Gmalloc (i 8)); sti (g "cnt") (i 0) (i 0) ];
+      proc "work"
+        [ if_ (Pid ==% i 1)
+            [ (* acquire, then die holding the lock (the injector fires
+                 mid-spin); the unlock below never runs *)
+              lock (i 5);
+              let_i "x" (i 0);
+              for_ "t" (i 0) (i 300_000) [ set "x" (v "x" +% i 1) ];
+              sti (g "cnt") (i 0) (ldi (g "cnt") (i 0) +% v "x");
+              unlock (i 5)
+            ]
+            [ lock (i 5);
+              sti (g "cnt") (i 0) (ldi (g "cnt") (i 0) +% i 1);
+              unlock (i 5)
+            ];
+          barrier;
+          when_ (Pid ==% i 0) [ print_int (ldi (g "cnt") (i 0)) ]
+        ]
+    ]
+
+let t_lock_takeover () =
+  let obs = Obs.create ~nprocs:4 () in
+  let spec = Option.get (Nodefaults.of_string "crash=1@60000,lease=5000") in
+  let out, r = Support.run ~nprocs:4 ~node_faults:spec ~obs (locked_prog ()) in
+  (* nodes 0, 2, 3 each bump the counter; the victim never does *)
+  Alcotest.(check string) "survivors' critical sections all ran" "3\n" out;
+  let m = Obs.metrics obs in
+  let total c = Obs.Metrics.counter_total m c in
+  Alcotest.(check int) "one crash" 1 (total Obs.c_node_crash);
+  Alcotest.(check bool) "lock lease taken over" true
+    (total Obs.c_lease_takeover >= 1);
+  Alcotest.(check bool) "victim halted in the pure view" true
+    (Shasta_protocol.Transitions.halted_mask r.Api.state.State.proto = 0b10)
+
+(* ------------------------------------------------------------------ *)
+(* KV service under a node crash                                       *)
+(* ------------------------------------------------------------------ *)
+
+let kv_prog () = Sht.program ~cfg:Apps.sht_test_cfg ~wl:Apps.sht_test_wl ()
+
+let nprocs = 4
+let keys_per_node = Apps.sht_test_wl.Shasta_workload.Workload.nkeys / nprocs
+
+(* Crash cycle: mid parallel phase of the fault-free run, derived once
+   so the schedule stays meaningful if the workload's length drifts. *)
+let mid_run =
+  lazy
+    (let _, r = Support.run ~nprocs (kv_prog ()) in
+     r.Api.phase.Cluster.wall_cycles / 2)
+
+let check_kv_outcome ~dead ~label (r : Report.t) =
+  let s = Sht.shadow ~dead ~wl:Apps.sht_test_wl ~nprocs () in
+  Alcotest.(check int)
+    (label ^ ": no consistency violations") 0
+    (r.Report.errors + r.Report.verify_errors);
+  Alcotest.(check int)
+    (label ^ ": lost keys = crashed shards")
+    (keys_per_node * List.length dead)
+    r.Report.lost;
+  Alcotest.(check int)
+    (label ^ ": population matches oracle") s.Sht.s_population
+    r.Report.population;
+  Alcotest.(check bool)
+    (label ^ ": checksum matches oracle") true
+    (r.Report.checksum = s.Sht.s_checksum)
+
+let t_kv_crash () =
+  let obs = Obs.create ~nprocs () in
+  let spec =
+    Option.get
+      (Nodefaults.of_string
+         (Printf.sprintf "crash=2@%d,lease=3000" (Lazy.force mid_run)))
+  in
+  let out, r = Support.run ~nprocs ~node_faults:spec ~obs (kv_prog ()) in
+  check_kv_outcome ~dead:[ 2 ] ~label:"crash" (Report.parse out);
+  let m = Obs.metrics obs in
+  let total c = Obs.Metrics.counter_total m c in
+  Alcotest.(check int) "one crash" 1 (total Obs.c_node_crash);
+  Alcotest.(check int) "no recovery" 0 (total Obs.c_node_recover);
+  Alcotest.(check bool) "directory entries rebuilt" true
+    (total Obs.c_dir_rebuild > 0);
+  Alcotest.(check bool) "protocol invariants hold post-crash" true
+    (Shasta_protocol.Transitions.invariants r.Api.state.State.tcfg
+       r.Api.state.State.proto
+     = [])
+
+let t_kv_crash_recover () =
+  let obs = Obs.create ~nprocs () in
+  let mid = Lazy.force mid_run in
+  let spec =
+    Option.get
+      (Nodefaults.of_string
+         (Printf.sprintf "crash=2@%d,recover=2@%d,lease=3000" mid (mid * 3 / 2)))
+  in
+  let out, r = Support.run ~nprocs ~node_faults:spec ~obs (kv_prog ()) in
+  check_kv_outcome ~dead:[ 2 ] ~label:"crash+recover" (Report.parse out);
+  let m = Obs.metrics obs in
+  let total c = Obs.Metrics.counter_total m c in
+  Alcotest.(check int) "one crash" 1 (total Obs.c_node_crash);
+  Alcotest.(check int) "one recovery" 1 (total Obs.c_node_recover);
+  let v = r.Api.state.State.proto in
+  Alcotest.(check int) "no node currently crashed" 0
+    (Shasta_protocol.Transitions.crashed_mask v);
+  Alcotest.(check int) "victim's halt is permanent" 0b100
+    (Shasta_protocol.Transitions.halted_mask v)
+
+(* A wildcard victim at a different seed, for coverage of the seeded
+   pick through the whole stack. *)
+let t_kv_crash_wildcard () =
+  let spec =
+    Option.get
+      (Nodefaults.of_string
+         (Printf.sprintf "crash=*@%d,seed=11,lease=3000" (Lazy.force mid_run)))
+  in
+  let resolved = Nodefaults.resolve spec ~nprocs in
+  let victim =
+    match resolved.Nodefaults.events with
+    | [ e ] -> e.Nodefaults.node
+    | _ -> Alcotest.fail "expected one event"
+  in
+  let out, _ = Support.run ~nprocs ~node_faults:spec (kv_prog ()) in
+  check_kv_outcome ~dead:[ victim ] ~label:"wildcard" (Report.parse out)
+
+(* Crash runs replay exactly through the pure core: the recorded input
+   log (which includes I_node_crash with the purged frames) must land
+   on the live run's final view. *)
+let t_crash_replay () =
+  let spec =
+    Option.get
+      (Nodefaults.of_string
+         (Printf.sprintf "crash=2@%d,lease=3000" (Lazy.force mid_run)))
+  in
+  let api_spec =
+    { (Api.default_spec (kv_prog ())) with
+      nprocs; node_faults = Some spec }
+  in
+  let state, _, _ = Api.prepare api_spec in
+  state.State.record_inputs <- true;
+  let _ = Cluster.run_app state in
+  let res = Replay.replay state in
+  Alcotest.(check bool) "crash run replays through the pure core" true
+    (Replay.ok res);
+  Alcotest.(check bool) "crash input recorded" true
+    (List.exists
+       (fun (_, i) ->
+         match i with
+         | Shasta_protocol.Transitions.I_node_crash _ -> true
+         | _ -> false)
+       state.State.inputs_rev)
+
+let t_crash_deterministic () =
+  let spec =
+    Option.get
+      (Nodefaults.of_string
+         (Printf.sprintf "crash=2@%d,lease=3000" (Lazy.force mid_run)))
+  in
+  let go () =
+    let out, r = Support.run ~nprocs ~node_faults:spec (kv_prog ()) in
+    (out, r.Api.phase.Cluster.wall_cycles)
+  in
+  let o1, w1 = go () in
+  let o2, w2 = go () in
+  Alcotest.(check string) "same output" o1 o2;
+  Alcotest.(check int) "same wall cycles" w1 w2
+
+let () =
+  Alcotest.run "crash"
+    [ ( "lease",
+        [ t_lease_horizon; t_lease_heartbeat; t_lease_takeover ] );
+      ( "schedule",
+        [ Alcotest.test_case "spec parsing" `Quick t_spec_parse;
+          Alcotest.test_case "zero schedule is byte-identical" `Quick
+            t_zero_schedule_identity
+        ] );
+      ( "takeover",
+        [ Alcotest.test_case "lock reclaimed from crashed holder" `Quick
+            t_lock_takeover
+        ] );
+      ( "kv",
+        [ Alcotest.test_case "crash mid-run" `Quick t_kv_crash;
+          Alcotest.test_case "crash then recover" `Quick t_kv_crash_recover;
+          Alcotest.test_case "wildcard victim" `Quick t_kv_crash_wildcard;
+          Alcotest.test_case "replay through pure core" `Quick t_crash_replay;
+          Alcotest.test_case "deterministic" `Quick t_crash_deterministic
+        ] )
+    ]

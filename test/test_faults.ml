@@ -41,7 +41,8 @@ let add_stats (a : Network.fault_stats) (b : Network.fault_stats) =
     dups = a.dups + b.dups;
     retxs = a.retxs + b.retxs;
     reorders = a.reorders + b.reorders;
-    backoff_cycles = a.backoff_cycles + b.backoff_cycles }
+    backoff_cycles = a.backoff_cycles + b.backoff_cycles;
+    timeouts = a.timeouts + b.timeouts }
 
 (* Run one workload under one fault row at one seed; the data oracle is
    the ground-truth output.  Returns the wire's fault counters. *)
@@ -119,7 +120,9 @@ let t_counters_zero_when_off () =
         (Shasta_obs.Obs.Metrics.counter_total m c))
     [ Shasta_obs.Obs.c_net_drop; Shasta_obs.Obs.c_net_dup;
       Shasta_obs.Obs.c_net_retx; Shasta_obs.Obs.c_net_reorder;
-      Shasta_obs.Obs.c_net_backoff ]
+      Shasta_obs.Obs.c_net_backoff; Shasta_obs.Obs.c_net_timeout;
+      Shasta_obs.Obs.c_node_crash; Shasta_obs.Obs.c_node_recover;
+      Shasta_obs.Obs.c_lease_takeover; Shasta_obs.Obs.c_dir_rebuild ]
 
 (* With faults on, the registry counters mirror the wire's statistics:
    the fault tap is the only writer of net.*, so the two must agree. *)

@@ -162,7 +162,7 @@ let t_oracle_mix_m () =
     (fun nprocs ->
       let out, _ = Test_support.Support.run ~nprocs prog in
       let r = Report.parse out in
-      let s = Sht.shadow ~wl ~nprocs in
+      let s = Sht.shadow ~wl ~nprocs () in
       Alcotest.(check int)
         (Printf.sprintf "no violations at %d procs" nprocs)
         0
