@@ -178,7 +178,7 @@ let kv_workload size kvo =
 let run app size nprocs net net_faults node_faults cpu line_bytes
     no_instrument no_sched no_flag no_excl no_batch poll no_range fixed_block
     threshold sc trace trace_out metrics metrics_csv profile profile_out
-    flame_out top show_asm replay kvo =
+    flame_out top show_asm replay progress kvo =
   let entry = Shasta_apps.Apps.find app in
   let faults =
     match net_faults with
@@ -295,11 +295,12 @@ let run app size nprocs net net_faults node_faults cpu line_bytes
       fixed_block;
       granularity_threshold = threshold;
       consistency = (if sc then State.Sequential else State.Release);
-      obs = Some obs }
+      obs = Some obs;
+      progress }
   in
   if replay then replay_run spec app
   else begin
-  let r = Api.run spec in
+  let r, perf = Api.run_measured spec in
   Obs.flush obs;
   Option.iter close_out chrome_oc;
   if show_asm then print_string (Shasta_isa.Asm.program_to_string r.program);
@@ -318,6 +319,13 @@ let run app size nprocs net net_faults node_faults cpu line_bytes
    | Some _ -> () (* the raw output block is the report's wire format *)
    | None -> Printf.printf "output:\n%s" r.phase.output);
   Printf.printf "wall cycles : %d\n" r.phase.wall_cycles;
+  Printf.printf "host        : %.3f s (%s), %.1f Mcyc/s\n"
+    perf.Shasta_obs.Perf.wall_s
+    (String.concat ", "
+       (List.map
+          (fun (n, s) -> Printf.sprintf "%s %.3fs" n s)
+          perf.Shasta_obs.Perf.phases))
+    (Shasta_obs.Perf.cyc_per_s perf ~sim_cycles:r.phase.wall_cycles /. 1e6);
   Printf.printf "messages    : %d (%d payload longwords)\n" r.phase.msgs_sent
     r.phase.payload_longs;
   (match faults with
@@ -426,8 +434,21 @@ let run app size nprocs net net_faults node_faults cpu line_bytes
      (match kvo.bench_out with
       | None -> ()
       | Some file ->
+        (* versioned BENCH record: simulated KV metrics plus the host
+           measurements of this run, parseable by Benchjson *)
+        let opts_name =
+          match opts with
+          | None -> "orig"
+          | Some o ->
+            if { o with Shasta.Opts.line_shift = 6 } = Shasta.Opts.full then
+              "full"
+            else "custom"
+        in
         let oc = open_out_or_die file in
-        output_string oc (Report.to_json ~workload:(W.mix_name wl.W.mix) rep);
+        output_string oc
+          (Report.to_json ~line:line_bytes ~opts:opts_name
+             ~messages:r.phase.msgs_sent ~misses:(Api.phase_misses r.phase)
+             ~perf ~workload:(W.mix_name wl.W.mix) rep);
         output_string oc "\n";
         close_out oc));
   if metrics then begin
@@ -713,11 +734,18 @@ let cmd =
                    replay the log through the pure transition core and \
                    verify it reproduces the exact final protocol state.")
   in
+  let progress_t =
+    Arg.(value & opt (some int) None
+         & info [ "progress" ] ~docv:"N"
+             ~doc:"Print a heartbeat line to stderr (and emit a runtime \
+                   heartbeat event) every N million simulated cycles. Off \
+                   by default so runs stay byte-identical.")
+  in
   let main list check inject lossy crash recover fuzz_only fuzz_seed
       fuzz_runs app size procs net net_faults node_faults cpu line
       no_instrument no_sched no_flag no_excl no_batch poll no_range
       fixed_block threshold sc trace trace_out metrics metrics_csv profile
-      profile_out flame_out top show_asm replay kvo =
+      profile_out flame_out top show_asm replay progress kvo =
     if list then list_apps ()
     else if check then
       model_check procs inject fuzz_seed fuzz_runs lossy crash recover
@@ -726,7 +754,7 @@ let cmd =
       run app size procs net net_faults node_faults cpu line no_instrument
         no_sched no_flag no_excl no_batch poll no_range fixed_block threshold
         sc trace trace_out metrics metrics_csv profile profile_out flame_out
-        top show_asm replay kvo
+        top show_asm replay progress kvo
   in
   let term =
     Term.(
@@ -738,7 +766,7 @@ let cmd =
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t
       $ profile_t $ profile_out_t $ flame_out_t $ top_t $ show_asm_t
-      $ replay_t $ kv_opts_t)
+      $ replay_t $ progress_t $ kv_opts_t)
   in
   Cmd.v
     (Cmd.info "shasta_run"

@@ -1,0 +1,117 @@
+(** Versioned BENCH_*.json records: the one schema every benchmark
+    artifact in the repo is written in and parsed from.
+
+    Files are JSON Lines — one record per line — so emitters can
+    append section by section.  Simulated metrics (sim_cycles,
+    messages, misses and the per-workload [extra] fields) are
+    deterministic and gate on exact equality; host metrics (wall_s,
+    cyc_per_s, gc) gate on a relative tolerance. *)
+
+type gc = {
+  minor_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val no_gc : gc
+
+(** Extra metrics keep their JSON numeric kind so emit/parse
+    round-trips byte-identically. *)
+type num = Int of int | Float of float
+
+type t = {
+  schema : int;
+  workload : string;
+  nprocs : int;
+  line : int;
+  opts : string;
+  sim_cycles : int;
+  messages : int;
+  misses : int;
+  wall_s : float;
+  cyc_per_s : float;
+  gc : gc;
+  git_rev : string;
+  extra : (string * num) list;
+}
+
+val schema_version : int
+
+val make :
+  workload:string ->
+  nprocs:int ->
+  ?line:int ->
+  ?opts:string ->
+  sim_cycles:int ->
+  ?messages:int ->
+  ?misses:int ->
+  ?wall_s:float ->
+  ?cyc_per_s:float ->
+  ?gc:gc ->
+  ?git_rev:string ->
+  ?extra:(string * num) list ->
+  unit ->
+  t
+
+val key : t -> string * int * int * string
+(** Identity of a record: [(workload, nprocs, line, opts)].  Baseline
+    and candidate records are matched on it. *)
+
+val key_str : t -> string
+
+val strip_host : t -> t
+(** Zero the host-side fields (wall_s, cyc_per_s, gc) — used to build
+    machine-independent checked-in baselines. *)
+
+val float_str : float -> string
+(** Shortest decimal rendering that round-trips exactly. *)
+
+val num_str : num -> string
+
+val emit : t -> string
+(** One record as a single JSON object line (no trailing newline).
+    Keys are formatted as ["key": value] with a space after the colon,
+    which CI greps rely on. *)
+
+val parse : string -> t
+(** Parse one record line.  @raise Failure on malformed input or a
+    schema version newer than {!schema_version}. *)
+
+val load_string : string -> t list
+(** Parse a whole BENCH file: JSON Lines, or a single top-level JSON
+    array. *)
+
+val load_file : string -> t list
+
+(** {2 Regression gate} *)
+
+type status = Ok | Regression | Missing | New | Skipped
+
+type check = {
+  c_key : string;
+  c_metric : string;
+  c_class : [ `Sim | `Host ];
+  c_base : num option;
+  c_cand : num option;
+  c_ok : bool;
+  c_status : status;
+  c_note : string;
+}
+
+val gate :
+  ?tol:float ->
+  ?sim_only:bool ->
+  baseline:t list ->
+  candidate:t list ->
+  unit ->
+  check list * bool
+(** Compare candidate records against baseline records.  Simulated
+    metrics must match exactly; host metrics may drift up to [tol]
+    (default 0.25) in the regression direction, and are skipped when
+    the baseline value is zero (unmeasured) or [sim_only] is set.  A
+    baseline record absent from the candidate fails; a candidate-only
+    record is reported [New] and passes.  Returns all checks and
+    whether the gate passes. *)
+
+val status_str : status -> string

@@ -68,6 +68,10 @@ type t =
   | Dir_rebuild of { block : int; from : int }
       (* a directory entry owned by (or homed on) crashed node [from]
          was reconstructed from surviving sharer state *)
+  | Heartbeat of { cycles : int; live : int }
+      (* progress pulse under --progress N: the cluster crossed another
+         N million simulated cycles with [live] nodes still running —
+         proof of life on long otherwise-silent runs *)
 
 type record = { node : int; time : int; ev : t; site : site option }
 
@@ -108,6 +112,8 @@ let describe = function
     Printf.sprintf "lease-takeover %d (from n%d)" id from
   | Dir_rebuild { block; from } ->
     Printf.sprintf "dir-rebuild @0x%x (from n%d)" block from
+  | Heartbeat { cycles; live } ->
+    Printf.sprintf "heartbeat %d Mcyc (%d live)" (cycles / 1_000_000) live
 
 (* Short name used as the Chrome trace_event [name] field. *)
 let chrome_name = function
@@ -131,3 +137,4 @@ let chrome_name = function
   | Node_recover _ -> "node-recover"
   | Lease_takeover _ -> "lease-takeover"
   | Dir_rebuild _ -> "dir-rebuild"
+  | Heartbeat _ -> "heartbeat"

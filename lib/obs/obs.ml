@@ -10,6 +10,8 @@ module Event = Event
 module Metrics = Metrics
 module Sink = Sink
 module Profile = Profile
+module Perf = Perf
+module Benchjson = Benchjson
 
 type t = {
   metrics : Metrics.t;
@@ -89,6 +91,9 @@ let c_node_recover = "node.recover"
 let c_lease_takeover = "lease.takeover"
 let c_dir_rebuild = "dir.rebuild"
 
+(* Progress pulses emitted under --progress N. *)
+let c_heartbeat = "runtime.heartbeat"
+
 let h_payload = "msg.payload_longs"
 let h_stall = "stall.cycles"
 let h_miss_latency = "miss.latency_cycles"
@@ -131,6 +136,7 @@ let count_event t ~node (ev : Event.t) =
   | Node_recover _ -> Metrics.incr m ~node c_node_recover
   | Lease_takeover _ -> Metrics.incr m ~node c_lease_takeover
   | Dir_rebuild _ -> Metrics.incr m ~node c_dir_rebuild
+  | Heartbeat _ -> Metrics.incr m ~node c_heartbeat
 
 let emit t ?site ~node ~time ev =
   count_event t ~node ev;

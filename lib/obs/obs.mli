@@ -10,6 +10,8 @@ module Event = Event
 module Metrics = Metrics
 module Sink = Sink
 module Profile = Profile
+module Perf = Perf
+module Benchjson = Benchjson
 
 type t
 
@@ -101,6 +103,9 @@ val c_lease_takeover : string
 
 val c_dir_rebuild : string
 (** Directory entries reconstructed after a crash. *)
+
+val c_heartbeat : string
+(** Progress pulses emitted under [--progress N]. *)
 
 val h_payload : string
 val h_stall : string

@@ -119,6 +119,8 @@ let chrome_args (ev : Event.t) =
     [ kv "\"id\":%d" id; kv "\"from\":%d" from ]
   | Dir_rebuild { block; from } ->
     [ kv "\"block\":\"0x%x\"" block; kv "\"from\":%d" from ]
+  | Heartbeat { cycles; live } ->
+    [ kv "\"cycles\":%d" cycles; kv "\"live\":%d" live ]
   | Barrier_passed | Node_finished -> []
 
 let chrome_record (r : Event.record) =

@@ -26,6 +26,9 @@ type spec = {
   obs : Shasta_obs.Obs.t option;
       (* observability subsystem to report into; [None] builds a fresh
          sinkless one (the metrics registry is still populated) *)
+  progress : int option;
+      (* Some n: heartbeat every n million simulated cycles (obs event
+         + stderr line); None stays silent and byte-identical *)
 }
 
 let default_spec prog =
@@ -33,7 +36,8 @@ let default_spec prog =
     pipe = Shasta_machine.Pipeline.alpha_21064a;
     net = Shasta_network.Network.memory_channel; net_faults = None;
     node_faults = None; fixed_block = None;
-    granularity_threshold = 1024; consistency = State.Release; obs = None }
+    granularity_threshold = 1024; consistency = State.Release; obs = None;
+    progress = None }
 
 type result = {
   phase : Cluster.phase_result;
@@ -64,7 +68,7 @@ let prepare spec =
       ~net_profile:spec.net ?net_faults:spec.net_faults
       ?node_faults:spec.node_faults
       ~granularity_threshold:spec.granularity_threshold
-      ?fixed_block:spec.fixed_block ?obs:spec.obs ()
+      ?fixed_block:spec.fixed_block ?obs:spec.obs ?progress:spec.progress ()
   in
   let state =
     Cluster.create ~config ~compiled:{ compiled with program } ()
@@ -75,3 +79,51 @@ let run ?(init_proc = "appinit") ?(work_proc = "work") spec =
   let state, inst_stats, program = prepare spec in
   let phase = Cluster.run_app ~init_proc ~work_proc state in
   { phase; inst_stats; program; state }
+
+(* [run] under host-side measurement: the whole pipeline inside one
+   {!Shasta_obs.Perf} accumulator — "compile" covers MiniC compilation,
+   instrumentation and cluster construction, "load"/"run"/"drain" are
+   charged by [Cluster.run_app].  The report is folded into the result
+   state's metrics registry (node-0 [perf.*] counters) and returned for
+   BENCH emission. *)
+let run_measured ?(init_proc = "appinit") ?(work_proc = "work") ?clock spec =
+  let perf = Shasta_obs.Perf.create ?clock () in
+  let state, inst_stats, program =
+    Shasta_obs.Perf.phase perf "compile" (fun () -> prepare spec)
+  in
+  let phase = Cluster.run_app ~init_proc ~work_proc ~perf state in
+  let report = Shasta_obs.Perf.report perf in
+  Shasta_obs.Perf.publish (Shasta_obs.Obs.metrics (State.obs state)) report;
+  ({ phase; inst_stats; program; state }, report)
+
+(* Total inline-check misses of the timed phase — the [misses] field of
+   a BENCH record. *)
+let phase_misses (ph : Cluster.phase_result) =
+  Array.fold_left
+    (fun a (c : Node.counters) ->
+      a + c.read_misses + c.write_misses + c.upgrade_misses)
+    0 ph.counters
+
+(* One BENCH record for a completed run.  Simulated fields come from
+   the phase result; host fields from [perf] (omit it — or pass a
+   zeroed report — for machine-independent baselines). *)
+let bench_record ~workload ?(opts_name = "full") ?perf ?(extra = []) spec
+    (r : result) =
+  let line =
+    match spec.fixed_block with
+    | Some b -> b
+    | None -> (
+      match spec.opts with Some o -> 1 lsl o.Shasta.Opts.line_shift | None -> 64)
+  in
+  let wall_s, cyc_per_s, gc =
+    match perf with
+    | None -> (0.0, 0.0, Shasta_obs.Benchjson.no_gc)
+    | Some (p : Shasta_obs.Perf.report) ->
+      ( p.wall_s,
+        Shasta_obs.Perf.cyc_per_s p ~sim_cycles:r.phase.wall_cycles,
+        p.gc )
+  in
+  Shasta_obs.Benchjson.make ~workload ~nprocs:spec.nprocs ~line
+    ~opts:opts_name ~sim_cycles:r.phase.wall_cycles
+    ~messages:r.phase.msgs_sent ~misses:(phase_misses r.phase) ~wall_s
+    ~cyc_per_s ~gc ~git_rev:(Shasta_obs.Perf.git_rev ()) ~extra ()

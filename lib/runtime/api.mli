@@ -28,6 +28,10 @@ type spec = {
           running; [None] builds a fresh sinkless one (the metrics
           registry is still populated and readable via the result
           state) *)
+  progress : int option;
+      (** [Some n]: heartbeat (obs event + stderr line) every [n]
+          million simulated cycles; [None] (the default) stays silent
+          and byte-identical to a heartbeat-free run *)
 }
 
 val default_spec : Ast.prog -> spec
@@ -56,3 +60,31 @@ val run : ?init_proc:string -> ?work_proc:string -> spec -> result
     copied to every node, the paper's CREATE-macro behaviour —
     [work_proc] (default "work") on all nodes, which is what gets
     timed. *)
+
+val run_measured :
+  ?init_proc:string ->
+  ?work_proc:string ->
+  ?clock:(unit -> float) ->
+  spec ->
+  result * Shasta_obs.Perf.report
+(** [run] wrapped in a {!Shasta_obs.Perf} measurement: host wall time
+    broken into compile / load / run / drain phases plus GC deltas.
+    The report is also folded into the result state's metrics registry
+    as node-0 [perf.*] counters.  [clock] is injectable for tests. *)
+
+val phase_misses : Cluster.phase_result -> int
+(** Total inline-check misses (read + write + upgrade) of the timed
+    phase, summed over nodes. *)
+
+val bench_record :
+  workload:string ->
+  ?opts_name:string ->
+  ?perf:Shasta_obs.Perf.report ->
+  ?extra:(string * Shasta_obs.Benchjson.num) list ->
+  spec ->
+  result ->
+  Shasta_obs.Benchjson.t
+(** One versioned BENCH record for a completed run: simulated metrics
+    from the phase result, host metrics from [perf] (omitted — e.g.
+    for checked-in baselines — they stay zero and the gate skips
+    them). *)

@@ -263,10 +263,39 @@ let fire_fault (state : State.t) (at, (e : Nodefaults.event)) =
 let next_fault_time (state : State.t) =
   match state.fault_queue with [] -> max_int | (t, _) :: _ -> t
 
+(* Heartbeat under --progress N: whenever simulated time crosses
+   another N-million-cycle boundary, emit one obs event and one stderr
+   line.  With [progress = None] (the default) nothing fires and the
+   event stream is byte-identical to a heartbeat-free build. *)
+let heartbeat (state : State.t) next_hb ~now =
+  match state.config.progress with
+  | None -> ()
+  | Some n ->
+    let ival = n * 1_000_000 in
+    if ival > 0 && now < max_int then begin
+      (if !next_hb < 0 then next_hb := (now / ival * ival) + ival);
+      while now >= !next_hb do
+        let live =
+          Array.fold_left
+            (fun a (nd : Node.t) ->
+              match nd.status with
+              | Node.Running | Node.Waiting _ -> a + 1
+              | Node.Finished | Node.Crashed -> a)
+            0 state.nodes
+        in
+        Obs.emit state.config.obs ~node:0 ~time:!next_hb
+          (Ev.Heartbeat { cycles = !next_hb; live });
+        Printf.eprintf "[shasta] heartbeat: %d Mcyc simulated, %d node(s) live\n%!"
+          (!next_hb / 1_000_000) live;
+        next_hb := !next_hb + ival
+      done
+    end
+
 (* Run the scheduler until every node has finished and the network has
    drained. *)
 let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
   let events = ref 0 in
+  let next_hb = ref (-1) in
   let finished () =
     Array.for_all
       (fun (n : Node.t) ->
@@ -287,6 +316,7 @@ let run_until_done ?(max_events = 2_000_000_000) (state : State.t) =
           best := n.id
         end)
       state.nodes;
+    heartbeat state next_hb ~now:(min !best_t (next_fault_time state));
     (* a scheduled fault fires once simulated time reaches it — i.e. no
        node has an earlier event.  The [best < 0] arm matters: before a
        crash is detected, every live node may be blocked on the victim
@@ -353,28 +383,37 @@ let diff_counters (a : Node.counters) (b : Node.counters) : Node.counters =
 
 (* Run [init_proc] on node 0 (others idle), copy the static area to all
    nodes (process creation), then run [work_proc] everywhere and time
-   it. *)
-let run_app ?(init_proc = "appinit") ?(work_proc = "work") (state : State.t) =
+   it.  [perf] (when given) charges host time to the "load" phase (the
+   sequential init run plus the process-creation copy) and the "run"
+   phase (the timed parallel execution). *)
+let run_app ?(init_proc = "appinit") ?(work_proc = "work") ?perf
+    (state : State.t) =
+  let ph name f =
+    match perf with
+    | Some p -> Shasta_obs.Perf.phase p name f
+    | None -> f ()
+  in
   let nodes = state.nodes in
-  (* --- initialization phase on node 0 --- *)
-  (if Hashtbl.mem state.image.index init_proc then begin
-     Array.iter (fun (n : Node.t) -> n.status <- Node.Finished) nodes;
-     reset_node_for state nodes.(0) ~proc:init_proc;
-     run_until_done state
-   end);
-  (* --- process creation: copy static data to every node --- *)
-  let n0 = nodes.(0) in
-  Array.iter
-    (fun (n : Node.t) ->
-      if n.id <> 0 then
-        Memory.copy_pages ~src:n0.mem ~dst:n.mem
-          ~addr:Shasta.Layout.static_base
-          ~len:(Shasta.Layout.static_limit - Shasta.Layout.static_base))
-    nodes;
-  (* the copy clobbered the per-node pid cells; restore them *)
-  Array.iter
-    (fun (n : Node.t) -> Memory.write_quad n.mem state.pid_addr n.id)
-    nodes;
+  ph "load" (fun () ->
+    (* --- initialization phase on node 0 --- *)
+    (if Hashtbl.mem state.image.index init_proc then begin
+       Array.iter (fun (n : Node.t) -> n.status <- Node.Finished) nodes;
+       reset_node_for state nodes.(0) ~proc:init_proc;
+       run_until_done state
+     end);
+    (* --- process creation: copy static data to every node --- *)
+    let n0 = nodes.(0) in
+    Array.iter
+      (fun (n : Node.t) ->
+        if n.id <> 0 then
+          Memory.copy_pages ~src:n0.mem ~dst:n.mem
+            ~addr:Shasta.Layout.static_base
+            ~len:(Shasta.Layout.static_limit - Shasta.Layout.static_base))
+      nodes;
+    (* the copy clobbered the per-node pid cells; restore them *)
+    Array.iter
+      (fun (n : Node.t) -> Memory.write_quad n.mem state.pid_addr n.id)
+      nodes);
   (* --- parallel phase --- *)
   let t0 =
     Array.fold_left (fun a (n : Node.t) -> max a (Node.time n)) 0 nodes
@@ -403,18 +442,19 @@ let run_app ?(init_proc = "appinit") ?(work_proc = "work") (state : State.t) =
   let before = Array.map snapshot_counters nodes in
   let sent0, pay0 = Shasta_network.Network.stats state.net in
   let metrics0 = Shasta_obs.Metrics.copy (Obs.metrics state.config.obs) in
-  run_until_done state;
-  let t1 =
-    Array.fold_left (fun a (n : Node.t) -> max a (Node.time n)) 0 nodes
-  in
-  let sent1, pay1 = Shasta_network.Network.stats state.net in
-  { wall_cycles = t1 - t0;
-    per_node_cycles = Array.map (fun (n : Node.t) -> Node.time n - t0) nodes;
-    counters =
-      Array.mapi (fun i (n : Node.t) -> diff_counters before.(i) n.counters)
-        nodes;
-    output = Buffer.contents state.output;
-    msgs_sent = sent1 - sent0;
-    payload_longs = pay1 - pay0;
-    metrics =
-      Shasta_obs.Metrics.sub (Obs.metrics state.config.obs) metrics0 }
+  ph "run" (fun () -> run_until_done state);
+  ph "drain" (fun () ->
+    let t1 =
+      Array.fold_left (fun a (n : Node.t) -> max a (Node.time n)) 0 nodes
+    in
+    let sent1, pay1 = Shasta_network.Network.stats state.net in
+    { wall_cycles = t1 - t0;
+      per_node_cycles = Array.map (fun (n : Node.t) -> Node.time n - t0) nodes;
+      counters =
+        Array.mapi (fun i (n : Node.t) -> diff_counters before.(i) n.counters)
+          nodes;
+      output = Buffer.contents state.output;
+      msgs_sent = sent1 - sent0;
+      payload_longs = pay1 - pay0;
+      metrics =
+        Shasta_obs.Metrics.sub (Obs.metrics state.config.obs) metrics0 })

@@ -36,18 +36,23 @@ type config = {
       (* the observability subsystem every layer reports into: typed
          event stream (when sinks are attached) plus the always-on
          metrics registry *)
+  progress : int option;
+      (* Some n: emit a heartbeat (obs event + stderr line) every n
+         million simulated cycles so long runs are observably alive.
+         None (the default) emits nothing — traces stay byte-identical
+         to a heartbeat-free build *)
 }
 
 let default_config ?(nprocs = 1) ?(line_shift = 6)
     ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
     ?(net_profile = Shasta_network.Network.memory_channel) ?net_faults
     ?node_faults ?(costs = Costs.default) ?(granularity_threshold = 1024)
-    ?fixed_block ?obs () =
+    ?fixed_block ?obs ?progress () =
   let obs =
     match obs with Some o -> o | None -> Shasta_obs.Obs.create ~nprocs ()
   in
   { nprocs; line_shift; consistency; pipe_config; net_profile; net_faults;
-    node_faults; costs; granularity_threshold; fixed_block; obs }
+    node_faults; costs; granularity_threshold; fixed_block; obs; progress }
 
 (* Home pages are assigned round-robin at this page size (Section 2.1). *)
 let page_bytes = 8192

@@ -26,6 +26,9 @@ type config = {
   granularity_threshold : int; (* malloc heuristic cutoff, Section 4.2 *)
   fixed_block : int option; (* force one block size (ablation runs) *)
   obs : Shasta_obs.Obs.t;
+  progress : int option;
+      (* Some n: heartbeat (obs event + stderr line) every n million
+         simulated cycles; None emits nothing *)
 }
 
 val default_config :
@@ -40,6 +43,7 @@ val default_config :
   ?granularity_threshold:int ->
   ?fixed_block:int ->
   ?obs:Shasta_obs.Obs.t ->
+  ?progress:int ->
   unit ->
   config
 

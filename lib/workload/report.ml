@@ -140,14 +140,40 @@ let render ?label t =
   pf "\n";
   Buffer.contents b
 
-let to_json ~workload t =
-  Printf.sprintf
-    "{\"workload\": \"%s\", \"procs\": %d, \"simulated_cycles\": %d, \
-     \"ops\": %d, \"ops_per_mcycle\": %.3f, \"p50\": %d, \"p95\": %d, \
-     \"p99\": %d, \"p999\": %d, \"lat_max\": %d, \"errors\": %d, \
-     \"overflows\": %d, \"migrations\": %d, \"population\": %d, \
-     \"lost\": %d}"
-    workload t.nprocs (run_cycles t) t.ops (ops_per_mcycle t)
-    (percentile t 50.0) (percentile t 95.0) (percentile t 99.0)
-    (percentile t 99.9) t.lat_max (t.errors + t.verify_errors) t.overflows
-    t.migrations t.population t.lost
+(* The report as a versioned BENCH record.  Everything KV-specific —
+   op counts, throughput, latency percentiles, error/loss totals —
+   rides in [extra], where the regression gate treats it like any other
+   deterministic simulated metric.  [messages]/[misses] belong to the
+   cluster, not the report, so callers that have a phase result pass
+   them in; [perf] adds the tolerance-gated host half. *)
+module Benchjson = Shasta_obs.Benchjson
+
+let to_bench ~workload ?(line = 64) ?(opts = "full") ?(messages = 0)
+    ?(misses = 0) ?perf t =
+  let sim_cycles = run_cycles t in
+  let wall_s, cyc_per_s, gc =
+    match perf with
+    | None -> (0.0, 0.0, Benchjson.no_gc)
+    | Some (p : Shasta_obs.Perf.report) ->
+      (p.wall_s, Shasta_obs.Perf.cyc_per_s p ~sim_cycles, p.gc)
+  in
+  Benchjson.make ~workload ~nprocs:t.nprocs ~line ~opts ~sim_cycles
+    ~messages ~misses ~wall_s ~cyc_per_s ~gc
+    ~git_rev:(Shasta_obs.Perf.git_rev ())
+    ~extra:
+      [ ("ops", Benchjson.Int t.ops);
+        ("ops_per_mcycle", Benchjson.Float (ops_per_mcycle t));
+        ("p50", Benchjson.Int (percentile t 50.0));
+        ("p95", Benchjson.Int (percentile t 95.0));
+        ("p99", Benchjson.Int (percentile t 99.0));
+        ("p999", Benchjson.Int (percentile t 99.9));
+        ("lat_max", Benchjson.Int t.lat_max);
+        ("errors", Benchjson.Int (t.errors + t.verify_errors));
+        ("overflows", Benchjson.Int t.overflows);
+        ("migrations", Benchjson.Int t.migrations);
+        ("population", Benchjson.Int t.population);
+        ("lost", Benchjson.Int t.lost) ]
+    ()
+
+let to_json ?line ?opts ?messages ?misses ?perf ~workload t =
+  Benchjson.emit (to_bench ~workload ?line ?opts ?messages ?misses ?perf t)

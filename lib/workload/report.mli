@@ -56,5 +56,29 @@ val percentile : t -> float -> int
 val render : ?label:string -> t -> string
 (** Human-readable report; deterministic for a given [t]. *)
 
-val to_json : workload:string -> t -> string
-(** One JSON object, for BENCH_kv.json. *)
+val to_bench :
+  workload:string ->
+  ?line:int ->
+  ?opts:string ->
+  ?messages:int ->
+  ?misses:int ->
+  ?perf:Shasta_obs.Perf.report ->
+  t ->
+  Shasta_obs.Benchjson.t
+(** The report as a versioned BENCH record: KV metrics (ops,
+    throughput, percentiles, errors, lost, ...) in the record's
+    [extra] fields, gated exactly like the fixed simulated metrics.
+    [messages]/[misses] come from the cluster phase result when the
+    caller has one; [perf] fills the tolerance-gated host half. *)
+
+val to_json :
+  ?line:int ->
+  ?opts:string ->
+  ?messages:int ->
+  ?misses:int ->
+  ?perf:Shasta_obs.Perf.report ->
+  workload:string ->
+  t ->
+  string
+(** [to_bench] rendered as one JSON object line ({!Shasta_obs.Benchjson.emit}),
+    for BENCH_kv.json. *)
