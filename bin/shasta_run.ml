@@ -25,7 +25,7 @@ module Mcheck = Shasta_mcheck.Mcheck
    under an injection inverts: the checker must FIND the violation and
    print its counterexample trace. *)
 let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
-    fuzz_only =
+    fuzz_only scale =
   let injection =
     match inject with
     | None -> Mcheck.No_injection
@@ -45,7 +45,7 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
   let np = max 2 (min nprocs 3) in
   if np <> nprocs then
     Printf.printf "(clamped to %d processors for exhaustive search)\n" np;
-  Printf.printf "== model check: %d processors, %s%s%s\n" np
+  Printf.printf "== model check: %d processors, %s%s%s%s\n" np
     (match injection with
      | Mcheck.No_injection -> "no fault injection"
      | Mcheck.Drop_first_inv_ack -> "dropping first invalidation ack"
@@ -56,9 +56,11 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
     (if crash > 0 then
        Printf.sprintf ", crash adversary (%d halt%s)" crash
          (if recover > 0 then Printf.sprintf ", %d restart" recover else "")
-     else "");
+     else "")
+    (if scale then ", scaling scenarios" else "");
   let scenario_set ~nprocs =
-    if crash > 0 then Mcheck.crash_scenarios ~nprocs
+    if scale then Mcheck.scale_scenarios ~nprocs
+    else if crash > 0 then Mcheck.crash_scenarios ~nprocs
     else Mcheck.scenarios ~nprocs
   in
   let crash = if crash > 0 then Some crash else None in
@@ -178,8 +180,27 @@ let kv_workload size kvo =
 let run app size nprocs net net_faults node_faults cpu line_bytes
     no_instrument no_sched no_flag no_excl no_batch poll no_range fixed_block
     threshold sc trace trace_out metrics metrics_csv profile profile_out
-    flame_out top show_asm replay progress kvo =
+    flame_out top show_asm replay progress dir_mode home_policy sync kvo =
   let entry = Shasta_apps.Apps.find app in
+  let dmode =
+    match Shasta_protocol.Nodeset.mode_of_string dir_mode with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  let policy, migrate =
+    match home_policy with
+    | "rr" -> (State.Round_robin, false)
+    | "first-touch" -> (State.First_touch, false)
+    | "profiled" -> (State.Profiled, false)
+    | "migrate" -> (State.Round_robin, true)
+    | s -> failwith ("unknown home policy " ^ s)
+  in
+  let scalable_sync =
+    match sync with
+    | "central" -> false
+    | "scalable" -> true
+    | s -> failwith ("unknown sync kind " ^ s)
+  in
   let faults =
     match net_faults with
     | None -> None
@@ -296,7 +317,32 @@ let run app size nprocs net net_faults node_faults cpu line_bytes
       granularity_threshold = threshold;
       consistency = (if sc then State.Sequential else State.Release);
       obs = Some obs;
-      progress }
+      progress;
+      dir_mode = dmode;
+      home_policy = policy;
+      scalable_sync;
+      migrate }
+  in
+  (* the Profiled policy is a two-pass protocol: a silent pilot run
+     with a private profiler discovers contention, and the measured run
+     below executes with the derived placement installed *)
+  let spec =
+    if policy = State.Profiled then begin
+      let pobs = Obs.create ~nprocs () in
+      let pprof = Obs.Profile.create ~nprocs () in
+      Obs.attach_profiler pobs pprof;
+      ignore
+        (Api.run
+           { spec with
+             Api.obs = Some pobs;
+             home_policy = State.Round_robin;
+             progress = None });
+      let placement = Api.placement_of_profile pprof ~nprocs in
+      Printf.eprintf "profiled placement: %d page override(s)\n%!"
+        (List.length placement);
+      { spec with Api.placement }
+    end
+    else spec
   in
   if replay then replay_run spec app
   else begin
@@ -315,6 +361,12 @@ let run app size nprocs net net_faults node_faults cpu line_bytes
        ", node faults: "
        ^ Nodefaults.describe (Nodefaults.resolve nf ~nprocs)
      | _ -> "");
+  if dmode <> Shasta_protocol.Nodeset.Full || scalable_sync
+     || policy <> State.Round_robin || migrate then
+    Printf.printf "scaling     : dir-mode %s, homes %s, sync %s\n"
+      (Shasta_protocol.Nodeset.mode_name dmode)
+      home_policy
+      (if scalable_sync then "scalable" else "central");
   (match kv_wl with
    | Some _ -> () (* the raw output block is the report's wire format *)
    | None -> Printf.printf "output:\n%s" r.phase.output);
@@ -741,32 +793,75 @@ let cmd =
                    heartbeat event) every N million simulated cycles. Off \
                    by default so runs stay byte-identical.")
   in
+  let dir_mode_t =
+    Arg.(value & opt string "full"
+         & info [ "dir-mode" ] ~docv:"MODE"
+             ~doc:"Directory organization: full (one presence bit per \
+                   node, up to 61 nodes), limited[:K] (K sharer pointers \
+                   per entry, overflowing to broadcast-with-exclusions; \
+                   default K=4) or coarse[:G] (one presence bit per \
+                   G-node region; default G=4).  The processor count is \
+                   validated against the mode's capacity.")
+  in
+  let home_policy_t =
+    Arg.(value & opt string "rr"
+         & info [ "home-policy" ] ~docv:"POLICY"
+             ~doc:"Home assignment: rr (pages round-robin across nodes, \
+                   the default), first-touch (pages homed at the \
+                   allocating node), profiled (a silent pilot run's \
+                   contention tables place hot pages at their dominant \
+                   accessor) or migrate (a page's home follows sustained \
+                   remote access at run time).")
+  in
+  let sync_t =
+    Arg.(value & opt string "central"
+         & info [ "sync" ] ~docv:"KIND"
+             ~doc:"Synchronization primitives: central (home-node lock \
+                   grants and a flat barrier) or scalable (MCS-style \
+                   queue locks with direct release-to-successor handoff \
+                   and a combining-tree barrier).")
+  in
+  let scale_check_t =
+    Arg.(value & flag
+         & info [ "scale" ]
+             ~doc:"With --check: model-check the scaling scenarios \
+                   instead of the base set (limited-pointer overflow to \
+                   broadcast, coarse-vector regions, the queue lock and \
+                   the combining-tree barrier).")
+  in
   let main list check inject lossy crash recover fuzz_only fuzz_seed
-      fuzz_runs app size procs net net_faults node_faults cpu line
-      no_instrument no_sched no_flag no_excl no_batch poll no_range
+      fuzz_runs scale_check app size procs net net_faults node_faults cpu
+      line no_instrument no_sched no_flag no_excl no_batch poll no_range
       fixed_block threshold sc trace trace_out metrics metrics_csv profile
-      profile_out flame_out top show_asm replay progress kvo =
-    if list then list_apps ()
-    else if check then
-      model_check procs inject fuzz_seed fuzz_runs lossy crash recover
-        fuzz_only
-    else
-      run app size procs net net_faults node_faults cpu line no_instrument
-        no_sched no_flag no_excl no_batch poll no_range fixed_block threshold
-        sc trace trace_out metrics metrics_csv profile profile_out flame_out
-        top show_asm replay progress kvo
+      profile_out flame_out top show_asm replay progress dir_mode
+      home_policy sync kvo =
+    try
+      if list then list_apps ()
+      else if check then
+        model_check procs inject fuzz_seed fuzz_runs lossy crash recover
+          fuzz_only scale_check
+      else
+        run app size procs net net_faults node_faults cpu line no_instrument
+          no_sched no_flag no_excl no_batch poll no_range fixed_block
+          threshold sc trace trace_out metrics metrics_csv profile
+          profile_out flame_out top show_asm replay progress dir_mode
+          home_policy sync kvo
+    with Failure e | Invalid_argument e ->
+      prerr_endline ("shasta_run: " ^ e);
+      exit 2
   in
   let term =
     Term.(
       const main $ list_t $ check_t $ inject_t $ lossy_t $ crash_t
-      $ recover_t $ fuzz_only_t $ fuzz_seed_t $ fuzz_runs_t
+      $ recover_t $ fuzz_only_t $ fuzz_seed_t $ fuzz_runs_t $ scale_check_t
       $ app_t $ size_t $ procs_t $ net_t $ net_faults_t $ node_faults_t
       $ cpu_t
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t
       $ no_batch_t $ poll_t $ no_range_t $ fixed_block_t $ threshold_t
       $ sc_t $ trace_t $ trace_out_t $ metrics_t $ metrics_csv_t
       $ profile_t $ profile_out_t $ flame_out_t $ top_t $ show_asm_t
-      $ replay_t $ progress_t $ kv_opts_t)
+      $ replay_t $ progress_t $ dir_mode_t $ home_policy_t $ sync_t
+      $ kv_opts_t)
   in
   Cmd.v
     (Cmd.info "shasta_run"

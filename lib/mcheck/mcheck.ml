@@ -130,6 +130,10 @@ type scenario = {
   blocks : int list;
   scripts : op list array;
   oracle : sys -> string list; (* extra checks at terminal states *)
+  cfg_mod : T.cfg -> T.cfg;
+      (* configuration override applied over the default (full-map,
+         centralized sync) — how scale scenarios select limited-pointer
+         or coarse directories and the queue-lock/tree-barrier path *)
 }
 
 let value (sys : sys) ~node ~block =
@@ -143,7 +147,9 @@ let reg (sys : sys) ~node =
 let view (sys : sys) = sys.v
 
 let cfg_of (sc : scenario) =
-  { T.nprocs = sc.nprocs; page_bytes = 8192; sc = false }
+  sc.cfg_mod
+    { T.nprocs = sc.nprocs; page_bytes = 8192; sc = false;
+      dmode = Nodeset.Full; scalable_sync = false; migrate = false }
 
 let init_sys ?lossy ?(crash = 0) ?(recover = 0) (sc : scenario) =
   if crash > 0 && lossy <> None then
@@ -940,7 +946,8 @@ let read_sharing ~nprocs =
       (fun sys ->
         List.concat_map
           (fun n -> expect_reg ~node:n ~want:7 sys)
-          (List.init nprocs Fun.id)) }
+          (List.init nprocs Fun.id));
+    cfg_mod = Fun.id }
 
 (* Unsynchronized write race: coherence must survive, and the final
    value is one of the two writes (write serialization). *)
@@ -961,7 +968,8 @@ let write_race ~nprocs =
         match value sys ~node:owner ~block:b0 with
         | Some v when v = 100 || v = 101 -> []
         | Some v -> [ Printf.sprintf "final value %d is neither write" v ]
-        | None -> [ "owner holds no valid copy" ]) }
+        | None -> [ "owner holds no valid copy" ]);
+    cfg_mod = Fun.id }
 
 (* Lock-protected increments: every increment survives (the migratory
    pattern; exercises upgrade misses, forwarding, and inv acks). *)
@@ -980,7 +988,8 @@ let lock_increment ~nprocs =
           | Some e -> e.T.owner
           | None -> 0
         in
-        expect_value ~node:owner ~block:b0 ~want:nprocs sys) }
+        expect_value ~node:owner ~block:b0 ~want:nprocs sys);
+    cfg_mod = Fun.id }
 
 (* Producer/consumer over an event flag: the consumer's read must see
    the producer's data (release->acquire ordering). *)
@@ -990,7 +999,8 @@ let flag_handoff =
     blocks = [ b0 ];
     scripts =
       [| [ Write (b0, 42); Flag_set 0 ]; [ Flag_wait 0; Read b0 ] |];
-    oracle = (fun sys -> expect_reg ~node:1 ~want:42 sys) }
+    oracle = (fun sys -> expect_reg ~node:1 ~want:42 sys);
+    cfg_mod = Fun.id }
 
 (* Two blocks with different homes, written on opposite sides of a
    barrier: both post-barrier reads see the pre-barrier writes. *)
@@ -1003,7 +1013,8 @@ let barrier_exchange =
          [ Write (b1, 6); Barrier; Read b0 ] |];
     oracle =
       (fun sys ->
-        expect_reg ~node:0 ~want:6 sys @ expect_reg ~node:1 ~want:5 sys) }
+        expect_reg ~node:0 ~want:6 sys @ expect_reg ~node:1 ~want:5 sys);
+    cfg_mod = Fun.id }
 
 (* Read-share then upgrade: the writer must collect an invalidation
    acknowledgement from the other sharer before its release completes —
@@ -1016,7 +1027,8 @@ let upgrade_race ~nprocs =
       Array.init nprocs (fun n ->
         if n = 0 then [ Write (b0, 1); Barrier; Lock 0; Write (b0, 9); Unlock 0 ]
         else [ Barrier; Read b0 ]);
-    oracle = no_oracle }
+    oracle = no_oracle;
+    cfg_mod = Fun.id }
 
 let scenarios ~nprocs =
   [ read_sharing ~nprocs;
@@ -1038,6 +1050,101 @@ let crash_scenarios ~nprocs =
     lock_increment ~nprocs;
     barrier_exchange;
     upgrade_race ~nprocs ]
+
+(* --- scaling scenarios ----------------------------------------------- *)
+
+(* Limited-pointer overflow: with one pointer and three nodes sharing
+   one block, the second distinct sharer overflows the entry to
+   broadcast.  The read-sharing oracle then proves the superset
+   semantics never misses a real sharer — a missed invalidation would
+   leave a stale unflagged copy, which flag coherence and the final
+   reads catch.  The allocator also writes after the barrier so the
+   overflowed entry actually drives an invalidation fan-out. *)
+let lp_overflow ~nprocs =
+  { sname = "lp-overflow";
+    nprocs;
+    blocks = [ b0 ];
+    scripts =
+      Array.init nprocs (fun n ->
+        if n = 0 then [ Write (b0, 7); Barrier; Read b0; Write (b0, 8) ]
+        else [ Barrier; Read b0 ]);
+    oracle =
+      (fun sys ->
+        let owner =
+          match T.dir_entry sys.v ~block:b0 with
+          | Some e -> e.T.owner
+          | None -> 0
+        in
+        expect_value ~node:owner ~block:b0 ~want:8 sys);
+    cfg_mod = (fun c -> { c with T.dmode = Nodeset.Limited 1 }) }
+
+(* Coarse-vector regions: region size 2 makes every singleton sharer a
+   whole 2-node region, so invalidations over-approximate; the oracle
+   is the same all-readers-agree check. *)
+let coarse_sharing ~nprocs =
+  let sc = read_sharing ~nprocs in
+  { sc with
+    sname = "coarse-sharing";
+    cfg_mod = (fun c -> { c with T.dmode = Nodeset.Coarse 2 }) }
+
+(* The stale-home trap: inexact sharer supersets can cover the home
+   node even though its copy is invalid.  Node 3 writes (invalidating
+   the home's initial copy), then readers 1 and 2 race: in the order
+   where 1 reads first, its region/broadcast coverage spuriously
+   includes home 0, and a directory that trusts superset membership
+   would serve node 2 the home's stale copy directly.  The oracle
+   demands both readers see the write; regression for the rule that
+   [home_valid] requires exact membership. *)
+let home_stale ~sname ~dmode =
+  { sname;
+    nprocs = 4;
+    blocks = [ b0 ];
+    scripts =
+      Array.init 4 (fun n ->
+        if n = 3 then [ Write (b0, 7); Barrier ]
+        else if n = 0 then [ Barrier ]
+        else [ Barrier; Read b0 ]);
+    oracle =
+      (fun sys ->
+        expect_reg ~node:1 ~want:7 sys @ expect_reg ~node:2 ~want:7 sys);
+    cfg_mod = (fun c -> { c with T.dmode }) }
+
+(* MCS-style queue lock: lock-protected increments under
+   [scalable_sync], where a release hands the lock straight to the
+   queued successor instead of bouncing through the home. *)
+let queue_lock ~nprocs =
+  let sc = lock_increment ~nprocs in
+  { sc with
+    sname = "queue-lock";
+    cfg_mod = (fun c -> { c with T.scalable_sync = true }) }
+
+(* Combining-tree barrier: the barrier-exchange data obligation under
+   [scalable_sync], where arrivals climb the static tree and the
+   release fans back down it. *)
+let tree_barrier =
+  { barrier_exchange with
+    sname = "tree-barrier";
+    cfg_mod = (fun c -> { c with T.scalable_sync = true }) }
+
+(* A 3-node tree barrier plus queue lock in one run: nodes 1 and 2 are
+   both children of root 0, so arrival combining actually combines. *)
+let scalable_mix ~nprocs =
+  let sc = lock_increment ~nprocs in
+  { sc with
+    sname = "scalable-mix";
+    scripts =
+      Array.init nprocs (fun _ ->
+        [ Lock 0; Read b0; Write_reg_plus (b0, 1); Unlock 0; Barrier ]);
+    cfg_mod = (fun c -> { c with T.scalable_sync = true }) }
+
+let scale_scenarios ~nprocs =
+  [ lp_overflow ~nprocs;
+    coarse_sharing ~nprocs;
+    home_stale ~sname:"lp-home-stale" ~dmode:(Nodeset.Limited 1);
+    home_stale ~sname:"coarse-home-stale" ~dmode:(Nodeset.Coarse 2);
+    queue_lock ~nprocs;
+    tree_barrier;
+    scalable_mix ~nprocs ]
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)

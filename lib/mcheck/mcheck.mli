@@ -57,6 +57,10 @@ type scenario = {
   blocks : int list;
   scripts : op list array;
   oracle : sys -> string list; (* extra checks at terminal states *)
+  cfg_mod : T.cfg -> T.cfg;
+      (* configuration override over the default (full-map, centralized
+         sync): scale scenarios pick limited/coarse directories and the
+         queue-lock/tree-barrier path here *)
 }
 
 (* Oracle helpers: inspect a terminal system. *)
@@ -129,6 +133,18 @@ val crash_scenarios : nprocs:int -> scenario list
     [flag_handoff] (a flag the dead producer never set legitimately
     strands its waiter — tolerating that is an application
     obligation). *)
+
+(* Scaling scenarios: non-default directory organizations and the
+   scalable synchronization path. *)
+val lp_overflow : nprocs:int -> scenario
+(** One limited pointer + [nprocs] sharers: the entry overflows to
+    broadcast; the oracle proves the superset never misses a sharer. *)
+
+val coarse_sharing : nprocs:int -> scenario
+val queue_lock : nprocs:int -> scenario
+val tree_barrier : scenario
+val scalable_mix : nprocs:int -> scenario
+val scale_scenarios : nprocs:int -> scenario list
 
 val pp_violation : out_channel -> violation -> unit
 

@@ -343,11 +343,13 @@ type 'a t = {
   rxs : unit Sublayer.rx array; (* per channel resequencer (times only) *)
   wire_last : int array; (* per channel raw-wire FIFO point *)
   mutable fstats : fault_stats;
-  (* node-level liveness: [dead] is the bitmask of nodes declared
-     crashed (sends to them are dropped and counted as timeouts;
-     nothing is queued); [last_activity] is the implicit heartbeat
-     stream — the last cycle each node put a frame on the wire. *)
-  mutable dead : int;
+  (* node-level liveness: [dead.(n)] marks a node declared crashed
+     (sends to it are dropped and counted as timeouts; nothing is
+     queued).  A per-node array, not an int bitmask, so liveness scales
+     past the int width like the rest of the node sets.
+     [last_activity] is the implicit heartbeat stream — the last cycle
+     each node put a frame on the wire. *)
+  dead : bool array;
   last_activity : int array;
   (* observability taps: called on every send (at the sender's time)
      and every delivery (at arrival time).  The network itself stays
@@ -380,7 +382,7 @@ let create ?faults ~nprocs profile =
     rxs = Array.init nchan (fun _ -> Sublayer.rx_create ());
     wire_last = Array.make nchan 0;
     fstats = zero_fault_stats;
-    dead = 0;
+    dead = Array.make nprocs false;
     last_activity = Array.make nprocs 0;
     on_send = no_tap; on_recv = no_tap; on_fault = no_fault_tap }
 
@@ -406,7 +408,7 @@ let send t ~src ~dst ~now ~payload_longs msg =
   let c = chan t ~src ~dst in
   let flight = p.wire_latency + (p.per_longword * payload_longs) in
   t.last_activity.(src) <- max t.last_activity.(src) now;
-  if t.dead land (1 lsl dst) <> 0 then begin
+  if t.dead.(dst) then begin
     (* the receiver has been declared crashed: nothing will ever
        acknowledge, so the sublayer's retransmissions are futile — drop
        the frame on the floor and account it as a timeout.  (The
@@ -487,6 +489,18 @@ let send t ~src ~dst ~now ~payload_longs msg =
     now + p.send_overhead
   end
 
+(* Multicast fan-out: one message per (dst, msg) pair, each send
+   starting at the cycle the previous one finished — byte-identical to
+   the equivalent sequence of [send] calls (there is no hardware
+   multicast in the modeled interconnects; what the engine saves is the
+   per-message bookkeeping, and the caller gets the fan-out width in
+   one place to observe). *)
+let multicast t ~src ~now ~payload_longs pairs =
+  List.fold_left
+    (fun now (dst, msg) ->
+      send t ~src ~dst ~now ~payload_longs:(payload_longs msg) msg)
+    now pairs
+
 (* Earliest arrival time of any message destined for [dst], if any. *)
 let next_arrival t ~dst =
   let best = ref max_int in
@@ -536,7 +550,7 @@ let fault_stats t = t.fstats
 
 let last_activity t ~node = t.last_activity.(node)
 
-let mark_live t ~node = t.dead <- t.dead land lnot (1 lsl node)
+let mark_live t ~node = t.dead.(node) <- false
 
 (* Declare [node] crashed: every frame still queued to or from it is
    removed from the wire and returned (in global send order, so the
@@ -546,7 +560,7 @@ let mark_live t ~node = t.dead <- t.dead land lnot (1 lsl node)
    streams must not gate post-recovery traffic), and future sends to
    the node are dropped and counted as timeouts until [mark_live]. *)
 let mark_dead t ~node =
-  t.dead <- t.dead lor (1 lsl node);
+  t.dead.(node) <- true;
   let lost = ref [] in
   for other = 0 to t.nprocs - 1 do
     List.iter

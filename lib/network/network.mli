@@ -190,6 +190,16 @@ val send : 'a t -> src:int -> dst:int -> now:int -> payload_longs:int ->
     caller charges it to the sending node).  Delivery never reorders a
     channel, faults or not. *)
 
+val multicast :
+  'a t -> src:int -> now:int -> payload_longs:('a -> int) ->
+  (int * 'a) list -> int
+(** Queue one message per (dst, msg) pair in list order, each send
+    starting where the previous left the sender.  Byte-identical in
+    timing and delivery to the equivalent sequence of {!send} calls;
+    returns the time the sender is done with the whole fan-out.  The
+    invalidation path uses this so the fan-out width is observable in
+    one place. *)
+
 val next_arrival : 'a t -> dst:int -> int option
 val recv : 'a t -> dst:int -> now:int -> (int * 'a) option
 (** Earliest already-arrived message for [dst], with its arrival time. *)

@@ -72,6 +72,10 @@ type t =
       (* progress pulse under --progress N: the cluster crossed another
          N million simulated cycles with [live] nodes still running —
          proof of life on long otherwise-silent runs *)
+  | Home_migrated of { page : int; to_ : int }
+      (* hot-page home migration (--home-policy migrate): directory
+         requests for [page] now go to [to_], the node whose repeated
+         remote misses earned it the entry *)
 
 type record = { node : int; time : int; ev : t; site : site option }
 
@@ -114,6 +118,8 @@ let describe = function
     Printf.sprintf "dir-rebuild @0x%x (from n%d)" block from
   | Heartbeat { cycles; live } ->
     Printf.sprintf "heartbeat %d Mcyc (%d live)" (cycles / 1_000_000) live
+  | Home_migrated { page; to_ } ->
+    Printf.sprintf "home-migrate page %d -> n%d" page to_
 
 (* Short name used as the Chrome trace_event [name] field. *)
 let chrome_name = function
@@ -138,3 +144,4 @@ let chrome_name = function
   | Lease_takeover _ -> "lease-takeover"
   | Dir_rebuild _ -> "dir-rebuild"
   | Heartbeat _ -> "heartbeat"
+  | Home_migrated _ -> "home-migrate"

@@ -94,9 +94,17 @@ let c_dir_rebuild = "dir.rebuild"
 (* Progress pulses emitted under --progress N. *)
 let c_heartbeat = "runtime.heartbeat"
 
+(* Hot-page directory-home migrations under --home-policy migrate. *)
+let c_home_migrate = "dir.home_migrate"
+
 let h_payload = "msg.payload_longs"
 let h_stall = "stall.cycles"
 let h_miss_latency = "miss.latency_cycles"
+
+(* Invalidation fan-out: sharers invalidated per directory-driven
+   invalidation run — the distribution that separates the directory
+   organizations (broadcast/coarse modes fan wider than full-map). *)
+let h_fanout = "dir.fanout"
 
 let count_event t ~node (ev : Event.t) =
   let m = t.metrics in
@@ -137,6 +145,7 @@ let count_event t ~node (ev : Event.t) =
   | Lease_takeover _ -> Metrics.incr m ~node c_lease_takeover
   | Dir_rebuild _ -> Metrics.incr m ~node c_dir_rebuild
   | Heartbeat _ -> Metrics.incr m ~node c_heartbeat
+  | Home_migrated _ -> Metrics.incr m ~node c_home_migrate
 
 let emit t ?site ~node ~time ev =
   count_event t ~node ev;

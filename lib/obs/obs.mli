@@ -107,6 +107,13 @@ val c_dir_rebuild : string
 val c_heartbeat : string
 (** Progress pulses emitted under [--progress N]. *)
 
+val c_home_migrate : string
+(** Hot-page directory-home migrations ([--home-policy migrate]). *)
+
 val h_payload : string
 val h_stall : string
 val h_miss_latency : string
+
+val h_fanout : string
+(** Sharers invalidated per directory-driven invalidation run — the
+    distribution that separates directory organizations. *)

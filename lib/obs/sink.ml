@@ -121,6 +121,8 @@ let chrome_args (ev : Event.t) =
     [ kv "\"block\":\"0x%x\"" block; kv "\"from\":%d" from ]
   | Heartbeat { cycles; live } ->
     [ kv "\"cycles\":%d" cycles; kv "\"live\":%d" live ]
+  | Home_migrated { page; to_ } ->
+    [ kv "\"page\":%d" page; kv "\"to\":%d" to_ ]
   | Barrier_passed | Node_finished -> []
 
 let chrome_record (r : Event.record) =

@@ -2,31 +2,37 @@
 
    Per block, the home node keeps (i) a pointer to the current owner —
    the last node that held an exclusive copy, guaranteed to be able to
-   service a forwarded request — and (ii) a full bit vector of the
-   nodes sharing the data.  Dirty sharing is supported: the home's own
-   memory need not be up to date; whether the home has a valid copy is
-   exactly "home is in the sharer set or home is the owner and still
-   valid", which the engine tracks through the sharer bits (the owner's
-   bit is kept in the sharer vector as well).
+   service a forwarded request — and (ii) a node set of the nodes
+   sharing the data, represented under the configured directory
+   organization ([Nodeset.mode]: full-map, limited-pointer with
+   overflow-to-broadcast, or coarse vector).  Dirty sharing is
+   supported: the home's own memory need not be up to date; whether the
+   home has a valid copy is exactly "home is in the sharer set or home
+   is the owner and still valid", which the engine tracks through the
+   sharer set (the owner stays a member while its copy is valid).
 
    Homes are assigned to virtual pages round-robin by default and can
    be placed explicitly (Section 2.1). *)
 
 type entry = {
   mutable owner : int;
-  mutable sharers : int; (* bit vector, includes the owner while valid *)
+  mutable sharers : Nodeset.t; (* includes the owner while valid *)
 }
 
 type t = {
   nprocs : int;
+  mode : Nodeset.mode;
   entries : (int, entry) Hashtbl.t; (* block base -> entry *)
   home_override : (int, int) Hashtbl.t; (* page -> home *)
   page_bytes : int;
 }
 
-let create ?(page_bytes = 8192) ~nprocs () =
-  { nprocs; entries = Hashtbl.create 4096; home_override = Hashtbl.create 16;
-    page_bytes }
+let create ?(page_bytes = 8192) ?(mode = Nodeset.Full) ~nprocs () =
+  (match Nodeset.validate mode ~nprocs with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("Directory.create: " ^ e));
+  { nprocs; mode; entries = Hashtbl.create 4096;
+    home_override = Hashtbl.create 16; page_bytes }
 
 let home_of t addr =
   let page = addr / t.page_bytes in
@@ -41,7 +47,8 @@ let set_home t ~page ~home =
 (* Create the entry for a freshly allocated block, owned exclusively by
    [owner]. *)
 let add_block t ~block ~owner =
-  Hashtbl.replace t.entries block { owner; sharers = 1 lsl owner }
+  Hashtbl.replace t.entries block
+    { owner; sharers = Nodeset.singleton t.mode ~nprocs:t.nprocs owner }
 
 let entry t block =
   match Hashtbl.find_opt t.entries block with
@@ -52,20 +59,13 @@ let entry t block =
 
 let mem t block = Hashtbl.mem t.entries block
 
-let is_sharer e node = e.sharers land (1 lsl node) <> 0
-let add_sharer e node = e.sharers <- e.sharers lor (1 lsl node)
-let remove_sharer e node = e.sharers <- e.sharers land lnot (1 lsl node)
+let is_sharer e node = Nodeset.mem e.sharers node
+let add_sharer e node = e.sharers <- Nodeset.add e.sharers node
+let remove_sharer e node = e.sharers <- Nodeset.remove e.sharers node
 
-let sharer_list e ~nprocs =
-  let rec go n acc =
-    if n < 0 then acc
-    else go (n - 1) (if is_sharer e n then n :: acc else acc)
-  in
-  go (nprocs - 1) []
+let sharer_list e ~nprocs:_ = Nodeset.to_list e.sharers
 
-let sharer_count e =
-  let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
-  pop e.sharers 0
+let sharer_count e = Nodeset.cardinal e.sharers
 
 let iter t f = Hashtbl.iter f t.entries
 

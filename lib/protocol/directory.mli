@@ -1,15 +1,16 @@
 (** Directory state (paper Section 2.1): per block, an owner pointer —
     the last node that held an exclusive copy, guaranteed to service
-    forwarded requests — and a full sharer bit vector (the owner's bit
-    stays set while its copy is valid, supporting dirty sharing).
-    Homes are assigned to pages round-robin, with explicit placement
-    available. *)
+    forwarded requests — and a sharer node set under the configured
+    directory organization (full-map, limited-pointer, coarse vector;
+    the owner stays a member while its copy is valid, supporting dirty
+    sharing).  Homes are assigned to pages round-robin, with explicit
+    placement available. *)
 
-type entry = { mutable owner : int; mutable sharers : int }
+type entry = { mutable owner : int; mutable sharers : Nodeset.t }
 
 type t
 
-val create : ?page_bytes:int -> nprocs:int -> unit -> t
+val create : ?page_bytes:int -> ?mode:Nodeset.mode -> nprocs:int -> unit -> t
 val home_of : t -> int -> int
 val set_home : t -> page:int -> home:int -> unit
 val add_block : t -> block:int -> owner:int -> unit

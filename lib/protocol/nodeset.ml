@@ -1,0 +1,282 @@
+(* Sets of node ids under a configurable directory organization.
+
+   The pure protocol core historically represented every node set — a
+   directory entry's sharer vector, the barrier-arrival mask, the
+   crashed/halted masks — as one OCaml [int] bitmask, which caps the
+   simulator at [Sys.int_size - 2] processors and charges every
+   directory entry the full-map storage cost the paper's critics point
+   at.  This module abstracts the representation behind three classic
+   directory organizations:
+
+   - [Full]: the exact full-map bit vector (the seed behaviour, and the
+     default — byte-identical traces).
+   - [Limited k]: k exact pointers; adding a (k+1)-th distinct member
+     overflows to broadcast, i.e. the set becomes the SUPERSET of all
+     nodes.  Correct because the protocol only ever uses sharer sets to
+     send invalidations, and a spurious invalidation is acknowledged
+     and absorbed at every receiver state.
+   - [Coarse g]: a coarse bit vector where bit i stands for the region
+     of g consecutive nodes [i*g, i*g+g).  Also a superset scheme.
+
+   Inexact representations still support exact [remove] (needed by
+   crash recovery, which must strike a dead node from every set): the
+   broadcast and coarse forms carry an explicit exclusion list.
+
+   All list components are kept sorted, so structurally equal values
+   denote equal sets reached by any operation order — required by the
+   model checker's canonical-string state dedup. *)
+
+(* Bits usable in one int mask: one bit reserved for the sign, one kept
+   free so [(1 lsl n) - 1] style arithmetic in callers can never hit
+   the sign bit. *)
+let max_bits = Sys.int_size - 2
+
+type mode = Full | Limited of int | Coarse of int
+
+type t =
+  | Bits of int (* exact bitmask *)
+  | Ptrs of { k : int; n : int; ps : int list }
+    (* exact sorted pointer list, |ps| <= k; k = max_int doubles as the
+       unbounded exact fallback for nprocs beyond [max_bits] *)
+  | Bcast of { n : int; excl : int list }
+    (* limited-pointer overflow: {0..n-1} minus the sorted exclusions *)
+  | Cv of { g : int; n : int; bits : int; excl : int list }
+    (* coarse vector: union of g-wide regions minus sorted exclusions *)
+
+(* --- bit iteration (popcount-style, no O(nprocs) scan) -------------- *)
+
+(* Number of trailing zeros of a one-hot word, by binary search. *)
+let ntz m =
+  let k = ref 0 and m = ref m in
+  if !m land 0xFFFFFFFF = 0 then begin k := !k + 32; m := !m lsr 32 end;
+  if !m land 0xFFFF = 0 then begin k := !k + 16; m := !m lsr 16 end;
+  if !m land 0xFF = 0 then begin k := !k + 8; m := !m lsr 8 end;
+  if !m land 0xF = 0 then begin k := !k + 4; m := !m lsr 4 end;
+  if !m land 0x3 = 0 then begin k := !k + 2; m := !m lsr 2 end;
+  if !m land 0x1 = 0 then incr k;
+  !k
+
+(* Visit the set bits of [m] in ascending order, peeling the lowest set
+   bit each round — cost proportional to the population count, not to
+   nprocs. *)
+let iter_bits f m =
+  let m = ref m in
+  while !m <> 0 do
+    let low = !m land (- !m) in
+    f (ntz low);
+    m := !m lxor low
+  done
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m land (m - 1)) (acc + 1) in
+  go m 0
+
+(* --- sorted-list helpers -------------------------------------------- *)
+
+let rec sorted_insert x = function
+  | [] -> [ x ]
+  | y :: _ as l when x < y -> x :: l
+  | y :: _ as l when x = y -> l
+  | y :: rest -> y :: sorted_insert x rest
+
+(* --- construction ---------------------------------------------------- *)
+
+let empty mode ~nprocs =
+  match mode with
+  | Full -> Bits 0
+  | Limited k -> Ptrs { k; n = nprocs; ps = [] }
+  | Coarse g -> Cv { g; n = nprocs; bits = 0; excl = [] }
+
+(* An exact set regardless of directory mode — for the masks that must
+   never over-approximate (barrier arrivals, crashed, halted). *)
+let exact_empty ~nprocs =
+  if nprocs <= max_bits then Bits 0
+  else Ptrs { k = max_int; n = nprocs; ps = [] }
+
+(* --- queries --------------------------------------------------------- *)
+
+let mem t x =
+  match t with
+  | Bits m -> m land (1 lsl x) <> 0
+  | Ptrs { ps; _ } -> List.mem x ps
+  | Bcast { n; excl } -> x >= 0 && x < n && not (List.mem x excl)
+  | Cv { g; n; bits; excl } ->
+    x >= 0 && x < n
+    && bits land (1 lsl (x / g)) <> 0
+    && not (List.mem x excl)
+
+let cardinal t =
+  match t with
+  | Bits m -> popcount m
+  | Ptrs { ps; _ } -> List.length ps
+  | Bcast { n; excl } -> n - List.length excl
+  | Cv { g; n; bits; excl } ->
+    (* exclusions are always inside covered regions, so the difference
+       is the exact member count *)
+    let c = ref 0 in
+    iter_bits (fun r -> c := !c + min ((r + 1) * g) n - (r * g)) bits;
+    !c - List.length excl
+
+let is_empty t =
+  match t with
+  | Bits m -> m = 0
+  | Ptrs { ps; _ } -> ps = []
+  | Bcast _ | Cv _ -> cardinal t = 0
+
+(* Members in ascending order. *)
+let iter f t =
+  match t with
+  | Bits m -> iter_bits f m
+  | Ptrs { ps; _ } -> List.iter f ps
+  | Bcast { n; excl } ->
+    for x = 0 to n - 1 do
+      if not (List.mem x excl) then f x
+    done
+  | Cv { g; n; bits; excl } ->
+    iter_bits
+      (fun r ->
+        let hi = min ((r + 1) * g) n in
+        for x = r * g to hi - 1 do
+          if not (List.mem x excl) then f x
+        done)
+      bits
+
+let fold f t acc =
+  let acc = ref acc in
+  iter (fun x -> acc := f x !acc) t;
+  !acc
+
+let to_list t = List.rev (fold (fun x l -> x :: l) t [])
+
+(* --- updates --------------------------------------------------------- *)
+
+let add t x =
+  match t with
+  | Bits m -> Bits (m lor (1 lsl x))
+  | Ptrs { k; n; ps } ->
+    if List.mem x ps then t
+    else if List.length ps < k then Ptrs { k; n; ps = sorted_insert x ps }
+    else Bcast { n; excl = [] } (* i-pointer overflow => broadcast *)
+  | Bcast { n; excl } ->
+    if List.mem x excl then Bcast { n; excl = List.filter (( <> ) x) excl }
+    else t
+  | Cv { g; n; bits; excl } ->
+    Cv
+      { g; n;
+        bits = bits lor (1 lsl (x / g));
+        excl = List.filter (( <> ) x) excl }
+
+let remove t x =
+  match t with
+  | Bits m -> Bits (m land lnot (1 lsl x))
+  | Ptrs { k; n; ps } -> Ptrs { k; n; ps = List.filter (( <> ) x) ps }
+  | Bcast { n; excl } ->
+    if x >= 0 && x < n && not (List.mem x excl) then
+      Bcast { n; excl = sorted_insert x excl }
+    else t
+  | Cv { g; n; bits; excl } ->
+    if
+      x >= 0 && x < n
+      && bits land (1 lsl (x / g)) <> 0
+      && not (List.mem x excl)
+    then Cv { g; n; bits; excl = sorted_insert x excl }
+    else t
+
+let singleton mode ~nprocs x = add (empty mode ~nprocs) x
+
+(* --- relations ------------------------------------------------------- *)
+
+let subset a b = List.for_all (mem b) (to_list a)
+let disjoint a b = not (List.exists (mem b) (to_list a))
+let equal_members a b = to_list a = to_list b
+
+(* --- representation probes ------------------------------------------ *)
+
+(* [true] when membership is exact (no over-approximation possible). *)
+let is_exact = function
+  | Bits _ | Ptrs _ -> true
+  | Bcast _ -> false
+  | Cv { g; _ } -> g <= 1
+
+let as_bits = function Bits m -> Some m | _ -> None
+
+(* Collapse to an int bitmask (members must fit below [Sys.int_size]). *)
+let to_mask t = fold (fun x m -> m lor (1 lsl x)) t 0
+
+(* Canonical rendering: equal strings <=> structurally equal values.
+   The leading character disambiguates representations so the model
+   checker's visited set never conflates them. *)
+let to_string t =
+  let ints l = String.concat "," (List.map string_of_int l) in
+  match t with
+  | Bits m -> Printf.sprintf "%x" m
+  | Ptrs { ps; _ } -> Printf.sprintf "P(%s)" (ints ps)
+  | Bcast { excl; _ } -> Printf.sprintf "*(-%s)" (ints excl)
+  | Cv { g; bits; excl; _ } -> Printf.sprintf "C%d(%x;-%s)" g bits (ints excl)
+
+(* --- mode plumbing --------------------------------------------------- *)
+
+let capacity = function
+  | Full -> max_bits
+  | Limited _ -> max_int (* overflow-to-broadcast scales to any nprocs *)
+  | Coarse g -> g * max_bits
+
+let mode_name = function
+  | Full -> "full"
+  | Limited k -> Printf.sprintf "limited:%d" k
+  | Coarse g -> Printf.sprintf "coarse:%d" g
+
+let mode_of_string s =
+  let parse_param name p default =
+    match p with
+    | None -> Ok default
+    | Some p -> (
+      match int_of_string_opt p with
+      | Some v when v >= 1 -> Ok v
+      | _ -> Error (Printf.sprintf "%s parameter must be a positive int" name))
+  in
+  let base, param =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+      ( String.sub s 0 i,
+        Some (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  match base with
+  | "full" -> (
+    match param with
+    | None -> Ok Full
+    | Some _ -> Error "full takes no parameter")
+  | "limited" ->
+    Result.map (fun k -> Limited k) (parse_param "limited" param 4)
+  | "coarse" ->
+    Result.map (fun g -> Coarse g) (parse_param "coarse" param 4)
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown directory mode %S (expected full, limited[:K], coarse[:G])"
+         s)
+
+(* Reject configurations whose node sets cannot represent all of
+   [nprocs] — the guard for the historical silent int-mask wraparound. *)
+let validate mode ~nprocs =
+  if nprocs < 1 then Error (Printf.sprintf "nprocs must be >= 1, got %d" nprocs)
+  else
+    match mode with
+    | Full when nprocs > max_bits ->
+      Error
+        (Printf.sprintf
+           "nprocs %d exceeds the full-map directory capacity of %d \
+            (an int bitmask); use --dir-mode limited[:K] or coarse[:G]"
+           nprocs max_bits)
+    | Limited k when k < 1 ->
+      Error (Printf.sprintf "limited-pointer count must be >= 1, got %d" k)
+    | Coarse g when g < 1 ->
+      Error (Printf.sprintf "coarse-vector region must be >= 1, got %d" g)
+    | Coarse g when nprocs > g * max_bits ->
+      Error
+        (Printf.sprintf
+           "nprocs %d exceeds the coarse-vector capacity %d (region %d x %d \
+            bits); raise the region size"
+           nprocs (g * max_bits) g max_bits)
+    | _ -> Ok ()

@@ -1,0 +1,74 @@
+(** Sets of node ids under a configurable directory organization.
+
+    Three classic schemes, selected per configuration ([--dir-mode]):
+    the exact full-map bit vector (the default, byte-identical to the
+    historical int masks), limited-pointer with overflow-to-broadcast,
+    and coarse bit vectors over regions of [g] consecutive nodes.  The
+    inexact schemes may over-approximate membership (supersets only —
+    the protocol absorbs spurious invalidations), but [remove] is
+    always exact, which crash recovery relies on.
+
+    Values are canonical: structurally equal values denote equal sets
+    regardless of the operation order that built them. *)
+
+type mode = Full | Limited of int | Coarse of int
+
+type t =
+  | Bits of int
+  | Ptrs of { k : int; n : int; ps : int list }
+  | Bcast of { n : int; excl : int list }
+  | Cv of { g : int; n : int; bits : int; excl : int list }
+
+val max_bits : int
+(** Capacity of one int bitmask (Sys.int_size - 2). *)
+
+val empty : mode -> nprocs:int -> t
+val exact_empty : nprocs:int -> t
+(** An exact (never over-approximating) empty set, regardless of mode —
+    for barrier/crash masks. *)
+
+val singleton : mode -> nprocs:int -> int -> t
+val add : t -> int -> t
+val remove : t -> int -> t
+
+val mem : t -> int -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Members in ascending order; cost proportional to the population,
+    not to nprocs (lowest-set-bit peeling on bit vectors). *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val equal_members : t -> t -> bool
+
+val is_exact : t -> bool
+(** [false] when membership may be over-approximated (broadcast or
+    multi-node coarse regions). *)
+
+val as_bits : t -> int option
+(** [Some mask] for the full-map representation — the canonical-string
+    fast path that keeps default-mode traces byte-identical. *)
+
+val to_mask : t -> int
+(** Collapse to an int bitmask; members must be below [Sys.int_size]. *)
+
+val to_string : t -> string
+(** Canonical rendering (equal strings <=> equal values). *)
+
+val capacity : mode -> int
+val mode_name : mode -> string
+val mode_of_string : string -> (mode, string) result
+val validate : mode -> nprocs:int -> (unit, string) result
+(** Reject nprocs beyond the mode's representable capacity, with an
+    actionable message — the guard against silent mask wraparound. *)
+
+(**/**)
+
+val ntz : int -> int
+val iter_bits : (int -> unit) -> int -> unit
+val popcount : int -> int

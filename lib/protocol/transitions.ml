@@ -28,6 +28,7 @@
    memory values of batched stores (the core holds no data memory). *)
 
 module Imap = Map.Make (Int)
+module Ns = Nodeset
 
 (* ------------------------------------------------------------------ *)
 (* State                                                                *)
@@ -91,7 +92,7 @@ type nview = {
   sync_signal : bool;
 }
 
-type dirent = { owner : int; sharers : int (* bit vector, incl. owner *) }
+type dirent = { owner : int; sharers : Ns.t (* node set, incl. owner *) }
 type lockst = { holder : int option; lq : int list (* head next *) }
 type flagst = { fset : bool; fwaiters : int list (* head oldest *) }
 
@@ -100,19 +101,31 @@ type view = {
   nodes : nview Imap.t;
   locks : lockst Imap.t;
   flags : flagst Imap.t;
-  barrier_arrived : int; (* bitmask of nodes waiting at the barrier *)
-  crashed : int; (* bitmask: currently-down nodes (home duties routed
-                    around them; sends to them are suppressed) *)
-  halted : int; (* bitmask: ever-crashed nodes.  Monotone — a recovered
-                   node resumes protocol duties (crashed bit cleared)
-                   but its program died with it, so barriers treat it
-                   as permanently arrived. *)
+  barrier_arrived : Ns.t; (* nodes waiting at the barrier (exact) *)
+  crashed : Ns.t; (* currently-down nodes (home duties routed around
+                     them; sends to them are suppressed) *)
+  halted : Ns.t; (* ever-crashed nodes.  Monotone — a recovered node
+                    resumes protocol duties (crashed bit cleared) but
+                    its program died with it, so barriers treat it as
+                    permanently arrived. *)
+  homes : int Imap.t; (* page -> home override (policy-driven placement
+                         and hot-page migration); absent = round-robin *)
+  heat : (int * int) Imap.t; (* page -> (last remote requester, streak)
+                                — only populated under [cfg.migrate] *)
+  brelease : Ns.t; (* combining-tree barrier: nodes the current release
+                      wave still has to reach (empty under centralized
+                      sync) *)
 }
 
 type cfg = {
   nprocs : int;
   page_bytes : int; (* home assignment: (block / page_bytes) mod nprocs *)
   sc : bool; (* sequential consistency (stalling stores) *)
+  dmode : Ns.mode; (* directory organization for sharer sets *)
+  scalable_sync : bool; (* MCS-style queue locks + combining-tree
+                           barrier instead of centralized home sync *)
+  migrate : bool; (* migrate a page's home to a persistently remote
+                     requester (directory-entry migration) *)
 }
 
 let empty_nview =
@@ -125,8 +138,10 @@ let init (cfg : cfg) : view =
   for n = 0 to cfg.nprocs - 1 do
     nodes := Imap.add n empty_nview !nodes
   done;
+  let e = Ns.exact_empty ~nprocs:cfg.nprocs in
   { dir = Imap.empty; nodes = !nodes; locks = Imap.empty; flags = Imap.empty;
-    barrier_arrived = 0; crashed = 0; halted = 0 }
+    barrier_arrived = e; crashed = e; halted = e;
+    homes = Imap.empty; heat = Imap.empty; brelease = e }
 
 (* ------------------------------------------------------------------ *)
 (* Actions and inputs                                                   *)
@@ -169,6 +184,9 @@ type ev =
     (* a lock held by crashed node [from] was reclaimed for its waiters *)
   | E_dir_rebuild of { block : int; from : int }
     (* a directory entry involving crashed node [from] was repaired *)
+  | E_home_migrated of { page : int; to_ : int }
+    (* hot-page migration: the page's directory home moved to a
+       persistently remote requester *)
 
 (* State-table / memory effects, applied by the interpreter via Tables
    (block length resolution lives there). *)
@@ -241,6 +259,9 @@ type input =
   | I_flag_set of int
   | I_flag_wait of int
   | I_alloc of { owner : int; blocks : int list }
+  | I_set_home of { page : int; home : int }
+    (* home-placement policy (first-touch / profile-guided): subsequent
+       requests for the page's blocks are issued to [home] *)
   | I_continue of post list
   | I_node_crash of { victim : int; lost : (int * Message.t) list }
     (* [victim] was declared dead; [lost] are the frames purged off the
@@ -271,6 +292,17 @@ let upd c f = set_nv c (f (nv c))
 
 let home_of (cfg : cfg) block = block / cfg.page_bytes mod cfg.nprocs
 
+(* Effective home under placement policies: the homes override when one
+   was installed (first-touch, profile-guided, migration), else the
+   natural round-robin home.  Default runs carry an empty override map,
+   so routing — and traces — are unchanged. *)
+let eff_home (cfg : cfg) (v : view) block =
+  if Imap.is_empty v.homes then home_of cfg block
+  else
+    match Imap.find_opt (block / cfg.page_bytes) v.homes with
+    | Some h -> h
+    | None -> home_of cfg block
+
 let dir_entry_exn c block =
   match Imap.find_opt block c.v.dir with
   | Some e -> e
@@ -280,13 +312,9 @@ let dir_entry_exn c block =
 
 let set_dir c block e = c.v <- { c.v with dir = Imap.add block e c.v.dir }
 
-let is_sharer (e : dirent) node = e.sharers land (1 lsl node) <> 0
+let is_sharer (e : dirent) node = Ns.mem e.sharers node
 
-let sharer_list (e : dirent) ~nprocs =
-  let rec go n acc =
-    if n < 0 then acc else go (n - 1) (if is_sharer e n then n :: acc else acc)
-  in
-  go (nprocs - 1) []
+let sharer_list (e : dirent) ~nprocs:_ = Ns.to_list e.sharers
 
 let line_of (n : nview) block =
   match Imap.find_opt block n.lines with Some l -> l | None -> L_invalid
@@ -309,13 +337,13 @@ let mem_op c (op : memop) =
     | M_flag _ | M_merge _ | M_adopt _ -> ()
   end
 
-let is_crashed (v : view) node = v.crashed land (1 lsl node) <> 0
+let is_crashed (v : view) node = Ns.mem v.crashed node
 
 (* Effective home: the natural home, or — while it is down — its ring
    successor among the live nodes.  Identity whenever no node is
    crashed, so fault-free runs route (and trace) exactly as before. *)
 let route (cfg : cfg) (v : view) h =
-  if v.crashed = 0 then h
+  if Ns.is_empty v.crashed then h
   else begin
     let rec go k =
       let n = (h + k) mod cfg.nprocs in
@@ -328,6 +356,79 @@ let wait_sat (n : nview) = function
   | W_blocks bs -> List.for_all (fun b -> not (Imap.mem b n.pending)) bs
   | W_release -> Imap.is_empty n.pending && n.unacked = 0
   | W_sync -> n.sync_signal
+
+(* A sharer set holding exactly one node, in the configured directory
+   organization (the full-map default yields the historical [1 lsl n]). *)
+let ns_singleton (cfg : cfg) node =
+  Ns.singleton cfg.dmode ~nprocs:cfg.nprocs node
+
+(* --- combining-tree barrier topology -------------------------------- *)
+
+(* Static d-ary tree over node ids, rooted at 0: arrivals combine up the
+   tree (each interior node forwards one trigger once its subtree is
+   in), the root releases down it.  At P=32 the root handles [fanout]
+   messages per episode instead of 31. *)
+let tree_fanout = 4
+let tree_parent n = (n - 1) / tree_fanout
+
+let tree_children (cfg : cfg) n =
+  let base = (tree_fanout * n) + 1 in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let k = base + i in
+      go (i - 1) (if k < cfg.nprocs then k :: acc else acc)
+  in
+  go (tree_fanout - 1) []
+
+(* Every node in [p]'s subtree has arrived or is excused as halted. *)
+let subtree_complete (cfg : cfg) (v : view) p =
+  let rec go n =
+    (Ns.mem v.barrier_arrived n || Ns.mem v.halted n)
+    && List.for_all go (tree_children cfg n)
+  in
+  go p
+
+(* [p]'s subtree still contains nodes the current release wave owes. *)
+let subtree_has_release (cfg : cfg) (v : view) p =
+  let rec go n = Ns.mem v.brelease n || List.exists go (tree_children cfg n) in
+  go p
+
+(* The barrier completes when every node has arrived or halted. *)
+let barrier_complete (cfg : cfg) (v : view) =
+  (not (Ns.is_empty v.barrier_arrived))
+  &&
+  let rec go n =
+    n >= cfg.nprocs
+    || ((Ns.mem v.barrier_arrived n || Ns.mem v.halted n) && go (n + 1))
+  in
+  go 0
+
+(* Hot-page home migration (under [cfg.migrate]): count consecutive
+   remote requests for a page from the same node at its current home; a
+   run of [migrate_threshold] moves the page's directory home to that
+   requester.  In-flight requests to the old home still resolve there —
+   every node can serve any page's directory, the home only names where
+   requests are SENT — so migration is race-free. *)
+let migrate_threshold = 8
+
+let heat_bump c ~block ~requester =
+  if c.cfg.migrate && requester <> c.node then begin
+    let page = block / c.cfg.page_bytes in
+    let streak =
+      match Imap.find_opt page c.v.heat with
+      | Some (last, k) when last = requester -> k + 1
+      | _ -> 1
+    in
+    if streak >= migrate_threshold then begin
+      act c (A_emit (E_home_migrated { page; to_ = requester }));
+      c.v <-
+        { c.v with
+          homes = Imap.add page requester c.v.homes;
+          heat = Imap.remove page c.v.heat }
+    end
+    else c.v <- { c.v with heat = Imap.add page (requester, streak) c.v.heat }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Messaging, blocking, waking                                          *)
@@ -404,24 +505,43 @@ and dispatch c r post =
     act c (A_emit (E_lock_acquired id));
     run_post c post
   | R_unlock id ->
-    let h = route c.cfg c.v (id mod c.cfg.nprocs) in
-    if h = c.node then begin
-      act c (A_charge Sync_local);
-      home_unlock c ~id
-    end
-    else send c ~dst:h ~addr:id (Message.Sync Unlock_msg);
+    (if c.cfg.scalable_sync then begin
+       (* MCS-style queue lock: the releaser reads the queue itself and
+          hands the lock DIRECTLY to its successor — no round trip
+          through the lock's home.  Contended handoff costs one message
+          (vs unlock+grant), an uncontended release costs none. *)
+       act c (A_charge Sync_local);
+       home_unlock c ~id
+     end
+     else
+       let h = route c.cfg c.v (id mod c.cfg.nprocs) in
+       if h = c.node then begin
+         act c (A_charge Sync_local);
+         home_unlock c ~id
+       end
+       else send c ~dst:h ~addr:id (Message.Sync Unlock_msg));
     run_post c post
   | R_barrier_enter ->
-    let bh = route c.cfg c.v 0 in
-    (if c.node = bh then begin
+    (if c.cfg.scalable_sync then begin
+       (* combining-tree barrier: record the arrival in place, then
+          combine triggers up the tree *)
        act c (A_charge Sync_local);
        block_on c W_sync R_barrier_passed;
-       home_barrier_arrive c ~who:c.node
+       c.v <-
+         { c.v with barrier_arrived = Ns.add c.v.barrier_arrived c.node };
+       tree_barrier_check c
      end
-     else begin
-       send c ~dst:bh ~addr:0 (Message.Sync Barrier_arrive);
-       block_on c W_sync R_barrier_passed
-     end);
+     else
+       let bh = route c.cfg c.v 0 in
+       if c.node = bh then begin
+         act c (A_charge Sync_local);
+         block_on c W_sync R_barrier_passed;
+         home_barrier_arrive c ~who:c.node
+       end
+       else begin
+         send c ~dst:bh ~addr:0 (Message.Sync Barrier_arrive);
+         block_on c W_sync R_barrier_passed
+       end);
     run_post c post
   | R_barrier_passed ->
     act c (A_count C_barrier_passed);
@@ -517,7 +637,7 @@ and flush_waiters c block =
 and issue_request c block kind ~count =
   act c (A_charge Request_issue);
   count ();
-  send c ~dst:(route c.cfg c.v (home_of c.cfg block)) ~addr:block kind
+  send c ~dst:(route c.cfg c.v (eff_home c.cfg c.v block)) ~addr:block kind
 
 and start_pending c block pkind =
   upd c (fun n ->
@@ -533,10 +653,17 @@ and start_pending c block pkind =
 (* ------------------------------------------------------------------ *)
 
 and home_read c ~requester ~block =
+  heat_bump c ~block ~requester;
   let e = dir_entry_exn c block in
   let h = c.node in
-  let home_valid = requester <> h && (is_sharer e h || e.owner = h) in
-  set_dir c block { e with sharers = e.sharers lor (1 lsl requester) };
+  (* membership in an inexact sharer superset does not prove the home's
+     copy is valid (a region-mate's read covers the home too), so only
+     trust it when the set is exact; otherwise the owner path serves the
+     authoritative copy *)
+  let home_valid =
+    requester <> h && (e.owner = h || (Ns.is_exact e.sharers && is_sharer e h))
+  in
+  set_dir c block { e with sharers = Ns.add e.sharers requester };
   if home_valid then
     (* home has a valid copy: serve it directly, going through the owner
        path so the home's own copy is downgraded — and deferred while it
@@ -547,17 +674,21 @@ and home_read c ~requester ~block =
       (Message.Coh (Fwd_read { requester }))
 
 and home_readex c ~requester ~block =
+  heat_bump c ~block ~requester;
   let e = dir_entry_exn c block in
   let h = c.node in
   let o = e.owner in
   if o = requester then begin
     (* requester already owns the block (held shared after a downgrade):
-       grant exclusivity like an upgrade *)
+       grant exclusivity like an upgrade.  Inexact sharer supersets can
+       re-cover a crashed node (a fresh singleton spans its whole
+       region), so the fan-out filters the dead: a suppressed Inv must
+       not be counted either, or the requester waits on a ghost ack *)
     let others =
-      List.filter (fun s -> s <> requester)
+      List.filter (fun s -> s <> requester && not (is_crashed c.v s))
         (sharer_list e ~nprocs:c.cfg.nprocs)
     in
-    set_dir c block { e with sharers = 1 lsl requester };
+    set_dir c block { e with sharers = ns_singleton c.cfg requester };
     List.iter
       (fun s ->
         send c ~dst:s ~addr:block (Message.Coh (Inv { requester })))
@@ -568,11 +699,11 @@ and home_readex c ~requester ~block =
   else begin
     let others =
       List.filter
-        (fun s -> s <> requester && s <> o)
+        (fun s -> s <> requester && s <> o && not (is_crashed c.v s))
         (sharer_list e ~nprocs:c.cfg.nprocs)
     in
     let nacks = List.length others in
-    set_dir c block { owner = requester; sharers = 1 lsl requester };
+    set_dir c block { owner = requester; sharers = ns_singleton c.cfg requester };
     List.iter
       (fun s ->
         send c ~dst:s ~addr:block (Message.Coh (Inv { requester })))
@@ -586,12 +717,19 @@ and home_readex c ~requester ~block =
 
 and home_upgrade c ~requester ~block =
   let e = dir_entry_exn c block in
-  if is_sharer e requester then begin
+  (* an inexact superset cannot prove the requester's copy survived: a
+     region-mate's read-exclusive may have invalidated it while leaving
+     it covered, and granting the upgrade would bless stale data (and
+     invalidate the real owner).  Supersets are only sound for Inv
+     fan-out, so demand exact membership and otherwise convert to a
+     read-exclusive, which refetches the data *)
+  if Ns.is_exact e.sharers && is_sharer e requester then begin
+    heat_bump c ~block ~requester;
     let others =
-      List.filter (fun s -> s <> requester)
+      List.filter (fun s -> s <> requester && not (is_crashed c.v s))
         (sharer_list e ~nprocs:c.cfg.nprocs)
     in
-    set_dir c block { owner = requester; sharers = 1 lsl requester };
+    set_dir c block { owner = requester; sharers = ns_singleton c.cfg requester };
     List.iter
       (fun s ->
         send c ~dst:s ~addr:block (Message.Coh (Inv { requester })))
@@ -785,23 +923,20 @@ and home_unlock c ~id =
   | [] -> set_lock c id { l with holder = None }
 
 and home_barrier_arrive c ~who =
-  c.v <- { c.v with barrier_arrived = c.v.barrier_arrived lor (1 lsl who) };
+  c.v <- { c.v with barrier_arrived = Ns.add c.v.barrier_arrived who };
   barrier_maybe_release c
 
 (* Release when every node has either arrived or halted: a crashed
    node's program never reaches the barrier, so its slot is excused
    ([halted] is monotone — recovered nodes stay excused too).  With no
-   crashes the mask condition is exactly the old "all arrived" count. *)
+   crashes the condition is exactly the old "all arrived" count. *)
 and barrier_maybe_release c =
-  let full = (1 lsl c.cfg.nprocs) - 1 in
-  if
-    c.v.barrier_arrived <> 0
-    && (c.v.barrier_arrived lor c.v.halted) land full = full
-  then begin
+  if barrier_complete c.cfg c.v then begin
     let arrived = c.v.barrier_arrived in
-    c.v <- { c.v with barrier_arrived = 0 };
+    c.v <-
+      { c.v with barrier_arrived = Ns.exact_empty ~nprocs:c.cfg.nprocs };
     for n = 0 to c.cfg.nprocs - 1 do
-      if arrived land (1 lsl n) <> 0 then
+      if Ns.mem arrived n then
         if n = c.node then begin
           upd c (fun nn -> { nn with sync_signal = true });
           check_wake c ~post:[]
@@ -809,6 +944,74 @@ and barrier_maybe_release c =
         else send c ~dst:n ~addr:0 (Message.Sync Barrier_release)
     done
   end
+
+(* --- combining-tree barrier (cfg.scalable_sync) ---------------------
+
+   Arrival bits live in the global view (the simulator's stand-in for
+   each node's tree-node record); Barrier_arrive messages are pure
+   TRIGGERS that model the combining traffic.  A node that arrives — or
+   any node receiving a trigger — forwards one trigger to its nearest
+   live ancestor whenever its own subtree is complete; triggers are
+   forwarded unconditionally on completeness (no dedup state), so the
+   LAST arrival's trigger chain always climbs to the root.  The root
+   duty holder (node 0, or its ring successor while 0 is down) checks
+   GLOBAL completion and fans the release down the tree, skipping dead
+   interiors by recursing into their children. *)
+
+and tree_root_duty c = route c.cfg c.v 0
+
+(* Nearest live proper ancestor of [n]; the structural root's duties
+   fall to its route target. *)
+and live_ancestor c n =
+  let rec go n =
+    if n = 0 then tree_root_duty c
+    else
+      let p = tree_parent n in
+      if p = 0 then tree_root_duty c
+      else if is_crashed c.v p then go p
+      else p
+  in
+  go n
+
+and tree_barrier_check c =
+  let m = c.node in
+  if m = tree_root_duty c then tree_maybe_release c
+  else if subtree_complete c.cfg c.v m then begin
+    let p = live_ancestor c m in
+    if p = m then tree_maybe_release c
+    else send c ~dst:p ~addr:0 (Message.Sync Barrier_arrive)
+  end
+
+and tree_maybe_release c =
+  if barrier_complete c.cfg c.v then begin
+    let arrived = c.v.barrier_arrived in
+    c.v <-
+      { c.v with
+        barrier_arrived = Ns.exact_empty ~nprocs:c.cfg.nprocs;
+        brelease = arrived };
+    tree_release_fan c 0
+  end
+
+(* Deliver the release wave into [n]'s structural subtree if it still
+   holds owed nodes: to [n] itself when live, else recursively to its
+   children's subtrees. *)
+and tree_release_fan c n =
+  if subtree_has_release c.cfg c.v n then begin
+    if is_crashed c.v n then
+      List.iter (tree_release_fan c) (tree_children c.cfg n)
+    else if n = c.node then tree_release_self c
+    else send c ~dst:n ~addr:0 (Message.Sync Barrier_release)
+  end
+
+(* The stepping node consumes its own release (if owed) and forwards
+   the wave into its child subtrees. *)
+and tree_release_self c =
+  if Ns.mem c.v.brelease c.node then begin
+    c.v <- { c.v with brelease = Ns.remove c.v.brelease c.node };
+    upd c (fun n -> { n with sync_signal = true })
+  end;
+  List.iter (tree_release_fan c) (tree_children c.cfg c.node);
+  check_wake c ~post:[]
 
 and wake_flag_waiter c ~to_ ~id =
   if to_ = c.node then begin
@@ -873,10 +1076,15 @@ and handle c (msg : Message.t) =
     home_unlock c ~id:msg.addr;
     check_wake c ~post:[]
   | Sync Barrier_arrive ->
-    home_barrier_arrive c ~who:msg.src;
+    (* centralized: the home records [src]'s arrival.  Tree mode:
+       arrivals are already recorded globally — the message is a
+       combining trigger, re-evaluated at this tree node *)
+    if c.cfg.scalable_sync then tree_barrier_check c
+    else home_barrier_arrive c ~who:msg.src;
     check_wake c ~post:[]
   | Sync Barrier_release ->
-    upd c (fun n -> { n with sync_signal = true });
+    (if c.cfg.scalable_sync then tree_release_self c
+     else upd c (fun n -> { n with sync_signal = true }));
     check_wake c ~post:[]
   | Sync Flag_set_msg ->
     home_flag_set c ~id:msg.addr;
@@ -1154,13 +1362,15 @@ let rt_flag_wait c id =
   end
 
 let alloc c ~owner ~blocks =
+  let sharers = ns_singleton c.cfg owner in
   List.iter
     (fun block ->
-      c.v <-
-        { c.v with
-          dir = Imap.add block { owner; sharers = 1 lsl owner } c.v.dir };
+      c.v <- { c.v with dir = Imap.add block { owner; sharers } c.v.dir };
       upd c (fun n -> { n with lines = Imap.add block L_exclusive n.lines }))
     blocks
+
+let set_home c ~page ~home =
+  c.v <- { c.v with homes = Imap.add page home c.v.homes }
 
 (* ------------------------------------------------------------------ *)
 (* Crash recovery                                                       *)
@@ -1189,7 +1399,13 @@ let redispatch c ~victim ((dst : int), (msg : Message.t)) =
     if live requester then begin
       act c (A_mem (M_adopt { block; from = victim }));
       send c ~dst:requester ~addr:block
-        (Message.Coh (Data_reply { data = [||]; exclusive; acks }))
+        (Message.Coh (Data_reply { data = [||]; exclusive; acks }));
+      (* the adopt staged the victim's bytes here only so the reply
+         could carry them; if this node holds no copy of its own,
+         re-flag the line so the salvage buffer is not mistaken for
+         coherent data *)
+      if line_of (nv c) block = L_invalid then
+        mem_op c (M_make_invalid block)
     end
   in
   let resend ~dst (msg : Message.t) =
@@ -1222,8 +1438,16 @@ let redispatch c ~victim ((dst : int), (msg : Message.t)) =
       | Sync Unlock_msg -> home_unlock c ~id:msg.addr
       | Sync Flag_set_msg -> home_flag_set c ~id:msg.addr
       | Sync Flag_wait_req -> home_flag_wait c ~requester:msg.src ~id:msg.addr
-      | Sync Barrier_arrive -> home_barrier_arrive c ~who:msg.src
-      | Sync Lock_grant | Sync Flag_wake | Sync Barrier_release -> ()
+      | Sync Barrier_arrive ->
+        (* tree mode: arrivals are global bits, the lost trigger is
+           re-derived by the coordinator's completion recheck *)
+        if not c.cfg.scalable_sync then home_barrier_arrive c ~who:msg.src
+      | Sync Barrier_release ->
+        (* tree mode: the victim would have forwarded the wave into its
+           subtree — do it on its behalf *)
+        if c.cfg.scalable_sync then
+          List.iter (tree_release_fan c) (tree_children c.cfg victim)
+      | Sync Lock_grant | Sync Flag_wake -> ()
   end
   else begin
     (* a frame the dead node sent but that never arrived: completed
@@ -1246,19 +1470,37 @@ let redispatch c ~victim ((dst : int), (msg : Message.t)) =
     | Sync Flag_wait_req | Sync Barrier_arrive -> ()
   end
 
-let recover_directory c ~victim =
-  let vbit = 1 lsl victim in
+let recover_directory c ~victim ~served =
   Imap.iter
     (fun block (e : dirent) ->
-      let sharers = e.sharers land lnot vbit in
+      (* exact removal works in every directory mode: inexact sets
+         carry an explicit exclusion list *)
+      let sharers = Ns.remove e.sharers victim in
+      (* requesters the re-dispatch pass will definitely answer with
+         data salvaged from the victim (purged forwards addressed to it,
+         replies it had already sent, forwards parked in its service
+         queue) — the only nodes recovery may promise data to *)
+      let svd =
+        List.filter_map
+          (fun (b, n) ->
+            if b = block && not (is_crashed c.v n) then Some n else None)
+          served
+        |> List.sort_uniq compare
+      in
       if e.owner = victim then begin
         act c (A_emit (E_dir_rebuild { block; from = victim }));
-        (* prefer a surviving sharer that still holds a valid copy *)
+        (* nodes about to receive salvaged data hold valid copies the
+           rebuilt entry must cover (a no-op for exact sets, which
+           already contain them) *)
+        let sharers = List.fold_left Ns.add sharers svd in
+        (* prefer a surviving sharer that still holds a valid copy.
+           Under an inexact set this scans the superset, but the
+           line-state test keeps the choice sound. *)
         let candidate =
           let rec go n =
             if n >= c.cfg.nprocs then None
             else if
-              sharers land (1 lsl n) <> 0
+              Ns.mem sharers n
               && not (is_crashed c.v n)
               &&
               match line_of (Imap.find n c.v.nodes) block with
@@ -1276,28 +1518,42 @@ let recover_directory c ~victim =
              sharer's request is still pending its re-dispatched reply
              resolves it; naming the lowest pending sharer owner keeps
              the entry well-formed without claiming a copy we'd then
-             have to invalidate *)
+             have to invalidate.  An exact pending sharer is always
+             re-served (its forward or reply necessarily involved the
+             victim), but an inexact superset also covers nodes whose
+             request never reached the home — promising those data
+             would leave them to complete against bytes that never
+             arrive, so inexact modes may only name a node the
+             re-dispatch provably serves. *)
           act c (A_mem (M_adopt { block; from = victim }));
           let pending_sharer =
-            let rec go n =
-              if n >= c.cfg.nprocs then None
-              else if sharers land (1 lsl n) <> 0 && not (is_crashed c.v n)
-              then Some n
-              else go (n + 1)
-            in
-            go 0
+            if Ns.is_exact sharers then
+              let rec go n =
+                if n >= c.cfg.nprocs then None
+                else if Ns.mem sharers n && not (is_crashed c.v n) then
+                  Some n
+                else go (n + 1)
+              in
+              go 0
+            else
+              match svd with n :: _ -> Some n | [] -> None
           in
           (match pending_sharer with
-           | Some n -> set_dir c block { owner = n; sharers }
+           | Some n ->
+             set_dir c block { owner = n; sharers };
+             (* the adopted bytes were staging only — the pending
+                sharer's data arrives via its re-dispatched reply *)
+             if line_of (nv c) block = L_invalid then
+               mem_op c (M_make_invalid block)
            | None ->
-             let cbit = 1 lsl c.node in
+             let cset = ns_singleton c.cfg c.node in
              if Imap.mem block (nv c).pending then
                (* our own request is in flight: the re-dispatched (or
                   self-forwarded) reply completes it against this entry *)
-               set_dir c block { owner = c.node; sharers = cbit }
+               set_dir c block { owner = c.node; sharers = cset }
              else begin
                mem_op c (M_make_exclusive block);
-               set_dir c block { owner = c.node; sharers = cbit }
+               set_dir c block { owner = c.node; sharers = cset }
              end)
       end
       else if sharers <> e.sharers then begin
@@ -1356,36 +1612,80 @@ let drop_dead_waiters c ~victim =
   c.v <- { c.v with nodes }
 
 let node_crash c ~victim ~lost =
-  let vbit = 1 lsl victim in
-  if c.v.crashed land vbit = 0 then begin
+  if not (Ns.mem c.v.crashed victim) then begin
     let vv = Imap.find victim c.v.nodes in
     c.v <-
       { c.v with
-        crashed = c.v.crashed lor vbit;
-        halted = c.v.halted lor vbit;
+        crashed = Ns.add c.v.crashed victim;
+        halted = Ns.add c.v.halted victim;
         (* a victim that had already arrived at the barrier is excused
            via [halted], not counted as arrived — the masks must stay
-           disjoint *)
-        barrier_arrived = c.v.barrier_arrived land lnot vbit;
+           disjoint.  A victim still owed a tree release needs none. *)
+        barrier_arrived = Ns.remove c.v.barrier_arrived victim;
+        brelease = Ns.remove c.v.brelease victim;
         nodes = Imap.add victim empty_nview c.v.nodes };
-    recover_directory c ~victim;
+    (* (block, requester) pairs the re-dispatch below will answer with
+       salvaged data: forwards to the victim as owner (on the wire or
+       parked in its service queue) and data replies it had sent *)
+    let served =
+      let of_frame acc ((dst : int), (m : Message.t)) =
+        if dst = victim && m.src <> victim then
+          match m.kind with
+          | Message.Coh (Fwd_read { requester })
+          | Message.Coh (Fwd_readex { requester; _ }) ->
+            (m.addr, requester) :: acc
+          | _ -> acc
+        else if m.src = victim && dst <> victim then
+          match m.kind with
+          | Message.Coh (Data_reply _) -> (m.addr, dst) :: acc
+          | _ -> acc
+        else acc
+      in
+      let acc =
+        Imap.fold
+          (fun _ q acc ->
+            List.fold_left
+              (fun acc (m : Message.t) ->
+                (* parked under the victim's own [src]; see re-dispatch *)
+                let m =
+                  if m.src = victim then { m with src = c.node } else m
+                in
+                of_frame acc (victim, m))
+              acc q)
+          vv.waiters []
+      in
+      List.fold_left of_frame acc lost
+    in
+    recover_directory c ~victim ~served;
     recover_locks c ~victim;
     recover_flags c ~victim;
     drop_dead_waiters c ~victim;
     (* forwarded requests parked in the victim's own service queue are
-       indistinguishable from forwards lost on the wire to it *)
+       indistinguishable from forwards lost on the wire to it — except
+       that [enqueue_waiter] parked them under the victim's own [src],
+       which re-dispatch would mistake for a dead node's request and
+       drop; re-attribute them to the coordinator *)
     Imap.iter
-      (fun _ q -> List.iter (fun m -> redispatch c ~victim (victim, m)) q)
+      (fun _ q ->
+        List.iter
+          (fun (m : Message.t) ->
+            let m = if m.src = victim then { m with src = c.node } else m in
+            redispatch c ~victim (victim, m))
+          q)
       vv.waiters;
     List.iter (redispatch c ~victim) lost;
     (* the victim will never arrive at the barrier: its absence may be
-       what the current episode was waiting on *)
-    barrier_maybe_release c;
+       what the current episode was waiting on.  The coordinator holds
+       the global view, so in tree mode it performs the root's
+       completion recheck directly (this also re-derives any combining
+       trigger that was lost with the victim). *)
+    if c.cfg.scalable_sync then tree_maybe_release c
+    else barrier_maybe_release c;
     check_wake c ~post:[]
   end
 
 let node_recover c ~victim =
-  c.v <- { c.v with crashed = c.v.crashed land lnot (1 lsl victim) }
+  c.v <- { c.v with crashed = Ns.remove c.v.crashed victim }
 
 (* ------------------------------------------------------------------ *)
 (* The transition function                                              *)
@@ -1407,6 +1707,7 @@ let step (cfg : cfg) (v : view) ~node (input : input) : action list * view =
    | I_flag_set id -> block_on c W_release (R_flag_set id)
    | I_flag_wait id -> rt_flag_wait c id
    | I_alloc { owner; blocks } -> alloc c ~owner ~blocks
+   | I_set_home { page; home } -> set_home c ~page ~home
    | I_continue post -> run_post c post
    | I_node_crash { victim; lost } -> node_crash c ~victim ~lost
    | I_node_recover victim -> node_recover c ~victim);
@@ -1424,13 +1725,16 @@ let in_batch v ~node = (node_view v ~node).in_batch
 let dir_entry v ~block = Imap.find_opt block v.dir
 let dir_fold f v acc = Imap.fold (fun b e a -> f b e a) v.dir acc
 let wait_satisfied v ~node = wait_sat (node_view v ~node)
-let crashed_mask (v : view) = v.crashed
-let halted_mask (v : view) = v.halted
-let is_live (v : view) ~node = not (is_crashed v node)
 
-let sharer_count (e : dirent) =
-  let rec pop m acc = if m = 0 then acc else pop (m land (m - 1)) (acc + 1) in
-  pop e.sharers 0
+(* Int-mask views of the crash sets, for callers that mirror them into
+   program-visible cells; meaningful only for nodes below the int
+   width (crash injection targets small configurations). *)
+let crashed_mask (v : view) = Ns.to_mask v.crashed
+let halted_mask (v : view) = Ns.to_mask v.halted
+let is_live (v : view) ~node = not (is_crashed v node)
+let home_for (cfg : cfg) (v : view) block = eff_home cfg v block
+
+let sharer_count (e : dirent) = Ns.cardinal e.sharers
 
 (* ------------------------------------------------------------------ *)
 (* Invariants                                                           *)
@@ -1447,17 +1751,19 @@ let sharer_count (e : dirent) =
 let invariants (cfg : cfg) (v : view) : string list =
   let errs = ref [] in
   let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
-  let mask = (1 lsl cfg.nprocs) - 1 in
+  let out_of_range ns =
+    List.exists (fun x -> x < 0 || x >= cfg.nprocs) (Ns.to_list ns)
+  in
   Imap.iter
     (fun block (e : dirent) ->
       if e.owner < 0 || e.owner >= cfg.nprocs then
         err "block 0x%x: owner %d out of range" block e.owner;
-      if e.sharers land lnot mask <> 0 then
-        err "block 0x%x: sharer bits 0x%x beyond %d procs" block e.sharers
-          cfg.nprocs;
-      if e.sharers land (1 lsl e.owner) = 0 then
-        err "block 0x%x: owner %d missing from sharer vector 0x%x" block
-          e.owner e.sharers)
+      if out_of_range e.sharers then
+        err "block 0x%x: sharer set %s beyond %d procs" block
+          (Ns.to_string e.sharers) cfg.nprocs;
+      if not (Ns.mem e.sharers e.owner) then
+        err "block 0x%x: owner %d missing from sharer set %s" block
+          e.owner (Ns.to_string e.sharers))
     v.dir;
   (* single-writer: at most one node holds an exclusive copy of a block *)
   let excl = Hashtbl.create 16 in
@@ -1527,45 +1833,60 @@ let invariants (cfg : cfg) (v : view) : string list =
         err "node %d: waiting with no resume" id
       | _ -> ())
     v.nodes;
-  if v.barrier_arrived land lnot mask <> 0 then
-    err "barrier_arrived 0x%x has bits beyond %d procs" v.barrier_arrived
-      cfg.nprocs;
-  if v.barrier_arrived land v.halted <> 0 then
-    err "barrier_arrived 0x%x includes halted nodes 0x%x" v.barrier_arrived
-      v.halted;
-  if
-    v.barrier_arrived <> 0
-    && (v.barrier_arrived lor v.halted) land mask = mask
-  then
-    err "barrier_arrived 0x%x: release condition met but not released"
-      v.barrier_arrived;
+  if out_of_range v.barrier_arrived then
+    err "barrier_arrived %s has members beyond %d procs"
+      (Ns.to_string v.barrier_arrived) cfg.nprocs;
+  if not (Ns.disjoint v.barrier_arrived v.halted) then
+    err "barrier_arrived %s includes halted nodes %s"
+      (Ns.to_string v.barrier_arrived) (Ns.to_string v.halted);
+  (* centralized sync releases atomically with the completing arrival;
+     the combining tree releases when the trigger wave reaches the
+     root, so the condition may transiently hold there *)
+  if (not cfg.scalable_sync) && barrier_complete cfg v then
+    err "barrier_arrived %s: release condition met but not released"
+      (Ns.to_string v.barrier_arrived);
+  if (not cfg.scalable_sync) && not (Ns.is_empty v.brelease) then
+    err "brelease %s nonempty under centralized sync"
+      (Ns.to_string v.brelease);
+  (* a node owed a release has not been woken, so it cannot have
+     re-arrived; and crash strikes victims from the wave *)
+  if not (Ns.disjoint v.brelease v.barrier_arrived) then
+    err "brelease %s overlaps barrier_arrived %s" (Ns.to_string v.brelease)
+      (Ns.to_string v.barrier_arrived);
+  if not (Ns.disjoint v.brelease v.crashed) then
+    err "brelease %s includes crashed nodes" (Ns.to_string v.brelease);
   (* crash-mask sanity: crashed ⊆ halted ⊆ procs, and no dead node may
      appear in post-recovery protocol state *)
-  if v.halted land lnot mask <> 0 then
-    err "halted mask 0x%x has bits beyond %d procs" v.halted cfg.nprocs;
-  if v.crashed land lnot v.halted <> 0 then
-    err "crashed mask 0x%x not contained in halted mask 0x%x" v.crashed
-      v.halted;
-  if v.crashed <> 0 then
+  if out_of_range v.halted then
+    err "halted set %s has members beyond %d procs" (Ns.to_string v.halted)
+      cfg.nprocs;
+  if not (Ns.subset v.crashed v.halted) then
+    err "crashed set %s not contained in halted set %s"
+      (Ns.to_string v.crashed) (Ns.to_string v.halted);
+  if not (Ns.is_empty v.crashed) then
     Imap.iter
       (fun block (e : dirent) ->
-        if v.crashed land (1 lsl e.owner) <> 0 then
+        if Ns.mem v.crashed e.owner then
           err "block 0x%x: owner %d is crashed" block e.owner;
-        if e.sharers land v.crashed <> 0 then
-          err "block 0x%x: crashed nodes 0x%x in sharer vector" block
-            (e.sharers land v.crashed))
+        (* exact sets must have been scrubbed by recovery; inexact
+           supersets may re-cover a dead node (sends to it are
+           suppressed), so only the exact claim is checkable *)
+        if Ns.is_exact e.sharers && not (Ns.disjoint e.sharers v.crashed)
+        then
+          err "block 0x%x: crashed nodes in sharer set %s" block
+            (Ns.to_string e.sharers))
       v.dir;
   Imap.iter
     (fun id (l : lockst) ->
       (match l.holder with
        | Some h when h < 0 || h >= cfg.nprocs ->
          err "lock %d: holder %d out of range" id h
-       | Some h when v.crashed land (1 lsl h) <> 0 ->
+       | Some h when Ns.mem v.crashed h ->
          err "lock %d: holder %d is crashed (missed takeover)" id h
        | None when l.lq <> [] ->
          err "lock %d: free but %d queued requesters" id (List.length l.lq)
        | _ -> ());
-      if List.exists (fun n -> v.crashed land (1 lsl n) <> 0) l.lq then
+      if List.exists (Ns.mem v.crashed) l.lq then
         err "lock %d: crashed node still queued" id;
       let sorted = List.sort_uniq compare l.lq in
       if List.length sorted <> List.length l.lq then
@@ -1573,9 +1894,14 @@ let invariants (cfg : cfg) (v : view) : string list =
     v.locks;
   Imap.iter
     (fun id (f : flagst) ->
-      if List.exists (fun n -> v.crashed land (1 lsl n) <> 0) f.fwaiters then
+      if List.exists (Ns.mem v.crashed) f.fwaiters then
         err "flag %d: crashed node still waiting" id)
     v.flags;
+  Imap.iter
+    (fun page h ->
+      if h < 0 || h >= cfg.nprocs then
+        err "page %d: home override %d out of range" page h)
+    v.homes;
   List.rev !errs
 
 (* Additional properties of QUIESCENT views: no requests in flight, all
@@ -1599,14 +1925,21 @@ let quiescent_invariants (cfg : cfg) (v : view) : string list =
       | N_waiting _ -> err "node %d: still waiting at quiescence" id
       | N_running -> ())
     v.nodes;
+  if not (Ns.is_empty v.brelease) then
+    err "release wave %s undelivered at quiescence" (Ns.to_string v.brelease);
   Imap.iter
     (fun block (e : dirent) ->
+      (* inexact sharer sets are supersets by design: membership without
+         a valid copy is the cost of the representation, but a valid
+         copy OUTSIDE the set — or a wrong owner — is still a bug in
+         every mode *)
+      let exact = Ns.is_exact e.sharers in
       Imap.iter
         (fun id n ->
           let l = line_of n block in
           let valid = l = L_shared || l = L_exclusive in
-          if is_sharer e id && not valid then
-            err "block 0x%x: node %d in sharer vector but line %s" block id
+          if exact && is_sharer e id && not valid then
+            err "block 0x%x: node %d in sharer set but line %s" block id
               (match l with
                | L_invalid -> "invalid"
                | L_pending_invalid -> "pending-invalid"
@@ -1614,13 +1947,13 @@ let quiescent_invariants (cfg : cfg) (v : view) : string list =
                | _ -> "?");
           if valid && not (is_sharer e id) then
             err "block 0x%x: node %d holds a valid copy but is not in the \
-                 sharer vector"
+                 sharer set"
               block id;
           if l = L_exclusive then begin
             if e.owner <> id then
               err "block 0x%x: exclusive at node %d but directory owner is %d"
                 block id e.owner;
-            if sharer_count e <> 1 then
+            if exact && sharer_count e <> 1 then
               err "block 0x%x: exclusive at node %d with %d sharers" block id
                 (sharer_count e)
           end)
@@ -1640,7 +1973,21 @@ let quiescent_invariants (cfg : cfg) (v : view) : string list =
 let canon (v : view) : string =
   let b = Buffer.create 1024 in
   let pf fmt = Printf.bprintf b fmt in
-  Imap.iter (fun blk (e : dirent) -> pf "D%x:%d,%x;" blk e.owner e.sharers)
+  (* full-map sets print as the historical hex/decimal masks so default
+     configurations stay byte-identical to the seed traces; other
+     representations use Nodeset's canonical rendering *)
+  let ns_hex ns =
+    match Ns.as_bits ns with
+    | Some m -> Printf.sprintf "%x" m
+    | None -> Ns.to_string ns
+  in
+  let ns_dec ns =
+    match Ns.as_bits ns with
+    | Some m -> string_of_int m
+    | None -> Ns.to_string ns
+  in
+  Imap.iter
+    (fun blk (e : dirent) -> pf "D%x:%d,%s;" blk e.owner (ns_hex e.sharers))
     v.dir;
   Imap.iter
     (fun id (n : nview) ->
@@ -1722,8 +2069,20 @@ let canon (v : view) : string =
       pf "F%d:%b,[%s];" id f.fset
         (String.concat "," (List.map string_of_int f.fwaiters)))
     v.flags;
-  pf "B%d" v.barrier_arrived;
-  if v.halted <> 0 then pf ";X%x,%x" v.crashed v.halted;
+  pf "B%s" (ns_dec v.barrier_arrived);
+  if not (Ns.is_empty v.halted) then
+    pf ";X%s,%s" (ns_hex v.crashed) (ns_hex v.halted);
+  (* scaling-layer state prints only when populated, so default-config
+     strings stay byte-identical to the seed *)
+  if not (Ns.is_empty v.brelease) then pf ";R%s" (ns_dec v.brelease);
+  if not (Imap.is_empty v.homes) then begin
+    pf ";H";
+    Imap.iter (fun page h -> pf "%x:%d," page h) v.homes
+  end;
+  if not (Imap.is_empty v.heat) then begin
+    pf ";h";
+    Imap.iter (fun page (who, k) -> pf "%x:%d*%d," page who k) v.heat
+  end;
   Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
@@ -1757,6 +2116,8 @@ let string_of_ev = function
     Printf.sprintf "lease_takeover(%d,from=%d)" id from
   | E_dir_rebuild { block; from } ->
     Printf.sprintf "dir_rebuild(0x%x,from=%d)" block from
+  | E_home_migrated { page; to_ } ->
+    Printf.sprintf "home_migrated(page=%d,to=%d)" page to_
 
 let string_of_action = function
   | A_charge Request_issue -> "charge(request_issue)"
@@ -1808,6 +2169,8 @@ let string_of_input = function
   | I_flag_wait id -> Printf.sprintf "flag_wait %d" id
   | I_alloc { owner; blocks } ->
     Printf.sprintf "alloc owner=%d (%d blocks)" owner (List.length blocks)
+  | I_set_home { page; home } ->
+    Printf.sprintf "set_home page=%d home=%d" page home
   | I_continue post -> Printf.sprintf "continue (%d post)" (List.length post)
   | I_node_crash { victim; lost } ->
     Printf.sprintf "node_crash victim=%d (%d lost frames)" victim

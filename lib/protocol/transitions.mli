@@ -55,7 +55,7 @@ type nview = {
   sync_signal : bool;
 }
 
-type dirent = { owner : int; sharers : int }
+type dirent = { owner : int; sharers : Nodeset.t }
 type lockst = { holder : int option; lq : int list }
 type flagst = { fset : bool; fwaiters : int list }
 
@@ -64,14 +64,24 @@ type view = {
   nodes : nview Imap.t;
   locks : lockst Imap.t;
   flags : flagst Imap.t;
-  barrier_arrived : int; (* bitmask of nodes waiting at the barrier *)
-  crashed : int; (* bitmask of currently-down nodes *)
-  halted : int; (* bitmask of ever-crashed nodes (monotone): a recovered
-                   node serves the protocol again but its program is
-                   gone, so barriers excuse it permanently *)
+  barrier_arrived : Nodeset.t; (* nodes waiting at the barrier (exact) *)
+  crashed : Nodeset.t; (* currently-down nodes *)
+  halted : Nodeset.t; (* ever-crashed nodes (monotone): a recovered
+                         node serves the protocol again but its program
+                         is gone, so barriers excuse it permanently *)
+  homes : int Imap.t; (* page -> home override (placement/migration) *)
+  heat : (int * int) Imap.t; (* page -> (last remote requester, streak) *)
+  brelease : Nodeset.t; (* tree barrier: nodes the release wave owes *)
 }
 
-type cfg = { nprocs : int; page_bytes : int; sc : bool }
+type cfg = {
+  nprocs : int;
+  page_bytes : int;
+  sc : bool;
+  dmode : Nodeset.mode; (* directory organization for sharer sets *)
+  scalable_sync : bool; (* queue locks + combining-tree barrier *)
+  migrate : bool; (* hot-page directory-home migration *)
+}
 
 type cost =
   | Request_issue
@@ -106,6 +116,7 @@ type ev =
   | E_flag_woken of int
   | E_lease_takeover of { id : int; from : int }
   | E_dir_rebuild of { block : int; from : int }
+  | E_home_migrated of { page : int; to_ : int }
 
 type memop =
   | M_make_exclusive of int
@@ -157,6 +168,9 @@ type input =
   | I_flag_set of int
   | I_flag_wait of int
   | I_alloc of { owner : int; blocks : int list }
+  | I_set_home of { page : int; home : int }
+    (* install a home-placement override for [page] (first-touch or
+       profile-guided policies) *)
   | I_continue of post list
   | I_node_crash of { victim : int; lost : (int * Message.t) list }
     (* stepped at a surviving coordinator: marks [victim] dead,
@@ -176,10 +190,18 @@ val init : cfg -> view
 val step : cfg -> view -> node:int -> input -> action list * view
 
 val home_of : cfg -> int -> int
+(* Natural (round-robin) home of a block, ignoring overrides. *)
+
+val home_for : cfg -> view -> int -> int
+(* Effective home of a block under placement policies: the homes
+   override when installed, else the natural round-robin home. *)
 
 val route : cfg -> view -> int -> int
-(* Effective home: the natural home, or its ring successor among live
+(* Crash routing: the given home, or its ring successor among live
    nodes while it is crashed.  Identity when nothing is crashed. *)
+
+val tree_fanout : int
+(* Combining-tree barrier arity (scalable_sync). *)
 
 (* Accessors *)
 val node_view : view -> node:int -> nview

@@ -122,6 +122,7 @@ let ev_of (e : T.ev) : Ev.t =
   | T.E_flag_woken id -> Ev.Flag_woken { id }
   | T.E_lease_takeover { id; from } -> Ev.Lease_takeover { id; from }
   | T.E_dir_rebuild { block; from } -> Ev.Dir_rebuild { block; from }
+  | T.E_home_migrated { page; to_ } -> Ev.Home_migrated { page; to_ }
 
 (* Data replies leave the core with an empty payload: read the block out
    of this node's memory at apply time.  No memory action can intervene
@@ -147,7 +148,43 @@ let rec step state (node : Node.t) (input : T.input) =
     state.State.inputs_rev <- (node.id, input) :: state.State.inputs_rev;
   let acts, v = T.step state.State.tcfg state.State.proto ~node:node.id input in
   state.State.proto <- v;
-  List.iter (apply state node) acts
+  apply_all state node acts
+
+(* Maximal runs of invalidation sends — the home's fan-out for one
+   request over the sharer set — go to the interconnect as one
+   multicast (timing-identical to the individual sends) and feed the
+   dir.fanout histogram with the run's width. *)
+and inv_send (a : T.action) =
+  match a with
+  | T.A_send
+      ({ msg = { Message.kind = Message.Coh (Message.Inv _); _ }; _ } as s) ->
+    Some (s.dst, s.msg)
+  | _ -> None
+
+and apply_all state (node : Node.t) acts =
+  match acts with
+  | [] -> ()
+  | a :: _ when inv_send a <> None ->
+    let rec split acc = function
+      | a :: rest as l -> (
+        match inv_send a with
+        | Some pair -> split (pair :: acc) rest
+        | None -> (List.rev acc, l))
+      | [] -> (List.rev acc, [])
+    in
+    let pairs, rest = split [] acts in
+    let now = Pipeline.cycle node.pipe in
+    let done_at =
+      Shasta_network.Network.multicast state.State.net ~src:node.id ~now
+        ~payload_longs:Message.payload_longs pairs
+    in
+    charge node (done_at - now);
+    Obs.observe state.State.config.obs ~node:node.id Obs.h_fanout
+      (List.length pairs);
+    apply_all state node rest
+  | a :: rest ->
+    apply state node a;
+    apply_all state node rest
 
 and apply state (node : Node.t) (a : T.action) =
   match a with
@@ -435,6 +472,12 @@ let rt_flag_wait state (node : Node.t) id =
    view, owned exclusively by [owner]. *)
 let alloc_blocks state ~owner blocks =
   step state state.State.nodes.(owner) (T.I_alloc { owner; blocks })
+
+(* Install a home-placement override in the pure view (first-touch
+   allocation and profile-guided placement).  Fed through [step] like
+   every other input so --replay reproduces placement decisions. *)
+let set_home state ~page ~home =
+  step state state.State.nodes.(0) (T.I_set_home { page; home })
 
 (* ------------------------------------------------------------------ *)
 (* Node fault injection (called by the cluster scheduler)               *)

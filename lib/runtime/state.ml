@@ -11,6 +11,13 @@ open Shasta_protocol
 
 type consistency = Release | Sequential
 
+(* Home-assignment policy for freshly allocated shared pages.
+   Round_robin is the paper's default (Section 2.1); First_touch homes
+   each page at the allocating node; Profiled installs an explicit
+   page -> home placement (fed by a profiling pilot run's per-block
+   contention tables, see [Api.run_profiled_placement]). *)
+type home_policy = Round_robin | First_touch | Profiled
+
 type config = {
   nprocs : int;
   line_shift : int;
@@ -41,18 +48,37 @@ type config = {
          million simulated cycles so long runs are observably alive.
          None (the default) emits nothing — traces stay byte-identical
          to a heartbeat-free build *)
+  dir_mode : Nodeset.mode;
+      (* directory organization for every protocol node set (full-map
+         default; limited-pointer/coarse-vector for nprocs > 61) *)
+  home_policy : home_policy;
+  placement : (int * int) list;
+      (* explicit (page, home) overrides installed before the run —
+         the Profiled policy's input.  Empty under the default config *)
+  scalable_sync : bool;
+      (* MCS-style queue locks + combining-tree barrier instead of the
+         centralized home-arbited objects *)
+  migrate : bool; (* hot-page directory-home migration *)
 }
 
 let default_config ?(nprocs = 1) ?(line_shift = 6)
     ?(consistency = Release) ?(pipe_config = Pipeline.alpha_21064a)
     ?(net_profile = Shasta_network.Network.memory_channel) ?net_faults
     ?node_faults ?(costs = Costs.default) ?(granularity_threshold = 1024)
-    ?fixed_block ?obs ?progress () =
+    ?fixed_block ?obs ?progress ?(dir_mode = Nodeset.Full)
+    ?(home_policy = Round_robin) ?(placement = []) ?(scalable_sync = false)
+    ?(migrate = false) () =
+  (* fail loudly instead of silently wrapping masks past the int width:
+     every nprocs must be representable by the active directory mode *)
+  (match Nodeset.validate dir_mode ~nprocs with
+   | Ok () -> ()
+   | Error e -> invalid_arg ("State.default_config: " ^ e));
   let obs =
     match obs with Some o -> o | None -> Shasta_obs.Obs.create ~nprocs ()
   in
   { nprocs; line_shift; consistency; pipe_config; net_profile; net_faults;
-    node_faults; costs; granularity_threshold; fixed_block; obs; progress }
+    node_faults; costs; granularity_threshold; fixed_block; obs; progress;
+    dir_mode; home_policy; placement; scalable_sync; migrate }
 
 (* Home pages are assigned round-robin at this page size (Section 2.1). *)
 let page_bytes = 8192

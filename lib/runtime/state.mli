@@ -11,6 +11,11 @@ open Shasta_protocol
 
 type consistency = Release | Sequential
 
+type home_policy = Round_robin | First_touch | Profiled
+(** Home assignment for shared pages: the paper's round-robin default,
+    first-touch (home = allocating node), or explicit profile-guided
+    placement via [placement]. *)
+
 type config = {
   nprocs : int;
   line_shift : int;
@@ -29,6 +34,12 @@ type config = {
   progress : int option;
       (* Some n: heartbeat (obs event + stderr line) every n million
          simulated cycles; None emits nothing *)
+  dir_mode : Nodeset.mode;
+      (* directory organization for every protocol node set *)
+  home_policy : home_policy;
+  placement : (int * int) list; (* explicit (page, home) overrides *)
+  scalable_sync : bool; (* queue locks + combining-tree barrier *)
+  migrate : bool; (* hot-page directory-home migration *)
 }
 
 val default_config :
@@ -44,8 +55,16 @@ val default_config :
   ?fixed_block:int ->
   ?obs:Shasta_obs.Obs.t ->
   ?progress:int ->
+  ?dir_mode:Nodeset.mode ->
+  ?home_policy:home_policy ->
+  ?placement:(int * int) list ->
+  ?scalable_sync:bool ->
+  ?migrate:bool ->
   unit ->
   config
+(** Raises [Invalid_argument] when [nprocs] exceeds the directory
+    mode's representable capacity (e.g. full-map past the int-mask
+    width) — the guard against silent mask wraparound. *)
 
 val page_bytes : int
 (** Home pages are assigned round-robin at this page size (Section 2.1). *)

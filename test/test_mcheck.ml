@@ -90,7 +90,8 @@ let scenario_of_scripts scripts ~nprocs ~blocks =
     nprocs;
     blocks;
     scripts;
-    oracle = (fun _ -> []) }
+    oracle = (fun _ -> []);
+    cfg_mod = Fun.id }
 
 (* Drive one random interleaving to completion, checking the state
    invariants (owner in range and a sharer, single exclusive holder,
@@ -232,7 +233,8 @@ let t_crash_after_barrier_arrival () =
       nprocs = 2;
       blocks = [];
       scripts = [| [ Mcheck.Barrier ]; [ Mcheck.Barrier ] |];
-      oracle = (fun _ -> []) }
+      oracle = (fun _ -> []);
+      cfg_mod = Fun.id }
   in
   let cfg = Mcheck.cfg_of sc in
   let sys = ref (Mcheck.init_sys ~crash:1 sc) in
@@ -265,6 +267,77 @@ let t_crash_after_barrier_arrival () =
   drain 0;
   Alcotest.(check (list string)) "terminal quiescent, survivor done" []
     (T.quiescent_invariants cfg (Mcheck.view !sys))
+
+(* --- scaling scenarios: directory modes and scalable sync ----------- *)
+
+(* Exhaustive at P=2 and P=3 over the scale scenarios: limited-pointer
+   overflow-to-broadcast (at P=3 with one pointer the entry genuinely
+   overflows, so this proves the superset semantics never misses a
+   sharer), coarse-vector regions, the MCS-style queue lock and the
+   combining-tree barrier. *)
+let t_scale_exhaustive_clean () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun sc ->
+          let r = Mcheck.check_exhaustive sc in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s P=%d explored fully" sc.Mcheck.sname nprocs)
+            false r.Mcheck.truncated;
+          match r.Mcheck.violation with
+          | None -> ()
+          | Some v ->
+            Mcheck.pp_violation stderr v;
+            Alcotest.fail
+              (Printf.sprintf "%s P=%d: violation" sc.Mcheck.sname nprocs))
+        (Mcheck.scale_scenarios ~nprocs))
+    [ 2; 3 ]
+
+let t_scale_lossy_exhaustive_clean () =
+  List.iter
+    (fun sc ->
+      let r = Mcheck.check_exhaustive ~lossy:1 sc in
+      (* the directed home-stale scenarios are fixed at four nodes;
+         under loss their full interleaving space exceeds the budget,
+         and the bounded prefix (plus the fuzz pass) is the check *)
+      if sc.Mcheck.nprocs <= 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "%s P=2 lossy explored fully" sc.Mcheck.sname)
+          false r.Mcheck.truncated;
+      match r.Mcheck.violation with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": lossy violation"))
+    (Mcheck.scale_scenarios ~nprocs:2)
+
+let t_scale_crash_exhaustive_clean () =
+  List.iter
+    (fun sc ->
+      let r = Mcheck.check_exhaustive ~crash:1 sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s P=2 crash explored fully" sc.Mcheck.sname)
+        false r.Mcheck.truncated;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s crash reaches terminals" sc.Mcheck.sname)
+        true (r.Mcheck.terminals > 0);
+      match r.Mcheck.violation with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": crash violation"))
+    (Mcheck.scale_scenarios ~nprocs:2)
+
+let t_scale_fuzz_clean () =
+  List.iter
+    (fun sc ->
+      let _, v = Mcheck.fuzz ~seed:17 ~runs:150 sc in
+      match v with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": fuzz violation"))
+    (Mcheck.scale_scenarios ~nprocs:3)
 
 (* A sublayer that retransmits but forgets to dedup hands stale frames
    to the protocol; the checker must catch it (stray data replies or
@@ -368,6 +441,15 @@ let () =
             t_crash_fuzz_clean;
           Alcotest.test_case "crash after barrier arrival excused" `Quick
             t_crash_after_barrier_arrival ] );
+      ( "scale",
+        [ Alcotest.test_case "scale scenarios clean at P=2,3" `Quick
+            t_scale_exhaustive_clean;
+          Alcotest.test_case "scale scenarios clean under loss (P=2)" `Quick
+            t_scale_lossy_exhaustive_clean;
+          Alcotest.test_case "scale scenarios clean under crash (P=2)" `Quick
+            t_scale_crash_exhaustive_clean;
+          Alcotest.test_case "scale scenarios clean at P=3 (fuzz)" `Quick
+            t_scale_fuzz_clean ] );
       ( "replay",
         [ Alcotest.test_case "lu reproduces" `Quick t_replay_reproduces;
           Alcotest.test_case "ocean under SC" `Quick t_replay_sc_mode;

@@ -1,0 +1,247 @@
+(* Nodeset laws: the directory organizations behind the protocol's node
+   sets.  QCheck drives random add/remove programs against a reference
+   [Set.Make(Int)] model and checks, per representation:
+
+   - exact representations (full map; limited pointers before overflow)
+     agree with the model exactly;
+   - inexact representations (overflowed broadcast, coarse vector) are
+     SUPERSETS of the model — the protocol only uses sharer sets to
+     fan out invalidations, and a spurious invalidation is absorbed, so
+     over-approximation is sound while under-approximation would lose a
+     sharer;
+   - the structural accessors (mem / cardinal / iter / to_list /
+     is_empty) are mutually consistent and [iter] ascends.
+
+   Directed tests pin the limited-pointer overflow step, coarse-vector
+   region rounding, exact removal via exclusion lists, and the
+   nprocs-vs-capacity validation (including the runtime config error
+   message users actually see at P=64). *)
+
+open QCheck2
+module Ns = Shasta_protocol.Nodeset
+module IntSet = Set.Make (Int)
+
+let qtest name ?(count = 200) ~print gen prop =
+  QCheck_alcotest.to_alcotest (Test.make ~name ~count ~print gen prop)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+(* --- generators ------------------------------------------------------ *)
+
+type op = Add of int | Remove of int
+
+let show_mode = function
+  | Ns.Full -> "full"
+  | Ns.Limited k -> Printf.sprintf "limited:%d" k
+  | Ns.Coarse g -> Printf.sprintf "coarse:%d" g
+
+let show_op = function
+  | Add n -> Printf.sprintf "add %d" n
+  | Remove n -> Printf.sprintf "rem %d" n
+
+let case_gen =
+  let mode =
+    Gen.oneof
+      [ Gen.pure Ns.Full;
+        Gen.map (fun k -> Ns.Limited k) (Gen.int_range 1 3);
+        Gen.map (fun g -> Ns.Coarse g) (Gen.int_range 1 3) ]
+  in
+  let case =
+    Gen.bind (Gen.pair mode (Gen.int_range 1 16)) (fun (mode, nprocs) ->
+      let op =
+        Gen.map2
+          (fun add n -> if add then Add n else Remove n)
+          Gen.bool
+          (Gen.int_bound (nprocs - 1))
+      in
+      Gen.map
+        (fun ops -> (mode, nprocs, ops))
+        (Gen.list_size (Gen.int_range 0 24) op))
+  in
+  case
+
+let print_case (mode, nprocs, ops) =
+  Printf.sprintf "%s P=%d [%s]" (show_mode mode) nprocs
+    (String.concat "; " (List.map show_op ops))
+
+let apply_ops mode ~nprocs ops =
+  List.fold_left
+    (fun (s, m) op ->
+      match op with
+      | Add x -> (Ns.add s x, IntSet.add x m)
+      | Remove x -> (Ns.remove s x, IntSet.remove x m))
+    (Ns.empty mode ~nprocs, IntSet.empty)
+    ops
+
+(* --- the laws -------------------------------------------------------- *)
+
+let prop_model_agreement (mode, nprocs, ops) =
+  let s, model = apply_ops mode ~nprocs ops in
+  let members = Ns.to_list s in
+  (* never under-approximate: every model member is a member *)
+  IntSet.for_all (fun x -> Ns.mem s x) model
+  (* never invent out-of-range nodes *)
+  && List.for_all (fun x -> x >= 0 && x < nprocs) members
+  (* exact representations agree with the model exactly *)
+  && ((not (Ns.is_exact s))
+      || (IntSet.equal model (IntSet.of_list members)
+          && Ns.cardinal s = IntSet.cardinal model))
+
+let prop_accessors_consistent (mode, nprocs, ops) =
+  let s, _ = apply_ops mode ~nprocs ops in
+  let members = Ns.to_list s in
+  let iterated = ref [] in
+  Ns.iter (fun x -> iterated := x :: !iterated) s;
+  let iterated = List.rev !iterated in
+  iterated = members
+  && List.sort_uniq compare members = members (* sorted, duplicate-free *)
+  && Ns.cardinal s = List.length members
+  && Ns.is_empty s = (members = [])
+  && List.for_all (fun x -> Ns.mem s x) members
+  && Ns.fold (fun _ acc -> acc + 1) s 0 = List.length members
+
+(* removal is exact in EVERY representation (crash recovery strikes a
+   dead node from every set, inexact or not) *)
+let prop_remove_exact (mode, nprocs, ops) =
+  let s, _ = apply_ops mode ~nprocs ops in
+  List.for_all
+    (fun x -> not (Ns.mem (Ns.remove s x) x))
+    (List.init nprocs Fun.id)
+
+(* an overflowed limited-pointer entry is a superset of what a full map
+   would hold after the same program *)
+let prop_overflow_superset (_, nprocs, ops) =
+  let s, model = apply_ops (Ns.Limited 1) ~nprocs ops in
+  IntSet.for_all (fun x -> Ns.mem s x) model
+
+(* coarse-vector region soundness: a superset of the model whose every
+   member lies in a region some add actually touched — coverage never
+   leaks into regions nobody ever occupied (removing a node may leave
+   its region-mates covered; that over-approximation is the point) *)
+let prop_coarse_regions (_, nprocs, ops) =
+  let g = 2 in
+  let s, model = apply_ops (Ns.Coarse g) ~nprocs ops in
+  let touched =
+    List.filter_map (function Add x -> Some (x / g) | Remove _ -> None) ops
+  in
+  IntSet.for_all (fun x -> Ns.mem s x) model
+  && List.for_all
+       (fun x -> x < nprocs && List.mem (x / g) touched)
+       (Ns.to_list s)
+
+(* --- directed cases -------------------------------------------------- *)
+
+let t_limited_overflow_step () =
+  let nprocs = 6 in
+  let s0 = Ns.empty (Ns.Limited 2) ~nprocs in
+  let s1 = Ns.add (Ns.add s0 1) 4 in
+  Alcotest.(check bool) "below k stays exact" true (Ns.is_exact s1);
+  Alcotest.(check (list int)) "exact members" [ 1; 4 ] (Ns.to_list s1);
+  let s2 = Ns.add s1 2 in
+  Alcotest.(check bool) "k+1th member overflows" false (Ns.is_exact s2);
+  Alcotest.(check (list int)) "broadcast covers everyone" [ 0; 1; 2; 3; 4; 5 ]
+    (Ns.to_list s2);
+  let s3 = Ns.remove s2 3 in
+  Alcotest.(check bool) "exclusion removes exactly" false (Ns.mem s3 3);
+  Alcotest.(check int) "cardinal tracks exclusions" 5 (Ns.cardinal s3);
+  (* re-adding an excluded node cancels the exclusion *)
+  Alcotest.(check bool) "re-add cancels exclusion" true
+    (Ns.mem (Ns.add s3 3) 3)
+
+let t_coarse_rounding () =
+  let nprocs = 7 in
+  let s = Ns.add (Ns.empty (Ns.Coarse 4) ~nprocs) 5 in
+  Alcotest.(check bool) "member present" true (Ns.mem s 5);
+  Alcotest.(check bool) "region-mate covered" true (Ns.mem s 4);
+  Alcotest.(check bool) "other region clear" false (Ns.mem s 0);
+  (* the last region is clipped to nprocs *)
+  Alcotest.(check (list int)) "clipped region" [ 4; 5; 6 ] (Ns.to_list s);
+  let s = Ns.remove s 6 in
+  Alcotest.(check (list int)) "exclusion inside region" [ 4; 5 ]
+    (Ns.to_list s)
+
+let t_singleton_masks () =
+  List.iter
+    (fun mode ->
+      let s = Ns.singleton mode ~nprocs:8 3 in
+      Alcotest.(check bool)
+        (show_mode mode ^ " singleton member") true (Ns.mem s 3))
+    [ Ns.Full; Ns.Limited 1; Ns.Coarse 4 ];
+  (* full-map singletons are the historical one-hot masks *)
+  Alcotest.(check int) "one-hot" (1 lsl 3)
+    (Ns.to_mask (Ns.singleton Ns.Full ~nprocs:8 3))
+
+let t_capacity_validation () =
+  (match Ns.validate Ns.Full ~nprocs:8 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Ns.validate Ns.Full ~nprocs:64 with
+   | Ok () -> Alcotest.fail "full map must reject 64 processors"
+   | Error e ->
+     Alcotest.(check bool) "error names the capacity" true
+       (contains ~affix:"capacity" e));
+  (match Ns.validate (Ns.Limited 4) ~nprocs:64 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Ns.validate (Ns.Coarse 4) ~nprocs:64 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e)
+
+(* the error users actually hit: a 64-processor cluster under the
+   default full-map directory must fail fast, with the fix in the
+   message, and succeed under limited/coarse *)
+let t_config_capacity_regression () =
+  let module State = Shasta_runtime.State in
+  (try
+     ignore (State.default_config ~nprocs:64 ());
+     Alcotest.fail "default_config accepted 64 procs on a full map"
+   with Invalid_argument e ->
+     Alcotest.(check bool) "message suggests --dir-mode" true
+       (contains ~affix:"dir-mode" e));
+  let c = State.default_config ~nprocs:64 ~dir_mode:(Ns.Limited 4) () in
+  Alcotest.(check int) "limited accepts 64" 64 c.State.nprocs;
+  let c = State.default_config ~nprocs:64 ~dir_mode:(Ns.Coarse 4) () in
+  Alcotest.(check int) "coarse accepts 64" 64 c.State.nprocs
+
+let t_mode_of_string () =
+  let ok s m =
+    match Ns.mode_of_string s with
+    | Ok m' -> Alcotest.(check string) s (show_mode m) (show_mode m')
+    | Error e -> Alcotest.fail e
+  in
+  ok "full" Ns.Full;
+  ok "limited" (Ns.Limited 4);
+  ok "limited:2" (Ns.Limited 2);
+  ok "coarse" (Ns.Coarse 4);
+  ok "coarse:8" (Ns.Coarse 8);
+  match Ns.mode_of_string "sparse" with
+  | Ok _ -> Alcotest.fail "junk mode accepted"
+  | Error _ -> ()
+
+let () =
+  Alcotest.run "nodeset"
+    [ ( "laws",
+        [ qtest "model agreement (exact = equal, inexact = superset)"
+            ~print:print_case case_gen prop_model_agreement;
+          qtest "accessors mutually consistent, iter ascends"
+            ~print:print_case case_gen prop_accessors_consistent;
+          qtest "remove is exact in every representation" ~print:print_case
+            case_gen prop_remove_exact;
+          qtest "limited-pointer overflow is a superset" ~print:print_case
+            case_gen prop_overflow_superset;
+          qtest "coarse-vector regions are sound" ~print:print_case case_gen
+            prop_coarse_regions ] );
+      ( "directed",
+        [ Alcotest.test_case "limited overflow step" `Quick
+            t_limited_overflow_step;
+          Alcotest.test_case "coarse region rounding" `Quick
+            t_coarse_rounding;
+          Alcotest.test_case "singletons" `Quick t_singleton_masks;
+          Alcotest.test_case "capacity validation" `Quick
+            t_capacity_validation;
+          Alcotest.test_case "P=64 config error is actionable" `Quick
+            t_config_capacity_regression;
+          Alcotest.test_case "mode parsing" `Quick t_mode_of_string ] ) ]
