@@ -25,12 +25,13 @@ module Mcheck = Shasta_mcheck.Mcheck
    under an injection inverts: the checker must FIND the violation and
    print its counterexample trace. *)
 let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
-    fuzz_only scale =
+    fuzz_only scale refine dir_mode sync =
   let injection =
     match inject with
     | None -> Mcheck.No_injection
     | Some "drop-ack" -> Mcheck.Drop_first_inv_ack
     | Some "no-dedup" -> Mcheck.Retransmit_no_dedup
+    | Some "reorder-release" -> Mcheck.Store_past_release
     | Some s -> failwith ("unknown injection " ^ s)
   in
   (match (injection, lossy) with
@@ -41,15 +42,33 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
     failwith "--crash needs the reliable wire (drop --lossy)";
   if recover > 0 && crash = 0 then
     failwith "--recover needs --crash N (nothing to restart otherwise)";
+  let dmode =
+    match Shasta_protocol.Nodeset.mode_of_string dir_mode with
+    | Ok m -> m
+    | Error e -> failwith e
+  in
+  let scalable_sync =
+    match sync with
+    | "central" -> false
+    | "scalable" -> true
+    | s -> failwith ("unknown sync kind " ^ s)
+  in
   (* exhaustive enumeration only stays tractable on tiny configs *)
   let np = max 2 (min nprocs 3) in
   if np <> nprocs then
     Printf.printf "(clamped to %d processors for exhaustive search)\n" np;
-  Printf.printf "== model check: %d processors, %s%s%s%s\n" np
+  (* the CLI's --dir-mode/--sync select the configuration every
+     scenario runs over (scale scenarios still pin their own) *)
+  let base =
+    { Shasta_protocol.Transitions.nprocs = np; page_bytes = 8192; sc = false;
+      dmode; scalable_sync; migrate = false }
+  in
+  Printf.printf "== model check: %d processors, %s%s%s%s%s%s\n" np
     (match injection with
      | Mcheck.No_injection -> "no fault injection"
      | Mcheck.Drop_first_inv_ack -> "dropping first invalidation ack"
-     | Mcheck.Retransmit_no_dedup -> "retransmit without receiver dedup")
+     | Mcheck.Retransmit_no_dedup -> "retransmit without receiver dedup"
+     | Mcheck.Store_past_release -> "store commit reordered past release")
     (match lossy with
      | Some b -> Printf.sprintf ", lossy channels (budget %d)" b
      | None -> "")
@@ -57,10 +76,23 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
        Printf.sprintf ", crash adversary (%d halt%s)" crash
          (if recover > 0 then Printf.sprintf ", %d restart" recover else "")
      else "")
-    (if scale then ", scaling scenarios" else "");
+    (if scale then ", scaling scenarios" else "")
+    (if refine then ", refinement against the serial-memory spec" else "")
+    (if dmode <> Shasta_protocol.Nodeset.Full || scalable_sync then
+       Printf.sprintf " [dir-mode %s, sync %s]"
+         (Shasta_protocol.Nodeset.mode_name dmode)
+         (if scalable_sync then "scalable" else "central")
+     else "");
   let scenario_set ~nprocs =
-    if scale then Mcheck.scale_scenarios ~nprocs
+    if injection = Mcheck.Store_past_release then
+      (* the mutation defers a store under a held lock: the directed
+         release-order scenario isolates it (other lock scenarios'
+         strong oracles would also trip, muddying the demonstration
+         that refinement alone sees it) *)
+      [ Mcheck.release_order ]
+    else if scale then Mcheck.scale_scenarios ~nprocs
     else if crash > 0 then Mcheck.crash_scenarios ~nprocs
+    else if refine then Mcheck.refine_scenarios ~nprocs
     else Mcheck.scenarios ~nprocs
   in
   let crash = if crash > 0 then Some crash else None in
@@ -70,7 +102,8 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
     else
       List.map
         (fun sc ->
-          Mcheck.run_scenario ~injection ?lossy ?crash ?recover stdout sc)
+          Mcheck.run_scenario ~injection ?lossy ?crash ?recover ~refine ~base
+            stdout sc)
         (scenario_set ~nprocs:np)
   in
   let states = List.fold_left (fun a (r : Mcheck.result) -> a + r.states) 0 results in
@@ -88,8 +121,8 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
     List.iter
       (fun sc ->
         let steps, v =
-          Mcheck.fuzz ~injection ?lossy ?crash ?recover ~seed:fuzz_seed
-            ~runs:fuzz_runs sc
+          Mcheck.fuzz ~injection ?lossy ?crash ?recover ~refine ~base
+            ~seed:fuzz_seed ~runs:fuzz_runs sc
         in
         Printf.printf "fuzz %-17s %d runs, %d steps%s\n" sc.Mcheck.sname
           fuzz_runs steps
@@ -109,7 +142,8 @@ let model_check nprocs inject fuzz_seed fuzz_runs lossy crash recover
       exit 1
     end
     else print_endline "OK: no violations in any explored interleaving"
-  | Mcheck.Drop_first_inv_ack | Mcheck.Retransmit_no_dedup ->
+  | Mcheck.Drop_first_inv_ack | Mcheck.Retransmit_no_dedup
+  | Mcheck.Store_past_release ->
     if found then
       print_endline "OK: injected fault caught (counterexample above)"
     else begin
@@ -672,9 +706,11 @@ let cmd =
          & info [ "inject" ] ~docv:"FAULT"
              ~doc:"With --check: inject a bug (drop-ack drops the first \
                    invalidation acknowledgement; no-dedup removes the \
-                   sublayer's receiver-side dedup, needs --lossy).  \
-                   Success inverts: the checker must find and print a \
-                   counterexample.")
+                   sublayer's receiver-side dedup, needs --lossy; \
+                   reorder-release sinks a store commit past its lock \
+                   release — invisible to every invariant, caught only \
+                   by --refine).  Success inverts: the checker must \
+                   find and print a counterexample.")
   in
   let lossy_t =
     Arg.(value & opt (some int) None
@@ -821,6 +857,19 @@ let cmd =
                    queue locks with direct release-to-successor handoff \
                    and a combining-tree barrier).")
   in
+  let refine_t =
+    Arg.(value & flag
+         & info [ "refine" ]
+             ~doc:"With --check: also check state-machine refinement \
+                   against an atomic-step serial-memory specification — \
+                   every load/store/sync commit maps to exactly one \
+                   spec step, all other protocol activity is \
+                   stuttering, crash boundaries resolve in-flight \
+                   stores to committed-before-or-never, and a \
+                   vector-clock race detector validates each \
+                   scenario's DRF claim.  Divergence counterexamples \
+                   print the full commit history.")
+  in
   let scale_check_t =
     Arg.(value & flag
          & info [ "scale" ]
@@ -830,8 +879,8 @@ let cmd =
                    the combining-tree barrier).")
   in
   let main list check inject lossy crash recover fuzz_only fuzz_seed
-      fuzz_runs scale_check app size procs net net_faults node_faults cpu
-      line no_instrument no_sched no_flag no_excl no_batch poll no_range
+      fuzz_runs scale_check refine app size procs net net_faults node_faults
+      cpu line no_instrument no_sched no_flag no_excl no_batch poll no_range
       fixed_block threshold sc trace trace_out metrics metrics_csv profile
       profile_out flame_out top show_asm replay progress dir_mode
       home_policy sync kvo =
@@ -839,7 +888,7 @@ let cmd =
       if list then list_apps ()
       else if check then
         model_check procs inject fuzz_seed fuzz_runs lossy crash recover
-          fuzz_only scale_check
+          fuzz_only scale_check refine dir_mode sync
       else
         run app size procs net net_faults node_faults cpu line no_instrument
           no_sched no_flag no_excl no_batch poll no_range fixed_block
@@ -854,6 +903,7 @@ let cmd =
     Term.(
       const main $ list_t $ check_t $ inject_t $ lossy_t $ crash_t
       $ recover_t $ fuzz_only_t $ fuzz_seed_t $ fuzz_runs_t $ scale_check_t
+      $ refine_t
       $ app_t $ size_t $ procs_t $ net_t $ net_faults_t $ node_faults_t
       $ cpu_t
       $ line_t $ no_instrument_t $ no_sched_t $ no_flag_t $ no_excl_t

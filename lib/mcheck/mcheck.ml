@@ -85,7 +85,19 @@ let string_of_op = function
   | Flag_wait id -> Printf.sprintf "flag_wait %d" id
   | Barrier -> "barrier"
 
-type injection = No_injection | Drop_first_inv_ack | Retransmit_no_dedup
+(* [Store_past_release] is the refinement-teeth mutation: the first
+   store issued while the issuing node holds a lock is not performed —
+   its value is stashed, and a later nondeterministic move applies it
+   once the node holds no lock, i.e. the store commit has sunk past
+   the release.  Every structural invariant, flag-coherence and
+   quiescence obligation still holds (the deferred store is an
+   ordinary store when it fires); only the refinement checker, which
+   pins each commit to its program-order spec step, can see it. *)
+type injection =
+  | No_injection
+  | Drop_first_inv_ack
+  | Retransmit_no_dedup
+  | Store_past_release
 
 (* ------------------------------------------------------------------ *)
 (* The closed system                                                    *)
@@ -110,6 +122,21 @@ type chanst = {
   budget : int;
 }
 
+(* Refinement bookkeeping carried through a run when [~refine] is on:
+   the serial-memory spec state, the race detector's clocks, and the
+   per-node issued-but-uncommitted operation ([uops]).  Stores commit
+   at issue (release consistency makes them non-stalling), loads and
+   sync operations commit at the move that leaves the node running
+   again; a barrier is two half-steps (arrive at issue, pass at
+   wake). *)
+type refst = {
+  rspec : Refine.spec;
+  racer : Refine.racer;
+  uops : op Imap.t; (* node -> issued op awaiting its commit *)
+  racy : bool; (* the detector reported a race on this path *)
+  rcommits : string list; (* committed spec steps, newest first *)
+}
+
 type sys = {
   v : T.view;
   chans : Message.t list Imap.t; (* src * nprocs + dst -> FIFO, head next *)
@@ -118,10 +145,13 @@ type sys = {
   regs : int Imap.t; (* node -> last value read *)
   pending_read : int Imap.t; (* node -> block of the outstanding load *)
   dropped : bool; (* the injected fault already fired *)
+  stash : (int * int * int) option;
+      (* Store_past_release: (node, block, value) of the deferred store *)
   lossy : int option; (* per-channel fault budget; None = reliable wire *)
   lchans : chanst Imap.t; (* sublayer state per channel (lossy mode) *)
   crash_budget : int; (* remaining node-crash adversary moves *)
   recover_budget : int; (* remaining node-restart adversary moves *)
+  refine : refst option; (* refinement checking state, when enabled *)
 }
 
 type scenario = {
@@ -130,6 +160,11 @@ type scenario = {
   blocks : int list;
   scripts : op list array;
   oracle : sys -> string list; (* extra checks at terminal states *)
+  drf : bool;
+      (* the scripts are data-race-free: the race detector must stay
+         silent and spec divergences are hard violations.  On a racy
+         scenario divergences after a detected race are excused (SC is
+         only promised to race-free programs). *)
   cfg_mod : T.cfg -> T.cfg;
       (* configuration override applied over the default (full-map,
          centralized sync) — how scale scenarios select limited-pointer
@@ -146,15 +181,22 @@ let reg (sys : sys) ~node =
 
 let view (sys : sys) = sys.v
 
-let cfg_of (sc : scenario) =
-  sc.cfg_mod
+let cfg_of ?base (sc : scenario) =
+  let dflt =
     { T.nprocs = sc.nprocs; page_bytes = 8192; sc = false;
       dmode = Nodeset.Full; scalable_sync = false; migrate = false }
+  in
+  (* [base] carries the CLI's --dir-mode/--sync choice into every
+     scenario; the scenario's own processor count and cfg_mod still
+     win (scale scenarios pin the organization they exercise) *)
+  let c = match base with Some b -> { b with T.nprocs = sc.nprocs } | None -> dflt in
+  sc.cfg_mod c
 
-let init_sys ?lossy ?(crash = 0) ?(recover = 0) (sc : scenario) =
+let init_sys ?lossy ?(crash = 0) ?(recover = 0) ?(refine = false) ?base
+    (sc : scenario) =
   if crash > 0 && lossy <> None then
     invalid_arg "mcheck: the crash adversary needs the reliable wire";
-  let cfg = cfg_of sc in
+  let cfg = cfg_of ?base sc in
   let v0 = T.init cfg in
   (* every block starts exclusively owned by node 0 (the allocator) *)
   let _, v =
@@ -175,10 +217,20 @@ let init_sys ?lossy ?(crash = 0) ?(recover = 0) (sc : scenario) =
     regs = Imap.empty;
     pending_read = Imap.empty;
     dropped = false;
+    stash = None;
     lossy;
     lchans = Imap.empty;
     crash_budget = crash;
-    recover_budget = recover }
+    recover_budget = recover;
+    refine =
+      (if refine then
+         Some
+           { rspec = Refine.init ~nprocs:sc.nprocs ~blocks:sc.blocks;
+             racer = Refine.racer_init ~nprocs:sc.nprocs;
+             uops = Imap.empty;
+             racy = false;
+             rcommits = [] }
+       else None) }
 
 (* ------------------------------------------------------------------ *)
 (* Applying a step's actions to the closed system                       *)
@@ -232,7 +284,7 @@ let apply_action ~inj ~(reply : int array option ref) v' node sys
     let drop =
       (match inj with
        | Drop_first_inv_ack -> msg.Message.kind = Message.Coh Message.Inv_ack
-       | No_injection | Retransmit_no_dedup -> false)
+       | No_injection | Retransmit_no_dedup | Store_past_release -> false)
       && not sys.dropped
     in
     (* Drop_first_inv_ack loses the message ABOVE the sublayer — it is
@@ -334,18 +386,28 @@ let issue cfg ~inj (sys : sys) node op rest =
       | Write (_, v) -> v
       | _ -> assert false
     in
-    let st = T.line_state sys.v ~node ~block:b in
-    let sys = shadow_set sys ~node ~block:b value in
-    if st = T.L_exclusive then sys
-    else
-      run_step cfg ~inj sys node
-        (T.I_store_miss
-           { addr = b;
-             block = b;
-             st;
-             bytes = 4;
-             store_done = true;
-             stored = [ (b, value) ] })
+    if
+      inj = Store_past_release && (not sys.dropped)
+      && T.locks_held_by sys.v ~node <> []
+    then
+      (* the mutation: the store's program-order slot is consumed but
+         its effect is withheld until the node has released its locks
+         (see [stash_moves]) — a store commit sunk past the release *)
+      { sys with dropped = true; stash = Some (node, b, value) }
+    else begin
+      let st = T.line_state sys.v ~node ~block:b in
+      let sys = shadow_set sys ~node ~block:b value in
+      if st = T.L_exclusive then sys
+      else
+        run_step cfg ~inj sys node
+          (T.I_store_miss
+             { addr = b;
+               block = b;
+               st;
+               bytes = 4;
+               store_done = true;
+               stored = [ (b, value) ] })
+    end
   | Lock id -> run_step cfg ~inj sys node (T.I_lock id)
   | Unlock id -> run_step cfg ~inj sys node (T.I_unlock id)
   | Flag_set id -> run_step cfg ~inj sys node (T.I_flag_set id)
@@ -512,6 +574,10 @@ let crash_node cfg ~inj (sys : sys) victim =
       chans;
       scripts = Imap.add victim [] sys.scripts;
       pending_read = Imap.remove victim sys.pending_read;
+      stash =
+        (match sys.stash with
+         | Some (n, _, _) when n = victim -> None
+         | s -> s);
       crash_budget = sys.crash_budget - 1 }
   in
   let coord =
@@ -556,6 +622,33 @@ let crash_moves cfg ~inj (sys : sys) =
   in
   crashes @ recovers
 
+(* The second half of [Store_past_release]: once the stashing node has
+   released every lock, the withheld store may fire at any point — an
+   ordinary store miss, indistinguishable from a legal one to every
+   structural check, but committed out of program order. *)
+let stash_moves cfg ~inj (sys : sys) =
+  match sys.stash with
+  | Some (node, b, value)
+    when T.is_live sys.v ~node && running sys ~node
+         && T.locks_held_by sys.v ~node = [] ->
+    [ ( Printf.sprintf "n%d: deferred store 0x%x <- %d fires (injected)" node
+          b value,
+        fun () ->
+          let sys = { sys with stash = None } in
+          let st = T.line_state sys.v ~node ~block:b in
+          let sys = shadow_set sys ~node ~block:b value in
+          if st = T.L_exclusive then sys
+          else
+            run_step cfg ~inj sys node
+              (T.I_store_miss
+                 { addr = b;
+                   block = b;
+                   st;
+                   bytes = 4;
+                   store_done = true;
+                   stored = [ (b, value) ] }) ) ]
+  | _ -> []
+
 let moves cfg ~inj (sys : sys) =
   let issues =
     Imap.fold
@@ -587,6 +680,7 @@ let moves cfg ~inj (sys : sys) =
   in
   List.rev_append issues
     (List.rev_append lossy_all (List.rev delivers))
+  @ stash_moves cfg ~inj sys
   @ crash_moves cfg ~inj sys
 
 (* ------------------------------------------------------------------ *)
@@ -616,6 +710,21 @@ let canon_sys (sys : sys) =
     (fun n blk -> Buffer.add_string b (Printf.sprintf "|p%d:%x" n blk))
     sys.pending_read;
   if sys.dropped then Buffer.add_string b "|D";
+  (match sys.stash with
+   | Some (n, blk, v) ->
+     Buffer.add_string b (Printf.sprintf "|T%d:%x=%d" n blk v)
+   | None -> ());
+  (* the spec shadow is path-dependent state: two identical protocol
+     states under different spec memories must explore separately, or
+     a divergence on the pruned branch would be lost.  The racer's
+     clocks are deliberately NOT keyed (race detection is per explored
+     trace; keying full vector clocks would blow the state space), but
+     the racy bit is, since it changes how divergences are judged. *)
+  (match sys.refine with
+   | Some r ->
+     Buffer.add_string b (if r.racy then "|R!" else "|R");
+     Buffer.add_string b (Refine.canon r.rspec)
+   | None -> ());
   if sys.crash_budget > 0 || sys.recover_budget > 0 then
     Buffer.add_string b
       (Printf.sprintf "|X%d/%d" sys.crash_budget sys.recover_budget);
@@ -725,6 +834,210 @@ let check_flag_coherence cfg blocks (sys : sys) =
   done;
   !errs
 
+(* ------------------------------------------------------------------ *)
+(* Refinement: the abstraction function                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Every value the cluster still physically holds for [block]: any
+   node's unflagged shadow copy (a fresh crash victim's is its frozen
+   image) plus the payloads of in-flight data replies.  This is the
+   admissible set a crash widens the spec to: the victim's in-flight
+   store either committed before the cut (its value survives in the
+   frozen image or a reply) or never happened (the stale copies). *)
+let present_values cfg (sys : sys) block =
+  let add acc v = if List.mem v acc then acc else v :: acc in
+  let acc =
+    List.fold_left
+      (fun acc n ->
+        let v = shadow_get sys ~node:n ~block in
+        if v <> marker then add acc v else acc)
+      []
+      (List.init cfg.T.nprocs Fun.id)
+  in
+  let from_msg acc (m : Message.t) =
+    match m.Message.kind with
+    | Message.Coh (Data_reply { data; _ })
+      when m.Message.addr = block && Array.length data > 0 ->
+      add acc data.(0)
+    | _ -> acc
+  in
+  let acc =
+    Imap.fold (fun _ q acc -> List.fold_left from_msg acc q) sys.chans acc
+  in
+  List.sort compare acc
+
+(* Map one protocol move (the [old_s] -> [sys] delta) onto spec steps.
+
+   Commit points: a store commits at issue (non-stalling under release
+   consistency — the written longword is immediately load-visible to
+   its own node); a barrier's arrive half commits at issue; every
+   other user-visible operation becomes the node's pending [uop] and
+   commits at the move that leaves the node running again (a hit
+   commits in the issuing move itself; a miss at the refill; a sync op
+   at its wake).  Only the stepping node can newly become running —
+   remote wakes always travel as messages — so at most one [uop]
+   commits per move, after any issue and crash steps of the same move.
+   Moves that consume no script and wake no one (transfers,
+   invalidations, acks, migration, retransmissions, lossy adversary
+   moves) produce no commits: they refine to stuttering.
+
+   A crash move clears the victim's script wholesale (distinguished
+   from an issue by the crashed-mask delta), discards the victim's
+   uncommitted op ("never happened"), force-releases its spec locks
+   and widens every block it last wrote to the physically-present
+   value set ("committed before or never happened").
+
+   Each commit first feeds the race detector, then the spec machine.
+   A race in a DRF scenario is itself a violation; in a racy scenario
+   it sets the sticky [racy] bit and later divergences are excused
+   (the spec resynchronizes via [Refine.force]) — SC is only promised
+   to race-free programs. *)
+let refine_update (sc : scenario) cfg (old_s : sys) (sys : sys) :
+    (sys, string list * string list) Stdlib.result =
+  match old_s.refine with
+  | None -> Ok sys
+  | Some r0 ->
+    let r = ref r0 in
+    let errs = ref [] in
+    let commit sst =
+      let racer, races = Refine.observe !r.racer sst in
+      let racy = !r.racy || races <> [] in
+      if sc.drf then
+        List.iter
+          (fun m -> errs := !errs @ [ "race in a DRF scenario: " ^ m ])
+          races;
+      let label = Refine.string_of_sstep sst in
+      match Refine.step !r.rspec sst with
+      | Ok sp ->
+        r := { !r with rspec = sp; racer; racy; rcommits = label :: !r.rcommits }
+      | Error e ->
+        if (not sc.drf) && racy then
+          r :=
+            { !r with
+              rspec = Refine.force !r.rspec sst;
+              racer;
+              racy;
+              rcommits = (label ^ " (excused: racy)") :: !r.rcommits }
+        else begin
+          errs := !errs @ [ "refinement: " ^ e ];
+          r :=
+            { !r with
+              racer;
+              racy;
+              rcommits = (label ^ "  <-- DIVERGES") :: !r.rcommits }
+        end
+    in
+    let uops = ref r0.uops in
+    let was = T.crashed_mask old_s.v and now = T.crashed_mask sys.v in
+    let new_victims =
+      List.filter
+        (fun n -> now land (1 lsl n) <> 0 && was land (1 lsl n) = 0)
+        (List.init cfg.T.nprocs Fun.id)
+    in
+    (* 1. script consumption = operation issue *)
+    for n = 0 to cfg.T.nprocs - 1 do
+      if not (List.mem n new_victims) then begin
+        let remaining m =
+          match Imap.find_opt n m with Some l -> l | None -> []
+        in
+        let before = remaining old_s.scripts in
+        if List.length (remaining sys.scripts) < List.length before then begin
+          match List.hd before with
+          | Write (b, v) ->
+            commit (Refine.S_store { node = n; block = b; value = v })
+          | Write_reg_plus (b, k) ->
+            commit
+              (Refine.S_store
+                 { node = n; block = b; value = reg old_s ~node:n + k })
+          | Barrier ->
+            commit (Refine.S_barrier_arrive { node = n });
+            uops := Imap.add n Barrier !uops
+          | (Read _ | Lock _ | Unlock _ | Flag_set _ | Flag_wait _) as op ->
+            uops := Imap.add n op !uops
+        end
+      end
+    done;
+    (* 2. crash steps *)
+    List.iter
+      (fun v ->
+        uops := Imap.remove v !uops;
+        let held = Refine.held_locks !r.rspec v in
+        let admissible =
+          List.filter_map
+            (fun b ->
+              match Refine.writer_of !r.rspec b with
+              | Some w when w = v -> Some (b, present_values cfg sys b)
+              | _ -> None)
+            sc.blocks
+        in
+        commit (Refine.S_crash { victim = v; held; admissible }))
+      new_victims;
+    (* 3. the commit of an earlier issue: its node runs again *)
+    for n = 0 to cfg.T.nprocs - 1 do
+      match Imap.find_opt n !uops with
+      | Some op when T.is_live sys.v ~node:n && running sys ~node:n ->
+        uops := Imap.remove n !uops;
+        (match op with
+         | Read b ->
+           commit
+             (Refine.S_load { node = n; block = b; value = reg sys ~node:n })
+         | Lock id -> commit (Refine.S_lock { node = n; id })
+         | Unlock id -> commit (Refine.S_unlock { node = n; id })
+         | Flag_set id -> commit (Refine.S_flag_set { node = n; id })
+         | Flag_wait id -> commit (Refine.S_flag_wait { node = n; id })
+         | Barrier ->
+           commit
+             (Refine.S_barrier_pass
+                { node = n; excused = T.halted_mask sys.v })
+         | Write _ | Write_reg_plus _ -> assert false)
+      | _ -> ()
+    done;
+    let r = { !r with uops = !uops } in
+    if !errs = [] then Ok { sys with refine = Some r }
+    else Error (!errs, List.rev r.rcommits)
+
+let commits_of (sys : sys) =
+  match sys.refine with Some r -> List.rev r.rcommits | None -> []
+
+(* Terminal obligations of refinement: no operation left uncommitted
+   on a live node, and — when the scenario is DRF and no race was
+   detected — every surviving valid copy agrees with the serial
+   memory (the SC-for-DRF conclusion itself). *)
+let check_refine_terminal (sc : scenario) cfg (sys : sys) =
+  match sys.refine with
+  | None -> []
+  | Some r ->
+    let errs = ref [] in
+    Imap.iter
+      (fun n op ->
+        if T.is_live sys.v ~node:n then
+          errs :=
+            Printf.sprintf "refinement: node %d terminal with uncommitted %s"
+              n (string_of_op op)
+            :: !errs)
+      r.uops;
+    if sc.drf && not r.racy then
+      List.iter
+        (fun b ->
+          let allowed = Refine.mem_values r.rspec b in
+          for n = 0 to cfg.T.nprocs - 1 do
+            (* an ever-crashed node's shadow is its frozen crash
+               image, exempt exactly as in flag coherence *)
+            if T.halted_mask sys.v land (1 lsl n) = 0 then
+              match value sys ~node:n ~block:b with
+              | Some v when not (List.mem v allowed) ->
+                errs :=
+                  Printf.sprintf
+                    "refinement: node %d block 0x%x holds %d at terminal, \
+                     serial memory allows {%s}"
+                    n b v
+                    (String.concat "," (List.map string_of_int allowed))
+                  :: !errs
+              | _ -> ()
+          done)
+        sc.blocks;
+    !errs
+
 let check_state (sc : scenario) cfg (sys : sys) =
   T.invariants cfg sys.v
   @ check_ack_conservation cfg sys
@@ -789,12 +1102,18 @@ let check_terminal (sc : scenario) cfg (sys : sys) =
      remain in full force *)
   let oracle = if T.halted_mask sys.v = 0 then sc.oracle sys else [] in
   !stuck @ T.quiescent_invariants cfg sys.v @ oracle
+  @ check_refine_terminal sc cfg sys
 
 (* ------------------------------------------------------------------ *)
 (* Exhaustive search                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type violation = { verr : string list; vtrace : string list }
+type violation = {
+  verr : string list;
+  vtrace : string list;
+  vcommits : string list;
+      (* the spec steps committed along the trace (refinement mode) *)
+}
 
 type result = {
   states : int; (* distinct states visited *)
@@ -806,8 +1125,8 @@ type result = {
 }
 
 let check_exhaustive ?(injection = No_injection) ?lossy ?crash ?recover
-    ?(max_states = 1_000_000) (sc : scenario) =
-  let cfg = cfg_of sc in
+    ?refine ?base ?(max_states = 1_000_000) (sc : scenario) =
+  let cfg = cfg_of ?base sc in
   let visited = Hashtbl.create 4096 in
   let states = ref 0 and transitions = ref 0 and terminals = ref 0 in
   let max_depth = ref 0 and truncated = ref false in
@@ -817,7 +1136,10 @@ let check_exhaustive ?(injection = No_injection) ?lossy ?crash ?recover
     else begin
       if depth > !max_depth then max_depth := depth;
       match check_state sc cfg sys with
-      | _ :: _ as errs -> violation := Some { verr = errs; vtrace = List.rev path }
+      | _ :: _ as errs ->
+        violation :=
+          Some
+            { verr = errs; vtrace = List.rev path; vcommits = commits_of sys }
       | [] -> (
         let ms = moves cfg ~inj:injection sys in
         match ms with
@@ -825,7 +1147,12 @@ let check_exhaustive ?(injection = No_injection) ?lossy ?crash ?recover
           incr terminals;
           match check_terminal sc cfg sys with
           | [] -> ()
-          | errs -> violation := Some { verr = errs; vtrace = List.rev path })
+          | errs ->
+            violation :=
+              Some
+                { verr = errs;
+                  vtrace = List.rev path;
+                  vcommits = commits_of sys })
         | ms ->
           List.iter
             (fun (label, next) ->
@@ -834,24 +1161,40 @@ let check_exhaustive ?(injection = No_injection) ?lossy ?crash ?recover
                   try next ()
                   with Unexpected e | Failure e | Invalid_argument e ->
                     violation :=
-                      Some { verr = [ e ]; vtrace = List.rev (label :: path) };
+                      Some
+                        { verr = [ e ];
+                          vtrace = List.rev (label :: path);
+                          vcommits = commits_of sys };
                     sys
                 in
                 if !violation = None then begin
-                  incr transitions;
-                  let key = canon_sys sys' in
-                  if not (Hashtbl.mem visited key) then begin
-                    Hashtbl.add visited key ();
-                    incr states;
-                    if !states >= max_states then truncated := true
-                    else dfs sys' (label :: path) (depth + 1)
+                  let sys' =
+                    match refine_update sc cfg sys sys' with
+                    | Ok sys' -> sys'
+                    | Error (errs, commits) ->
+                      violation :=
+                        Some
+                          { verr = errs;
+                            vtrace = List.rev (label :: path);
+                            vcommits = commits };
+                      sys'
+                  in
+                  if !violation = None then begin
+                    incr transitions;
+                    let key = canon_sys sys' in
+                    if not (Hashtbl.mem visited key) then begin
+                      Hashtbl.add visited key ();
+                      incr states;
+                      if !states >= max_states then truncated := true
+                      else dfs sys' (label :: path) (depth + 1)
+                    end
                   end
                 end
               end)
             ms)
     end
   in
-  let sys0 = init_sys ?lossy ?crash ?recover sc in
+  let sys0 = init_sys ?lossy ?crash ?recover ?refine ?base sc in
   Hashtbl.add visited (canon_sys sys0) ();
   states := 1;
   dfs sys0 [] 0;
@@ -866,48 +1209,78 @@ let check_exhaustive ?(injection = No_injection) ?lossy ?crash ?recover
 (* Seeded random-interleaving fuzzer                                    *)
 (* ------------------------------------------------------------------ *)
 
-let fuzz ?(injection = No_injection) ?lossy ?crash ?recover ~seed ~runs
-    (sc : scenario) =
-  let cfg = cfg_of sc in
+(* Per-run seeds for [fuzz], drawn from one splitmix64 stream keyed on
+   the user's seed.  The old scheme ([Prng.of_list [seed; k]]) summed
+   seed and run index before finalizing, so (seed, k) and (seed+1,
+   k-1) collided — adjacent seeds largely re-explored each other's
+   interleavings.  A single well-mixed stream makes all [runs] draws
+   distinct with overwhelming probability. *)
+let fuzz_seeds ~seed ~runs =
+  let master = Shasta_prng.Prng.of_list [ seed ] in
+  List.init runs (fun _ -> Shasta_prng.Prng.bits63 master)
+
+let fuzz ?(injection = No_injection) ?lossy ?crash ?recover ?refine ?base
+    ~seed ~runs (sc : scenario) =
+  let cfg = cfg_of ?base sc in
   let violation = ref None in
   let total_steps = ref 0 in
-  let run_one k =
-    let rng = Shasta_prng.Prng.of_list [ seed; k ] in
-    let sys = ref (init_sys ?lossy ?crash ?recover sc) in
+  let run_one rs =
+    let rng = Shasta_prng.Prng.create rs in
+    let sys = ref (init_sys ?lossy ?crash ?recover ?refine ?base sc) in
     let path = ref [] in
     let continue = ref true in
     while !continue && !violation = None do
       (match check_state sc cfg !sys with
        | [] -> ()
        | errs ->
-         violation := Some { verr = errs; vtrace = List.rev !path };
+         violation :=
+           Some
+             { verr = errs;
+               vtrace = List.rev !path;
+               vcommits = commits_of !sys };
          continue := false);
       if !continue then
         match moves cfg ~inj:injection !sys with
         | [] ->
           (match check_terminal sc cfg !sys with
            | [] -> ()
-           | errs -> violation := Some { verr = errs; vtrace = List.rev !path });
+           | errs ->
+             violation :=
+               Some
+                 { verr = errs;
+                   vtrace = List.rev !path;
+                   vcommits = commits_of !sys });
           continue := false
         | ms ->
           let label, next =
             List.nth ms (Shasta_prng.Prng.int rng (List.length ms))
           in
           (try
-             sys := next ();
-             path := label :: !path;
-             incr total_steps
+             let sys' = next () in
+             (match refine_update sc cfg !sys sys' with
+              | Ok sys' ->
+                sys := sys';
+                path := label :: !path;
+                incr total_steps
+              | Error (errs, commits) ->
+                violation :=
+                  Some
+                    { verr = errs;
+                      vtrace = List.rev (label :: !path);
+                      vcommits = commits };
+                continue := false)
            with Unexpected e | Failure e | Invalid_argument e ->
              violation :=
-               Some { verr = [ e ]; vtrace = List.rev (label :: !path) };
+               Some
+                 { verr = [ e ];
+                   vtrace = List.rev (label :: !path);
+                   vcommits = commits_of !sys };
              continue := false)
     done
   in
-  let k = ref 0 in
-  while !k < runs && !violation = None do
-    run_one !k;
-    incr k
-  done;
+  List.iter
+    (fun rs -> if !violation = None then run_one rs)
+    (fuzz_seeds ~seed ~runs);
   (!total_steps, !violation)
 
 (* ------------------------------------------------------------------ *)
@@ -947,6 +1320,7 @@ let read_sharing ~nprocs =
         List.concat_map
           (fun n -> expect_reg ~node:n ~want:7 sys)
           (List.init nprocs Fun.id));
+    drf = true;
     cfg_mod = Fun.id }
 
 (* Unsynchronized write race: coherence must survive, and the final
@@ -969,6 +1343,7 @@ let write_race ~nprocs =
         | Some v when v = 100 || v = 101 -> []
         | Some v -> [ Printf.sprintf "final value %d is neither write" v ]
         | None -> [ "owner holds no valid copy" ]);
+    drf = false;
     cfg_mod = Fun.id }
 
 (* Lock-protected increments: every increment survives (the migratory
@@ -989,6 +1364,7 @@ let lock_increment ~nprocs =
           | None -> 0
         in
         expect_value ~node:owner ~block:b0 ~want:nprocs sys);
+    drf = true;
     cfg_mod = Fun.id }
 
 (* Producer/consumer over an event flag: the consumer's read must see
@@ -1000,6 +1376,7 @@ let flag_handoff =
     scripts =
       [| [ Write (b0, 42); Flag_set 0 ]; [ Flag_wait 0; Read b0 ] |];
     oracle = (fun sys -> expect_reg ~node:1 ~want:42 sys);
+    drf = true;
     cfg_mod = Fun.id }
 
 (* Two blocks with different homes, written on opposite sides of a
@@ -1014,6 +1391,7 @@ let barrier_exchange =
     oracle =
       (fun sys ->
         expect_reg ~node:0 ~want:6 sys @ expect_reg ~node:1 ~want:5 sys);
+    drf = true;
     cfg_mod = Fun.id }
 
 (* Read-share then upgrade: the writer must collect an invalidation
@@ -1028,6 +1406,40 @@ let upgrade_race ~nprocs =
         if n = 0 then [ Write (b0, 1); Barrier; Lock 0; Write (b0, 9); Unlock 0 ]
         else [ Barrier; Read b0 ]);
     oracle = no_oracle;
+    drf = false;
+    cfg_mod = Fun.id }
+
+(* The directed refinement scenario: a producer publishes under a
+   flag, then updates the same block inside a critical section; the
+   consumer reads the block under the same lock, twice.  Data-race
+   free, and every final outcome satisfies the weak data oracle — but
+   under SC the consumer's lock-section reads must observe the
+   producer's locked store once the producer has released.  The
+   [Store_past_release] injection sinks that store past the release
+   while every structural invariant, the oracle and quiescence still
+   hold: only refinement (each commit pinned to its program-order spec
+   step) catches the stale lock-section read. *)
+let release_order =
+  { sname = "release-order";
+    nprocs = 2;
+    blocks = [ b0 ];
+    scripts =
+      [| [ Write (b0, 1); Flag_set 0; Lock 0; Write (b0, 2); Unlock 0 ];
+         [ Flag_wait 0; Lock 0; Read b0; Unlock 0; Lock 0; Read b0; Unlock 0 ]
+      |];
+    oracle =
+      (fun sys ->
+        let owner =
+          match T.dir_entry sys.v ~block:b0 with
+          | Some e -> e.T.owner
+          | None -> 0
+        in
+        expect_value ~node:owner ~block:b0 ~want:2 sys
+        @
+        match reg sys ~node:1 with
+        | 1 | 2 -> []
+        | v -> [ Printf.sprintf "node 1 read %d, want 1 or 2" v ]);
+    drf = true;
     cfg_mod = Fun.id }
 
 let scenarios ~nprocs =
@@ -1037,6 +1449,11 @@ let scenarios ~nprocs =
     flag_handoff;
     barrier_exchange;
     upgrade_race ~nprocs ]
+
+(* The scenario family for refinement checking: the base set plus the
+   directed release-ordering scenario (kept out of [scenarios] so the
+   long-standing state-space baselines stay comparable). *)
+let refine_scenarios ~nprocs = scenarios ~nprocs @ [ release_order ]
 
 (* Scenarios safe under the crash adversary: everything except
    [flag_handoff].  An event flag the dead producer never set stays
@@ -1076,6 +1493,7 @@ let lp_overflow ~nprocs =
           | None -> 0
         in
         expect_value ~node:owner ~block:b0 ~want:8 sys);
+    drf = false;
     cfg_mod = (fun c -> { c with T.dmode = Nodeset.Limited 1 }) }
 
 (* Coarse-vector regions: region size 2 makes every singleton sharer a
@@ -1107,6 +1525,7 @@ let home_stale ~sname ~dmode =
     oracle =
       (fun sys ->
         expect_reg ~node:1 ~want:7 sys @ expect_reg ~node:2 ~want:7 sys);
+    drf = true;
     cfg_mod = (fun c -> { c with T.dmode }) }
 
 (* MCS-style queue lock: lock-protected increments under
@@ -1150,14 +1569,23 @@ let scale_scenarios ~nprocs =
 (* Reporting                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let pp_violation out { verr; vtrace } =
+let pp_violation out { verr; vtrace; vcommits } =
   Printf.fprintf out "  counterexample (%d moves):\n" (List.length vtrace);
   List.iteri (fun k l -> Printf.fprintf out "    %2d. %s\n" (k + 1) l) vtrace;
+  if vcommits <> [] then begin
+    Printf.fprintf out "  committed spec steps (%d):\n" (List.length vcommits);
+    List.iteri
+      (fun k l -> Printf.fprintf out "    %2d. %s\n" (k + 1) l)
+      vcommits
+  end;
   List.iter (fun e -> Printf.fprintf out "  violated: %s\n" e) verr
 
-let run_scenario ?injection ?lossy ?crash ?recover ?max_states out
-    (sc : scenario) =
-  let r = check_exhaustive ?injection ?lossy ?crash ?recover ?max_states sc in
+let run_scenario ?injection ?lossy ?crash ?recover ?refine ?base ?max_states
+    out (sc : scenario) =
+  let r =
+    check_exhaustive ?injection ?lossy ?crash ?recover ?refine ?base
+      ?max_states sc
+  in
   Printf.fprintf out
     "%-17s P=%d  states=%-7d transitions=%-8d terminals=%-6d depth=%d%s\n"
     sc.sname sc.nprocs r.states r.transitions r.terminals r.max_depth

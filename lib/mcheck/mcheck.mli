@@ -47,7 +47,16 @@ type op =
 
 val string_of_op : op -> string
 
-type injection = No_injection | Drop_first_inv_ack | Retransmit_no_dedup
+type injection =
+  | No_injection
+  | Drop_first_inv_ack
+  | Retransmit_no_dedup
+  | Store_past_release
+      (* the refinement-teeth mutation: the first store issued under a
+         held lock is withheld and fires only after the node has
+         released its locks.  Preserves every structural invariant,
+         quiescence and the (weak) data oracles; only [~refine]
+         catches the reordered commit. *)
 
 type sys
 
@@ -57,6 +66,11 @@ type scenario = {
   blocks : int list;
   scripts : op list array;
   oracle : sys -> string list; (* extra checks at terminal states *)
+  drf : bool;
+      (* scripts are data-race-free: the race detector must stay
+         silent in refinement mode and spec divergences are hard
+         violations; on a racy scenario divergences after a detected
+         race are excused *)
   cfg_mod : T.cfg -> T.cfg;
       (* configuration override over the default (full-map, centralized
          sync): scale scenarios pick limited/coarse directories and the
@@ -72,13 +86,24 @@ val reg : sys -> node:int -> int
 
 val view : sys -> T.view
 
-val init_sys : ?lossy:int -> ?crash:int -> ?recover:int -> scenario -> sys
+val init_sys :
+  ?lossy:int ->
+  ?crash:int ->
+  ?recover:int ->
+  ?refine:bool ->
+  ?base:T.cfg ->
+  scenario ->
+  sys
 (** [lossy] is the per-channel fault budget; omitted = reliable wire.
     [crash]/[recover] are the node-crash adversary's halt and restart
     move budgets (default 0 = no crash moves); [crash] requires the
-    reliable wire. *)
+    reliable wire.  [refine] attaches the serial-memory spec machine
+    and race detector (see {!Refine}); [base] seeds the configuration
+    the scenario's [cfg_mod] is applied over (the CLI's
+    --dir-mode/--sync choice).  [base]'s processor count is overridden
+    by the scenario's. *)
 
-val cfg_of : scenario -> T.cfg
+val cfg_of : ?base:T.cfg -> scenario -> T.cfg
 
 val moves :
   T.cfg -> inj:injection -> sys -> (string * (unit -> sys)) list
@@ -87,7 +112,14 @@ val moves :
     budgeted drop/dup/reorder moves plus free retransmission of lost
     frames. *)
 
-type violation = { verr : string list; vtrace : string list }
+type violation = {
+  verr : string list;
+  vtrace : string list;
+  vcommits : string list;
+      (* refinement mode: the spec steps committed along the trace,
+         oldest first — the abstract run the counterexample diverged
+         from *)
+}
 
 type result = {
   states : int; (* distinct states visited *)
@@ -103,15 +135,32 @@ val check_exhaustive :
   ?lossy:int ->
   ?crash:int ->
   ?recover:int ->
+  ?refine:bool ->
+  ?base:T.cfg ->
   ?max_states:int ->
   scenario ->
   result
+(** With [~refine:true], every explored interleaving is additionally
+    checked to refine the serial-memory spec: each load/store/sync
+    commit maps to exactly one atomic spec step (transfers,
+    invalidations, acks, migration and retransmissions are stuttering
+    no-ops), crash boundaries widen a dead writer's blocks to the
+    physically surviving values, and a vector-clock race detector
+    verifies the scenario's [drf] claim along each explored trace.
+    The spec state is folded into the visited-set key, so refinement
+    multiplies the state count. *)
+
+val fuzz_seeds : seed:int -> runs:int -> int list
+(** The per-run seeds [fuzz] derives from [seed] via one shared
+    splitmix64 stream — exposed so tests can pin their uniqueness. *)
 
 val fuzz :
   ?injection:injection ->
   ?lossy:int ->
   ?crash:int ->
   ?recover:int ->
+  ?refine:bool ->
+  ?base:T.cfg ->
   seed:int ->
   runs:int ->
   scenario ->
@@ -126,7 +175,20 @@ val lock_increment : nprocs:int -> scenario
 val flag_handoff : scenario
 val barrier_exchange : scenario
 val upgrade_race : nprocs:int -> scenario
+
+val release_order : scenario
+(** The directed refinement scenario: a flag-published block updated
+    again inside a critical section, read twice under the same lock by
+    the consumer.  DRF, and its data oracle tolerates every final
+    outcome — the [Store_past_release] injection is invisible to all
+    pre-refinement checks here, and exactly the stale lock-section
+    read diverges from the spec. *)
+
 val scenarios : nprocs:int -> scenario list
+
+val refine_scenarios : nprocs:int -> scenario list
+(** [scenarios] plus [release_order] (kept separate so existing
+    state-space baselines stay comparable). *)
 
 val crash_scenarios : nprocs:int -> scenario list
 (** The scenarios safe under the crash adversary: all but
@@ -153,6 +215,8 @@ val run_scenario :
   ?lossy:int ->
   ?crash:int ->
   ?recover:int ->
+  ?refine:bool ->
+  ?base:T.cfg ->
   ?max_states:int ->
   out_channel ->
   scenario ->

@@ -603,6 +603,19 @@ and register_acks c block expected =
     if a.got >= expected then finish_acks c block
 
 and recv_inv_ack c block =
+  if
+    Ns.mem c.v.halted c.node
+    && (not (Imap.mem block (nv c).acks))
+    && not (Imap.mem block (nv c).pending)
+  then
+    (* a late ack for a request that died with this node's crash (an
+       Inv between two live nodes still names the dead requester; see
+       [complete_data_reply]).  A LIVE node may legitimately see acks
+       before its reply registers the expected count, but then its
+       request is still pending — a recovered node's is not, and a
+       provisional entry here would count unacked forever. *)
+    ()
+  else begin
   let a =
     match Imap.find_opt block (nv c).acks with
     | Some a -> a
@@ -617,6 +630,7 @@ and recv_inv_ack c block =
   match a.expected with
   | Some e when a.got >= e -> finish_acks c block
   | _ -> ()
+  end
 
 (* Service requests that were deferred while the block was pending or
    had outstanding acks. *)
@@ -839,6 +853,14 @@ and apply_inv c ~block ~requester =
 
 and complete_data_reply c ~block ~exclusive ~acks ~tail =
   match Imap.find_opt block (nv c).pending with
+  | None when Ns.mem c.v.halted c.node ->
+    (* a reply to a request that died with this node's crash: the
+       purge only covers frames to/from the victim, so a forward
+       between two LIVE nodes naming it as requester can still produce
+       a reply after it recovers.  Directory recovery already removed
+       the dead request's promise, so dropping the reply is consistent;
+       the recovered node's program is gone and nothing awaits it. *)
+    ()
   | None ->
     invalid_arg
       (Printf.sprintf "Engine: stray data reply at node %d block 0x%x"
@@ -872,6 +894,10 @@ and complete_data_reply c ~block ~exclusive ~acks ~tail =
 
 and complete_upgrade_ack c ~block ~acks ~tail =
   match Imap.find_opt block (nv c).pending with
+  | None when Ns.mem c.v.halted c.node ->
+    (* late ack to a request that died with this node's crash; see
+       [complete_data_reply] *)
+    ()
   | None ->
     invalid_arg
       (Printf.sprintf "Engine: stray upgrade ack at node %d block 0x%x"
@@ -1392,12 +1418,24 @@ let set_home c ~page ~home =
    third state.  Likewise a Data_reply captured on the wire carries its
    data bytes, so re-sending it verbatim loses nothing. *)
 
+(* Salvage the victim's frozen bytes for [block] into this node's
+   memory.  If this node has a pending miss of its own with written
+   longwords (Shasta stores write in place before the miss resolves —
+   an upgrade never gets a data reply to merge them back from), the
+   adopt must not clobber them: re-apply them over the adopted image. *)
+let salvage_adopt c ~victim ~block =
+  act c (A_mem (M_adopt { block; from = victim }));
+  match Imap.find_opt block (nv c).pending with
+  | Some p when not (Imap.is_empty p.written) ->
+    mem_op c (M_merge { block; written = Imap.bindings p.written })
+  | _ -> ()
+
 let redispatch c ~victim ((dst : int), (msg : Message.t)) =
   let live n = not (is_crashed c.v n) in
   let block = msg.addr in
   let reply_from_salvage ~requester ~exclusive ~acks =
     if live requester then begin
-      act c (A_mem (M_adopt { block; from = victim }));
+      salvage_adopt c ~victim ~block;
       send c ~dst:requester ~addr:block
         (Message.Coh (Data_reply { data = [||]; exclusive; acks }));
       (* the adopt staged the victim's bytes here only so the reply
@@ -1454,11 +1492,17 @@ let redispatch c ~victim ((dst : int), (msg : Message.t)) =
        protocol obligations (replies, acks, grants, forwards it issued
        as home) are re-driven; its own unfinished requests die with it *)
     match msg.kind with
-    | Coh (Data_reply { exclusive; acks; _ }) ->
-      (* served from the victim's memory before it crashed; FIFO order
-         guarantees nothing younger overtook it, so the frozen image
-         still holds exactly these bytes — salvage and re-serve *)
-      reply_from_salvage ~requester:dst ~exclusive ~acks
+    | Coh (Data_reply { data; exclusive; acks }) ->
+      (* a captured reply carries its own bytes — re-send it verbatim.
+         Re-serving from the victim's frozen image is wrong here: if
+         the victim was itself a coordinator that salvaged these bytes
+         for an earlier crash, it re-flagged its staging buffer after
+         sending, so under back-to-back crashes its image holds the
+         flag marker while the data survives only in this frame.
+         Salvage remains the fallback for a reply whose payload was
+         never filled in. *)
+      if Array.length data > 0 then resend ~dst msg
+      else reply_from_salvage ~requester:dst ~exclusive ~acks
     | Coh (Upgrade_ack _) | Coh Inv_ack -> resend ~dst msg
     | Coh (Inv { requester }) -> if live requester then resend ~dst msg
     | Coh (Fwd_read { requester }) | Coh (Fwd_readex { requester; _ }) ->
@@ -1525,7 +1569,7 @@ let recover_directory c ~victim ~served =
              would leave them to complete against bytes that never
              arrive, so inexact modes may only name a node the
              re-dispatch provably serves. *)
-          act c (A_mem (M_adopt { block; from = victim }));
+          salvage_adopt c ~victim ~block;
           let pending_sharer =
             if Ns.is_exact sharers then
               let rec go n =
@@ -1733,6 +1777,15 @@ let crashed_mask (v : view) = Ns.to_mask v.crashed
 let halted_mask (v : view) = Ns.to_mask v.halted
 let is_live (v : view) ~node = not (is_crashed v node)
 let home_for (cfg : cfg) (v : view) block = eff_home cfg v block
+
+(* Lock ids currently held by [node], ascending.  Refinement checkers
+   use this to decide when an injected deferred store may fire and
+   which locks a crash must force-release in the spec machine. *)
+let locks_held_by (v : view) ~node =
+  Imap.fold
+    (fun id (l : lockst) acc -> if l.holder = Some node then id :: acc else acc)
+    v.locks []
+  |> List.sort compare
 
 let sharer_count (e : dirent) = Ns.cardinal e.sharers
 

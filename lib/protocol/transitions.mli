@@ -215,6 +215,10 @@ val wait_satisfied : view -> node:int -> wait -> bool
 val crashed_mask : view -> int
 val halted_mask : view -> int
 val is_live : view -> node:int -> bool
+
+val locks_held_by : view -> node:int -> int list
+(** Lock ids whose holder is [node], ascending. *)
+
 val is_sharer : dirent -> int -> bool
 val sharer_list : dirent -> nprocs:int -> int list
 val sharer_count : dirent -> int

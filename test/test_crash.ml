@@ -317,6 +317,97 @@ let t_crash_deterministic () =
   Alcotest.(check string) "same output" o1 o2;
   Alcotest.(check int) "same wall cycles" w1 w2
 
+(* --- scaling scenarios under the crash adversary (PR-9 gap) --------- *)
+
+(* The scale family (limited-pointer overflow, coarse regions, queue
+   lock, combining-tree barrier) was never model-checked against
+   crash/recover: directory reconstruction must re-derive inexact
+   sharer supersets, a queue lock's chain must survive a dead link,
+   and the combining tree's release wave must be re-driven into a dead
+   subtree. *)
+module Mcheck = Shasta_mcheck.Mcheck
+
+let t_scale_crash_recover_exhaustive () =
+  List.iter
+    (fun (sc : Mcheck.scenario) ->
+      List.iter
+        (fun recover ->
+          let r = Mcheck.check_exhaustive ~crash:1 ?recover sc in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s crash%s explored fully" sc.Mcheck.sname
+               (if recover = None then "" else "+recover"))
+            false r.Mcheck.truncated;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s reaches terminals" sc.Mcheck.sname)
+            true (r.Mcheck.terminals > 0);
+          match r.Mcheck.violation with
+          | None -> ()
+          | Some v ->
+            Mcheck.pp_violation stderr v;
+            Alcotest.fail (sc.Mcheck.sname ^ ": scale crash violation"))
+        [ None; Some 1 ])
+    (Mcheck.scale_scenarios ~nprocs:2)
+
+let t_scale_crash_fuzz () =
+  List.iter
+    (fun (sc : Mcheck.scenario) ->
+      let _, v = Mcheck.fuzz ~crash:1 ~recover:1 ~seed:23 ~runs:150 sc in
+      match v with
+      | None -> ()
+      | Some v ->
+        Mcheck.pp_violation stderr v;
+        Alcotest.fail (sc.Mcheck.sname ^ ": scale crash fuzz violation"))
+    (Mcheck.scale_scenarios ~nprocs:3)
+
+(* Regression for the double-crash salvage bug the re-derived fuzz
+   seed stream surfaced: a Data_reply re-served on a victim's behalf
+   used to be regenerated from the victim's frozen image — but when
+   the victim was itself a coordinator that had salvaged those bytes
+   for an EARLIER crash, it re-flagged its staging buffer after
+   sending, so the second salvage served the flag marker as data.
+   Pinned as the directed interleaving the adversary found. *)
+let t_double_crash_salvage_chain () =
+  let sc = Mcheck.lock_increment ~nprocs:3 in
+  let cfg = Mcheck.cfg_of sc in
+  let sys = ref (Mcheck.init_sys ~crash:2 sc) in
+  let play label =
+    match
+      List.assoc_opt label (Mcheck.moves cfg ~inj:Mcheck.No_injection !sys)
+    with
+    | Some next -> sys := next ()
+    | None ->
+      Alcotest.failf "move %S not enabled; enabled: %s" label
+        (String.concat "; "
+           (List.map fst (Mcheck.moves cfg ~inj:Mcheck.No_injection !sys)))
+  in
+  play "n2: lock 0";
+  play "deliver 2->0: [2] lock_req @0x0";
+  play "deliver 0->2: [0] lock_grant @0x0";
+  play "n2: read 0x0";
+  play "deliver 2->0: [2] read_req @0x0";
+  play "n0: lock 0";
+  play "crash n0";
+  play "crash n1";
+  (* drain: n2 must complete its read against real salvaged data *)
+  let rec drain k =
+    if k > 100 then Alcotest.fail "n2 never finished its critical section"
+    else
+      match Mcheck.moves cfg ~inj:Mcheck.No_injection !sys with
+      | [] -> ()
+      | (_, next) :: _ ->
+        sys := next ();
+        drain (k + 1)
+  in
+  drain 0;
+  Alcotest.(check (list string)) "terminal quiescent" []
+    (Shasta_protocol.Transitions.quiescent_invariants cfg (Mcheck.view !sys));
+  (* the salvaged reply must have carried the datum (0), not the flag
+     marker: n2's read register saw it, and its increment lands 0+1 *)
+  Alcotest.(check int) "n2 read data, not the flag marker" 0
+    (Mcheck.reg !sys ~node:2);
+  Alcotest.(check (option int)) "n2's increment commits on top" (Some 1)
+    (Mcheck.value !sys ~node:2 ~block:0)
+
 let () =
   Alcotest.run "crash"
     [ ( "lease",
@@ -336,5 +427,13 @@ let () =
           Alcotest.test_case "wildcard victim" `Quick t_kv_crash_wildcard;
           Alcotest.test_case "replay through pure core" `Quick t_crash_replay;
           Alcotest.test_case "deterministic" `Quick t_crash_deterministic
+        ] );
+      ( "scale",
+        [ Alcotest.test_case "scale scenarios clean under crash/recover"
+            `Quick t_scale_crash_recover_exhaustive;
+          Alcotest.test_case "scale scenarios clean at P=3 (crash fuzz)"
+            `Quick t_scale_crash_fuzz;
+          Alcotest.test_case "double-crash salvage chain regression" `Quick
+            t_double_crash_salvage_chain
         ] )
     ]

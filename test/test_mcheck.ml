@@ -91,6 +91,7 @@ let scenario_of_scripts scripts ~nprocs ~blocks =
     blocks;
     scripts;
     oracle = (fun _ -> []);
+    drf = true (* every access sits inside a Lock 0 critical section *);
     cfg_mod = Fun.id }
 
 (* Drive one random interleaving to completion, checking the state
@@ -234,6 +235,7 @@ let t_crash_after_barrier_arrival () =
       blocks = [];
       scripts = [| [ Mcheck.Barrier ]; [ Mcheck.Barrier ] |];
       oracle = (fun _ -> []);
+      drf = true;
       cfg_mod = Fun.id }
   in
   let cfg = Mcheck.cfg_of sc in
@@ -360,6 +362,50 @@ let t_no_dedup_caught () =
         (v.Mcheck.vtrace <> []))
     caught
 
+(* A store commit reordered past its lock release preserves every
+   pre-refinement check — release-order's data oracle deliberately
+   tolerates both final outcomes, invariants never see the deferred
+   store, quiescence still drains — and ONLY the refinement pass
+   catches it, as a divergence at the consumer's stale lock-section
+   load, with the committed spec run printed alongside the trace. *)
+let t_reordered_release_needs_refinement () =
+  let sc = Mcheck.release_order in
+  let without =
+    Mcheck.check_exhaustive ~injection:Mcheck.Store_past_release sc
+  in
+  Alcotest.(check bool) "invisible to all pre-refinement checks" true
+    (without.Mcheck.violation = None);
+  Alcotest.(check bool) "explored fully without refinement" false
+    without.Mcheck.truncated;
+  let wth =
+    Mcheck.check_exhaustive ~injection:Mcheck.Store_past_release ~refine:true
+      sc
+  in
+  match wth.Mcheck.violation with
+  | None -> Alcotest.fail "refinement missed the reordered release"
+  | Some v ->
+    Mcheck.pp_violation stderr v;
+    Alcotest.(check bool) "counterexample trace is non-empty" true
+      (v.Mcheck.vtrace <> []);
+    Alcotest.(check bool) "committed spec run is printed" true
+      (v.Mcheck.vcommits <> []);
+    Alcotest.(check bool) "the divergence is a refinement error" true
+      (List.exists
+         (fun e ->
+           String.length e >= 11 && String.sub e 0 11 = "refinement:")
+         v.Mcheck.verr)
+
+(* The same clean scenario refines without the injection: the weak
+   oracle is not what hides the bug. *)
+let t_release_order_clean () =
+  let r = Mcheck.check_exhaustive ~refine:true Mcheck.release_order in
+  (match r.Mcheck.violation with
+   | None -> ()
+   | Some v ->
+     Mcheck.pp_violation stderr v;
+     Alcotest.fail "release-order diverges without injection");
+  Alcotest.(check bool) "explored fully" false r.Mcheck.truncated
+
 (* --- deterministic replay ------------------------------------------- *)
 
 let t_replay_reproduces () =
@@ -434,6 +480,11 @@ let () =
             t_lossy_fuzz_clean;
           Alcotest.test_case "retransmit-without-dedup caught" `Quick
             t_no_dedup_caught ] );
+      ( "refine",
+        [ Alcotest.test_case "reordered release caught only by refinement"
+            `Quick t_reordered_release_needs_refinement;
+          Alcotest.test_case "release-order clean without injection" `Quick
+            t_release_order_clean ] );
       ( "crash",
         [ Alcotest.test_case "scenarios clean at P=2 (exhaustive)" `Quick
             t_crash_exhaustive_clean;
